@@ -1,0 +1,58 @@
+//! Criterion runtime benchmarks for the error detectors (the runtime
+//! panels of Figure 2: 2c, 2j, 2m, 2o, 2t).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rein_core::DetectorHarness;
+use rein_datasets::{DatasetId, Params};
+use rein_detect::DetectorKind;
+
+fn bench_detectors(c: &mut Criterion) {
+    // Small fixed scale so `cargo bench` stays fast; REIN_SCALE-style
+    // scaling is available through the fig2 binary for absolute numbers.
+    let ds = DatasetId::Beers.generate(&Params::scaled(0.1, 1));
+    let harness = DetectorHarness::new(&ds, 60, 1);
+    let mut group = c.benchmark_group("detectors_beers");
+    group.sample_size(10);
+    for kind in [
+        DetectorKind::MvDetector,
+        DetectorKind::Sd,
+        DetectorKind::Iqr,
+        DetectorKind::Fahes,
+        DetectorKind::Nadeef,
+        DetectorKind::Katara,
+        DetectorKind::HoloClean,
+        DetectorKind::OpenRefine,
+        DetectorKind::DBoost,
+        DetectorKind::IsolationForest,
+        DetectorKind::MinK,
+        DetectorKind::MaxEntropy,
+        DetectorKind::Raha,
+        DetectorKind::Ed2,
+        DetectorKind::MetadataDriven,
+        DetectorKind::Picket,
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
+            let detector = kind.build();
+            let ctx = harness.context(&ds);
+            b.iter(|| detector.detect(&ctx));
+        });
+    }
+    group.finish();
+
+    // Duplicate detectors on their natural dataset.
+    let citation = DatasetId::Citation.generate(&Params::scaled(0.05, 2));
+    let harness = DetectorHarness::new(&citation, 60, 1);
+    let mut group = c.benchmark_group("detectors_citation");
+    group.sample_size(10);
+    for kind in [DetectorKind::KeyCollision, DetectorKind::ZeroEr, DetectorKind::CleanLab] {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
+            let detector = kind.build();
+            let ctx = harness.context(&citation);
+            b.iter(|| detector.detect(&ctx));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_detectors);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Criterion benchmarks for the model zoo: per-family training cost on a
+//! fixed encoded dataset (the hidden cost behind the (ε+1)·h·s experiment
+//! explosion of §2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rein_datasets::{DatasetId, Params};
+use rein_ml::encode::{Encoder, LabelMap};
+use rein_ml::model::{ClassifierKind, ClustererKind, RegressorKind};
+
+fn bench_models(c: &mut Criterion) {
+    // Classification on beers.
+    let ds = DatasetId::Beers.generate(&Params::scaled(0.1, 1));
+    let label = ds.clean.schema().label_index().unwrap();
+    let features = ds.clean.schema().feature_indices();
+    let encoder = Encoder::fit(&ds.clean, &features);
+    let x = encoder.transform(&ds.clean);
+    let labels = LabelMap::fit([&ds.clean], label);
+    let (_, y) = labels.encode(&ds.clean, label);
+    let n_classes = labels.n_classes();
+
+    let mut group = c.benchmark_group("classifier_fit");
+    group.sample_size(10);
+    for kind in ClassifierKind::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
+            b.iter(|| {
+                let mut m = kind.build(1);
+                m.fit(&x, &y, n_classes);
+                m.predict(&x)
+            });
+        });
+    }
+    group.finish();
+
+    // Regression on nasa.
+    let ds = DatasetId::Nasa.generate(&Params::scaled(0.2, 2));
+    let label = ds.clean.schema().label_index().unwrap();
+    let features = ds.clean.schema().feature_indices();
+    let encoder = Encoder::fit(&ds.clean, &features);
+    let x = encoder.transform(&ds.clean);
+    let (_, y) = rein_ml::encode::regression_target(&ds.clean, label);
+
+    let mut group = c.benchmark_group("regressor_fit");
+    group.sample_size(10);
+    for kind in RegressorKind::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
+            b.iter(|| {
+                let mut m = kind.build(1);
+                m.fit(&x, &y);
+                m.predict(&x)
+            });
+        });
+    }
+    group.finish();
+
+    // Clustering on water.
+    let ds = DatasetId::Water.generate(&Params::scaled(0.3, 3));
+    let features = ds.clean.schema().feature_indices();
+    let encoder = Encoder::fit(&ds.clean, &features);
+    let x = encoder.transform(&ds.clean);
+
+    let mut group = c.benchmark_group("clusterer_fit");
+    group.sample_size(10);
+    for kind in ClustererKind::ALL {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
+            b.iter(|| kind.build(4, 1).fit_predict(&x));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_models);
+criterion_main!(benches);

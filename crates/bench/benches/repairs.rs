@@ -1,0 +1,64 @@
+//! Criterion runtime benchmarks for the repair methods (the runtime
+//! panels of Figures 4b/4d and 5b/5f).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rein_datasets::{DatasetId, Params};
+use rein_repair::{RepairContext, RepairKind};
+
+fn bench_repairs(c: &mut Criterion) {
+    let ds = DatasetId::Beers.generate(&Params::scaled(0.1, 1));
+    let mut group = c.benchmark_group("repairs_beers");
+    group.sample_size(10);
+    for kind in [
+        RepairKind::GroundTruth,
+        RepairKind::Delete,
+        RepairKind::ImputeMeanMode,
+        RepairKind::ImputeMedianMode,
+        RepairKind::ImputeModeMode,
+        RepairKind::MissMix,
+        RepairKind::DataWigMix,
+        RepairKind::MissSep,
+        RepairKind::DtMiss,
+        RepairKind::BayesMiss,
+        RepairKind::HoloClean,
+        RepairKind::OpenRefine,
+        RepairKind::Baran,
+    ] {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
+            let repairer = kind.build();
+            b.iter(|| {
+                let ctx = RepairContext {
+                    clean: Some(&ds.clean),
+                    fds: &ds.fds,
+                    label_col: ds.clean.schema().label_index(),
+                    ..RepairContext::new(&ds.dirty, &ds.mask)
+                };
+                repairer.repair(&ctx)
+            });
+        });
+    }
+    group.finish();
+
+    // ML-oriented methods on a classification dataset.
+    let bc = DatasetId::BreastCancer.generate(&Params::scaled(0.3, 2));
+    let mut group = c.benchmark_group("repairs_ml_oriented");
+    group.sample_size(10);
+    for kind in [RepairKind::ActiveClean, RepairKind::BoostClean, RepairKind::CpClean] {
+        group.bench_with_input(BenchmarkId::from_parameter(kind.name()), &kind, |b, &kind| {
+            let repairer = kind.build();
+            b.iter(|| {
+                let ctx = RepairContext {
+                    clean: Some(&bc.clean),
+                    label_col: bc.clean.schema().label_index(),
+                    label_budget: 20,
+                    ..RepairContext::new(&bc.dirty, &bc.mask)
+                };
+                repairer.repair(&ctx)
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_repairs);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Figure 5: repair RMSE and runtime over the numerical attributes of
+//! Smart Factory, Breast Cancer, Bikes and Water.
+//!
+//! For each (detector, repairer) strategy the harness reports the RMSE
+//! between the repaired values and the ground truth over the actually
+//! erroneous cells, against the dirty version's RMSE (the red dashed
+//! baseline — bars above it mean the "repair" made things worse).
+
+use rein_bench::{dataset, f, header};
+use rein_core::{Controller, DetectorRun};
+use rein_datasets::DatasetId;
+use rein_repair::RepairKind;
+
+fn run_dataset(id: DatasetId, seed: u64) {
+    let ds = dataset(id, seed);
+    let ctrl = Controller { label_budget: 100, seed };
+    header(&format!("Figure 5 — numerical repair RMSE ({})", ds.info.name));
+
+    let mut detections: Vec<DetectorRun> = ctrl.run_detection(&ds);
+    detections.retain(|d| d.quality.detected() > 0);
+    detections.sort_by(|a, b| b.quality.f1.total_cmp(&a.quality.f1));
+    detections.truncate(5);
+
+    let mut dirty_baseline: Option<f64> = None;
+    println!("{:<10} {:<18} {:>10} {:>12} {:>10}", "detector", "repairer", "rmse", "vs dirty", "runtime");
+    for det in &detections {
+        let runs = ctrl.run_repairs(&ds, det);
+        let records = ctrl.repair_records(&ds, det.kind, &runs);
+        for rec in &records {
+            let (Some(rmse), Some(dirty)) = (rec.rmse, rec.dirty_rmse) else { continue };
+            if rec.repairer == RepairKind::Delete.name() {
+                continue;
+            }
+            dirty_baseline.get_or_insert(dirty);
+            let verdict = if rmse < dirty * 0.99 {
+                "better"
+            } else if rmse > dirty * 1.01 {
+                "WORSE"
+            } else {
+                "same"
+            };
+            println!(
+                "{:<10} {:<18} {:>10} {:>12} {:>9.3}s",
+                det.kind.name().chars().take(10).collect::<String>(),
+                rec.repairer,
+                f(rmse),
+                verdict,
+                rec.runtime_ms / 1e3,
+            );
+        }
+    }
+    if let Some(d) = dirty_baseline {
+        println!("\ndirty-version RMSE baseline (red dashed line): {}", f(d));
+    }
+}
+
+fn main() {
+    run_dataset(DatasetId::SmartFactory, 61);
+    run_dataset(DatasetId::BreastCancer, 62);
+    run_dataset(DatasetId::Bikes, 63);
+    run_dataset(DatasetId::Water, 64);
+}

@@ -1,0 +1,114 @@
+//! # rein-bench
+//!
+//! The experiment harness reproducing every table and figure of the
+//! paper's evaluation (§6). Each `src/bin/` binary regenerates one
+//! artefact and prints the same rows/series the paper reports; the
+//! `benches/` directory holds the Criterion runtime benchmarks.
+//!
+//! All binaries honour the `REIN_SCALE` environment variable (default
+//! `0.05`): dataset row counts are `REIN_SCALE ×` the paper's Table 4
+//! sizes, so a laptop run finishes in minutes while `REIN_SCALE=1` runs
+//! the full-size study.
+
+use rein_core::{DetectorHarness, DetectorRun};
+use rein_datasets::{DatasetId, GeneratedDataset, Params};
+use rein_detect::DetectorKind;
+
+/// Reads the global scale factor (`REIN_SCALE`, default 0.05).
+pub fn scale() -> f64 {
+    std::env::var("REIN_SCALE")
+        .ok()
+        .and_then(|s| s.parse::<f64>().ok())
+        .filter(|s| *s > 0.0)
+        .unwrap_or(0.05)
+}
+
+/// Reads the repeat count for stochastic experiments (`REIN_REPEATS`,
+/// default 3; the paper uses 10).
+pub fn repeats() -> usize {
+    std::env::var("REIN_REPEATS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|r| *r > 0)
+        .unwrap_or(3)
+}
+
+/// Generates a dataset at the global scale.
+pub fn dataset(id: DatasetId, seed: u64) -> GeneratedDataset {
+    id.generate(&Params::scaled(scale(), seed))
+}
+
+/// Generates a dataset at an explicit scale.
+pub fn dataset_at(id: DatasetId, size_factor: f64, seed: u64) -> GeneratedDataset {
+    id.generate(&Params::scaled(size_factor, seed))
+}
+
+/// Runs a list of detectors on a dataset (planned signals supplied).
+pub fn run_detectors(
+    ds: &GeneratedDataset,
+    kinds: &[DetectorKind],
+    budget: usize,
+    seed: u64,
+) -> Vec<DetectorRun> {
+    let harness = DetectorHarness::new(ds, budget, seed);
+    kinds.iter().map(|&k| harness.run(ds, k)).collect()
+}
+
+/// Section header in the emitted reports.
+pub fn header(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Prints a row of fixed-width cells.
+pub fn row(cells: &[String]) {
+    let line: Vec<String> = cells.iter().map(|c| format!("{c:>12}")).collect();
+    println!("{}", line.join(" "));
+}
+
+/// Formats a float for report output.
+pub fn f(v: f64) -> String {
+    if v.is_nan() {
+        "-".to_string()
+    } else if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.3}")
+    }
+}
+
+/// Formats an optional float.
+pub fn fo(v: Option<f64>) -> String {
+    v.map_or("-".to_string(), f)
+}
+
+/// Formats a duration in seconds with millisecond resolution.
+pub fn secs(d: std::time::Duration) -> String {
+    format!("{:.3}s", d.as_secs_f64())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_default_and_override() {
+        // Default path (env var may be absent in tests).
+        let s = scale();
+        assert!(s > 0.0);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f(0.5), "0.500");
+        assert_eq!(f(f64::NAN), "-");
+        assert_eq!(f(12345.0), "12345");
+        assert_eq!(fo(None), "-");
+        assert_eq!(fo(Some(1.0)), "1.000");
+    }
+
+    #[test]
+    fn dataset_helper_generates() {
+        let ds = dataset_at(DatasetId::BreastCancer, 0.2, 1);
+        assert!(ds.clean.n_rows() >= 20);
+    }
+}

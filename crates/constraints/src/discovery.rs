@@ -1,0 +1,235 @@
+//! Approximate FD discovery (the paper's FDX-profiler substitute).
+//!
+//! FDX casts FD discovery as structure learning over noisy data. We keep the
+//! spirit — tolerate a bounded violation rate instead of demanding exact
+//! satisfaction — using the classical `g3` error: the minimum fraction of
+//! rows whose removal makes the FD hold. Candidate LHSs are single columns
+//! and column pairs; key-like determinants (almost-unique columns) are
+//! rejected because they induce vacuous FDs that are useless as cleaning
+//! signals.
+
+use std::collections::HashMap;
+
+use rein_data::Table;
+
+use crate::fd::FunctionalDependency;
+
+/// Configuration for FD discovery.
+#[derive(Debug, Clone)]
+pub struct DiscoveryConfig {
+    /// Maximum tolerated g3 error for an FD to be reported.
+    pub max_error: f64,
+    /// Determinants with more than this fraction of distinct values are
+    /// treated as keys and skipped.
+    pub max_lhs_uniqueness: f64,
+    /// Also try composite (two-column) determinants.
+    pub composite_lhs: bool,
+    /// Minimum average group size on the LHS; groups of one satisfy any FD
+    /// vacuously.
+    pub min_avg_group: f64,
+}
+
+impl Default for DiscoveryConfig {
+    fn default() -> Self {
+        Self { max_error: 0.02, max_lhs_uniqueness: 0.85, composite_lhs: false, min_avg_group: 1.5 }
+    }
+}
+
+/// `g3` error of `lhs → rhs`: fraction of rows to delete so the FD holds.
+///
+/// For each LHS group, all rows except those with the group's most frequent
+/// RHS value must be removed. Rows with NULL in LHS or RHS are skipped.
+pub fn g3_error(table: &Table, lhs: &[usize], rhs: usize) -> f64 {
+    let mut groups: HashMap<String, HashMap<String, usize>> = HashMap::new();
+    let mut considered = 0usize;
+    'rows: for r in 0..table.n_rows() {
+        let rv = table.cell(r, rhs);
+        if rv.is_null() {
+            continue;
+        }
+        let mut key = String::new();
+        for &c in lhs {
+            let v = table.cell(r, c);
+            if v.is_null() {
+                continue 'rows;
+            }
+            key.push_str(&v.as_key());
+            key.push('\u{1f}');
+        }
+        *groups.entry(key).or_default().entry(rv.as_key().into_owned()).or_insert(0) += 1;
+        considered += 1;
+    }
+    if considered == 0 {
+        return 0.0;
+    }
+    let keep: usize = groups.values().map(|m| m.values().copied().max().unwrap_or(0)).sum();
+    (considered - keep) as f64 / considered as f64
+}
+
+fn distinct_fraction(table: &Table, cols: &[usize]) -> (f64, f64) {
+    let mut groups: HashMap<String, usize> = HashMap::new();
+    let mut n = 0usize;
+    'rows: for r in 0..table.n_rows() {
+        let mut key = String::new();
+        for &c in cols {
+            let v = table.cell(r, c);
+            if v.is_null() {
+                continue 'rows;
+            }
+            key.push_str(&v.as_key());
+            key.push('\u{1f}');
+        }
+        *groups.entry(key).or_insert(0) += 1;
+        n += 1;
+    }
+    if n == 0 {
+        return (1.0, 0.0);
+    }
+    let uniq = groups.len() as f64 / n as f64;
+    let avg_group = n as f64 / groups.len() as f64;
+    (uniq, avg_group)
+}
+
+/// Discovers approximate FDs in a table.
+///
+/// Returns FDs ordered by ascending g3 error (most reliable first). Implied
+/// duplicates are pruned: when `A → B` is reported, `(A, C) → B` is not.
+pub fn discover_fds(table: &Table, config: &DiscoveryConfig) -> Vec<FunctionalDependency> {
+    let n_cols = table.n_cols();
+    let mut found: Vec<(FunctionalDependency, f64)> = Vec::new();
+
+    let consider = |found: &mut Vec<(FunctionalDependency, f64)>, lhs: Vec<usize>, rhs: usize| {
+        let (uniq, avg_group) = distinct_fraction(table, &lhs);
+        if uniq > config.max_lhs_uniqueness || avg_group < config.min_avg_group {
+            return;
+        }
+        let err = g3_error(table, &lhs, rhs);
+        if err <= config.max_error {
+            found.push((FunctionalDependency::new(lhs, rhs), err));
+        }
+    };
+
+    for rhs in 0..n_cols {
+        for a in 0..n_cols {
+            if a == rhs {
+                continue;
+            }
+            consider(&mut found, vec![a], rhs);
+        }
+    }
+
+    if config.composite_lhs {
+        // Only add composite FDs whose single-column projections were not
+        // already accepted.
+        let singles: Vec<(usize, usize)> = found
+            .iter()
+            .filter(|(fd, _)| fd.lhs.len() == 1)
+            .map(|(fd, _)| (fd.lhs[0], fd.rhs))
+            .collect();
+        for rhs in 0..n_cols {
+            for a in 0..n_cols {
+                for b in a + 1..n_cols {
+                    if a == rhs || b == rhs {
+                        continue;
+                    }
+                    if singles.contains(&(a, rhs)) || singles.contains(&(b, rhs)) {
+                        continue;
+                    }
+                    consider(&mut found, vec![a, b], rhs);
+                }
+            }
+        }
+    }
+
+    found.sort_by(|x, y| x.1.total_cmp(&y.1).then_with(|| x.0.lhs.cmp(&y.0.lhs)));
+    found.into_iter().map(|(fd, _)| fd).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rein_data::{ColumnMeta, ColumnType, Schema, Value};
+
+    /// zip -> city holds, id is a key, noise column is random.
+    fn table(noise_in_city: usize) -> Table {
+        let schema = Schema::new(vec![
+            ColumnMeta::new("id", ColumnType::Int),
+            ColumnMeta::new("zip", ColumnType::Str),
+            ColumnMeta::new("city", ColumnType::Str),
+        ]);
+        let zips = ["10115", "80331", "20095", "50667"];
+        let cities = ["Berlin", "Munich", "Hamburg", "Cologne"];
+        let mut rows = Vec::new();
+        for i in 0..200usize {
+            let z = i % 4;
+            let city = if i < noise_in_city { "WRONG" } else { cities[z] };
+            rows.push(vec![Value::Int(i as i64), Value::str(zips[z]), Value::str(city)]);
+        }
+        Table::from_rows(schema, rows)
+    }
+
+    #[test]
+    fn g3_error_zero_on_exact_fd() {
+        assert_eq!(g3_error(&table(0), &[1], 2), 0.0);
+    }
+
+    #[test]
+    fn g3_error_counts_minimal_removals() {
+        // 4 corrupted rows out of 200.
+        let err = g3_error(&table(4), &[1], 2);
+        assert!((err - 0.02).abs() < 1e-12, "err = {err}");
+    }
+
+    #[test]
+    fn discovery_finds_zip_to_city() {
+        let fds = discover_fds(&table(0), &DiscoveryConfig::default());
+        assert!(fds.contains(&FunctionalDependency::new(vec![1usize], 2)));
+        // And the reverse holds too (city -> zip) in this data.
+        assert!(fds.contains(&FunctionalDependency::new(vec![2usize], 1)));
+    }
+
+    #[test]
+    fn keys_are_not_determinants() {
+        let fds = discover_fds(&table(0), &DiscoveryConfig::default());
+        assert!(fds.iter().all(|fd| fd.lhs != vec![0]), "id must not determine anything");
+    }
+
+    #[test]
+    fn noisy_fd_found_within_tolerance() {
+        let cfg = DiscoveryConfig { max_error: 0.03, ..Default::default() };
+        let fds = discover_fds(&table(4), &cfg);
+        assert!(fds.contains(&FunctionalDependency::new(vec![1usize], 2)));
+        let strict = DiscoveryConfig { max_error: 0.001, ..Default::default() };
+        let fds = discover_fds(&table(4), &strict);
+        assert!(!fds.contains(&FunctionalDependency::new(vec![1usize], 2)));
+    }
+
+    #[test]
+    fn composite_lhs_only_when_singles_fail() {
+        // c = f(a, b) but neither a nor b alone determines c.
+        let schema = Schema::new(vec![
+            ColumnMeta::new("a", ColumnType::Int),
+            ColumnMeta::new("b", ColumnType::Int),
+            ColumnMeta::new("c", ColumnType::Int),
+        ]);
+        let mut rows = Vec::new();
+        for i in 0..120usize {
+            let a = (i % 4) as i64;
+            let b = ((i / 4) % 4) as i64;
+            rows.push(vec![Value::Int(a), Value::Int(b), Value::Int(a * 10 + b)]);
+        }
+        let t = Table::from_rows(schema, rows);
+        let cfg = DiscoveryConfig { composite_lhs: true, ..Default::default() };
+        let fds = discover_fds(&t, &cfg);
+        assert!(fds.contains(&FunctionalDependency::new(vec![0usize, 1], 2)));
+        assert!(!fds.contains(&FunctionalDependency::new(vec![0usize], 2)));
+    }
+
+    #[test]
+    fn nulls_are_ignored_in_g3() {
+        let mut t = table(0);
+        t.set_cell(0, 2, Value::Null);
+        t.set_cell(1, 1, Value::Null);
+        assert_eq!(g3_error(&t, &[1], 2), 0.0);
+    }
+}

@@ -1,0 +1,234 @@
+//! Syntactic patterns over cell values.
+//!
+//! Several detectors (KATARA, FAHES, NADEEF's pattern rules, OpenRefine)
+//! reason about the *shape* of a value: its sequence of character classes.
+//! `"10115"` has shape `D5`, `"A-12"` has shape `U-D2`. Columns usually
+//! have one dominant shape; cells deviating from it are pattern violations.
+
+use std::collections::HashMap;
+
+use rein_data::{Table, Value};
+use serde::{Deserialize, Serialize};
+
+/// A run-length encoded character-class pattern.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ValuePattern(String);
+
+impl ValuePattern {
+    /// The pattern's canonical text form, e.g. `"U1L+ D2"`.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+fn char_class(c: char) -> char {
+    if c.is_ascii_digit() {
+        'D'
+    } else if c.is_ascii_uppercase() {
+        'U'
+    } else if c.is_ascii_lowercase() {
+        'L'
+    } else if c.is_whitespace() {
+        '_'
+    } else {
+        'S' // symbol / punctuation / non-ascii
+    }
+}
+
+/// Generalised (run-length collapsed) pattern of a string: consecutive
+/// characters of one class collapse to `C+` when the run is longer than one.
+///
+/// Collapsing makes `"Pale Ale"` and `"Stout"` share the shape of "words",
+/// matching how FAHES generalises syntactic patterns.
+pub fn pattern_of(s: &str) -> ValuePattern {
+    let mut out = String::new();
+    let mut chars = s.chars().peekable();
+    while let Some(c) = chars.next() {
+        let class = char_class(c);
+        let mut run = 1usize;
+        while chars.peek().map(|&n| char_class(n)) == Some(class) {
+            chars.next();
+            run += 1;
+        }
+        out.push(class);
+        if run > 1 {
+            out.push('+');
+        }
+    }
+    ValuePattern(out)
+}
+
+/// Exact (length-preserving) pattern: each character maps to its class.
+pub fn exact_pattern_of(s: &str) -> ValuePattern {
+    ValuePattern(s.chars().map(char_class).collect())
+}
+
+/// Pattern of a cell value (numbers and booleans pattern their display
+/// form; NULL yields the empty pattern).
+pub fn value_pattern(v: &Value) -> ValuePattern {
+    pattern_of(&v.to_string())
+}
+
+/// The distribution of generalised patterns in a column.
+#[derive(Debug, Clone)]
+pub struct PatternProfile {
+    /// Pattern → frequency, most frequent first.
+    pub counts: Vec<(ValuePattern, usize)>,
+    /// Number of non-null cells profiled.
+    pub total: usize,
+}
+
+impl PatternProfile {
+    /// Profiles column `col` of a table (nulls excluded).
+    pub fn of_column(table: &Table, col: usize) -> Self {
+        let mut map: HashMap<ValuePattern, usize> = HashMap::new();
+        let mut total = 0usize;
+        for v in table.column(col) {
+            if v.is_null() {
+                continue;
+            }
+            *map.entry(value_pattern(v)).or_insert(0) += 1;
+            total += 1;
+        }
+        let mut counts: Vec<(ValuePattern, usize)> = map.into_iter().collect();
+        counts.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0 .0.cmp(&b.0 .0)));
+        Self { counts, total }
+    }
+
+    /// The dominant pattern, if it covers at least `min_support` of cells.
+    pub fn dominant(&self, min_support: f64) -> Option<&ValuePattern> {
+        let (p, n) = self.counts.first()?;
+        if self.total > 0 && *n as f64 / self.total as f64 >= min_support {
+            Some(p)
+        } else {
+            None
+        }
+    }
+
+    /// Support (relative frequency) of a given pattern in this profile.
+    pub fn support(&self, pattern: &ValuePattern) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        self.counts
+            .iter()
+            .find(|(p, _)| p == pattern)
+            .map_or(0.0, |(_, n)| *n as f64 / self.total as f64)
+    }
+}
+
+/// Rows of `col` whose pattern deviates from the dominant one (requires the
+/// dominant pattern to have at least `min_support`); empty when no pattern
+/// dominates.
+pub fn pattern_outliers(table: &Table, col: usize, min_support: f64) -> Vec<usize> {
+    let profile = PatternProfile::of_column(table, col);
+    let Some(dominant) = profile.dominant(min_support) else {
+        return Vec::new();
+    };
+    let dominant = dominant.clone();
+    (0..table.n_rows())
+        .filter(|&r| {
+            let v = table.cell(r, col);
+            !v.is_null() && value_pattern(v) != dominant
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rein_data::{ColumnMeta, ColumnType, Schema};
+
+    #[test]
+    fn pattern_shapes() {
+        assert_eq!(pattern_of("10115").as_str(), "D+");
+        assert_eq!(pattern_of("A-12").as_str(), "USD+");
+        assert_eq!(pattern_of("Pale Ale").as_str(), "UL+_UL+");
+        assert_eq!(pattern_of("").as_str(), "");
+        assert_eq!(exact_pattern_of("Ab1 ").as_str(), "ULD_");
+    }
+
+    #[test]
+    fn value_patterns_for_non_strings() {
+        assert_eq!(value_pattern(&Value::Int(123)).as_str(), "D+");
+        assert_eq!(value_pattern(&Value::Int(-5)).as_str(), "SD");
+        assert_eq!(value_pattern(&Value::Null).as_str(), "");
+        assert_eq!(value_pattern(&Value::Bool(true)).as_str(), "L+");
+    }
+
+    fn column(vals: Vec<Value>) -> Table {
+        let schema = Schema::new(vec![ColumnMeta::new("x", ColumnType::Str)]);
+        Table::from_rows(schema, vals.into_iter().map(|v| vec![v]).collect())
+    }
+
+    #[test]
+    fn profile_finds_dominant_pattern() {
+        let t = column(vec![
+            Value::str("12345"),
+            Value::str("54321"),
+            Value::str("99999"),
+            Value::str("abc"),
+        ]);
+        let p = PatternProfile::of_column(&t, 0);
+        assert_eq!(p.total, 4);
+        assert_eq!(p.dominant(0.7).unwrap().as_str(), "D+");
+        assert!(p.dominant(0.9).is_none());
+        assert!((p.support(&pattern_of("11")) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn outliers_deviate_from_dominant() {
+        let t = column(vec![
+            Value::str("12345"),
+            Value::str("54321"),
+            Value::str("9999"),
+            Value::str("ab-1"),
+            Value::Null,
+        ]);
+        // D+ covers 3/4 non-null values.
+        let out = pattern_outliers(&t, 0, 0.6);
+        assert_eq!(out, vec![3]);
+    }
+
+    #[test]
+    fn no_dominant_pattern_no_outliers() {
+        let t = column(vec![Value::str("abc"), Value::str("123"), Value::str("a1"), Value::str("-")]);
+        assert!(pattern_outliers(&t, 0, 0.6).is_empty());
+    }
+
+    #[test]
+    fn empty_column_profile() {
+        let t = column(vec![Value::Null, Value::Null]);
+        let p = PatternProfile::of_column(&t, 0);
+        assert_eq!(p.total, 0);
+        assert!(p.dominant(0.5).is_none());
+        assert_eq!(p.support(&pattern_of("D")), 0.0);
+    }
+}
+
+/// OpenRefine's key fingerprint: lowercase alphanumeric tokens, sorted and
+/// deduplicated. Variant spellings of one entity share a fingerprint.
+pub fn fingerprint(s: &str) -> String {
+    let mut tokens: Vec<String> = s
+        .to_lowercase()
+        .split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(str::to_string)
+        .collect();
+    tokens.sort();
+    tokens.dedup();
+    tokens.join(" ")
+}
+
+#[cfg(test)]
+mod fingerprint_tests {
+    use super::fingerprint;
+
+    #[test]
+    fn fingerprint_normalises() {
+        assert_eq!(fingerprint("Pale Ale"), "ale pale");
+        assert_eq!(fingerprint("  pale   ALE "), "ale pale");
+        assert_eq!(fingerprint("ale-pale"), "ale pale");
+        assert_ne!(fingerprint("stout"), fingerprint("porter"));
+    }
+}

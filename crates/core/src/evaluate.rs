@@ -1,0 +1,410 @@
+//! The evaluation module: runs detectors and repairers with their proper
+//! signals, measures quality and runtime, and trains/evaluates ML models
+//! on data versions under the S1–S5 scenarios.
+
+use std::time::{Duration, Instant};
+
+use rein_data::rng::derive_seed;
+use rein_data::{CellMask, Table};
+use rein_datasets::GeneratedDataset;
+use rein_detect::{DetectContext, DetectorKind, KnowledgeBase, Oracle};
+use rein_ml::encode::{select_matrix_rows, Encoder, LabelMap};
+use rein_ml::model::{ClassifierKind, ClustererKind, RegressorKind};
+use rein_repair::{RepairContext, RepairKind, RepairOutcome, TrainedPipeline};
+use rein_stats::repair_quality::RmseReport;
+use rein_stats::{evaluate_detection, DetectionQuality};
+
+use crate::scenario::{Scenario, VersionRole};
+
+/// Default labelling budget handed to ML-supported detectors.
+pub const DEFAULT_LABEL_BUDGET: usize = 100;
+
+/// Holds the owned signals a [`DetectContext`] borrows.
+pub struct DetectorHarness {
+    kb: KnowledgeBase,
+    oracle: Oracle,
+    label_col: Option<usize>,
+    budget: usize,
+    seed: u64,
+}
+
+impl DetectorHarness {
+    /// Builds the harness for a dataset: KB simulated from the ground
+    /// truth, oracle backed by the exact error mask.
+    pub fn new(ds: &GeneratedDataset, budget: usize, seed: u64) -> Self {
+        Self {
+            kb: KnowledgeBase::from_reference(&ds.clean),
+            oracle: Oracle::new(ds.mask.clone()),
+            label_col: ds.clean.schema().label_index(),
+            budget,
+            seed,
+        }
+    }
+
+    /// The detect context over a dataset's dirty table.
+    pub fn context<'a>(&'a self, ds: &'a GeneratedDataset) -> DetectContext<'a> {
+        DetectContext {
+            dirty: &ds.dirty,
+            fds: &ds.fds,
+            dcs: &[],
+            kb: Some(&self.kb),
+            key_columns: &ds.key_columns,
+            oracle: Some(&self.oracle),
+            label_col: self.label_col,
+            labeling_budget: self.budget,
+            seed: self.seed,
+        }
+    }
+
+    /// Runs one detector, returning its mask, quality and runtime.
+    pub fn run(&self, ds: &GeneratedDataset, kind: DetectorKind) -> DetectorRun {
+        let ctx = self.context(ds);
+        let detector = kind.build();
+        let start = Instant::now();
+        let mask = detector.detect(&ctx);
+        let runtime = start.elapsed();
+        let quality = evaluate_detection(&mask, &ds.mask);
+        DetectorRun { kind, mask, quality, runtime }
+    }
+}
+
+/// One detector execution.
+pub struct DetectorRun {
+    /// Which detector ran.
+    pub kind: DetectorKind,
+    /// Its detection mask.
+    pub mask: CellMask,
+    /// Cell-level quality vs the ground truth.
+    pub quality: DetectionQuality,
+    /// Wall-clock runtime.
+    pub runtime: Duration,
+}
+
+/// A data version aligned to the clean-row space: `row_map[i]` is the
+/// clean-row index of version row `i` (indices `>= clean.n_rows()` denote
+/// injected duplicate rows).
+#[derive(Debug, Clone)]
+pub struct VersionTable {
+    /// The data version.
+    pub table: Table,
+    /// Version-row → clean-row mapping.
+    pub row_map: Vec<usize>,
+}
+
+impl VersionTable {
+    /// Identity-mapped version (dirty table or ground truth).
+    pub fn identity(table: Table) -> Self {
+        let row_map = (0..table.n_rows()).collect();
+        Self { table, row_map }
+    }
+}
+
+/// One repair execution: either a repaired version or a trained pipeline.
+pub struct RepairRun {
+    /// Which repairer ran.
+    pub kind: RepairKind,
+    /// Repaired version (generic methods).
+    pub version: Option<VersionTable>,
+    /// Cells the repairer modified.
+    pub repaired_cells: Option<CellMask>,
+    /// Trained pipeline (ML-oriented methods).
+    pub pipeline: Option<TrainedPipeline>,
+    /// Wall-clock runtime.
+    pub runtime: Duration,
+}
+
+/// Runs one repairer on the detections of a detector.
+pub fn run_repair(
+    ds: &GeneratedDataset,
+    detections: &CellMask,
+    kind: RepairKind,
+    seed: u64,
+) -> RepairRun {
+    let ctx = RepairContext {
+        dirty: &ds.dirty,
+        detections,
+        clean: Some(&ds.clean),
+        fds: &ds.fds,
+        label_col: ds.clean.schema().label_index(),
+        label_budget: 50,
+        seed,
+    };
+    let repairer = kind.build();
+    let start = Instant::now();
+    let outcome = repairer.repair(&ctx);
+    let runtime = start.elapsed();
+    match outcome {
+        RepairOutcome::Repaired { table, repaired_cells, row_map } => RepairRun {
+            kind,
+            version: Some(VersionTable { table, row_map }),
+            repaired_cells: Some(repaired_cells),
+            pipeline: None,
+            runtime,
+        },
+        RepairOutcome::Model(p) => {
+            RepairRun { kind, version: None, repaired_cells: None, pipeline: Some(p), runtime }
+        }
+    }
+}
+
+/// Categorical repair quality of a repaired version (paper §6.1).
+pub fn repair_quality_categorical(
+    ds: &GeneratedDataset,
+    run: &RepairRun,
+) -> Option<DetectionQuality> {
+    let version = run.version.as_ref()?;
+    let repaired_cells = run.repaired_cells.as_ref()?;
+    // Quality is defined on same-shape repairs; row-dropping methods
+    // (Delete) have no cell-wise repair accuracy.
+    if version.table.n_rows() != ds.dirty.n_rows() {
+        return None;
+    }
+    let cols = ds.clean.schema().categorical_indices();
+    Some(rein_stats::categorical_repair_quality(
+        &ds.dirty,
+        &version.table,
+        &ds.clean,
+        repaired_cells,
+        &ds.mask,
+        &cols,
+    ))
+}
+
+/// Numerical RMSE of a repaired version over the actually-erroneous cells,
+/// plus the dirty baseline (the red dashed line of Figure 5).
+pub fn repair_quality_numerical(
+    ds: &GeneratedDataset,
+    run: &RepairRun,
+) -> Option<(RmseReport, RmseReport)> {
+    let version = run.version.as_ref()?;
+    if version.table.n_rows() != ds.dirty.n_rows() {
+        return None;
+    }
+    let cols = ds.clean.schema().numeric_indices();
+    let repaired = rein_stats::numerical_rmse(&version.table, &ds.clean, &ds.mask, &cols);
+    let dirty = rein_stats::numerical_rmse(&ds.dirty, &ds.clean, &ds.mask, &cols);
+    Some((repaired, dirty))
+}
+
+/// Resolves the `(train, test)` tables for a scenario given the version
+/// under evaluation. Splitting happens in the clean-row space so train and
+/// test never share an underlying record even across versions; injected
+/// duplicate rows always go to the training side.
+pub fn scenario_split(
+    scenario: Scenario,
+    ds: &GeneratedDataset,
+    version: &VersionTable,
+    test_fraction: f64,
+    seed: u64,
+) -> (Table, Table) {
+    let n_clean = ds.clean.n_rows();
+    let split = rein_data::split::train_test_indices(n_clean, test_fraction, seed);
+    let in_test: Vec<bool> = {
+        let mut v = vec![false; n_clean];
+        for &r in &split.test {
+            v[r] = true;
+        }
+        v
+    };
+    let rows_of = |role: VersionRole, want_test: bool| -> Vec<usize> {
+        match role {
+            VersionRole::GroundTruth => {
+                if want_test {
+                    split.test.clone()
+                } else {
+                    split.train.clone()
+                }
+            }
+            VersionRole::Version => (0..version.table.n_rows())
+                .filter(|&r| {
+                    let orig = version.row_map[r];
+                    if orig >= n_clean {
+                        !want_test // duplicates train only
+                    } else {
+                        in_test[orig] == want_test
+                    }
+                })
+                .collect(),
+        }
+    };
+    let (train_role, test_role) = scenario.roles();
+    let train = match train_role {
+        VersionRole::GroundTruth => ds.clean.select_rows(&rows_of(train_role, false)),
+        VersionRole::Version => version.table.select_rows(&rows_of(train_role, false)),
+    };
+    let test = match test_role {
+        VersionRole::GroundTruth => ds.clean.select_rows(&rows_of(test_role, true)),
+        VersionRole::Version => version.table.select_rows(&rows_of(test_role, true)),
+    };
+    (train, test)
+}
+
+/// Macro-F1 scores of a classifier over `repeats` seeded train/test splits
+/// in the given scenario.
+pub fn eval_classifier(
+    scenario: Scenario,
+    ds: &GeneratedDataset,
+    version: &VersionTable,
+    kind: ClassifierKind,
+    repeats: usize,
+    base_seed: u64,
+) -> Vec<f64> {
+    let label_col = ds.clean.schema().label_index().expect("classification dataset");
+    let feature_cols = ds.clean.schema().feature_indices();
+    let labels = LabelMap::fit([&ds.clean, &version.table], label_col);
+    (0..repeats)
+        .map(|rep| {
+            let seed = derive_seed(base_seed, rep as u64);
+            let (train, test) = scenario_split(scenario, ds, version, 0.25, seed);
+            let encoder = Encoder::fit(&train, &feature_cols);
+            let (tr_rows, tr_y) = labels.encode(&train, label_col);
+            let (te_rows, te_y) = labels.encode(&test, label_col);
+            if tr_rows.is_empty() || te_rows.is_empty() {
+                return f64::NAN;
+            }
+            let xtr = select_matrix_rows(&encoder.transform(&train), &tr_rows);
+            let xte = select_matrix_rows(&encoder.transform(&test), &te_rows);
+            let mut model = kind.build(seed);
+            model.fit(&xtr, &tr_y, labels.n_classes());
+            let preds = model.predict(&xte);
+            rein_ml::classification_report(&te_y, &preds, labels.n_classes()).f1
+        })
+        .collect()
+}
+
+/// Test RMSE of a regressor over `repeats` splits in the given scenario.
+pub fn eval_regressor(
+    scenario: Scenario,
+    ds: &GeneratedDataset,
+    version: &VersionTable,
+    kind: RegressorKind,
+    repeats: usize,
+    base_seed: u64,
+) -> Vec<f64> {
+    let label_col = ds.clean.schema().label_index().expect("regression dataset");
+    let feature_cols = ds.clean.schema().feature_indices();
+    (0..repeats)
+        .map(|rep| {
+            let seed = derive_seed(base_seed, rep as u64);
+            let (train, test) = scenario_split(scenario, ds, version, 0.25, seed);
+            let encoder = Encoder::fit(&train, &feature_cols);
+            let (tr_rows, tr_y) = rein_ml::encode::regression_target(&train, label_col);
+            let (te_rows, te_y) = rein_ml::encode::regression_target(&test, label_col);
+            if tr_rows.is_empty() || te_rows.is_empty() {
+                return f64::NAN;
+            }
+            let xtr = select_matrix_rows(&encoder.transform(&train), &tr_rows);
+            let xte = select_matrix_rows(&encoder.transform(&test), &te_rows);
+            let mut model = kind.build(seed);
+            model.fit(&xtr, &tr_y);
+            rein_ml::rmse(&te_y, &model.predict(&xte))
+        })
+        .collect()
+}
+
+/// Silhouette score of a clusterer on a data version. Methods requiring
+/// `k` get the best silhouette over `k ∈ 2..=max_k` (the paper's
+/// silhouette-driven choice of k); self-selecting methods run once.
+pub fn eval_clusterer(
+    table: &Table,
+    kind: ClustererKind,
+    max_k: usize,
+    seed: u64,
+) -> f64 {
+    let feature_cols = table.schema().feature_indices();
+    let encoder = Encoder::fit(table, &feature_cols);
+    let x = encoder.transform(table);
+    if x.rows() < 4 {
+        return f64::NAN;
+    }
+    let self_selecting =
+        matches!(kind, ClustererKind::AffinityPropagation | ClustererKind::Optics);
+    if self_selecting {
+        let labels = kind.build(2, seed).fit_predict(&x);
+        return rein_ml::silhouette(&x, &labels);
+    }
+    (2..=max_k.max(2))
+        .map(|k| {
+            let labels = kind.build(k, seed).fit_predict(&x);
+            rein_ml::silhouette(&x, &labels)
+        })
+        .fold(f64::NAN, |best, s| if best.is_nan() || s > best { s } else { best })
+}
+
+/// Evaluates an ML-oriented repairer's pipeline under scenario S5: F1 of
+/// its model on a held-out slice of the dirty data.
+pub fn eval_pipeline_s5(ds: &GeneratedDataset, pipeline: &TrainedPipeline, seed: u64) -> f64 {
+    let split = rein_data::split::train_test_indices(ds.dirty.n_rows(), 0.25, seed);
+    let test = ds.dirty.select_rows(&split.test);
+    pipeline.f1_on(&test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rein_datasets::{DatasetId, Params};
+
+    fn small_beers() -> GeneratedDataset {
+        DatasetId::Beers.generate(&Params::scaled(0.12, 7))
+    }
+
+    #[test]
+    fn detector_harness_runs_and_scores() {
+        let ds = small_beers();
+        let h = DetectorHarness::new(&ds, 60, 1);
+        let run = h.run(&ds, DetectorKind::MvDetector);
+        assert!(run.quality.precision > 0.9, "MVD precision {}", run.quality.precision);
+        assert!(run.runtime.as_secs() < 5);
+        // RAHA (oracle-backed) should do well too.
+        let raha = h.run(&ds, DetectorKind::Raha);
+        assert!(raha.quality.f1 > 0.4, "raha f1 {}", raha.quality.f1);
+    }
+
+    #[test]
+    fn repair_run_with_ground_truth_restores_clean() {
+        let ds = small_beers();
+        let run = run_repair(&ds, &ds.mask, RepairKind::GroundTruth, 1);
+        let version = run.version.unwrap();
+        assert_eq!(version.table, ds.clean);
+    }
+
+    #[test]
+    fn scenario_split_never_leaks_rows() {
+        let ds = small_beers();
+        let version = VersionTable::identity(ds.dirty.clone());
+        for scenario in [Scenario::S1, Scenario::S2, Scenario::S3, Scenario::S4] {
+            let (train, test) = scenario_split(scenario, &ds, &version, 0.25, 3);
+            assert!(train.n_rows() > 0 && test.n_rows() > 0, "{scenario:?}");
+            // Train + test never exceed clean rows + duplicates.
+            assert!(train.n_rows() + test.n_rows() <= ds.dirty.n_rows().max(ds.clean.n_rows()) + 1);
+        }
+    }
+
+    #[test]
+    fn s4_beats_dirty_s1_for_classification() {
+        let ds = small_beers();
+        let version = VersionTable::identity(ds.dirty.clone());
+        let s1 = eval_classifier(Scenario::S1, &ds, &version, ClassifierKind::DecisionTree, 3, 5);
+        let s4 = eval_classifier(Scenario::S4, &ds, &version, ClassifierKind::DecisionTree, 3, 5);
+        let m = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(m(&s4) >= m(&s1) - 0.05, "S4 {} vs S1 {}", m(&s4), m(&s1));
+        assert!(m(&s4) > 0.7, "S4 {}", m(&s4));
+    }
+
+    #[test]
+    fn regression_eval_produces_finite_rmse() {
+        let ds = DatasetId::Nasa.generate(&Params::scaled(0.2, 3));
+        let version = VersionTable::identity(ds.dirty.clone());
+        let scores =
+            eval_regressor(Scenario::S4, &ds, &version, RegressorKind::Ridge, 2, 1);
+        assert!(scores.iter().all(|s| s.is_finite()));
+    }
+
+    #[test]
+    fn clustering_eval_produces_silhouette() {
+        let ds = DatasetId::Water.generate(&Params::scaled(0.3, 2));
+        let s = eval_clusterer(&ds.clean, ClustererKind::KMeans, 5, 1);
+        assert!(s.is_finite());
+        assert!((-1.0..=1.0).contains(&s));
+    }
+}

@@ -1,0 +1,184 @@
+//! Serialisable experiment records — the rows behind the paper's figures.
+
+use serde::{Deserialize, Serialize};
+
+/// One detector execution on one dataset (Figure 2 accuracy/runtime rows).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DetectionRecord {
+    /// Dataset name.
+    pub dataset: String,
+    /// Detector name.
+    pub detector: String,
+    /// Cells detected.
+    pub detected: usize,
+    /// True positives.
+    pub true_positives: usize,
+    /// Actual erroneous cells in the dataset.
+    pub actual_errors: usize,
+    /// Precision.
+    pub precision: f64,
+    /// Recall.
+    pub recall: f64,
+    /// F1.
+    pub f1: f64,
+    /// Runtime in milliseconds.
+    pub runtime_ms: f64,
+}
+
+/// One (detector, repairer) execution (Figures 4 and 5 rows).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RepairRecord {
+    /// Dataset name.
+    pub dataset: String,
+    /// Detector name.
+    pub detector: String,
+    /// Repairer name.
+    pub repairer: String,
+    /// Categorical repair precision (None for row-dropping methods).
+    pub cat_precision: Option<f64>,
+    /// Categorical repair recall.
+    pub cat_recall: Option<f64>,
+    /// Categorical repair F1.
+    pub cat_f1: Option<f64>,
+    /// RMSE over the numeric erroneous cells after repair.
+    pub rmse: Option<f64>,
+    /// RMSE of the dirty version (the dashed baseline).
+    pub dirty_rmse: Option<f64>,
+    /// Runtime in milliseconds.
+    pub runtime_ms: f64,
+}
+
+/// One (model, scenario, data version) evaluation (Figure 7 rows).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ModelRecord {
+    /// Dataset name.
+    pub dataset: String,
+    /// Data version label, e.g. "dirty", "GT", or "R3" (detector letter +
+    /// repairer index, the paper's figure labelling).
+    pub version: String,
+    /// Scenario name (S1–S5).
+    pub scenario: String,
+    /// Model name.
+    pub model: String,
+    /// Per-repeat scores (F1 / RMSE / silhouette by task).
+    pub scores: Vec<f64>,
+    /// Mean score.
+    pub mean: f64,
+    /// Sample standard deviation.
+    pub std: f64,
+}
+
+impl ModelRecord {
+    /// Builds a record, computing the summary statistics.
+    pub fn new(
+        dataset: &str,
+        version: &str,
+        scenario: &str,
+        model: &str,
+        scores: Vec<f64>,
+    ) -> Self {
+        let finite: Vec<f64> = scores.iter().copied().filter(|s| s.is_finite()).collect();
+        let summary = rein_stats::mean_std(&finite);
+        Self {
+            dataset: dataset.to_string(),
+            version: version.to_string(),
+            scenario: scenario.to_string(),
+            model: model.to_string(),
+            scores,
+            mean: summary.mean,
+            std: summary.std,
+        }
+    }
+}
+
+/// A Wilcoxon A/B comparison between two scenarios of one model
+/// (the filled/empty markers on Figure 7).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AbTestRecord {
+    /// Dataset name.
+    pub dataset: String,
+    /// Model name.
+    pub model: String,
+    /// Data version label.
+    pub version: String,
+    /// First scenario.
+    pub scenario_a: String,
+    /// Second scenario.
+    pub scenario_b: String,
+    /// Two-tailed p-value.
+    pub p_value: f64,
+    /// Whether H0 (same behaviour) is rejected at α = 0.05.
+    pub rejects_h0: bool,
+}
+
+/// Runs the paper's A/B test between two score series.
+pub fn ab_test(
+    dataset: &str,
+    model: &str,
+    version: &str,
+    scenario_a: &str,
+    a: &[f64],
+    scenario_b: &str,
+    b: &[f64],
+) -> Option<AbTestRecord> {
+    let result = rein_stats::wilcoxon_signed_rank(a, b).ok()?;
+    Some(AbTestRecord {
+        dataset: dataset.to_string(),
+        model: model.to_string(),
+        version: version.to_string(),
+        scenario_a: scenario_a.to_string(),
+        scenario_b: scenario_b.to_string(),
+        p_value: result.p_value,
+        rejects_h0: result.rejects_null(0.05),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_record_summarises() {
+        let r = ModelRecord::new("beers", "D0", "S1", "MLP", vec![0.7, 0.8, 0.9]);
+        assert!((r.mean - 0.8).abs() < 1e-12);
+        assert!(r.std > 0.0);
+    }
+
+    #[test]
+    fn nan_scores_are_excluded_from_summary() {
+        let r = ModelRecord::new("x", "v", "S1", "m", vec![0.5, f64::NAN, 0.7]);
+        assert!((r.mean - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ab_test_detects_shift() {
+        let a = vec![0.9, 0.91, 0.92, 0.89, 0.9, 0.93, 0.88, 0.9];
+        let b = vec![0.5, 0.52, 0.51, 0.49, 0.5, 0.53, 0.48, 0.5];
+        let r = ab_test("d", "m", "v", "S4", &a, "S1", &b).unwrap();
+        assert!(r.rejects_h0);
+    }
+
+    #[test]
+    fn ab_test_identical_series_is_none() {
+        let a = vec![0.5; 5];
+        assert!(ab_test("d", "m", "v", "S1", &a, "S4", &a).is_none());
+    }
+
+    #[test]
+    fn records_serialise_to_json() {
+        let r = DetectionRecord {
+            dataset: "beers".into(),
+            detector: "sd".into(),
+            detected: 10,
+            true_positives: 8,
+            actual_errors: 12,
+            precision: 0.8,
+            recall: 0.66,
+            f1: 0.72,
+            runtime_ms: 1.5,
+        };
+        let json = serde_json::to_string(&r).unwrap();
+        let back: DetectionRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.detector, "sd");
+    }
+}

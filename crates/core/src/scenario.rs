@@ -1,0 +1,84 @@
+//! The evaluation scenarios S1–S5 of Table 3: which data version trains
+//! the model and which one tests it.
+
+use serde::{Deserialize, Serialize};
+
+/// A data version role.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VersionRole {
+    /// The dirty or repaired version under evaluation.
+    Version,
+    /// The ground truth.
+    GroundTruth,
+}
+
+/// The five scenarios of Table 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scenario {
+    /// S1 — train and test on the dirty/repaired version.
+    S1,
+    /// S2 — train on the version, test on the ground truth.
+    S2,
+    /// S3 — train on the ground truth, test on the version.
+    S3,
+    /// S4 — train and test on the ground truth (the upper bound).
+    S4,
+    /// S5 — the model produced by an ML-oriented repairer, tested on the
+    /// dirty version.
+    S5,
+}
+
+impl Scenario {
+    /// All five scenarios.
+    pub const ALL: [Scenario; 5] = [
+        Scenario::S1,
+        Scenario::S2,
+        Scenario::S3,
+        Scenario::S4,
+        Scenario::S5,
+    ];
+
+    /// `(train, test)` roles (Table 3). S5 has no train role — the model
+    /// comes from the repairer — so its train role is `Version` by
+    /// convention.
+    pub fn roles(self) -> (VersionRole, VersionRole) {
+        match self {
+            Scenario::S1 => (VersionRole::Version, VersionRole::Version),
+            Scenario::S2 => (VersionRole::Version, VersionRole::GroundTruth),
+            Scenario::S3 => (VersionRole::GroundTruth, VersionRole::Version),
+            Scenario::S4 => (VersionRole::GroundTruth, VersionRole::GroundTruth),
+            Scenario::S5 => (VersionRole::Version, VersionRole::Version),
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scenario::S1 => "S1",
+            Scenario::S2 => "S2",
+            Scenario::S3 => "S3",
+            Scenario::S4 => "S4",
+            Scenario::S5 => "S5",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_3_matrix() {
+        assert_eq!(Scenario::S1.roles(), (VersionRole::Version, VersionRole::Version));
+        assert_eq!(Scenario::S2.roles(), (VersionRole::Version, VersionRole::GroundTruth));
+        assert_eq!(Scenario::S3.roles(), (VersionRole::GroundTruth, VersionRole::Version));
+        assert_eq!(Scenario::S4.roles(), (VersionRole::GroundTruth, VersionRole::GroundTruth));
+    }
+
+    #[test]
+    fn five_scenarios() {
+        assert_eq!(Scenario::ALL.len(), 5);
+        let names: Vec<&str> = Scenario::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(names, vec!["S1", "S2", "S3", "S4", "S5"]);
+    }
+}

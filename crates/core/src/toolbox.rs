@@ -1,0 +1,158 @@
+//! The data cleaning toolbox: the pool of detectors and repairers with the
+//! capability metadata the controller uses to prune experiments.
+
+use rein_data::{ErrorProfile, MlTask};
+use rein_detect::{DetectorKind, Signal};
+use rein_repair::{RepairCategory, RepairKind};
+
+/// Signals available for a dataset (what the benchmark can supply).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AvailableSignals {
+    /// FD rules exist.
+    pub fds: bool,
+    /// A knowledge base can be provided.
+    pub knowledge_base: bool,
+    /// Key columns are designated.
+    pub key_columns: bool,
+    /// A labelling oracle is available (ground truth known).
+    pub oracle: bool,
+    /// The dataset has a label column.
+    pub label_column: bool,
+}
+
+/// Whether a detector's signal requirements are satisfiable.
+pub fn signals_satisfied(kind: DetectorKind, avail: &AvailableSignals) -> bool {
+    kind.required_signals().iter().all(|s| match s {
+        Signal::FdRules | Signal::DenialConstraints => avail.fds,
+        Signal::KnowledgeBase => avail.knowledge_base,
+        Signal::KeyColumns => avail.key_columns,
+        Signal::Labels => avail.oracle,
+        Signal::LabelColumn => avail.label_column,
+    })
+}
+
+/// Detectors applicable to a dataset: the method must tackle at least one
+/// of the error types present *and* have its signals available — the
+/// design-time pruning of §2 ("if a dataset is known to have duplicates,
+/// it is meaningless to run rule violation or outlier detection").
+pub fn applicable_detectors(
+    errors: &ErrorProfile,
+    avail: &AvailableSignals,
+) -> Vec<DetectorKind> {
+    DetectorKind::ALL
+        .iter()
+        .copied()
+        .filter(|kind| {
+            kind.tackled_errors().iter().any(|t| errors.has(*t))
+                && signals_satisfied(*kind, avail)
+        })
+        .collect()
+}
+
+/// Repairers applicable to a dataset/task combination.
+///
+/// ML-oriented methods need a classification task with a label column; the
+/// CleanLab relabeller needs class errors; everything else is generic.
+pub fn applicable_repairers(
+    errors: &ErrorProfile,
+    task: MlTask,
+    avail: &AvailableSignals,
+) -> Vec<RepairKind> {
+    RepairKind::ALL
+        .iter()
+        .copied()
+        .filter(|kind| match kind.category() {
+            RepairCategory::MlOriented => {
+                task == MlTask::Classification && avail.label_column && avail.oracle
+            }
+            RepairCategory::Generic => match kind {
+                RepairKind::GroundTruth => avail.oracle,
+                RepairKind::CleanLab => {
+                    avail.label_column && errors.has_class_errors()
+                }
+                RepairKind::HoloClean => true, // degrades to co-occurrence voting
+                _ => true,
+            },
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rein_data::ErrorType;
+
+    fn all_signals() -> AvailableSignals {
+        AvailableSignals {
+            fds: true,
+            knowledge_base: true,
+            key_columns: true,
+            oracle: true,
+            label_column: true,
+        }
+    }
+
+    #[test]
+    fn duplicate_only_dataset_skips_outlier_and_rule_detectors() {
+        let errors = ErrorProfile::new([ErrorType::Duplicate, ErrorType::Mislabel], 0.2);
+        let dets = applicable_detectors(&errors, &all_signals());
+        assert!(dets.contains(&DetectorKind::KeyCollision));
+        assert!(dets.contains(&DetectorKind::ZeroEr));
+        assert!(dets.contains(&DetectorKind::CleanLab));
+        assert!(!dets.contains(&DetectorKind::Sd), "outlier detection pruned");
+        assert!(!dets.contains(&DetectorKind::Nadeef), "rule detection pruned");
+    }
+
+    #[test]
+    fn outlier_dataset_runs_outlier_detectors_and_holistics() {
+        let errors = ErrorProfile::new([ErrorType::Outlier, ErrorType::MissingValue], 0.15);
+        let dets = applicable_detectors(&errors, &all_signals());
+        assert!(dets.contains(&DetectorKind::Sd));
+        assert!(dets.contains(&DetectorKind::IsolationForest));
+        assert!(dets.contains(&DetectorKind::MvDetector));
+        assert!(dets.contains(&DetectorKind::Raha), "holistic methods always apply");
+        assert!(!dets.contains(&DetectorKind::KeyCollision));
+    }
+
+    #[test]
+    fn missing_signals_prune_dependent_detectors() {
+        let errors = ErrorProfile::new([ErrorType::RuleViolation, ErrorType::Outlier], 0.1);
+        let none = AvailableSignals::default();
+        let dets = applicable_detectors(&errors, &none);
+        assert!(!dets.contains(&DetectorKind::Nadeef));
+        assert!(!dets.contains(&DetectorKind::Katara));
+        assert!(!dets.contains(&DetectorKind::Raha), "needs oracle labels");
+        assert!(dets.contains(&DetectorKind::Sd), "configuration-free methods survive");
+        assert!(dets.contains(&DetectorKind::Picket), "self-supervised survives");
+    }
+
+    #[test]
+    fn ml_oriented_repairers_require_classification() {
+        let errors = ErrorProfile::new([ErrorType::Outlier], 0.1);
+        let cls = applicable_repairers(&errors, MlTask::Classification, &all_signals());
+        assert!(cls.contains(&RepairKind::ActiveClean));
+        let reg = applicable_repairers(&errors, MlTask::Regression, &all_signals());
+        assert!(!reg.contains(&RepairKind::ActiveClean));
+        assert!(!reg.contains(&RepairKind::BoostClean));
+        assert!(!reg.contains(&RepairKind::CpClean));
+        assert!(reg.contains(&RepairKind::ImputeMeanMode));
+    }
+
+    #[test]
+    fn cleanlab_repair_requires_class_errors() {
+        let no_mislabels = ErrorProfile::new([ErrorType::Outlier], 0.1);
+        let reps = applicable_repairers(&no_mislabels, MlTask::Classification, &all_signals());
+        assert!(!reps.contains(&RepairKind::CleanLab));
+        let with = ErrorProfile::new([ErrorType::Mislabel], 0.1);
+        let reps = applicable_repairers(&with, MlTask::Classification, &all_signals());
+        assert!(reps.contains(&RepairKind::CleanLab));
+    }
+
+    #[test]
+    fn ground_truth_requires_oracle() {
+        let errors = ErrorProfile::new([ErrorType::Outlier], 0.1);
+        let no_oracle = AvailableSignals { label_column: true, ..Default::default() };
+        let reps = applicable_repairers(&errors, MlTask::Classification, &no_oracle);
+        assert!(!reps.contains(&RepairKind::GroundTruth));
+    }
+}

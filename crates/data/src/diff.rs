@@ -1,0 +1,136 @@
+//! Table diffing against a ground truth.
+//!
+//! The benchmark's detection metrics are defined cell-wise against the
+//! ground-truth table: a cell is *actually erroneous* iff it differs from
+//! the corresponding ground-truth cell. [`diff_mask`] materialises that set.
+
+use crate::mask::CellMask;
+use crate::table::Table;
+
+/// Relative tolerance used when comparing numeric cells.
+///
+/// Zero would make float round-trips through CSV count as errors; this is
+/// tight enough that any injected perturbation is still caught.
+pub const NUMERIC_TOL: f64 = 1e-9;
+
+/// Mask of cells where `dirty` differs from `clean`.
+///
+/// Rows beyond `clean.n_rows()` (e.g. injected duplicate rows) are marked
+/// entirely dirty; the mask is sized to the *dirty* table.
+///
+/// # Panics
+/// Panics if the column counts differ.
+pub fn diff_mask(clean: &Table, dirty: &Table) -> CellMask {
+    assert_eq!(clean.n_cols(), dirty.n_cols(), "diff: column count mismatch");
+    let mut mask = CellMask::new(dirty.n_rows(), dirty.n_cols());
+    let shared = clean.n_rows().min(dirty.n_rows());
+    for r in 0..shared {
+        for c in 0..dirty.n_cols() {
+            if !dirty.cell(r, c).approx_eq(clean.cell(r, c), NUMERIC_TOL) {
+                mask.set(r, c, true);
+            }
+        }
+    }
+    for r in shared..dirty.n_rows() {
+        mask.set_row(r, true);
+    }
+    mask
+}
+
+/// Fraction of differing cells (the *error rate* of Table 4 in the paper).
+pub fn error_rate(clean: &Table, dirty: &Table) -> f64 {
+    if dirty.n_cells() == 0 {
+        return 0.0;
+    }
+    diff_mask(clean, dirty).count() as f64 / dirty.n_cells() as f64
+}
+
+/// Applies ground-truth values at the masked cells of `dirty` (the paper's
+/// "GT" repair method, the performance upper bound).
+///
+/// Cells in rows that do not exist in `clean` (injected duplicates) are left
+/// untouched; callers remove those rows instead.
+pub fn apply_ground_truth(dirty: &Table, clean: &Table, cells: &CellMask) -> Table {
+    let mut out = dirty.clone();
+    for cell in cells.iter() {
+        if cell.row < clean.n_rows() {
+            out.set_cell(cell.row, cell.col, clean.cell(cell.row, cell.col).clone());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnMeta, ColumnType, Schema};
+    use crate::value::Value;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            ColumnMeta::new("x", ColumnType::Float),
+            ColumnMeta::new("s", ColumnType::Str),
+        ])
+    }
+
+    fn clean() -> Table {
+        Table::from_rows(
+            schema(),
+            vec![
+                vec![Value::Float(1.0), Value::str("a")],
+                vec![Value::Float(2.0), Value::str("b")],
+            ],
+        )
+    }
+
+    #[test]
+    fn identical_tables_have_empty_diff() {
+        let c = clean();
+        assert!(diff_mask(&c, &c).is_empty());
+        assert_eq!(error_rate(&c, &c), 0.0);
+    }
+
+    #[test]
+    fn changed_cells_are_flagged() {
+        let c = clean();
+        let mut d = c.clone();
+        d.set_cell(0, 1, Value::str("zzz"));
+        d.set_cell(1, 0, Value::Null);
+        let m = diff_mask(&c, &d);
+        assert_eq!(m.count(), 2);
+        assert!(m.get(0, 1));
+        assert!(m.get(1, 0));
+        assert!((error_rate(&c, &d) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tiny_float_noise_is_not_an_error() {
+        let c = clean();
+        let mut d = c.clone();
+        d.set_cell(0, 0, Value::Float(1.0 + 1e-13));
+        assert!(diff_mask(&c, &d).is_empty());
+    }
+
+    #[test]
+    fn extra_rows_count_fully_dirty() {
+        let c = clean();
+        let mut d = c.clone();
+        d.push_row(vec![Value::Float(1.0), Value::str("a")]); // injected dup
+        let m = diff_mask(&c, &d);
+        assert_eq!(m.count(), 2);
+        assert!(m.get(2, 0) && m.get(2, 1));
+    }
+
+    #[test]
+    fn ground_truth_repair_restores_masked_cells() {
+        let c = clean();
+        let mut d = c.clone();
+        d.set_cell(0, 1, Value::str("zzz"));
+        d.set_cell(1, 1, Value::str("yyy"));
+        let mut cells = CellMask::new(2, 2);
+        cells.set(0, 1, true); // repair only the first error
+        let repaired = apply_ground_truth(&d, &c, &cells);
+        assert_eq!(repaired.cell(0, 1), &Value::str("a"));
+        assert_eq!(repaired.cell(1, 1), &Value::str("yyy"));
+    }
+}

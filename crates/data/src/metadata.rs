@@ -1,0 +1,144 @@
+//! Dataset-level metadata: ML task, error profile, descriptors.
+//!
+//! This is the "design-time knowledge" the REIN benchmark controller uses to
+//! sidestep unnecessary experiments (§2 of the paper): which error types a
+//! dataset contains and which ML task it serves.
+
+use serde::{Deserialize, Serialize};
+
+/// The downstream ML task associated with a dataset (Table 4, last column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MlTask {
+    /// Supervised classification.
+    Classification,
+    /// Supervised regression.
+    Regression,
+    /// Unsupervised clustering.
+    Clustering,
+    /// No associated predictive task (the Soccer dataset).
+    None,
+}
+
+/// The error taxonomy of the paper (§1 and Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ErrorType {
+    /// Explicit missing values (NULL / NaN / empty cells).
+    MissingValue,
+    /// Implicit or disguised missing values ("?", "unknown", 999999).
+    ImplicitMissingValue,
+    /// Numeric outliers.
+    Outlier,
+    /// Typographical errors in text or stringified numbers.
+    Typo,
+    /// Functional-dependency / denial-constraint violations.
+    RuleViolation,
+    /// Pattern violations (format errors).
+    PatternViolation,
+    /// Representation inconsistencies (same entity, different spellings).
+    Inconsistency,
+    /// Duplicate records.
+    Duplicate,
+    /// Wrong class labels.
+    Mislabel,
+    /// Additive Gaussian noise on numeric cells.
+    GaussianNoise,
+    /// Values swapped between cells of one attribute.
+    ValueSwap,
+}
+
+impl ErrorType {
+    /// All error types, for capability tables and exhaustive iteration.
+    pub const ALL: [ErrorType; 11] = [
+        ErrorType::MissingValue,
+        ErrorType::ImplicitMissingValue,
+        ErrorType::Outlier,
+        ErrorType::Typo,
+        ErrorType::RuleViolation,
+        ErrorType::PatternViolation,
+        ErrorType::Inconsistency,
+        ErrorType::Duplicate,
+        ErrorType::Mislabel,
+        ErrorType::GaussianNoise,
+        ErrorType::ValueSwap,
+    ];
+
+    /// Whether this error type affects labels rather than features
+    /// ("class errors" vs "attribute errors" in the paper's terminology).
+    pub fn is_class_error(self) -> bool {
+        matches!(self, ErrorType::Mislabel)
+    }
+}
+
+/// The set of error types present in a dataset, with the overall cell error
+/// rate (Table 4's "Error Rate" / "Errors" columns).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct ErrorProfile {
+    /// Error types present.
+    pub types: Vec<ErrorType>,
+    /// Target fraction of erroneous cells.
+    pub rate: f64,
+}
+
+impl ErrorProfile {
+    /// Builds a profile.
+    pub fn new(types: impl Into<Vec<ErrorType>>, rate: f64) -> Self {
+        Self { types: types.into(), rate }
+    }
+
+    /// Whether the profile contains the given error type.
+    pub fn has(&self, t: ErrorType) -> bool {
+        self.types.contains(&t)
+    }
+
+    /// Whether any class (label) errors are present.
+    pub fn has_class_errors(&self) -> bool {
+        self.types.iter().any(|t| t.is_class_error())
+    }
+}
+
+/// Static description of a benchmark dataset (one row of Table 4).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetInfo {
+    /// Dataset name, e.g. "beers".
+    pub name: String,
+    /// Application domain, e.g. "Business".
+    pub domain: String,
+    /// Associated ML task.
+    pub task: MlTask,
+    /// Error profile of the dirty version.
+    pub errors: ErrorProfile,
+    /// Names of key columns assumed unique (for duplicate detection); empty
+    /// if none are designated.
+    pub key_columns: Vec<String>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_vs_attribute_errors() {
+        assert!(ErrorType::Mislabel.is_class_error());
+        assert!(!ErrorType::Outlier.is_class_error());
+        let p = ErrorProfile::new([ErrorType::Duplicate, ErrorType::Mislabel], 0.2);
+        assert!(p.has_class_errors());
+        assert!(p.has(ErrorType::Duplicate));
+        assert!(!p.has(ErrorType::Typo));
+    }
+
+    #[test]
+    fn all_error_types_enumerated_once() {
+        let mut v = ErrorType::ALL.to_vec();
+        v.sort();
+        v.dedup();
+        assert_eq!(v.len(), ErrorType::ALL.len());
+    }
+
+    #[test]
+    fn profile_serialises() {
+        let p = ErrorProfile::new([ErrorType::MissingValue], 0.16);
+        let json = serde_json::to_string(&p).unwrap();
+        let back: ErrorProfile = serde_json::from_str(&json).unwrap();
+        assert_eq!(p, back);
+    }
+}

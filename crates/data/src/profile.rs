@@ -1,0 +1,155 @@
+//! Column profiling: the summary statistics a data-quality tool shows
+//! first — null counts, distinct counts, numeric ranges, top values.
+
+use serde::{Deserialize, Serialize};
+
+use crate::table::Table;
+use crate::value::Value;
+
+/// Profile of one column.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColumnProfile {
+    /// Column name.
+    pub name: String,
+    /// Total cells.
+    pub count: usize,
+    /// NULL cells.
+    pub nulls: usize,
+    /// Distinct non-null values.
+    pub distinct: usize,
+    /// Cells convertible to a number.
+    pub numeric_cells: usize,
+    /// Minimum numeric value (None when no numeric cells).
+    pub min: Option<f64>,
+    /// Maximum numeric value.
+    pub max: Option<f64>,
+    /// Mean of the numeric cells.
+    pub mean: Option<f64>,
+    /// The most frequent non-null value and its count.
+    pub top_value: Option<(String, usize)>,
+}
+
+impl ColumnProfile {
+    /// Fraction of NULL cells.
+    pub fn null_fraction(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.nulls as f64 / self.count as f64
+        }
+    }
+
+    /// Whether the column looks like a key (all non-null values distinct).
+    pub fn is_key_like(&self) -> bool {
+        self.distinct > 0 && self.distinct == self.count - self.nulls
+    }
+}
+
+/// Profiles every column of a table.
+pub fn profile(table: &Table) -> Vec<ColumnProfile> {
+    (0..table.n_cols()).map(|c| profile_column(table, c)).collect()
+}
+
+/// Profiles one column.
+pub fn profile_column(table: &Table, col: usize) -> ColumnProfile {
+    let mut nulls = 0usize;
+    let mut numeric_cells = 0usize;
+    let mut min = f64::INFINITY;
+    let mut max = f64::NEG_INFINITY;
+    let mut sum = 0.0f64;
+    for v in table.column(col) {
+        match v {
+            Value::Null => nulls += 1,
+            other => {
+                if let Some(x) = other.as_f64() {
+                    numeric_cells += 1;
+                    min = min.min(x);
+                    max = max.max(x);
+                    sum += x;
+                }
+            }
+        }
+    }
+    let counts = table.value_counts(col);
+    ColumnProfile {
+        name: table.schema().column(col).name.clone(),
+        count: table.n_rows(),
+        nulls,
+        distinct: counts.len(),
+        numeric_cells,
+        min: (numeric_cells > 0).then_some(min),
+        max: (numeric_cells > 0).then_some(max),
+        mean: (numeric_cells > 0).then_some(sum / numeric_cells as f64),
+        top_value: counts.first().map(|(v, n)| (v.to_string(), *n)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnMeta, ColumnType, Schema};
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![
+            ColumnMeta::new("id", ColumnType::Int),
+            ColumnMeta::new("x", ColumnType::Float),
+            ColumnMeta::new("c", ColumnType::Str),
+        ]);
+        Table::from_rows(
+            schema,
+            vec![
+                vec![Value::Int(1), Value::Float(10.0), Value::str("a")],
+                vec![Value::Int(2), Value::Null, Value::str("a")],
+                vec![Value::Int(3), Value::Float(30.0), Value::str("b")],
+                vec![Value::Int(4), Value::Float(10.0), Value::Null],
+            ],
+        )
+    }
+
+    #[test]
+    fn numeric_profile() {
+        let p = profile_column(&table(), 1);
+        assert_eq!(p.count, 4);
+        assert_eq!(p.nulls, 1);
+        assert_eq!(p.numeric_cells, 3);
+        assert_eq!(p.min, Some(10.0));
+        assert_eq!(p.max, Some(30.0));
+        assert!((p.mean.unwrap() - 50.0 / 3.0).abs() < 1e-12);
+        assert!((p.null_fraction() - 0.25).abs() < 1e-12);
+        assert!(!p.is_key_like());
+    }
+
+    #[test]
+    fn categorical_profile() {
+        let p = profile_column(&table(), 2);
+        assert_eq!(p.distinct, 2);
+        assert_eq!(p.numeric_cells, 0);
+        assert_eq!(p.min, None);
+        assert_eq!(p.top_value, Some(("a".to_string(), 2)));
+    }
+
+    #[test]
+    fn key_detection() {
+        let p = profile_column(&table(), 0);
+        assert!(p.is_key_like());
+        assert_eq!(p.distinct, 4);
+    }
+
+    #[test]
+    fn whole_table_profile() {
+        let ps = profile(&table());
+        assert_eq!(ps.len(), 3);
+        assert_eq!(ps[0].name, "id");
+        assert_eq!(ps[2].name, "c");
+    }
+
+    #[test]
+    fn empty_table() {
+        let schema = Schema::new(vec![ColumnMeta::new("x", ColumnType::Int)]);
+        let t = Table::empty(schema);
+        let p = profile_column(&t, 0);
+        assert_eq!(p.count, 0);
+        assert_eq!(p.null_fraction(), 0.0);
+        assert_eq!(p.top_value, None);
+    }
+}

@@ -1,0 +1,110 @@
+//! Shared randomness helpers.
+//!
+//! `rand` (0.10) provides uniform sampling; the Gaussian draws used across
+//! the workspace (noise injection, synthetic data, weight init, GMMs) are
+//! provided here via Box–Muller so no extra distribution crate is needed.
+
+use rand::{Rng, RngExt};
+
+/// One standard-normal draw (Box–Muller, fresh pair each call).
+pub fn randn<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // u1 in (0, 1] so ln(u1) is finite.
+    let u1: f64 = 1.0 - rng.random::<f64>();
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Normal draw with the given mean and standard deviation.
+pub fn gaussian<R: Rng + ?Sized>(rng: &mut R, mean: f64, std: f64) -> f64 {
+    mean + std * randn(rng)
+}
+
+/// Samples an index from unnormalised non-negative weights.
+///
+/// Falls back to uniform sampling when all weights are zero or non-finite.
+pub fn weighted_index<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
+    assert!(!weights.is_empty(), "weighted_index on empty weights");
+    let total: f64 = weights.iter().copied().filter(|w| w.is_finite() && *w > 0.0).sum();
+    if total <= 0.0 {
+        return rng.random_range(0..weights.len());
+    }
+    let mut target = rng.random::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        if w.is_finite() && w > 0.0 {
+            target -= w;
+            if target <= 0.0 {
+                return i;
+            }
+        }
+    }
+    weights.len() - 1
+}
+
+/// Derives a child seed from a parent seed and a stream id, so parallel
+/// components get decorrelated but reproducible randomness (SplitMix64 mix).
+pub fn derive_seed(seed: u64, stream: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream.wrapping_add(1)));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn randn_moments_are_plausible() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| randn(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.08, "var {var}");
+        assert!(xs.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn gaussian_scales_and_shifts() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let xs: Vec<f64> = (0..10_000).map(|_| gaussian(&mut rng, 10.0, 2.0)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        assert!((mean - 10.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut hits = [0usize; 3];
+        for _ in 0..6000 {
+            hits[weighted_index(&mut rng, &[1.0, 0.0, 2.0])] += 1;
+        }
+        assert_eq!(hits[1], 0);
+        assert!(hits[2] > hits[0]);
+        // roughly 2:1
+        let ratio = hits[2] as f64 / hits[0] as f64;
+        assert!((1.6..2.6).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn weighted_index_degenerate_weights_fall_back_to_uniform() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut seen = [false; 3];
+        for _ in 0..100 {
+            seen[weighted_index(&mut rng, &[0.0, 0.0, 0.0])] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn derive_seed_decorrelates_streams() {
+        let a = derive_seed(42, 0);
+        let b = derive_seed(42, 1);
+        assert_ne!(a, b);
+        assert_eq!(a, derive_seed(42, 0));
+    }
+}

@@ -1,0 +1,221 @@
+//! Table schemas: column names, declared types and roles.
+
+use serde::{Deserialize, Serialize};
+
+/// Declared type of a column.
+///
+/// The declared type describes the *ground truth* semantics; dirty cells may
+/// hold values of any variant (e.g. a typo turns a float into a string).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ColumnType {
+    /// Integer-valued numeric column.
+    Int,
+    /// Real-valued numeric column.
+    Float,
+    /// Free-text or categorical string column.
+    Str,
+    /// Boolean column.
+    Bool,
+}
+
+impl ColumnType {
+    /// Whether the column is numeric (int or float).
+    pub fn is_numeric(self) -> bool {
+        matches!(self, ColumnType::Int | ColumnType::Float)
+    }
+}
+
+/// The role a column plays in the downstream ML task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum ColumnRole {
+    /// Ordinary feature column.
+    #[default]
+    Feature,
+    /// Prediction target (class label or regression response).
+    Label,
+    /// Identifier excluded from modeling (e.g. record id / key).
+    Id,
+}
+
+/// Per-column metadata.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ColumnMeta {
+    /// Column name, unique within a schema.
+    pub name: String,
+    /// Declared ground-truth type.
+    pub ctype: ColumnType,
+    /// Role in the ML task.
+    pub role: ColumnRole,
+}
+
+impl ColumnMeta {
+    /// Feature column shorthand.
+    pub fn new(name: impl Into<String>, ctype: ColumnType) -> Self {
+        Self { name: name.into(), ctype, role: ColumnRole::Feature }
+    }
+
+    /// Marks this column as the label.
+    pub fn label(mut self) -> Self {
+        self.role = ColumnRole::Label;
+        self
+    }
+
+    /// Marks this column as an identifier.
+    pub fn id(mut self) -> Self {
+        self.role = ColumnRole::Id;
+        self
+    }
+}
+
+/// Ordered collection of column metadata.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Schema {
+    columns: Vec<ColumnMeta>,
+}
+
+impl Schema {
+    /// Builds a schema from column metadata.
+    ///
+    /// # Panics
+    /// Panics if two columns share a name — schemas are constructed from
+    /// static dataset definitions, so a duplicate is a programming error.
+    pub fn new(columns: Vec<ColumnMeta>) -> Self {
+        for (i, c) in columns.iter().enumerate() {
+            assert!(
+                !columns[..i].iter().any(|p| p.name == c.name),
+                "duplicate column name {:?}",
+                c.name
+            );
+        }
+        Self { columns }
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Whether the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Metadata of column `idx`.
+    pub fn column(&self, idx: usize) -> &ColumnMeta {
+        &self.columns[idx]
+    }
+
+    /// All column metadata in order.
+    pub fn columns(&self) -> &[ColumnMeta] {
+        &self.columns
+    }
+
+    /// Index of the column named `name`.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name == name)
+    }
+
+    /// Index of the label column, if any.
+    pub fn label_index(&self) -> Option<usize> {
+        self.columns.iter().position(|c| c.role == ColumnRole::Label)
+    }
+
+    /// Indices of feature columns (excludes label and id columns).
+    pub fn feature_indices(&self) -> Vec<usize> {
+        self.columns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.role == ColumnRole::Feature)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Indices of numeric columns.
+    pub fn numeric_indices(&self) -> Vec<usize> {
+        self.columns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.ctype.is_numeric())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Indices of non-numeric (categorical / text / bool) columns.
+    pub fn categorical_indices(&self) -> Vec<usize> {
+        self.columns
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.ctype.is_numeric())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Returns a copy with column `idx` retyped (used when error injection
+    /// permanently changes a column's effective type).
+    pub fn with_type(&self, idx: usize, ctype: ColumnType) -> Self {
+        let mut s = self.clone();
+        s.columns[idx].ctype = ctype;
+        s
+    }
+
+    /// Keeps only the given column indices, in the given order.
+    pub fn select(&self, indices: &[usize]) -> Self {
+        Schema { columns: indices.iter().map(|&i| self.columns[i].clone()).collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Schema {
+        Schema::new(vec![
+            ColumnMeta::new("id", ColumnType::Int).id(),
+            ColumnMeta::new("abv", ColumnType::Float),
+            ColumnMeta::new("name", ColumnType::Str),
+            ColumnMeta::new("style", ColumnType::Str).label(),
+        ])
+    }
+
+    #[test]
+    fn lookup_by_name_and_role() {
+        let s = sample();
+        assert_eq!(s.index_of("abv"), Some(1));
+        assert_eq!(s.index_of("missing"), None);
+        assert_eq!(s.label_index(), Some(3));
+        assert_eq!(s.feature_indices(), vec![1, 2]);
+    }
+
+    #[test]
+    fn type_partitions() {
+        let s = sample();
+        assert_eq!(s.numeric_indices(), vec![0, 1]);
+        assert_eq!(s.categorical_indices(), vec![2, 3]);
+        assert!(ColumnType::Int.is_numeric());
+        assert!(!ColumnType::Str.is_numeric());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column name")]
+    fn duplicate_names_rejected() {
+        Schema::new(vec![
+            ColumnMeta::new("x", ColumnType::Int),
+            ColumnMeta::new("x", ColumnType::Str),
+        ]);
+    }
+
+    #[test]
+    fn select_projects_in_order() {
+        let s = sample().select(&[2, 1]);
+        assert_eq!(s.column(0).name, "name");
+        assert_eq!(s.column(1).name, "abv");
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn with_type_retypes_one_column() {
+        let s = sample().with_type(1, ColumnType::Str);
+        assert_eq!(s.column(1).ctype, ColumnType::Str);
+        assert_eq!(s.column(0).ctype, ColumnType::Int);
+    }
+}

@@ -1,0 +1,189 @@
+//! Seeded train/test splitting and resampling.
+//!
+//! The paper repeats every ML experiment ten times "with different random
+//! seeds that control the train-test split"; these helpers make each split
+//! a pure function of a `u64` seed.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use crate::table::Table;
+
+/// A train/test partition of row indices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Split {
+    /// Row indices of the training partition.
+    pub train: Vec<usize>,
+    /// Row indices of the test partition.
+    pub test: Vec<usize>,
+}
+
+/// Randomly partitions `n` rows with `test_fraction` in the test set.
+///
+/// `test_fraction` is clamped to `[0, 1]`; at least one row lands in each
+/// non-degenerate partition when `n ≥ 2` and the fraction is interior.
+pub fn train_test_indices(n: usize, test_fraction: f64, seed: u64) -> Split {
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    idx.shuffle(&mut rng);
+    let frac = test_fraction.clamp(0.0, 1.0);
+    let mut n_test = (n as f64 * frac).round() as usize;
+    if n >= 2 && frac > 0.0 && frac < 1.0 {
+        n_test = n_test.clamp(1, n - 1);
+    }
+    let test = idx[..n_test].to_vec();
+    let train = idx[n_test..].to_vec();
+    Split { train, test }
+}
+
+/// Splits a table into `(train, test)` tables.
+pub fn train_test_split(table: &Table, test_fraction: f64, seed: u64) -> (Table, Table) {
+    let s = train_test_indices(table.n_rows(), test_fraction, seed);
+    (table.select_rows(&s.train), table.select_rows(&s.test))
+}
+
+/// Stratified split on discrete labels: each class contributes
+/// proportionally to the test partition. `labels[i]` is a class key per row.
+pub fn stratified_indices(labels: &[String], test_fraction: f64, seed: u64) -> Split {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut by_class: std::collections::BTreeMap<&str, Vec<usize>> = Default::default();
+    for (i, l) in labels.iter().enumerate() {
+        by_class.entry(l.as_str()).or_default().push(i);
+    }
+    let mut train = Vec::new();
+    let mut test = Vec::new();
+    let frac = test_fraction.clamp(0.0, 1.0);
+    for (_, mut rows) in by_class {
+        rows.shuffle(&mut rng);
+        let mut n_test = (rows.len() as f64 * frac).round() as usize;
+        if rows.len() >= 2 && frac > 0.0 && frac < 1.0 {
+            n_test = n_test.clamp(1, rows.len() - 1);
+        }
+        test.extend_from_slice(&rows[..n_test]);
+        train.extend_from_slice(&rows[n_test..]);
+    }
+    train.sort_unstable();
+    test.sort_unstable();
+    Split { train, test }
+}
+
+/// `k`-fold cross-validation index sets: returns `k` `(train, test)` splits.
+pub fn k_fold_indices(n: usize, k: usize, seed: u64) -> Vec<Split> {
+    assert!(k >= 2, "k-fold requires k >= 2");
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    idx.shuffle(&mut rng);
+    let mut folds: Vec<Vec<usize>> = vec![Vec::new(); k];
+    for (i, &row) in idx.iter().enumerate() {
+        folds[i % k].push(row);
+    }
+    (0..k)
+        .map(|f| {
+            let test = folds[f].clone();
+            let train = folds
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != f)
+                .flat_map(|(_, v)| v.iter().copied())
+                .collect();
+            Split { train, test }
+        })
+        .collect()
+}
+
+/// Bootstrap sample of `n_out` row indices from `n` rows (with replacement).
+pub fn bootstrap_indices(n: usize, n_out: usize, seed: u64) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n_out).map(|_| rng.random_range(0..n)).collect()
+}
+
+/// A random sample of `k` distinct indices from `0..n` (reservoir-free:
+/// shuffles a prefix). When `k ≥ n` all indices are returned shuffled.
+pub fn sample_indices(n: usize, k: usize, seed: u64) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    idx.shuffle(&mut rng);
+    idx.truncate(k.min(n));
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColumnMeta, ColumnType, Schema};
+    use crate::value::Value;
+
+    #[test]
+    fn split_is_a_partition() {
+        let s = train_test_indices(100, 0.2, 7);
+        assert_eq!(s.test.len(), 20);
+        assert_eq!(s.train.len(), 80);
+        let mut all: Vec<usize> = s.train.iter().chain(&s.test).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_is_seed_deterministic() {
+        assert_eq!(train_test_indices(50, 0.3, 42), train_test_indices(50, 0.3, 42));
+        assert_ne!(train_test_indices(50, 0.3, 42), train_test_indices(50, 0.3, 43));
+    }
+
+    #[test]
+    fn small_n_keeps_both_sides_nonempty() {
+        let s = train_test_indices(2, 0.2, 1);
+        assert_eq!(s.test.len(), 1);
+        assert_eq!(s.train.len(), 1);
+    }
+
+    #[test]
+    fn table_split_respects_sizes() {
+        let schema = Schema::new(vec![ColumnMeta::new("x", ColumnType::Int)]);
+        let rows = (0..10).map(|i| vec![Value::Int(i)]).collect();
+        let t = Table::from_rows(schema, rows);
+        let (tr, te) = train_test_split(&t, 0.3, 5);
+        assert_eq!(tr.n_rows(), 7);
+        assert_eq!(te.n_rows(), 3);
+    }
+
+    #[test]
+    fn stratified_keeps_class_balance() {
+        let labels: Vec<String> = (0..100)
+            .map(|i| if i < 80 { "a".to_string() } else { "b".to_string() })
+            .collect();
+        let s = stratified_indices(&labels, 0.25, 3);
+        let test_b = s.test.iter().filter(|&&i| labels[i] == "b").count();
+        assert_eq!(s.test.len(), 25);
+        assert_eq!(test_b, 5);
+    }
+
+    #[test]
+    fn k_fold_covers_everything_once() {
+        let folds = k_fold_indices(23, 5, 9);
+        assert_eq!(folds.len(), 5);
+        let mut seen: Vec<usize> = folds.iter().flat_map(|s| s.test.iter().copied()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..23).collect::<Vec<_>>());
+        for f in &folds {
+            assert_eq!(f.train.len() + f.test.len(), 23);
+        }
+    }
+
+    #[test]
+    fn bootstrap_has_requested_size_and_range() {
+        let b = bootstrap_indices(10, 30, 4);
+        assert_eq!(b.len(), 30);
+        assert!(b.iter().all(|&i| i < 10));
+    }
+
+    #[test]
+    fn sample_indices_distinct_and_bounded() {
+        let s = sample_indices(10, 4, 2);
+        assert_eq!(s.len(), 4);
+        let mut d = s.clone();
+        d.sort_unstable();
+        d.dedup();
+        assert_eq!(d.len(), 4);
+        assert_eq!(sample_indices(3, 10, 2).len(), 3);
+    }
+}

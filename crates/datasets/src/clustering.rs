@@ -1,0 +1,190 @@
+//! Generators for the clustering datasets (Water, HAR, Power) and the
+//! task-free Soccer dataset used in the scalability study.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use rein_constraints::fd::FunctionalDependency;
+use rein_data::rng::{derive_seed, randn};
+use rein_data::{ColumnRole, ColumnType, MlTask, Value};
+use rein_errors::compose::ErrorSpec;
+
+use crate::common::{finish, GeneratedDataset};
+use crate::gen::*;
+
+/// Water Treatment (527 × 38, manufacturing, UC): plant measurements with
+/// a planted operational-regime cluster structure; outliers and implicit
+/// missing values at rate 0.14.
+pub fn water(p: &Params) -> GeneratedDataset {
+    let n = p.rows(527);
+    let d = 38;
+    let mut rng = StdRng::seed_from_u64(derive_seed(p.seed, 21));
+    let (features, _) = cluster_features(&mut rng, n, d, 4, 1.0);
+    let mut b = TableBuilder::new();
+    for (i, f) in features.into_iter().enumerate() {
+        b = b.column(&format!("q_{i:02}"), ColumnType::Float, ColumnRole::Feature, floats(f));
+    }
+    let clean = b.build();
+    let all: Vec<usize> = (0..d).collect();
+    let specs = [
+        ErrorSpec::Outliers { cols: all.clone(), rate: 0.08, degree: 4.0 },
+        ErrorSpec::DisguisedMissing { cols: all, rate: 0.07 },
+    ];
+    finish("water", "Manufacturing", MlTask::Clustering, clean, &specs, 0.14, p.seed, vec![], vec![])
+}
+
+/// HAR (70000 × 4, wearables, UC): tri-axial accelerometer summaries with
+/// one activity tag column; outliers and missing values at rate 0.13.
+pub fn har(p: &Params) -> GeneratedDataset {
+    let n = p.rows(70000);
+    let mut rng = StdRng::seed_from_u64(derive_seed(p.seed, 22));
+    let activities = ["walking", "standing", "sitting", "stairs", "laying", "running"];
+    let (features, assignment) = cluster_features(&mut rng, n, 3, activities.len(), 0.8);
+    let mut b = TableBuilder::new();
+    for (i, f) in features.into_iter().enumerate() {
+        b = b.column(
+            &format!("acc_{}", ["x", "y", "z"][i]),
+            ColumnType::Float,
+            ColumnRole::Feature,
+            floats(f),
+        );
+    }
+    let tags: Vec<Value> =
+        assignment.iter().map(|&a| Value::str(activities[a])).collect();
+    let clean = b.column("activity", ColumnType::Str, ColumnRole::Feature, tags).build();
+    let specs = [
+        ErrorSpec::Outliers { cols: vec![0, 1, 2], rate: 0.1, degree: 4.0 },
+        ErrorSpec::ExplicitMissing { cols: vec![0, 1, 2, 3], rate: 0.07 },
+    ];
+    finish("har", "Wearables", MlTask::Clustering, clean, &specs, 0.13, p.seed, vec![], vec![])
+}
+
+/// Power (1456 × 24, energy, UC): daily load curves (one column per hour)
+/// with day-type cluster structure; typos, missing and implicit missing
+/// values at the small rate 0.037.
+pub fn power(p: &Params) -> GeneratedDataset {
+    let n = p.rows(1456);
+    let mut rng = StdRng::seed_from_u64(derive_seed(p.seed, 23));
+    let mut cols: Vec<Vec<Value>> = (0..24).map(|_| Vec::with_capacity(n)).collect();
+    for i in 0..n {
+        // Weekday vs weekend load shapes.
+        let weekend = i % 7 >= 5;
+        for (h, col) in cols.iter_mut().enumerate() {
+            let hour = h as f64;
+            let base = if weekend {
+                1.2 + 0.6 * (-(hour - 12.0).powi(2) / 40.0).exp()
+            } else {
+                1.0 + 0.9 * (-(hour - 8.0).powi(2) / 10.0).exp()
+                    + 1.1 * (-(hour - 19.0).powi(2) / 12.0).exp()
+            };
+            col.push(Value::float(base + 0.08 * randn(&mut rng)));
+        }
+    }
+    let mut b = TableBuilder::new();
+    for (h, col) in cols.into_iter().enumerate() {
+        b = b.column(&format!("kw_h{h:02}"), ColumnType::Float, ColumnRole::Feature, col);
+    }
+    let clean = b.build();
+    let all: Vec<usize> = (0..24).collect();
+    let specs = [
+        ErrorSpec::Typos { cols: all.clone(), rate: 0.013 },
+        ErrorSpec::ExplicitMissing { cols: all.clone(), rate: 0.012 },
+        ErrorSpec::ImplicitMissing { cols: all, rate: 0.012 },
+    ];
+    finish("power", "Energy", MlTask::Clustering, clean, &specs, 0.037, p.seed, vec![], vec![])
+}
+
+/// Soccer (180228 × 44, business, no ML task): the scalability stress
+/// dataset with the FD `league → country`; rule violations, outliers and
+/// (implicit) missing values at rate 0.27.
+pub fn soccer(p: &Params) -> GeneratedDataset {
+    let n = p.rows(180228);
+    let mut rng = StdRng::seed_from_u64(derive_seed(p.seed, 24));
+    let leagues = [
+        ("premier_league", "england"),
+        ("la_liga", "spain"),
+        ("bundesliga", "germany"),
+        ("serie_a", "italy"),
+        ("ligue_1", "france"),
+    ];
+    let positions = ["gk", "def", "mid", "fwd"];
+    let n_stats = 40;
+    let mut league = Vec::with_capacity(n);
+    let mut country = Vec::with_capacity(n);
+    let mut position = Vec::with_capacity(n);
+    let mut name = Vec::with_capacity(n);
+    let mut stats: Vec<Vec<Value>> = (0..n_stats).map(|_| Vec::with_capacity(n)).collect();
+    for i in 0..n {
+        let l = rng.random_range(0..leagues.len());
+        league.push(Value::str(leagues[l].0));
+        country.push(Value::str(leagues[l].1));
+        position.push(Value::str(positions[rng.random_range(0..positions.len())]));
+        name.push(Value::str(format!("player_{i}")));
+        let skill = 50.0 + 15.0 * randn(&mut rng);
+        for s in stats.iter_mut() {
+            s.push(Value::float((skill + 8.0 * randn(&mut rng)).clamp(1.0, 99.0)));
+        }
+    }
+    let mut b = TableBuilder::new()
+        .column("player_name", ColumnType::Str, ColumnRole::Id, name)
+        .column("league", ColumnType::Str, ColumnRole::Feature, league)
+        .column("country", ColumnType::Str, ColumnRole::Feature, country)
+        .column("position", ColumnType::Str, ColumnRole::Feature, position);
+    for (si, s) in stats.into_iter().enumerate() {
+        b = b.column(&format!("stat_{si:02}"), ColumnType::Float, ColumnRole::Feature, s);
+    }
+    let clean = b.build();
+    let fds = vec![FunctionalDependency::new([1], 2)];
+    let stat_cols: Vec<usize> = (4..4 + n_stats).collect();
+    let specs = [
+        ErrorSpec::FdViolations { fd: fds[0].clone(), rate: 0.3 },
+        ErrorSpec::Outliers { cols: stat_cols.clone(), rate: 0.1, degree: 4.0 },
+        ErrorSpec::ExplicitMissing { cols: stat_cols.clone(), rate: 0.1 },
+        ErrorSpec::ImplicitMissing { cols: stat_cols, rate: 0.08 },
+    ];
+    finish("soccer", "Business", MlTask::None, clean, &specs, 0.27, p.seed, fds, vec![0])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rein_constraints::fd;
+
+    #[test]
+    fn water_shape_and_rate() {
+        let d = water(&Params::scaled(0.3, 1));
+        assert_eq!(d.clean.n_cols(), 38);
+        assert_eq!(d.info.task, rein_data::MlTask::Clustering);
+        assert!((d.error_rate() - 0.14).abs() < 0.08, "rate {}", d.error_rate());
+    }
+
+    #[test]
+    fn har_has_one_categorical_column() {
+        let d = har(&Params::scaled(0.003, 2));
+        assert_eq!(d.clean.n_cols(), 4);
+        assert_eq!(d.clean.schema().categorical_indices(), vec![3]);
+    }
+
+    #[test]
+    fn power_low_error_rate() {
+        let d = power(&Params::scaled(0.2, 3));
+        assert_eq!(d.clean.n_cols(), 24);
+        assert!(d.error_rate() < 0.1, "rate {}", d.error_rate());
+        assert!(d.error_rate() > 0.0);
+    }
+
+    #[test]
+    fn soccer_fd_and_no_task() {
+        let d = soccer(&Params::scaled(0.005, 4));
+        assert_eq!(d.clean.n_cols(), 44);
+        assert_eq!(d.info.task, rein_data::MlTask::None);
+        assert!(fd::holds(&d.clean, &d.fds[0]));
+        assert!(d.error_rate() > 0.15, "rate {}", d.error_rate());
+    }
+
+    #[test]
+    fn clustering_datasets_have_no_label() {
+        for d in [water(&Params::scaled(0.1, 5)), power(&Params::scaled(0.05, 5))] {
+            assert_eq!(d.clean.schema().label_index(), None);
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! Shared generation helpers: planted feature–label structure so model
+//! accuracy responds to data corruption the way the paper's real datasets
+//! do (classification = cluster structure + label rule; regression =
+//! smooth function + noise; clustering = Gaussian mixtures).
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use rein_data::rng::randn;
+use rein_data::{ColumnMeta, ColumnRole, ColumnType, Schema, Table, Value};
+
+/// Generation parameters shared by every dataset generator.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    /// Scales the paper's row count (1.0 = Table 4 size). Benches use 1.0
+    /// or explicit fractions; tests use small factors.
+    pub size_factor: f64,
+    /// Master seed; all randomness derives from it.
+    pub seed: u64,
+}
+
+impl Params {
+    /// Full-size dataset with the given seed.
+    pub fn full(seed: u64) -> Self {
+        Self { size_factor: 1.0, seed }
+    }
+
+    /// Scaled dataset (e.g. `0.05` for unit tests).
+    pub fn scaled(size_factor: f64, seed: u64) -> Self {
+        Self { size_factor, seed }
+    }
+
+    /// Number of rows for a paper-size `base` count (at least 20).
+    pub fn rows(&self, base: usize) -> usize {
+        ((base as f64 * self.size_factor).round() as usize).max(20)
+    }
+}
+
+/// A typed column under construction.
+pub struct ColumnBuilder {
+    /// Column metadata.
+    pub meta: ColumnMeta,
+    /// Values (filled per-row).
+    pub values: Vec<Value>,
+}
+
+/// Incremental clean-table builder used by the dataset generators.
+pub struct TableBuilder {
+    columns: Vec<ColumnBuilder>,
+}
+
+impl TableBuilder {
+    /// Empty builder.
+    pub fn new() -> Self {
+        Self { columns: Vec::new() }
+    }
+
+    /// Adds a fully materialised column.
+    pub fn column(
+        mut self,
+        name: &str,
+        ctype: ColumnType,
+        role: ColumnRole,
+        values: Vec<Value>,
+    ) -> Self {
+        let mut meta = ColumnMeta::new(name, ctype);
+        meta.role = role;
+        self.columns.push(ColumnBuilder { meta, values });
+        self
+    }
+
+    /// Finalises into a table.
+    ///
+    /// # Panics
+    /// Panics when column lengths disagree.
+    pub fn build(self) -> Table {
+        let schema = Schema::new(self.columns.iter().map(|c| c.meta.clone()).collect());
+        Table::from_columns(schema, self.columns.into_iter().map(|c| c.values).collect())
+    }
+}
+
+impl Default for TableBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// `n` Gaussian values around `mean` with `std`.
+pub fn gaussian_column(rng: &mut StdRng, n: usize, mean: f64, std: f64) -> Vec<f64> {
+    (0..n).map(|_| mean + std * randn(rng)).collect()
+}
+
+/// `n` uniform values in `[lo, hi)`.
+pub fn uniform_column(rng: &mut StdRng, n: usize, lo: f64, hi: f64) -> Vec<f64> {
+    (0..n).map(|_| rng.random_range(lo..hi)).collect()
+}
+
+/// `n` categorical draws with the given (unnormalised) weights.
+pub fn categorical_column(
+    rng: &mut StdRng,
+    n: usize,
+    options: &[&str],
+    weights: &[f64],
+) -> Vec<String> {
+    (0..n)
+        .map(|_| {
+            let i = rein_data::rng::weighted_index(rng, weights);
+            options[i].to_string()
+        })
+        .collect()
+}
+
+/// Cluster-structured features: `n` points assigned round-robin to `k`
+/// centres in `d` dimensions (centres on a seeded random lattice, cluster
+/// σ = `spread`). Returns `(features[d][n], assignment[n])`.
+pub fn cluster_features(
+    rng: &mut StdRng,
+    n: usize,
+    d: usize,
+    k: usize,
+    spread: f64,
+) -> (Vec<Vec<f64>>, Vec<usize>) {
+    let centres: Vec<Vec<f64>> = (0..k)
+        .map(|_| (0..d).map(|_| rng.random_range(-10.0..10.0)).collect())
+        .collect();
+    let mut features: Vec<Vec<f64>> = (0..d).map(|_| Vec::with_capacity(n)).collect();
+    let mut assignment = Vec::with_capacity(n);
+    for i in 0..n {
+        let c = i % k;
+        assignment.push(c);
+        for (dim, f) in features.iter_mut().enumerate() {
+            f.push(centres[c][dim] + spread * randn(rng));
+        }
+    }
+    (features, assignment)
+}
+
+/// Converts floats to `Value::Float` cells.
+pub fn floats(xs: Vec<f64>) -> Vec<Value> {
+    xs.into_iter().map(Value::float).collect()
+}
+
+/// Converts floats to rounded `Value::Int` cells.
+pub fn ints(xs: Vec<f64>) -> Vec<Value> {
+    xs.into_iter().map(|x| Value::Int(x.round() as i64)).collect()
+}
+
+/// Converts strings to `Value::Str` cells.
+pub fn strs(xs: Vec<String>) -> Vec<Value> {
+    xs.into_iter().map(Value::Str).collect()
+}
+
+/// Linear response `w·x + b + σ·ε` over column-major features.
+pub fn linear_response(
+    rng: &mut StdRng,
+    features: &[&[f64]],
+    weights: &[f64],
+    bias: f64,
+    noise: f64,
+) -> Vec<f64> {
+    let n = features.first().map_or(0, |f| f.len());
+    (0..n)
+        .map(|i| {
+            let mut y = bias;
+            for (f, w) in features.iter().zip(weights) {
+                y += f[i] * w;
+            }
+            y + noise * randn(rng)
+        })
+        .collect()
+}
+
+/// Binary labels from a logistic rule over features (planted decision
+/// boundary with `flip_noise` label noise).
+pub fn logistic_labels(
+    rng: &mut StdRng,
+    features: &[&[f64]],
+    weights: &[f64],
+    bias: f64,
+    flip_noise: f64,
+    pos: &str,
+    neg: &str,
+) -> Vec<String> {
+    let n = features.first().map_or(0, |f| f.len());
+    (0..n)
+        .map(|i| {
+            let mut z = bias;
+            for (f, w) in features.iter().zip(weights) {
+                z += f[i] * w;
+            }
+            let mut label = z > 0.0;
+            if rng.random::<f64>() < flip_noise {
+                label = !label;
+            }
+            if label { pos.to_string() } else { neg.to_string() }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn params_scale_rows() {
+        let p = Params::scaled(0.1, 1);
+        assert_eq!(p.rows(1000), 100);
+        assert_eq!(p.rows(50), 20, "floor at 20");
+        assert_eq!(Params::full(1).rows(2410), 2410);
+    }
+
+    #[test]
+    fn builder_assembles_table() {
+        let t = TableBuilder::new()
+            .column("a", ColumnType::Float, ColumnRole::Feature, floats(vec![1.0, 2.0]))
+            .column("y", ColumnType::Str, ColumnRole::Label, strs(vec!["x".into(), "y".into()]))
+            .build();
+        assert_eq!(t.n_rows(), 2);
+        assert_eq!(t.schema().label_index(), Some(1));
+    }
+
+    #[test]
+    fn cluster_features_have_structure() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (features, assignment) = cluster_features(&mut rng, 120, 2, 3, 0.3);
+        assert_eq!(features.len(), 2);
+        assert_eq!(features[0].len(), 120);
+        // Within-cluster variance far below total variance.
+        let total_var = {
+            let m = features[0].iter().sum::<f64>() / 120.0;
+            features[0].iter().map(|v| (v - m).powi(2)).sum::<f64>() / 120.0
+        };
+        let c0: Vec<f64> = (0..120).filter(|&i| assignment[i] == 0).map(|i| features[0][i]).collect();
+        let within = {
+            let m = c0.iter().sum::<f64>() / c0.len() as f64;
+            c0.iter().map(|v| (v - m).powi(2)).sum::<f64>() / c0.len() as f64
+        };
+        assert!(within < total_var / 3.0, "within {within} total {total_var}");
+    }
+
+    #[test]
+    fn logistic_labels_follow_boundary() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let f: Vec<f64> = (0..200).map(|i| i as f64 - 100.0).collect();
+        let labels = logistic_labels(&mut rng, &[&f], &[1.0], 0.0, 0.0, "p", "n");
+        assert_eq!(labels[0], "n");
+        assert_eq!(labels[199], "p");
+    }
+
+    #[test]
+    fn linear_response_matches_weights() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let f1: Vec<f64> = vec![1.0, 2.0, 3.0];
+        let f2: Vec<f64> = vec![0.0, 1.0, 0.0];
+        let y = linear_response(&mut rng, &[&f1, &f2], &[2.0, -1.0], 0.5, 0.0);
+        assert_eq!(y, vec![2.5, 3.5, 6.5]);
+    }
+
+    #[test]
+    fn categorical_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let xs = categorical_column(&mut rng, 3000, &["a", "b"], &[3.0, 1.0]);
+        let a = xs.iter().filter(|s| *s == "a").count();
+        assert!((a as f64 / 3000.0 - 0.75).abs() < 0.05);
+    }
+}

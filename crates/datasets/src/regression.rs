@@ -1,0 +1,349 @@
+//! Generators for the regression datasets of Table 4: Nasa, Bikes,
+//! Soil Moisture, 3D Printer and Mercedes.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use rein_constraints::fd::FunctionalDependency;
+use rein_data::rng::{derive_seed, randn};
+use rein_data::{ColumnRole, ColumnType, MlTask, Value};
+use rein_errors::compose::ErrorSpec;
+
+use crate::common::{finish, GeneratedDataset};
+use crate::gen::*;
+
+/// Nasa airfoil self-noise (1504 × 6, manufacturing, R): frequency, angle
+/// of attack, chord length, velocity, displacement thickness → sound
+/// pressure level. Missing values and outliers at rate 0.08.
+pub fn nasa(p: &Params) -> GeneratedDataset {
+    let n = p.rows(1504);
+    let mut rng = StdRng::seed_from_u64(derive_seed(p.seed, 11));
+    let freq = uniform_column(&mut rng, n, 200.0, 20000.0);
+    let angle = uniform_column(&mut rng, n, 0.0, 22.0);
+    let chord = uniform_column(&mut rng, n, 0.02, 0.3);
+    let velocity = uniform_column(&mut rng, n, 30.0, 72.0);
+    let thickness = uniform_column(&mut rng, n, 0.0004, 0.06);
+    let pressure: Vec<f64> = (0..n)
+        .map(|i| {
+            // Smooth nonlinear response resembling the airfoil physics.
+            140.0 - 3.0 * (freq[i] / 1000.0).ln() - 0.4 * angle[i] - 25.0 * chord[i]
+                + 0.1 * velocity[i]
+                - 120.0 * thickness[i]
+                + 1.5 * randn(&mut rng)
+        })
+        .collect();
+    let clean = TableBuilder::new()
+        .column("frequency", ColumnType::Float, ColumnRole::Feature, floats(freq))
+        .column("angle_of_attack", ColumnType::Float, ColumnRole::Feature, floats(angle))
+        .column("chord_length", ColumnType::Float, ColumnRole::Feature, floats(chord))
+        .column("free_stream_velocity", ColumnType::Float, ColumnRole::Feature, floats(velocity))
+        .column("displacement_thickness", ColumnType::Float, ColumnRole::Feature, floats(thickness))
+        .column("sound_pressure", ColumnType::Float, ColumnRole::Label, floats(pressure))
+        .build();
+    let specs = [
+        ErrorSpec::ExplicitMissing { cols: vec![0, 1, 2, 3, 4], rate: 0.04 },
+        ErrorSpec::Outliers { cols: vec![0, 1, 2, 3, 4], rate: 0.04, degree: 4.0 },
+    ];
+    finish("nasa", "Manufacturing", MlTask::Regression, clean, &specs, 0.08, p.seed, vec![], vec![])
+}
+
+/// Bikes (17378 × 16, business, R): hourly bike-sharing counts with the FD
+/// `month → season`; rule violations and outliers at rate 0.1.
+pub fn bikes(p: &Params) -> GeneratedDataset {
+    let n = p.rows(17378);
+    let mut rng = StdRng::seed_from_u64(derive_seed(p.seed, 12));
+    let mut cols: Vec<Vec<Value>> = (0..16).map(|_| Vec::with_capacity(n)).collect();
+    for i in 0..n {
+        let month = 1 + (i % 12) as i64;
+        let season = (month - 1) / 3 + 1; // FD month -> season
+        let hour = (i % 24) as i64;
+        let weekday = (i % 7) as i64;
+        let holiday = i64::from(rng.random_bool(0.03));
+        let workingday = i64::from(weekday < 5 && holiday == 0);
+        let temp = 0.5 + 0.3 * ((month as f64 - 7.0) / 6.0 * std::f64::consts::PI).cos()
+            + 0.05 * randn(&mut rng);
+        let atemp = temp + 0.02 * randn(&mut rng);
+        let humidity = (0.6 + 0.15 * randn(&mut rng)).clamp(0.0, 1.0);
+        let windspeed = (0.2 + 0.1 * randn(&mut rng)).abs();
+        let weather = rng.random_range(1..4i64);
+        let year = (i / (n / 2 + 1)) as i64;
+        // Demand: peaks at commute hours, warm weather, working days.
+        let commute = (-(hour as f64 - 8.0).powi(2) / 8.0).exp()
+            + (-(hour as f64 - 18.0).powi(2) / 8.0).exp();
+        let count = (350.0 * commute * (0.5 + temp) * (1.0 + 0.2 * workingday as f64)
+            * (1.0 - 0.2 * (weather - 1) as f64)
+            + 20.0 * randn(&mut rng).abs())
+        .max(0.0);
+        let casual = count * rng.random_range(0.1..0.35);
+        let registered = count - casual;
+
+        cols[0].push(Value::Int(i as i64)); // instant
+        cols[1].push(Value::Int(season));
+        cols[2].push(Value::Int(year));
+        cols[3].push(Value::Int(month));
+        cols[4].push(Value::Int(hour));
+        cols[5].push(Value::Int(holiday));
+        cols[6].push(Value::Int(weekday));
+        cols[7].push(Value::Int(workingday));
+        cols[8].push(Value::Int(weather));
+        cols[9].push(Value::float(temp));
+        cols[10].push(Value::float(atemp));
+        cols[11].push(Value::float(humidity));
+        cols[12].push(Value::float(windspeed));
+        cols[13].push(Value::float(casual));
+        cols[14].push(Value::float(registered));
+        cols[15].push(Value::float(count));
+    }
+    let names = [
+        "instant", "season", "year", "month", "hour", "holiday", "weekday", "workingday",
+        "weather", "temp", "atemp", "humidity", "windspeed", "casual", "registered", "count",
+    ];
+    let mut b = TableBuilder::new();
+    for (idx, (name, values)) in names.iter().zip(cols).enumerate() {
+        let role = match idx {
+            0 => ColumnRole::Id,
+            15 => ColumnRole::Label,
+            _ => ColumnRole::Feature,
+        };
+        let ctype = if (9..=15).contains(&idx) { ColumnType::Float } else { ColumnType::Int };
+        b = b.column(name, ctype, role, values);
+    }
+    let clean = b.build();
+    let fds = vec![FunctionalDependency::new([3], 1)];
+    let specs = [
+        ErrorSpec::FdViolations { fd: fds[0].clone(), rate: 0.25 },
+        ErrorSpec::Outliers { cols: vec![9, 10, 11, 12, 13, 14], rate: 0.12, degree: 4.0 },
+    ];
+    finish("bikes", "Business", MlTask::Regression, clean, &specs, 0.1, p.seed, fds, vec![0])
+}
+
+/// Soil Moisture (679 × 129, agriculture, R): smooth hyperspectral band
+/// curves whose shape encodes the moisture target; missing values and
+/// outliers at the tiny rate 0.01.
+pub fn soil_moisture(p: &Params) -> GeneratedDataset {
+    let n = p.rows(679);
+    let d = 128;
+    let mut rng = StdRng::seed_from_u64(derive_seed(p.seed, 13));
+    let mut bands: Vec<Vec<Value>> = (0..d).map(|_| Vec::with_capacity(n)).collect();
+    let mut moisture = Vec::with_capacity(n);
+    for _ in 0..n {
+        let m = rng.random_range(25.0..45.0); // moisture %
+        let tilt = (m - 35.0) / 10.0;
+        let base = rng.random_range(0.2..0.4);
+        for (bi, band) in bands.iter_mut().enumerate() {
+            let wl = bi as f64 / d as f64;
+            // Reflectance dips with moisture in the "water absorption" band.
+            let absorption = (-((wl - 0.7) / 0.08).powi(2)).exp() * tilt * 0.1;
+            let refl = base + 0.3 * wl - absorption + 0.005 * randn(&mut rng);
+            band.push(Value::float(refl));
+        }
+        moisture.push(Value::float(m + 0.2 * randn(&mut rng)));
+    }
+    let mut b = TableBuilder::new();
+    for (bi, band) in bands.into_iter().enumerate() {
+        b = b.column(&format!("band_{bi:03}"), ColumnType::Float, ColumnRole::Feature, band);
+    }
+    let clean = b.column("soil_moisture", ColumnType::Float, ColumnRole::Label, moisture).build();
+    let band_cols: Vec<usize> = (0..d).collect();
+    let specs = [
+        ErrorSpec::ExplicitMissing { cols: band_cols.clone(), rate: 0.005 },
+        ErrorSpec::Outliers { cols: band_cols, rate: 0.005, degree: 4.0 },
+    ];
+    finish(
+        "soil_moisture",
+        "Agriculture",
+        MlTask::Regression,
+        clean,
+        &specs,
+        0.01,
+        p.seed,
+        vec![],
+        vec![],
+    )
+}
+
+/// 3D Printer (50 × 12, manufacturing, R): print settings → surface
+/// roughness; duplicates, missing values and implicit missing values at
+/// rate 0.05.
+pub fn printer3d(p: &Params) -> GeneratedDataset {
+    let n = p.rows(50);
+    let mut rng = StdRng::seed_from_u64(derive_seed(p.seed, 14));
+    let mut cols: Vec<Vec<Value>> = (0..12).map(|_| Vec::with_capacity(n)).collect();
+    for i in 0..n {
+        let layer_height = rng.random_range(0.02..0.2f64);
+        let wall_thickness = rng.random_range(1.0..10.0f64);
+        let infill = rng.random_range(10.0..90.0f64);
+        let infill_pattern = if rng.random_bool(0.5) { "grid" } else { "honeycomb" };
+        let nozzle_temp = rng.random_range(200.0..250.0f64);
+        let bed_temp = rng.random_range(60.0..80.0f64);
+        let speed = rng.random_range(40.0..120.0f64);
+        let material = if rng.random_bool(0.5) { "abs" } else { "pla" };
+        let fan = rng.random_range(0.0..100.0f64);
+        let roughness = 20.0 + 800.0 * layer_height + 0.3 * speed
+            - 0.1 * fan
+            + if material == "abs" { 15.0 } else { 0.0 }
+            + 5.0 * randn(&mut rng);
+        let elongation = rng.random_range(0.8..3.5f64);
+        cols[0].push(Value::Int(i as i64));
+        cols[1].push(Value::float(layer_height));
+        cols[2].push(Value::float(wall_thickness));
+        cols[3].push(Value::float(infill));
+        cols[4].push(Value::str(infill_pattern));
+        cols[5].push(Value::float(nozzle_temp));
+        cols[6].push(Value::float(bed_temp));
+        cols[7].push(Value::float(speed));
+        cols[8].push(Value::str(material));
+        cols[9].push(Value::float(fan));
+        cols[10].push(Value::float(elongation));
+        cols[11].push(Value::float(roughness));
+    }
+    let names = [
+        "id", "layer_height", "wall_thickness", "infill_density", "infill_pattern",
+        "nozzle_temp", "bed_temp", "print_speed", "material", "fan_speed", "elongation",
+        "roughness",
+    ];
+    let mut b = TableBuilder::new();
+    for (idx, (name, values)) in names.iter().zip(cols).enumerate() {
+        let role = match idx {
+            0 => ColumnRole::Id,
+            11 => ColumnRole::Label,
+            _ => ColumnRole::Feature,
+        };
+        let ctype = match idx {
+            0 => ColumnType::Int,
+            4 | 8 => ColumnType::Str,
+            _ => ColumnType::Float,
+        };
+        b = b.column(name, ctype, role, values);
+    }
+    let clean = b.build();
+    let specs = [
+        ErrorSpec::ExplicitMissing { cols: vec![1, 2, 3], rate: 0.04 },
+        ErrorSpec::ImplicitMissing { cols: vec![5, 6], rate: 0.04 },
+        ErrorSpec::Duplicates { rate: 0.08, fuzz: 0.3 },
+    ];
+    finish(
+        "printer3d",
+        "Manufacturing",
+        MlTask::Regression,
+        clean,
+        &specs,
+        0.05,
+        p.seed,
+        vec![],
+        vec![0],
+    )
+}
+
+/// Mercedes (4210 × 378, manufacturing, R): mostly binary configuration
+/// flags plus a few categorical codes → test-bench time; outliers, missing
+/// and implicit missing values at rate 0.05.
+pub fn mercedes(p: &Params) -> GeneratedDataset {
+    let n = p.rows(4210);
+    let mut rng = StdRng::seed_from_u64(derive_seed(p.seed, 15));
+    let n_bin = 369;
+    // A sparse subset of flags actually influences the duration.
+    let active: Vec<usize> = (0..n_bin).step_by(23).collect();
+    let codes = ["a", "b", "c", "d", "e", "f"];
+
+    let mut cat_cols: Vec<Vec<Value>> = (0..8).map(|_| Vec::with_capacity(n)).collect();
+    let mut bin_cols: Vec<Vec<Value>> = (0..n_bin).map(|_| Vec::with_capacity(n)).collect();
+    let mut y = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut duration = 95.0;
+        for (ci, col) in cat_cols.iter_mut().enumerate() {
+            let code = codes[rng.random_range(0..codes.len())];
+            if ci == 0 {
+                duration += (code.as_bytes()[0] - b'a') as f64 * 1.5;
+            }
+            col.push(Value::str(code));
+        }
+        for (bi, col) in bin_cols.iter_mut().enumerate() {
+            let bit = rng.random_bool(0.3);
+            if bit && active.contains(&bi) {
+                duration += 2.0;
+            }
+            col.push(Value::Int(i64::from(bit)));
+        }
+        duration += 3.0 * randn(&mut rng);
+        y.push(Value::float(duration));
+    }
+    let mut b = TableBuilder::new();
+    for (ci, col) in cat_cols.into_iter().enumerate() {
+        b = b.column(&format!("X{ci}"), ColumnType::Str, ColumnRole::Feature, col);
+    }
+    for (bi, col) in bin_cols.into_iter().enumerate() {
+        b = b.column(&format!("X{}", bi + 8), ColumnType::Int, ColumnRole::Feature, col);
+    }
+    let clean = b.column("y", ColumnType::Float, ColumnRole::Label, y).build();
+    let some_bins: Vec<usize> = (8..=120).step_by(3).collect::<Vec<_>>();
+    let specs = [
+        ErrorSpec::ExplicitMissing { cols: some_bins.clone(), rate: 0.05 },
+        ErrorSpec::ImplicitMissing { cols: (130..200).collect(), rate: 0.05 },
+        ErrorSpec::Outliers { cols: vec![377], rate: 0.2, degree: 4.0 },
+    ];
+    finish(
+        "mercedes",
+        "Manufacturing",
+        MlTask::Regression,
+        clean,
+        &specs,
+        0.05,
+        p.seed,
+        vec![],
+        vec![],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rein_constraints::fd;
+
+    #[test]
+    fn nasa_shape_and_rate() {
+        let d = nasa(&Params::scaled(0.2, 1));
+        assert_eq!(d.clean.n_cols(), 6);
+        assert_eq!(d.info.task, rein_data::MlTask::Regression);
+        assert!((d.error_rate() - 0.08).abs() < 0.05, "rate {}", d.error_rate());
+    }
+
+    #[test]
+    fn bikes_fd_holds_clean_violated_dirty() {
+        let d = bikes(&Params::scaled(0.02, 2));
+        assert_eq!(d.clean.n_cols(), 16);
+        assert!(fd::holds(&d.clean, &d.fds[0]));
+        assert!(!fd::fd_violations(&d.dirty, &d.fds[0]).is_empty());
+    }
+
+    #[test]
+    fn soil_moisture_wide_and_sparse_errors() {
+        let d = soil_moisture(&Params::scaled(0.3, 3));
+        assert_eq!(d.clean.n_cols(), 129);
+        assert!(d.error_rate() < 0.03, "rate {}", d.error_rate());
+        assert!(d.error_rate() > 0.0);
+    }
+
+    #[test]
+    fn printer3d_tiny_with_duplicates() {
+        let d = printer3d(&Params::full(4));
+        assert_eq!(d.clean.n_rows(), 50);
+        assert_eq!(d.clean.n_cols(), 12);
+        assert!(!d.duplicate_pairs.is_empty());
+    }
+
+    #[test]
+    fn mercedes_is_very_wide() {
+        let d = mercedes(&Params::scaled(0.02, 5));
+        assert_eq!(d.clean.n_cols(), 378);
+        assert_eq!(d.clean.schema().categorical_indices().len(), 8);
+        assert!(d.error_rate() > 0.0);
+    }
+
+    #[test]
+    fn regression_targets_are_numeric() {
+        for d in [nasa(&Params::scaled(0.05, 6)), bikes(&Params::scaled(0.01, 6))] {
+            let label = d.clean.schema().label_index().unwrap();
+            assert!(d.clean.column(label).iter().all(|v| v.as_f64().is_some()));
+        }
+    }
+}

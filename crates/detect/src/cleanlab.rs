@@ -1,0 +1,182 @@
+//! CleanLab (Northcutt et al.): confident learning for mislabel detection.
+//! Out-of-fold predicted probabilities feed the *confident joint* — the
+//! matrix counting examples whose predicted probability for another class
+//! exceeds that class's self-confidence threshold; off-diagonal entries
+//! are flagged label errors.
+
+use rein_data::CellMask;
+use rein_ml::encode::{select_matrix_rows, Encoder, LabelMap};
+use rein_ml::linalg::Matrix;
+use rein_ml::model::Classifier;
+use rein_ml::tree::{DecisionTreeClassifier, TreeParams};
+
+use crate::context::{DetectContext, Detector};
+
+/// CleanLab detector.
+#[derive(Debug, Clone)]
+pub struct CleanLab {
+    /// Cross-validation folds for out-of-sample probabilities.
+    pub folds: usize,
+}
+
+impl Default for CleanLab {
+    fn default() -> Self {
+        Self { folds: 3 }
+    }
+}
+
+/// Out-of-fold class probabilities for every labelled row.
+fn out_of_fold_probs(
+    x: &Matrix,
+    y: &[usize],
+    n_classes: usize,
+    folds: usize,
+    seed: u64,
+) -> Matrix {
+    let n = x.rows();
+    let mut probs = Matrix::zeros(n, n_classes);
+    let splits = rein_data::split::k_fold_indices(n, folds.max(2), seed);
+    for split in splits {
+        let xtr = select_matrix_rows(x, &split.train);
+        let ytr: Vec<usize> = split.train.iter().map(|&i| y[i]).collect();
+        let mut model = DecisionTreeClassifier::new(TreeParams::default());
+        model.fit(&xtr, &ytr, n_classes);
+        let xte = select_matrix_rows(x, &split.test);
+        let p = model.predict_proba(&xte, n_classes);
+        for (local, &global) in split.test.iter().enumerate() {
+            probs.row_mut(global).copy_from_slice(p.row(local));
+        }
+    }
+    probs
+}
+
+impl Detector for CleanLab {
+    fn name(&self) -> &'static str {
+        "cleanlab"
+    }
+
+    fn detect(&self, ctx: &DetectContext<'_>) -> CellMask {
+        let t = ctx.dirty;
+        let mut mask = CellMask::new(t.n_rows(), t.n_cols());
+        let Some(label_col) = ctx.label_col else { return mask };
+
+        let feature_cols: Vec<usize> =
+            (0..t.n_cols()).filter(|&c| c != label_col).collect();
+        if feature_cols.is_empty() {
+            return mask;
+        }
+        let labels = LabelMap::fit([t], label_col);
+        let n_classes = labels.n_classes();
+        if n_classes < 2 {
+            return mask;
+        }
+        let (rows, y) = labels.encode(t, label_col);
+        if rows.len() < 10 {
+            return mask;
+        }
+        let encoder = Encoder::fit(t, &feature_cols);
+        let x_all = encoder.transform(t);
+        let x = select_matrix_rows(&x_all, &rows);
+
+        let probs = out_of_fold_probs(&x, &y, n_classes, self.folds, ctx.seed);
+
+        // Per-class self-confidence thresholds: mean predicted probability
+        // of class j among examples labelled j.
+        let mut thresholds = vec![0.0f64; n_classes];
+        let mut counts = vec![0usize; n_classes];
+        for (i, &yi) in y.iter().enumerate() {
+            thresholds[yi] += probs[(i, yi)];
+            counts[yi] += 1;
+        }
+        for (th, &c) in thresholds.iter_mut().zip(&counts) {
+            if c > 0 {
+                *th /= c as f64;
+            } else {
+                *th = 1.0;
+            }
+        }
+
+        // Confident joint: example i labelled yi is confidently of class j
+        // when p(j|i) ≥ threshold_j and j is the argmax above threshold.
+        for (i, &yi) in y.iter().enumerate() {
+            let mut best: Option<(usize, f64)> = None;
+            for j in 0..n_classes {
+                let p = probs[(i, j)];
+                if p >= thresholds[j] && best.is_none_or(|(_, bp)| p > bp) {
+                    best = Some((j, p));
+                }
+            }
+            if let Some((j, _)) = best {
+                if j != yi {
+                    mask.set(rows[i], label_col, true);
+                }
+            }
+        }
+        mask
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rein_data::{ColumnMeta, ColumnType, Schema, Table, Value};
+
+    /// Two well-separated classes; rows in `flipped` carry the wrong label.
+    fn table(flipped: &[usize]) -> Table {
+        let schema = Schema::new(vec![
+            ColumnMeta::new("x", ColumnType::Float),
+            ColumnMeta::new("y", ColumnType::Str).label(),
+        ]);
+        let mut rows: Vec<Vec<Value>> = (0..120)
+            .map(|i| {
+                let pos = i % 2 == 0;
+                vec![
+                    Value::Float(if pos { 10.0 } else { -10.0 } + (i % 7) as f64 * 0.1),
+                    Value::str(if pos { "pos" } else { "neg" }),
+                ]
+            })
+            .collect();
+        for &f in flipped {
+            let cur = rows[f][1].to_string();
+            rows[f][1] = Value::str(if cur == "pos" { "neg" } else { "pos" });
+        }
+        Table::from_rows(schema, rows)
+    }
+
+    #[test]
+    fn finds_flipped_labels() {
+        let flipped = [5, 28, 61, 90];
+        let t = table(&flipped);
+        let ctx = DetectContext { label_col: Some(1), seed: 1, ..DetectContext::bare(&t) };
+        let m = CleanLab::default().detect(&ctx);
+        for &f in &flipped {
+            assert!(m.get(f, 1), "flip at row {f} missed");
+        }
+        // Precision: few clean labels flagged.
+        assert!(m.count() <= flipped.len() + 3, "count {}", m.count());
+    }
+
+    #[test]
+    fn detections_restricted_to_label_column() {
+        let t = table(&[3]);
+        let ctx = DetectContext { label_col: Some(1), ..DetectContext::bare(&t) };
+        let m = CleanLab::default().detect(&ctx);
+        for cell in m.iter() {
+            assert_eq!(cell.col, 1);
+        }
+    }
+
+    #[test]
+    fn clean_labels_mostly_unflagged() {
+        let t = table(&[]);
+        let ctx = DetectContext { label_col: Some(1), ..DetectContext::bare(&t) };
+        let m = CleanLab::default().detect(&ctx);
+        assert!(m.count() <= 2, "count {}", m.count());
+    }
+
+    #[test]
+    fn no_label_column_is_a_noop() {
+        let t = table(&[3]);
+        assert!(CleanLab::default().detect(&DetectContext::bare(&t)).is_empty());
+    }
+}

@@ -1,0 +1,194 @@
+//! Detection context: the dirty table plus every cleaning signal a
+//! detector may require (Table 1's "Configs" column) — constraints, a
+//! knowledge base, key columns, and a ground-truth-backed labelling oracle
+//! for the ML-supported detectors (the paper uses the ground truth "to
+//! simulate a human annotator").
+
+use std::cell::Cell;
+
+use rein_constraints::dc::DenialConstraint;
+use rein_constraints::fd::FunctionalDependency;
+use rein_data::{CellMask, CellRef, ColumnType, Table};
+
+/// A labelling oracle backed by the ground-truth error mask.
+///
+/// Detectors query whether individual cells are erroneous; the oracle
+/// counts queries so labelling budgets are auditable.
+#[derive(Debug)]
+pub struct Oracle {
+    mask: CellMask,
+    queries: Cell<usize>,
+}
+
+impl Oracle {
+    /// Builds an oracle from the ground-truth error mask.
+    pub fn new(mask: CellMask) -> Self {
+        Self { mask, queries: Cell::new(0) }
+    }
+
+    /// Whether the cell is actually erroneous (one labelling query).
+    pub fn is_dirty(&self, cell: CellRef) -> bool {
+        self.queries.set(self.queries.get() + 1);
+        self.mask.get(cell.row, cell.col)
+    }
+
+    /// Number of labels handed out so far.
+    pub fn queries_used(&self) -> usize {
+        self.queries.get()
+    }
+}
+
+/// KATARA's crowdsourced knowledge base, simulated from clean-domain
+/// knowledge: per-column sets of valid categorical values and plausible
+/// numeric ranges.
+#[derive(Debug, Clone, Default)]
+pub struct KnowledgeBase {
+    /// `(column, valid values)` for categorical columns.
+    pub domains: Vec<(usize, std::collections::HashSet<String>)>,
+    /// `(column, lo, hi)` plausible ranges for numeric columns.
+    pub ranges: Vec<(usize, f64, f64)>,
+}
+
+impl KnowledgeBase {
+    /// Builds a KB from a reference (clean) table: categorical domains are
+    /// the observed value sets; numeric ranges are the observed min/max
+    /// stretched by 10%.
+    pub fn from_reference(table: &Table) -> Self {
+        let mut kb = KnowledgeBase::default();
+        for c in 0..table.n_cols() {
+            if table.schema().column(c).ctype.is_numeric() {
+                let xs = table.numeric_values(c);
+                if xs.is_empty() {
+                    continue;
+                }
+                let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+                let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                let pad = (hi - lo).abs().max(1.0) * 0.1;
+                kb.ranges.push((c, lo - pad, hi + pad));
+            } else {
+                let values: std::collections::HashSet<String> = table
+                    .column(c)
+                    .iter()
+                    .filter(|v| !v.is_null())
+                    .map(|v| v.as_key().into_owned())
+                    .collect();
+                kb.domains.push((c, values));
+            }
+        }
+        kb
+    }
+}
+
+/// Everything a detector may consume.
+pub struct DetectContext<'a> {
+    /// The dirty table under inspection.
+    pub dirty: &'a Table,
+    /// FD rules (NADEEF / HoloClean signal).
+    pub fds: &'a [FunctionalDependency],
+    /// Denial constraints (HoloClean signal).
+    pub dcs: &'a [DenialConstraint],
+    /// Knowledge base (KATARA signal).
+    pub kb: Option<&'a KnowledgeBase>,
+    /// Key columns assumed unique (Key-Collision signal).
+    pub key_columns: &'a [usize],
+    /// Labelling oracle (ML-supported detectors).
+    pub oracle: Option<&'a Oracle>,
+    /// Label column, when the dataset has one (CleanLab signal).
+    pub label_col: Option<usize>,
+    /// Labelling budget for ML-supported detectors (total cell labels).
+    pub labeling_budget: usize,
+    /// Seed for stochastic detectors.
+    pub seed: u64,
+}
+
+impl<'a> DetectContext<'a> {
+    /// Minimal context: just the dirty table (configuration-free methods).
+    pub fn bare(dirty: &'a Table) -> Self {
+        Self {
+            dirty,
+            fds: &[],
+            dcs: &[],
+            kb: None,
+            key_columns: &[],
+            oracle: None,
+            label_col: None,
+            labeling_budget: 20,
+            seed: 0,
+        }
+    }
+
+    /// Numeric columns by *observed* majority type (dirty data may have
+    /// type-shifted cells).
+    pub fn numeric_columns(&self) -> Vec<usize> {
+        (0..self.dirty.n_cols())
+            .filter(|&c| self.dirty.observed_type(c).is_numeric())
+            .collect()
+    }
+
+    /// Categorical (non-numeric) columns by observed type.
+    pub fn categorical_columns(&self) -> Vec<usize> {
+        (0..self.dirty.n_cols())
+            .filter(|&c| matches!(self.dirty.observed_type(c), ColumnType::Str | ColumnType::Bool))
+            .collect()
+    }
+}
+
+/// A detector: produces the mask of cells it believes are erroneous.
+pub trait Detector: Send + Sync {
+    /// Stable name used in figures and result tables.
+    fn name(&self) -> &'static str;
+    /// Runs detection.
+    fn detect(&self, ctx: &DetectContext<'_>) -> CellMask;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rein_data::{ColumnMeta, Schema, Value};
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![
+            ColumnMeta::new("x", ColumnType::Float),
+            ColumnMeta::new("c", ColumnType::Str),
+        ]);
+        Table::from_rows(
+            schema,
+            vec![
+                vec![Value::Float(1.0), Value::str("a")],
+                vec![Value::Float(2.0), Value::str("b")],
+            ],
+        )
+    }
+
+    #[test]
+    fn oracle_counts_queries() {
+        let mut mask = CellMask::new(2, 2);
+        mask.set(0, 1, true);
+        let oracle = Oracle::new(mask);
+        assert!(oracle.is_dirty(CellRef::new(0, 1)));
+        assert!(!oracle.is_dirty(CellRef::new(1, 1)));
+        assert_eq!(oracle.queries_used(), 2);
+    }
+
+    #[test]
+    fn kb_from_reference_covers_both_types() {
+        let kb = KnowledgeBase::from_reference(&table());
+        assert_eq!(kb.ranges.len(), 1);
+        assert_eq!(kb.domains.len(), 1);
+        let (col, lo, hi) = kb.ranges[0];
+        assert_eq!(col, 0);
+        assert!(lo < 1.0 && hi > 2.0);
+        assert!(kb.domains[0].1.contains("a"));
+    }
+
+    #[test]
+    fn context_column_typing_follows_observations() {
+        let mut t = table();
+        // Shift the numeric column mostly to strings.
+        t.set_cell(0, 0, Value::str("oops"));
+        t.set_cell(1, 0, Value::str("bad"));
+        let ctx = DetectContext::bare(&t);
+        assert!(ctx.numeric_columns().is_empty());
+        assert_eq!(ctx.categorical_columns(), vec![0, 1]);
+    }
+}

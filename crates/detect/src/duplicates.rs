@@ -1,0 +1,322 @@
+//! Duplicate detection: Key Collision (normalised key matching) and
+//! ZeroER (Wu et al.) — blocking + similarity features + a two-component
+//! Gaussian mixture separating matches from unmatches with **zero**
+//! labelled examples.
+
+use std::collections::HashMap;
+
+use rein_constraints::pattern::fingerprint;
+use rein_data::{CellMask, Table};
+
+use crate::context::{DetectContext, Detector};
+
+/// Marks all cells of every row in a duplicate group except its first
+/// occurrence (the convention matching the injector's ground truth, which
+/// flags appended duplicates).
+fn flag_duplicate_rows(mask: &mut CellMask, groups: &[Vec<usize>]) {
+    for group in groups {
+        for &r in &group[1..] {
+            mask.set_row(r, true);
+        }
+    }
+}
+
+/// Key-collision duplicate detector: rows sharing the fingerprint of their
+/// key columns are duplicates.
+#[derive(Debug, Default, Clone)]
+pub struct KeyCollision;
+
+impl Detector for KeyCollision {
+    fn name(&self) -> &'static str {
+        "key_collision"
+    }
+
+    fn detect(&self, ctx: &DetectContext<'_>) -> CellMask {
+        let t = ctx.dirty;
+        let mut mask = CellMask::new(t.n_rows(), t.n_cols());
+        if ctx.key_columns.is_empty() {
+            return mask;
+        }
+        let mut groups: HashMap<String, Vec<usize>> = HashMap::new();
+        for r in 0..t.n_rows() {
+            let mut key = String::new();
+            for &c in ctx.key_columns {
+                key.push_str(&fingerprint(&t.cell(r, c).to_string()));
+                key.push('\u{1f}');
+            }
+            groups.entry(key).or_default().push(r);
+        }
+        let dup_groups: Vec<Vec<usize>> =
+            groups.into_values().filter(|g| g.len() > 1).collect();
+        flag_duplicate_rows(&mut mask, &dup_groups);
+        mask
+    }
+}
+
+/// Jaccard similarity of word-token sets.
+fn token_jaccard(a: &str, b: &str) -> f64 {
+    let la = a.to_lowercase();
+    let lb = b.to_lowercase();
+    let ta: std::collections::HashSet<&str> = la.split_whitespace().collect();
+    let tb: std::collections::HashSet<&str> = lb.split_whitespace().collect();
+    if ta.is_empty() && tb.is_empty() {
+        return 1.0;
+    }
+    let inter = ta.intersection(&tb).count();
+    inter as f64 / (ta.len() + tb.len() - inter) as f64
+}
+
+/// Normalised character trigram overlap (robust to typos).
+fn trigram_sim(a: &str, b: &str) -> f64 {
+    let grams = |s: &str| -> std::collections::HashSet<String> {
+        let lower = s.to_lowercase();
+        let cs: Vec<char> = lower.chars().collect();
+        if cs.len() < 3 {
+            return [lower].into_iter().collect();
+        }
+        cs.windows(3).map(|w| w.iter().collect()).collect()
+    };
+    let ga = grams(a);
+    let gb = grams(b);
+    if ga.is_empty() && gb.is_empty() {
+        return 1.0;
+    }
+    let inter = ga.intersection(&gb).count();
+    inter as f64 / (ga.len() + gb.len() - inter) as f64
+}
+
+/// Magellan-style similarity features for a row pair.
+fn pair_features(t: &Table, a: usize, b: usize) -> Vec<f64> {
+    let mut feats = Vec::with_capacity(t.n_cols() * 2);
+    for c in 0..t.n_cols() {
+        let va = t.cell(a, c);
+        let vb = t.cell(b, c);
+        match (va.as_f64(), vb.as_f64()) {
+            (Some(x), Some(y)) => {
+                let scale = x.abs().max(y.abs()).max(1.0);
+                feats.push(1.0 - ((x - y).abs() / scale).min(1.0));
+                feats.push(f64::from(x == y));
+            }
+            _ => {
+                let sa = va.to_string();
+                let sb = vb.to_string();
+                feats.push(token_jaccard(&sa, &sb));
+                feats.push(trigram_sim(&sa, &sb));
+            }
+        }
+    }
+    feats
+}
+
+/// ZeroER duplicate detector.
+#[derive(Debug, Clone)]
+pub struct ZeroEr {
+    /// Maximum candidate pairs per block (guards quadratic blow-up).
+    pub max_block_pairs: usize,
+}
+
+impl Default for ZeroEr {
+    fn default() -> Self {
+        Self { max_block_pairs: 50_000 }
+    }
+}
+
+impl ZeroEr {
+    /// Blocking key: fingerprint prefix of the textiest column (or the key
+    /// column when provided).
+    fn block_column(&self, ctx: &DetectContext<'_>) -> usize {
+        if let Some(&c) = ctx.key_columns.first() {
+            return c;
+        }
+        // Pick the categorical column with the most distinct values.
+        ctx.categorical_columns()
+            .into_iter()
+            .max_by_key(|&c| ctx.dirty.value_counts(c).len())
+            .unwrap_or(0)
+    }
+}
+
+impl Detector for ZeroEr {
+    fn name(&self) -> &'static str {
+        "zeroer"
+    }
+
+    fn detect(&self, ctx: &DetectContext<'_>) -> CellMask {
+        let t = ctx.dirty;
+        let mut mask = CellMask::new(t.n_rows(), t.n_cols());
+        if t.n_rows() < 4 {
+            return mask;
+        }
+        let bc = self.block_column(ctx);
+
+        // Blocking on the first two fingerprint tokens.
+        let mut blocks: HashMap<String, Vec<usize>> = HashMap::new();
+        for r in 0..t.n_rows() {
+            let fp = fingerprint(&t.cell(r, bc).to_string());
+            let key: String =
+                fp.split(' ').take(2).collect::<Vec<_>>().join(" ");
+            blocks.entry(key).or_default().push(r);
+        }
+
+        // Candidate pairs + features.
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
+        for members in blocks.values() {
+            let mut count = 0usize;
+            for (i, &a) in members.iter().enumerate() {
+                for &b in &members[i + 1..] {
+                    pairs.push((a, b));
+                    count += 1;
+                    if count >= self.max_block_pairs {
+                        break;
+                    }
+                }
+                if count >= self.max_block_pairs {
+                    break;
+                }
+            }
+        }
+        if pairs.is_empty() {
+            return mask;
+        }
+        let feats: Vec<Vec<f64>> = pairs.iter().map(|&(a, b)| pair_features(t, a, b)).collect();
+        // Scalar similarity score per pair (mean feature) then a 1-D
+        // two-component GMM — the essence of ZeroER's generative match /
+        // unmatch separation, with zero labels.
+        let scores: Vec<f64> =
+            feats.iter().map(|f| f.iter().sum::<f64>() / f.len().max(1) as f64).collect();
+        let (mut m1, mut m2) = (0.25f64, 0.9f64); // unmatch, match priors
+        let (mut s1, mut s2) = (0.2f64, 0.1f64);
+        for _ in 0..15 {
+            let (mut sum1, mut sum2, mut w1, mut w2, mut v1, mut v2) =
+                (0.0, 0.0, 0.0, 0.0, 0.0, 0.0);
+            for &x in &scores {
+                let p1 = (-(x - m1).powi(2) / (2.0 * s1 * s1)).exp() / s1.max(1e-9);
+                let p2 = (-(x - m2).powi(2) / (2.0 * s2 * s2)).exp() / s2.max(1e-9);
+                let r1 = p1 / (p1 + p2).max(1e-300);
+                sum1 += r1 * x;
+                sum2 += (1.0 - r1) * x;
+                w1 += r1;
+                w2 += 1.0 - r1;
+                v1 += r1 * (x - m1).powi(2);
+                v2 += (1.0 - r1) * (x - m2).powi(2);
+            }
+            m1 = sum1 / w1.max(1e-12);
+            m2 = sum2 / w2.max(1e-12);
+            s1 = (v1 / w1.max(1e-12)).sqrt().max(0.02);
+            s2 = (v2 / w2.max(1e-12)).sqrt().max(0.02);
+        }
+        let (match_mean, match_std, unmatch_mean, unmatch_std) =
+            if m1 > m2 { (m1, s1, m2, s2) } else { (m2, s2, m1, s1) };
+
+        // Union-find over matched pairs so groups flag consistently.
+        let mut parent: Vec<usize> = (0..t.n_rows()).collect();
+        fn find(parent: &mut Vec<usize>, x: usize) -> usize {
+            if parent[x] != x {
+                let root = find(parent, parent[x]);
+                parent[x] = root;
+            }
+            parent[x]
+        }
+        let mut any_match = false;
+        for (&(a, b), &score) in pairs.iter().zip(&scores) {
+            let p_match = (-(score - match_mean).powi(2) / (2.0 * match_std * match_std)).exp()
+                / match_std;
+            let p_un = (-(score - unmatch_mean).powi(2) / (2.0 * unmatch_std * unmatch_std)).exp()
+                / unmatch_std;
+            // Guard against degenerate EM: a "match" must also be
+            // absolutely similar — and near-identical pairs always match
+            // (few candidate pairs starve the mixture fit).
+            if (p_match > p_un && score > 0.75) || score > 0.9 {
+                let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+                if ra != rb {
+                    parent[ra.max(rb)] = ra.min(rb);
+                }
+                any_match = true;
+            }
+        }
+        if !any_match {
+            return mask;
+        }
+        let mut groups: HashMap<usize, Vec<usize>> = HashMap::new();
+        for r in 0..t.n_rows() {
+            let root = find(&mut parent, r);
+            groups.entry(root).or_default().push(r);
+        }
+        let dup_groups: Vec<Vec<usize>> =
+            groups.into_values().filter(|g| g.len() > 1).collect();
+        flag_duplicate_rows(&mut mask, &dup_groups);
+        mask
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rein_data::{ColumnMeta, ColumnType, Schema, Value};
+
+    fn table_with_duplicates() -> Table {
+        let schema = Schema::new(vec![
+            ColumnMeta::new("title", ColumnType::Str),
+            ColumnMeta::new("year", ColumnType::Int),
+        ]);
+        let mut rows: Vec<Vec<Value>> = (0..40)
+            .map(|i| {
+                vec![Value::str(format!("unique study of topic number {i}")), Value::Int(2000 + i)]
+            })
+            .collect();
+        // Exact duplicate of row 3 and fuzzy duplicate of row 7.
+        rows.push(vec![Value::str("unique study of topic number 3"), Value::Int(2003)]);
+        rows.push(vec![Value::str("Unique Study of Topic Number 7"), Value::Int(2007)]);
+        Table::from_rows(schema, rows)
+    }
+
+    #[test]
+    fn key_collision_finds_normalised_matches() {
+        let t = table_with_duplicates();
+        let keys = [0usize];
+        let ctx = DetectContext { key_columns: &keys, ..DetectContext::bare(&t) };
+        let m = KeyCollision.detect(&ctx);
+        // Both appended rows flagged entirely.
+        assert_eq!(m.dirty_rows(), vec![40, 41]);
+        assert_eq!(m.count(), 4);
+    }
+
+    #[test]
+    fn key_collision_without_keys_is_silent() {
+        let t = table_with_duplicates();
+        assert!(KeyCollision.detect(&DetectContext::bare(&t)).is_empty());
+    }
+
+    #[test]
+    fn zeroer_finds_duplicates_without_labels() {
+        let t = table_with_duplicates();
+        let keys = [0usize];
+        let ctx = DetectContext { key_columns: &keys, ..DetectContext::bare(&t) };
+        let m = ZeroEr::default().detect(&ctx);
+        let rows = m.dirty_rows();
+        assert!(rows.contains(&40), "exact duplicate found");
+        assert!(rows.contains(&41), "fuzzy duplicate found");
+        assert!(rows.len() <= 4, "few false positive rows: {rows:?}");
+    }
+
+    #[test]
+    fn similarity_features_behave() {
+        assert_eq!(token_jaccard("a b", "a b"), 1.0);
+        assert!(token_jaccard("a b", "a c") < 1.0);
+        assert!(trigram_sim("hello world", "hello w0rld") > 0.4);
+        assert!(trigram_sim("hello", "zzzzz") < 0.1);
+    }
+
+    #[test]
+    fn clean_table_produces_no_matches() {
+        let schema = Schema::new(vec![ColumnMeta::new("t", ColumnType::Str)]);
+        let t = Table::from_rows(
+            schema,
+            (0..30).map(|i| vec![Value::str(format!("completely different {i} entry"))]).collect(),
+        );
+        let keys = [0usize];
+        let ctx = DetectContext { key_columns: &keys, ..DetectContext::bare(&t) };
+        assert!(ZeroEr::default().detect(&ctx).is_empty());
+        assert!(KeyCollision.detect(&ctx).is_empty());
+    }
+}

@@ -1,0 +1,196 @@
+//! ED2 (Neutatz et al.): active learning for error detection. Cells are
+//! represented by attribute/tuple/dataset-level content features; a
+//! classifier is trained on a growing labelled set where each batch is
+//! chosen by uncertainty sampling, until the labelling budget is spent.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use rein_data::{CellMask, CellRef};
+use rein_ml::encode::select_matrix_rows;
+use rein_ml::forest::{ForestParams, RandomForestClassifier};
+use rein_ml::linalg::Matrix;
+use rein_ml::model::Classifier;
+
+use crate::context::{DetectContext, Detector};
+use crate::features::{CellFeaturizer, N_CONTENT_FEATURES};
+
+/// ED2 detector.
+#[derive(Debug, Clone)]
+pub struct Ed2 {
+    /// Labels acquired per active-learning round.
+    pub batch_size: usize,
+}
+
+impl Default for Ed2 {
+    fn default() -> Self {
+        Self { batch_size: 10 }
+    }
+}
+
+impl Detector for Ed2 {
+    fn name(&self) -> &'static str {
+        "ed2"
+    }
+
+    fn detect(&self, ctx: &DetectContext<'_>) -> CellMask {
+        let t = ctx.dirty;
+        let mut mask = CellMask::new(t.n_rows(), t.n_cols());
+        let Some(oracle) = ctx.oracle else { return mask };
+        let n_cells = t.n_cells();
+        if n_cells == 0 {
+            return mask;
+        }
+
+        // Cell features: content features + column one-hot (attribute id is
+        // a strong ED2 signal).
+        let featurizer = CellFeaturizer::fit(t);
+        let width = N_CONTENT_FEATURES + t.n_cols();
+        let mut x = Matrix::zeros(n_cells, width);
+        for r in 0..t.n_rows() {
+            for c in 0..t.n_cols() {
+                let idx = r * t.n_cols() + c;
+                let row = x.row_mut(idx);
+                featurizer.features_into(t, r, c, &mut row[..N_CONTENT_FEATURES]);
+                row[N_CONTENT_FEATURES + c] = 1.0;
+            }
+        }
+
+        let mut rng = StdRng::seed_from_u64(ctx.seed);
+        let budget = ctx.labeling_budget.max(2 * self.batch_size).min(n_cells);
+
+        // Seed batch: random cells.
+        let mut labelled: Vec<usize> = Vec::new();
+        let mut labels: Vec<usize> = Vec::new();
+        let mut unlabelled: Vec<usize> = (0..n_cells).collect();
+        unlabelled.shuffle(&mut rng);
+        let query = |cells: &[usize], labelled: &mut Vec<usize>, labels: &mut Vec<usize>| {
+            for &i in cells {
+                let cell = CellRef::new(i / t.n_cols(), i % t.n_cols());
+                labelled.push(i);
+                labels.push(usize::from(oracle.is_dirty(cell)));
+            }
+        };
+        let first: Vec<usize> =
+            unlabelled.split_off(unlabelled.len().saturating_sub(self.batch_size));
+        query(&first, &mut labelled, &mut labels);
+
+        let mut model = RandomForestClassifier::new(
+            ForestParams { n_trees: 15, ..Default::default() },
+            ctx.seed,
+        );
+        while labelled.len() < budget && !unlabelled.is_empty() {
+            if labels.contains(&1) && labels.contains(&0) {
+                let xs = select_matrix_rows(&x, &labelled);
+                model.fit(&xs, &labels, 2);
+                // Uncertainty sampling over a capped candidate pool.
+                let pool_size = unlabelled.len().min(4000);
+                let pool = &unlabelled[unlabelled.len() - pool_size..];
+                let xp = select_matrix_rows(&x, pool);
+                let probs = model.predict_proba(&xp, 2);
+                let mut scored: Vec<(usize, f64)> = pool
+                    .iter()
+                    .enumerate()
+                    .map(|(local, &global)| (global, (probs[(local, 1)] - 0.5).abs()))
+                    .collect();
+                scored.sort_by(|a, b| a.1.total_cmp(&b.1));
+                let batch: Vec<usize> =
+                    scored.iter().take(self.batch_size).map(|&(g, _)| g).collect();
+                unlabelled.retain(|i| !batch.contains(i));
+                query(&batch, &mut labelled, &mut labels);
+            } else {
+                // No positive seen yet: keep sampling randomly.
+                let batch: Vec<usize> =
+                    unlabelled.split_off(unlabelled.len().saturating_sub(self.batch_size));
+                query(&batch, &mut labelled, &mut labels);
+            }
+        }
+
+        if labels.iter().all(|&l| l == 0) {
+            return mask; // no errors ever witnessed
+        }
+        if labels.iter().all(|&l| l == 1) {
+            return CellMask::full(t.n_rows(), t.n_cols());
+        }
+        let xs = select_matrix_rows(&x, &labelled);
+        model.fit(&xs, &labels, 2);
+        let preds = model.predict(&x);
+        for (i, &p) in preds.iter().enumerate() {
+            if p == 1 {
+                mask.set(i / t.n_cols(), i % t.n_cols(), true);
+            }
+        }
+        // Every labelled-dirty cell is certainly dirty.
+        for (&i, &l) in labelled.iter().zip(&labels) {
+            if l == 1 {
+                mask.set(i / t.n_cols(), i % t.n_cols(), true);
+            }
+        }
+        mask
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::Oracle;
+    use rein_data::diff::diff_mask;
+    use rein_data::{ColumnMeta, ColumnType, Schema, Table, Value};
+    use rein_stats::evaluate_detection;
+
+    fn dataset() -> (Table, Table) {
+        let schema = Schema::new(vec![
+            ColumnMeta::new("x", ColumnType::Float),
+            ColumnMeta::new("c", ColumnType::Str),
+        ]);
+        let clean = Table::from_rows(
+            schema,
+            (0..250)
+                .map(|i| vec![Value::Float(10.0 + (i % 6) as f64), Value::str(["u", "v"][i % 2])])
+                .collect(),
+        );
+        let mut dirty = clean.clone();
+        for i in 0..20 {
+            dirty.set_cell(i * 12, 0, Value::Float(500.0 + i as f64));
+        }
+        for i in 0..8 {
+            dirty.set_cell(i * 30 + 1, 1, Value::Null);
+        }
+        (clean, dirty)
+    }
+
+    #[test]
+    fn active_learning_finds_errors() {
+        let (clean, dirty) = dataset();
+        let actual = diff_mask(&clean, &dirty);
+        let oracle = Oracle::new(actual.clone());
+        let ctx = DetectContext {
+            oracle: Some(&oracle),
+            labeling_budget: 80,
+            seed: 7,
+            ..DetectContext::bare(&dirty)
+        };
+        let m = Ed2::default().detect(&ctx);
+        let q = evaluate_detection(&m, &actual);
+        assert!(q.f1 > 0.7, "f1 {}", q.f1);
+        assert!(oracle.queries_used() <= 80 + 10, "queries {}", oracle.queries_used());
+    }
+
+    #[test]
+    fn ed2_without_oracle_is_silent() {
+        let (_, dirty) = dataset();
+        assert!(Ed2::default().detect(&DetectContext::bare(&dirty)).is_empty());
+    }
+
+    #[test]
+    fn clean_table_yields_nothing() {
+        let (clean, _) = dataset();
+        let actual = CellMask::new(clean.n_rows(), clean.n_cols());
+        let oracle = Oracle::new(actual);
+        let ctx = DetectContext {
+            oracle: Some(&oracle),
+            labeling_budget: 40,
+            ..DetectContext::bare(&clean)
+        };
+        assert!(Ed2::default().detect(&ctx).is_empty());
+    }
+}

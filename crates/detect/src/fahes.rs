@@ -1,0 +1,145 @@
+//! FAHES (Qahtan et al.): disguised missing values. A syntactic module
+//! catches placeholder tokens and pattern-deviant repeated strings in
+//! categorical columns; a density module catches numeric sentinels —
+//! values that repeat suspiciously often *and* sit at the edge of (or
+//! outside) the column's dense region.
+
+use rein_data::{CellMask, Value};
+use rein_stats::descriptive;
+
+use crate::context::{DetectContext, Detector};
+
+/// Placeholder spellings the syntactic module always recognises.
+const PLACEHOLDERS: [&str; 8] = ["?", "unknown", "-", "--", "n/a", "na", "none", "missing"];
+
+/// FAHES detector.
+#[derive(Debug, Clone)]
+pub struct Fahes {
+    /// A numeric value must cover at least this fraction of the column to
+    /// be considered a repeated sentinel.
+    pub min_sentinel_share: f64,
+}
+
+impl Default for Fahes {
+    fn default() -> Self {
+        Self { min_sentinel_share: 0.01 }
+    }
+}
+
+impl Detector for Fahes {
+    fn name(&self) -> &'static str {
+        "fahes"
+    }
+
+    fn detect(&self, ctx: &DetectContext<'_>) -> CellMask {
+        let t = ctx.dirty;
+        let mut mask = CellMask::new(t.n_rows(), t.n_cols());
+
+        // Syntactic module: placeholder tokens anywhere.
+        for c in 0..t.n_cols() {
+            for (r, v) in t.column(c).iter().enumerate() {
+                if let Value::Str(s) = v {
+                    if PLACEHOLDERS.contains(&s.trim().to_lowercase().as_str()) {
+                        mask.set(r, c, true);
+                    }
+                }
+            }
+        }
+
+        // Density module: repeated numeric sentinels at the distribution
+        // edge (999999, -1, 0 in a positive column, …).
+        for c in ctx.numeric_columns() {
+            let xs = t.numeric_values(c);
+            if xs.len() < 20 {
+                continue;
+            }
+            let q05 = descriptive::quantile(&xs, 0.05);
+            let q95 = descriptive::quantile(&xs, 0.95);
+            let iqr = descriptive::iqr(&xs).max(1e-9);
+            // Count exact repetitions.
+            let mut counts: std::collections::HashMap<u64, (f64, usize)> = Default::default();
+            for &x in &xs {
+                let e = counts.entry(x.to_bits()).or_insert((x, 0));
+                e.1 += 1;
+            }
+            let min_count = ((xs.len() as f64) * self.min_sentinel_share).ceil() as usize;
+            let sentinels: Vec<f64> = counts
+                .values()
+                .filter(|(x, n)| {
+                    *n >= min_count.max(3)
+                        && (*x < q05 - 0.5 * iqr || *x > q95 + 0.5 * iqr)
+                })
+                .map(|(x, _)| *x)
+                .collect();
+            if sentinels.is_empty() {
+                continue;
+            }
+            for r in 0..t.n_rows() {
+                if let Some(x) = t.cell(r, c).as_f64() {
+                    if sentinels.iter().any(|s| (x - s).abs() < 1e-12) {
+                        mask.set(r, c, true);
+                    }
+                }
+            }
+        }
+        mask
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rein_data::{ColumnMeta, ColumnType, Schema, Table};
+
+    #[test]
+    fn placeholder_tokens_are_caught() {
+        let schema = Schema::new(vec![ColumnMeta::new("c", ColumnType::Str)]);
+        let mut rows: Vec<Vec<Value>> =
+            (0..30).map(|i| vec![Value::str(format!("city{}", i % 5))]).collect();
+        rows[3][0] = Value::str("?");
+        rows[11][0] = Value::str("unknown");
+        rows[20][0] = Value::str("N/A");
+        let t = Table::from_rows(schema, rows);
+        let m = Fahes::default().detect(&DetectContext::bare(&t));
+        assert_eq!(m.count(), 3);
+        assert!(m.get(3, 0) && m.get(11, 0) && m.get(20, 0));
+    }
+
+    #[test]
+    fn numeric_sentinel_at_the_edge_is_caught() {
+        let schema = Schema::new(vec![ColumnMeta::new("phone_len", ColumnType::Float)]);
+        let mut rows: Vec<Vec<Value>> =
+            (0..200).map(|i| vec![Value::Float(40.0 + (i % 17) as f64)]).collect();
+        // 999999 repeated 8 times — classic disguised missing value.
+        for i in 0..8 {
+            rows[i * 21][0] = Value::Float(999999.0);
+        }
+        let t = Table::from_rows(schema, rows);
+        let m = Fahes::default().detect(&DetectContext::bare(&t));
+        assert_eq!(m.count(), 8);
+        assert!(m.get(0, 0));
+    }
+
+    #[test]
+    fn rare_extreme_values_are_not_sentinels() {
+        // A single extreme value is an outlier, not a disguised MV.
+        let schema = Schema::new(vec![ColumnMeta::new("x", ColumnType::Float)]);
+        let mut rows: Vec<Vec<Value>> =
+            (0..200).map(|i| vec![Value::Float(40.0 + (i % 17) as f64)]).collect();
+        rows[7][0] = Value::Float(99999.0);
+        let t = Table::from_rows(schema, rows);
+        let m = Fahes::default().detect(&DetectContext::bare(&t));
+        assert!(m.is_empty(), "count {}", m.count());
+    }
+
+    #[test]
+    fn frequent_central_values_are_not_sentinels() {
+        // The mode of a distribution repeats a lot but is not at the edge.
+        let schema = Schema::new(vec![ColumnMeta::new("x", ColumnType::Float)]);
+        let rows: Vec<Vec<Value>> =
+            (0..200).map(|i| vec![Value::Float(if i % 2 == 0 { 50.0 } else { 40.0 + (i % 17) as f64 })]).collect();
+        let t = Table::from_rows(schema, rows);
+        let m = Fahes::default().detect(&DetectContext::bare(&t));
+        assert!(m.is_empty(), "count {}", m.count());
+    }
+}

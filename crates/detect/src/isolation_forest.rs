@@ -1,0 +1,257 @@
+//! Isolation Forest (Liu & Zhou): outliers are rows with short average
+//! isolation-path lengths. Row anomalies are attributed to the numeric
+//! cells that deviate most within their column, giving the cell-level
+//! verdicts REIN scores.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use rein_data::rng::derive_seed;
+use rein_data::{CellMask, Table};
+
+use crate::context::{DetectContext, Detector};
+
+/// One isolation tree node.
+enum ITree {
+    Leaf { size: usize },
+    Split { feature: usize, threshold: f64, left: Box<ITree>, right: Box<ITree> },
+}
+
+/// Average unsuccessful-search path length of a BST with `n` nodes
+/// (the `c(n)` normaliser from the paper).
+fn c_factor(n: usize) -> f64 {
+    if n <= 1 {
+        return 0.0;
+    }
+    let n = n as f64;
+    2.0 * ((n - 1.0).ln() + 0.577_215_664_9) - 2.0 * (n - 1.0) / n
+}
+
+fn build_itree(
+    data: &[Vec<f64>],
+    rows: &[usize],
+    depth: usize,
+    max_depth: usize,
+    rng: &mut StdRng,
+) -> ITree {
+    if rows.len() <= 1 || depth >= max_depth {
+        return ITree::Leaf { size: rows.len() };
+    }
+    let d = data.len();
+    // Pick a feature with spread.
+    for _ in 0..4 {
+        let f = rng.random_range(0..d);
+        let lo = rows.iter().map(|&r| data[f][r]).fold(f64::INFINITY, f64::min);
+        let hi = rows.iter().map(|&r| data[f][r]).fold(f64::NEG_INFINITY, f64::max);
+        if hi > lo {
+            let threshold = rng.random_range(lo..hi);
+            let (left, right): (Vec<usize>, Vec<usize>) =
+                rows.iter().partition(|&&r| data[f][r] < threshold);
+            if left.is_empty() || right.is_empty() {
+                continue;
+            }
+            return ITree::Split {
+                feature: f,
+                threshold,
+                left: Box::new(build_itree(data, &left, depth + 1, max_depth, rng)),
+                right: Box::new(build_itree(data, &right, depth + 1, max_depth, rng)),
+            };
+        }
+    }
+    ITree::Leaf { size: rows.len() }
+}
+
+fn path_length(tree: &ITree, point: &[f64], depth: usize) -> f64 {
+    match tree {
+        ITree::Leaf { size } => depth as f64 + c_factor(*size),
+        ITree::Split { feature, threshold, left, right } => {
+            if point[*feature] < *threshold {
+                path_length(left, point, depth + 1)
+            } else {
+                path_length(right, point, depth + 1)
+            }
+        }
+    }
+}
+
+/// Isolation-forest detector.
+#[derive(Debug, Clone)]
+pub struct IsolationForest {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Sub-sample size per tree.
+    pub sample_size: usize,
+    /// Anomaly-score threshold (paper default 0.5 = "average"; higher =
+    /// stricter).
+    pub score_threshold: f64,
+}
+
+impl Default for IsolationForest {
+    fn default() -> Self {
+        Self { n_trees: 50, sample_size: 256, score_threshold: 0.6 }
+    }
+}
+
+impl IsolationForest {
+    /// Row anomaly scores in `[0, 1]` over the numeric columns of `t`
+    /// (mean-imputed where non-numeric).
+    pub fn row_scores(&self, t: &Table, numeric_cols: &[usize], seed: u64) -> Vec<f64> {
+        let n = t.n_rows();
+        if n == 0 || numeric_cols.is_empty() {
+            return vec![0.0; n];
+        }
+        // Column-major numeric view with mean imputation.
+        let data: Vec<Vec<f64>> = numeric_cols
+            .iter()
+            .map(|&c| {
+                let xs = t.numeric_values(c);
+                let mean =
+                    if xs.is_empty() { 0.0 } else { xs.iter().sum::<f64>() / xs.len() as f64 };
+                (0..n).map(|r| t.cell(r, c).as_f64().unwrap_or(mean)).collect()
+            })
+            .collect();
+
+        let sample = self.sample_size.min(n);
+        let max_depth = (sample as f64).log2().ceil() as usize + 1;
+        let mut total = vec![0.0f64; n];
+        for ti in 0..self.n_trees {
+            let mut rng = StdRng::seed_from_u64(derive_seed(seed, ti as u64));
+            let mut rows: Vec<usize> = (0..n).collect();
+            rows.shuffle(&mut rng);
+            rows.truncate(sample);
+            let tree = build_itree(&data, &rows, 0, max_depth, &mut rng);
+            let point: &mut Vec<f64> = &mut vec![0.0; data.len()];
+            for r in 0..n {
+                for (f, col) in data.iter().enumerate() {
+                    point[f] = col[r];
+                }
+                total[r] += path_length(&tree, point, 0);
+            }
+        }
+        let c = c_factor(sample).max(1e-12);
+        total
+            .into_iter()
+            .map(|sum| {
+                let avg = sum / self.n_trees as f64;
+                2f64.powf(-avg / c)
+            })
+            .collect()
+    }
+}
+
+impl Detector for IsolationForest {
+    fn name(&self) -> &'static str {
+        "isolation_forest"
+    }
+
+    fn detect(&self, ctx: &DetectContext<'_>) -> CellMask {
+        let t = ctx.dirty;
+        let numeric = ctx.numeric_columns();
+        let mut mask = CellMask::new(t.n_rows(), t.n_cols());
+        if numeric.is_empty() {
+            return mask;
+        }
+        let scores = self.row_scores(t, &numeric, ctx.seed);
+        // Per-column stats for cell attribution.
+        // Robust location/scale (median, IQR): contamination inflates the
+        // plain standard deviation and would mask the very cells the rows
+        // were flagged for.
+        let stats: Vec<(f64, f64)> = numeric
+            .iter()
+            .map(|&c| {
+                let xs = t.numeric_values(c);
+                if xs.is_empty() {
+                    return (0.0, 1.0);
+                }
+                let median = rein_stats::median(&xs);
+                let scale = (rein_stats::descriptive::iqr(&xs) / 1.349).max(1e-12);
+                (median, scale)
+            })
+            .collect();
+        for (r, &score) in scores.iter().enumerate() {
+            if score < self.score_threshold {
+                continue;
+            }
+            // Attribute the anomaly to cells ≥ 2.5σ from their column mean.
+            for (ci, &c) in numeric.iter().enumerate() {
+                if let Some(x) = t.cell(r, c).as_f64() {
+                    let (mean, std) = stats[ci];
+                    if (x - mean).abs() > 2.5 * std {
+                        mask.set(r, c, true);
+                    }
+                }
+            }
+        }
+        mask
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rein_data::{ColumnMeta, ColumnType, Schema, Value};
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![
+            ColumnMeta::new("a", ColumnType::Float),
+            ColumnMeta::new("b", ColumnType::Float),
+        ]);
+        let mut rows: Vec<Vec<Value>> = (0..200)
+            .map(|i| {
+                vec![
+                    Value::Float(5.0 + (i % 7) as f64 * 0.1),
+                    Value::Float(-3.0 + (i % 5) as f64 * 0.1),
+                ]
+            })
+            .collect();
+        rows[13][0] = Value::Float(500.0);
+        rows[77][1] = Value::Float(-400.0);
+        Table::from_rows(schema, rows)
+    }
+
+    #[test]
+    fn outlier_rows_score_higher() {
+        let t = table();
+        let iforest = IsolationForest::default();
+        let scores = iforest.row_scores(&t, &[0, 1], 1);
+        let normal_max = scores
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != 13 && *i != 77)
+            .map(|(_, s)| *s)
+            .fold(0.0, f64::max);
+        assert!(scores[13] > normal_max, "{} vs {normal_max}", scores[13]);
+        assert!(scores[77] > normal_max);
+    }
+
+    #[test]
+    fn detection_attributes_to_the_right_cells() {
+        let t = table();
+        let m = IsolationForest::default().detect(&DetectContext::bare(&t));
+        assert!(m.get(13, 0));
+        assert!(m.get(77, 1));
+        assert!(!m.get(13, 1), "unaffected cell of an outlier row stays clean");
+        assert!(m.count() <= 4, "few false positives, got {}", m.count());
+    }
+
+    #[test]
+    fn scores_are_probabilities() {
+        let t = table();
+        let scores = IsolationForest::default().row_scores(&t, &[0, 1], 3);
+        assert!(scores.iter().all(|s| (0.0..=1.0).contains(s)));
+    }
+
+    #[test]
+    fn c_factor_monotone() {
+        assert_eq!(c_factor(1), 0.0);
+        assert!(c_factor(10) < c_factor(100));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let t = table();
+        let ctx = DetectContext { seed: 9, ..DetectContext::bare(&t) };
+        let a = IsolationForest::default().detect(&ctx);
+        let b = IsolationForest::default().detect(&ctx);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,155 @@
+//! KATARA (Chu et al.): aligns columns with knowledge-base semantic types
+//! and flags cells violating the matched type. The crowdsourced KB is
+//! simulated by [`crate::context::KnowledgeBase`] (valid value domains and
+//! plausible numeric ranges); a column is *matched* to a KB domain when
+//! enough of its cells conform, and the deviating cells are reported.
+
+use rein_data::{CellMask, Value};
+
+use crate::context::{DetectContext, Detector};
+
+/// KATARA detector.
+#[derive(Debug, Clone)]
+pub struct Katara {
+    /// Minimum fraction of cells that must conform for a column to be
+    /// considered aligned with a KB type.
+    pub match_threshold: f64,
+}
+
+impl Default for Katara {
+    fn default() -> Self {
+        Self { match_threshold: 0.5 }
+    }
+}
+
+impl Detector for Katara {
+    fn name(&self) -> &'static str {
+        "katara"
+    }
+
+    fn detect(&self, ctx: &DetectContext<'_>) -> CellMask {
+        let t = ctx.dirty;
+        let mut mask = CellMask::new(t.n_rows(), t.n_cols());
+        let Some(kb) = ctx.kb else { return mask };
+
+        // Categorical domains.
+        for (col, domain) in &kb.domains {
+            if *col >= t.n_cols() || domain.is_empty() {
+                continue;
+            }
+            let mut conforming = 0usize;
+            let mut non_null = 0usize;
+            for v in t.column(*col) {
+                if v.is_null() {
+                    continue;
+                }
+                non_null += 1;
+                if domain.contains(v.as_key().as_ref()) {
+                    conforming += 1;
+                }
+            }
+            if non_null == 0 || (conforming as f64) < self.match_threshold * non_null as f64 {
+                continue; // column does not align with this KB type
+            }
+            for (r, v) in t.column(*col).iter().enumerate() {
+                if !v.is_null() && !domain.contains(v.as_key().as_ref()) {
+                    mask.set(r, *col, true);
+                }
+            }
+        }
+
+        // Numeric ranges: anything outside the plausible range, plus cells
+        // that are no longer numeric at all (KATARA's semantic-type
+        // mismatch on converted columns — the source of its false-positive
+        // behaviour the paper highlights).
+        for &(col, lo, hi) in &kb.ranges {
+            if col >= t.n_cols() {
+                continue;
+            }
+            for (r, v) in t.column(col).iter().enumerate() {
+                match v {
+                    Value::Null => {}
+                    other => match other.as_f64() {
+                        Some(x) if x >= lo && x <= hi => {}
+                        _ => mask.set(r, col, true),
+                    },
+                }
+            }
+        }
+        mask
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::KnowledgeBase;
+    use rein_data::{ColumnMeta, ColumnType, Schema, Table};
+
+    fn setup() -> (Table, KnowledgeBase) {
+        let schema = Schema::new(vec![
+            ColumnMeta::new("state", ColumnType::Str),
+            ColumnMeta::new("abv", ColumnType::Float),
+        ]);
+        let clean = Table::from_rows(
+            schema.clone(),
+            (0..50)
+                .map(|i| {
+                    vec![
+                        Value::str(["OR", "CA", "WA"][i % 3]),
+                        Value::Float(4.0 + (i % 6) as f64 * 0.5),
+                    ]
+                })
+                .collect(),
+        );
+        let kb = KnowledgeBase::from_reference(&clean);
+        (clean, kb)
+    }
+
+    #[test]
+    fn flags_out_of_domain_categoricals() {
+        let (mut t, kb) = setup();
+        t.set_cell(4, 0, Value::str("XX"));
+        let ctx = DetectContext { kb: Some(&kb), ..DetectContext::bare(&t) };
+        let m = Katara::default().detect(&ctx);
+        assert!(m.get(4, 0));
+        assert_eq!(m.count(), 1);
+    }
+
+    #[test]
+    fn flags_out_of_range_numerics_and_type_shifts() {
+        let (mut t, kb) = setup();
+        t.set_cell(7, 1, Value::Float(500.0)); // far out of range
+        t.set_cell(9, 1, Value::str("4.x")); // typo: no longer numeric
+        let ctx = DetectContext { kb: Some(&kb), ..DetectContext::bare(&t) };
+        let m = Katara::default().detect(&ctx);
+        assert!(m.get(7, 1));
+        assert!(m.get(9, 1));
+    }
+
+    #[test]
+    fn unaligned_columns_are_ignored() {
+        let (t, _) = setup();
+        // A KB whose domain matches almost nothing in the column.
+        let mut kb = KnowledgeBase::default();
+        kb.domains.push((0, ["Berlin".to_string()].into_iter().collect()));
+        let ctx = DetectContext { kb: Some(&kb), ..DetectContext::bare(&t) };
+        let m = Katara::default().detect(&ctx);
+        assert!(m.is_empty(), "no alignment -> no detections");
+    }
+
+    #[test]
+    fn no_kb_means_no_detections() {
+        let (t, _) = setup();
+        let m = Katara::default().detect(&DetectContext::bare(&t));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn nulls_are_not_domain_violations() {
+        let (mut t, kb) = setup();
+        t.set_cell(3, 0, Value::Null);
+        let ctx = DetectContext { kb: Some(&kb), ..DetectContext::bare(&t) };
+        assert!(Katara::default().detect(&ctx).is_empty());
+    }
+}

@@ -1,0 +1,111 @@
+//! NADEEF (Dallachiesa et al.): holistic rule-violation detection — FD
+//! rules, syntactic pattern rules inferred per column, and user-defined
+//! unary constraints, all evaluated under one interface.
+
+use rein_constraints::{fd, pattern};
+use rein_data::CellMask;
+
+use crate::context::{DetectContext, Detector};
+
+/// NADEEF detector.
+#[derive(Debug, Clone)]
+pub struct Nadeef {
+    /// Minimum support for a column's dominant pattern before deviations
+    /// are treated as pattern-rule violations.
+    pub pattern_support: f64,
+}
+
+impl Default for Nadeef {
+    fn default() -> Self {
+        Self { pattern_support: 0.8 }
+    }
+}
+
+impl Detector for Nadeef {
+    fn name(&self) -> &'static str {
+        "nadeef"
+    }
+
+    fn detect(&self, ctx: &DetectContext<'_>) -> CellMask {
+        let t = ctx.dirty;
+        let mut mask = CellMask::new(t.n_rows(), t.n_cols());
+
+        // FD rules.
+        mask.union_with(&fd::all_fd_violations(t, ctx.fds));
+
+        // Unary DCs provided as user-defined rules.
+        for dc in ctx.dcs.iter().filter(|dc| !dc.binary) {
+            mask.union_with(&dc.violations(t));
+        }
+
+        // Pattern rules: every column with a dominant syntactic pattern.
+        for c in 0..t.n_cols() {
+            for r in pattern::pattern_outliers(t, c, self.pattern_support) {
+                mask.set(r, c, true);
+            }
+        }
+        mask
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rein_constraints::dc::{CmpOp, DenialConstraint, Operand, Predicate};
+    use rein_constraints::fd::FunctionalDependency;
+    use rein_data::{ColumnMeta, ColumnType, Schema, Table, Value};
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![
+            ColumnMeta::new("zip", ColumnType::Str),
+            ColumnMeta::new("city", ColumnType::Str),
+            ColumnMeta::new("age", ColumnType::Int),
+        ]);
+        let mut rows: Vec<Vec<Value>> = (0..40)
+            .map(|i| {
+                vec![
+                    Value::str(["10115", "80331"][i % 2]),
+                    Value::str(["Berlin", "Munich"][i % 2]),
+                    Value::Int(20 + (i % 50) as i64),
+                ]
+            })
+            .collect();
+        rows[5][1] = Value::str("Potsdam"); // FD violation (zip 80331)
+        rows[9][0] = Value::str("1O115"); // pattern violation (letter O)
+        rows[12][2] = Value::Int(-3); // DC violation (negative age)
+        Table::from_rows(schema, rows)
+    }
+
+    #[test]
+    fn detects_all_three_rule_kinds() {
+        let t = table();
+        let fds = [FunctionalDependency::new([0], 1)];
+        let dcs = [DenialConstraint::unary(
+            "age_nonneg",
+            vec![Predicate::new(Operand::First(2), CmpOp::Lt, Operand::Const(Value::Int(0)))],
+        )];
+        let ctx = DetectContext { fds: &fds, dcs: &dcs, ..DetectContext::bare(&t) };
+        let m = Nadeef::default().detect(&ctx);
+        assert!(m.get(5, 1), "FD violation");
+        assert!(m.get(9, 0), "pattern violation");
+        assert!(m.get(12, 2), "DC violation");
+    }
+
+    #[test]
+    fn without_rules_only_patterns_fire() {
+        let t = table();
+        let m = Nadeef::default().detect(&DetectContext::bare(&t));
+        assert!(m.get(9, 0));
+        assert!(!m.get(5, 1));
+    }
+
+    #[test]
+    fn clean_table_yields_nothing() {
+        let schema = Schema::new(vec![ColumnMeta::new("a", ColumnType::Str)]);
+        let t = Table::from_rows(
+            schema,
+            (0..20).map(|i| vec![Value::str(format!("{:05}", 10000 + i))]).collect(),
+        );
+        assert!(Nadeef::default().detect(&DetectContext::bare(&t)).is_empty());
+    }
+}

@@ -1,0 +1,133 @@
+//! OpenRefine-style inconsistency detection: key-fingerprint clustering of
+//! each text column; cells spelled differently from their cluster's
+//! dominant (canonical) form are flagged — the programmatic equivalent of
+//! OpenRefine's "cluster and edit" facet.
+
+use std::collections::HashMap;
+
+use rein_data::{CellMask, Value};
+use rein_constraints::pattern::fingerprint;
+
+use crate::context::{DetectContext, Detector};
+
+/// OpenRefine detector.
+#[derive(Debug, Default, Clone)]
+pub struct OpenRefine;
+
+impl Detector for OpenRefine {
+    fn name(&self) -> &'static str {
+        "openrefine"
+    }
+
+    fn detect(&self, ctx: &DetectContext<'_>) -> CellMask {
+        let t = ctx.dirty;
+        let mut mask = CellMask::new(t.n_rows(), t.n_cols());
+        for c in ctx.categorical_columns() {
+            // fingerprint -> (spelling -> count)
+            let mut clusters: HashMap<String, HashMap<&str, usize>> = HashMap::new();
+            for v in t.column(c) {
+                if let Value::Str(s) = v {
+                    *clusters.entry(fingerprint(s)).or_default().entry(s.as_str()).or_insert(0) +=
+                        1;
+                }
+            }
+            // Canonical spelling per cluster = most frequent variant.
+            let canonical: HashMap<String, String> = clusters
+                .iter()
+                .filter(|(_, variants)| variants.len() > 1)
+                .map(|(fp, variants)| {
+                    let best = variants
+                        .iter()
+                        .max_by(|a, b| a.1.cmp(b.1).then_with(|| b.0.cmp(a.0)))
+                        .map(|(s, _)| s.to_string())
+                        .unwrap_or_default();
+                    (fp.clone(), best)
+                })
+                .collect();
+            if canonical.is_empty() {
+                continue;
+            }
+            for (r, v) in t.column(c).iter().enumerate() {
+                if let Value::Str(s) = v {
+                    if let Some(canon) = canonical.get(&fingerprint(s)) {
+                        if s != canon {
+                            mask.set(r, c, true);
+                        }
+                    }
+                }
+            }
+        }
+        mask
+    }
+}
+
+/// The canonical spelling map OpenRefine would apply — exposed for the
+/// repair stage in `rein-repair`.
+pub fn canonical_map(t: &rein_data::Table, col: usize) -> HashMap<String, String> {
+    let mut clusters: HashMap<String, HashMap<&str, usize>> = HashMap::new();
+    for v in t.column(col) {
+        if let Value::Str(s) = v {
+            *clusters.entry(fingerprint(s)).or_default().entry(s.as_str()).or_insert(0) += 1;
+        }
+    }
+    clusters
+        .into_iter()
+        .filter(|(_, variants)| variants.len() > 1)
+        .map(|(fp, variants)| {
+            let best = variants
+                .iter()
+                .max_by(|a, b| a.1.cmp(b.1).then_with(|| b.0.cmp(a.0)))
+                .map(|(s, _)| s.to_string())
+                .unwrap_or_default();
+            (fp, best)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rein_data::{ColumnMeta, ColumnType, Schema, Table};
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![ColumnMeta::new("style", ColumnType::Str)]);
+        let mut rows: Vec<Vec<Value>> =
+            (0..30).map(|_| vec![Value::str("pale ale")]).collect();
+        rows[3][0] = Value::str("Pale Ale");
+        rows[7][0] = Value::str(" pale ale");
+        rows[11][0] = Value::str("PALE ALE");
+        // A different, consistent value.
+        for row in rows.iter_mut().take(25).skip(20) {
+            row[0] = Value::str("stout");
+        }
+        Table::from_rows(schema, rows)
+    }
+
+    #[test]
+    fn variant_spellings_are_flagged() {
+        let t = table();
+        let m = OpenRefine.detect(&DetectContext::bare(&t));
+        assert!(m.get(3, 0));
+        assert!(m.get(7, 0));
+        assert!(m.get(11, 0));
+        assert_eq!(m.count(), 3, "canonical spellings stay clean");
+    }
+
+    #[test]
+    fn consistent_columns_produce_nothing() {
+        let schema = Schema::new(vec![ColumnMeta::new("c", ColumnType::Str)]);
+        let t = Table::from_rows(
+            schema,
+            (0..20).map(|i| vec![Value::str(["a", "b"][i % 2])]).collect(),
+        );
+        assert!(OpenRefine.detect(&DetectContext::bare(&t)).is_empty());
+    }
+
+    #[test]
+    fn canonical_map_picks_majority_spelling() {
+        let t = table();
+        let map = canonical_map(&t, 0);
+        assert_eq!(map.get("ale pale").map(String::as_str), Some("pale ale"));
+        assert!(!map.contains_key("stout"), "single-variant clusters excluded");
+    }
+}

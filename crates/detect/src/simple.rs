@@ -1,0 +1,180 @@
+//! The simplest non-learning detectors: explicit missing values (MVD) and
+//! the SD / IQR statistical outlier rules of §3.1.
+
+use rein_data::{CellMask, Value};
+use rein_stats::descriptive;
+
+use crate::context::{DetectContext, Detector};
+
+/// Explicit missing-value detector: flags NULL/NaN/empty cells (the paper's
+/// Pandas-based "MV Detector").
+#[derive(Debug, Default, Clone)]
+pub struct MvDetector;
+
+impl Detector for MvDetector {
+    fn name(&self) -> &'static str {
+        "mv_detector"
+    }
+
+    fn detect(&self, ctx: &DetectContext<'_>) -> CellMask {
+        let t = ctx.dirty;
+        let mut mask = CellMask::new(t.n_rows(), t.n_cols());
+        for c in 0..t.n_cols() {
+            for (r, v) in t.column(c).iter().enumerate() {
+                let empty = match v {
+                    Value::Null => true,
+                    Value::Str(s) => s.trim().is_empty(),
+                    _ => false,
+                };
+                if empty {
+                    mask.set(r, c, true);
+                }
+            }
+        }
+        mask
+    }
+}
+
+/// Standard-deviation rule: a numeric cell is an outlier when it lies more
+/// than `n_std` standard deviations from its column mean.
+#[derive(Debug, Clone)]
+pub struct SdDetector {
+    /// Threshold in standard deviations (the paper's `n` hyperparameter).
+    pub n_std: f64,
+}
+
+impl Default for SdDetector {
+    fn default() -> Self {
+        Self { n_std: 3.0 }
+    }
+}
+
+impl Detector for SdDetector {
+    fn name(&self) -> &'static str {
+        "sd"
+    }
+
+    fn detect(&self, ctx: &DetectContext<'_>) -> CellMask {
+        let t = ctx.dirty;
+        let mut mask = CellMask::new(t.n_rows(), t.n_cols());
+        for c in ctx.numeric_columns() {
+            let xs = t.numeric_values(c);
+            if xs.len() < 3 {
+                continue;
+            }
+            let mean = descriptive::mean(&xs);
+            let std = descriptive::std_dev(&xs).max(1e-12);
+            for r in 0..t.n_rows() {
+                if let Some(x) = t.cell(r, c).as_f64() {
+                    if (x - mean).abs() > self.n_std * std {
+                        mask.set(r, c, true);
+                    }
+                }
+            }
+        }
+        mask
+    }
+}
+
+/// Interquartile-range rule: outliers lie outside
+/// `[Q1 − k·IQR, Q3 + k·IQR]` (§3.1).
+#[derive(Debug, Clone)]
+pub struct IqrDetector {
+    /// The `k` multiplier (1.5 = Tukey's fences).
+    pub k: f64,
+}
+
+impl Default for IqrDetector {
+    fn default() -> Self {
+        Self { k: 1.5 }
+    }
+}
+
+impl Detector for IqrDetector {
+    fn name(&self) -> &'static str {
+        "iqr"
+    }
+
+    fn detect(&self, ctx: &DetectContext<'_>) -> CellMask {
+        let t = ctx.dirty;
+        let mut mask = CellMask::new(t.n_rows(), t.n_cols());
+        for c in ctx.numeric_columns() {
+            let xs = t.numeric_values(c);
+            if xs.len() < 4 {
+                continue;
+            }
+            let q1 = descriptive::quantile(&xs, 0.25);
+            let q3 = descriptive::quantile(&xs, 0.75);
+            let iqr = (q3 - q1).max(1e-12);
+            let (lo, hi) = (q1 - self.k * iqr, q3 + self.k * iqr);
+            for r in 0..t.n_rows() {
+                if let Some(x) = t.cell(r, c).as_f64() {
+                    if x < lo || x > hi {
+                        mask.set(r, c, true);
+                    }
+                }
+            }
+        }
+        mask
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rein_data::{ColumnMeta, ColumnType, Schema, Table};
+
+    fn table_with_outlier() -> Table {
+        let schema = Schema::new(vec![
+            ColumnMeta::new("x", ColumnType::Float),
+            ColumnMeta::new("s", ColumnType::Str),
+        ]);
+        let mut rows: Vec<Vec<Value>> = (0..50)
+            .map(|i| vec![Value::Float(10.0 + (i % 5) as f64 * 0.1), Value::str("ok")])
+            .collect();
+        rows[7][0] = Value::Float(1000.0); // outlier
+        rows[3][0] = Value::Null; // missing
+        rows[9][1] = Value::str(""); // empty string counts as missing
+        Table::from_rows(schema, rows)
+    }
+
+    #[test]
+    fn mv_detector_finds_nulls_and_empties() {
+        let t = table_with_outlier();
+        let m = MvDetector.detect(&DetectContext::bare(&t));
+        assert_eq!(m.count(), 2);
+        assert!(m.get(3, 0));
+        assert!(m.get(9, 1));
+    }
+
+    #[test]
+    fn sd_detector_flags_the_outlier_only() {
+        let t = table_with_outlier();
+        let m = SdDetector::default().detect(&DetectContext::bare(&t));
+        assert!(m.get(7, 0));
+        assert_eq!(m.count(), 1);
+    }
+
+    #[test]
+    fn iqr_detector_flags_the_outlier() {
+        let t = table_with_outlier();
+        let m = IqrDetector::default().detect(&DetectContext::bare(&t));
+        assert!(m.get(7, 0));
+    }
+
+    #[test]
+    fn thresholds_control_sensitivity() {
+        let t = table_with_outlier();
+        let strict = SdDetector { n_std: 0.5 }.detect(&DetectContext::bare(&t));
+        let lax = SdDetector { n_std: 50000.0 }.detect(&DetectContext::bare(&t));
+        assert!(strict.count() > lax.count());
+        assert!(lax.is_empty());
+    }
+
+    #[test]
+    fn string_columns_are_never_flagged_as_outliers() {
+        let t = table_with_outlier();
+        let m = SdDetector::default().detect(&DetectContext::bare(&t));
+        assert_eq!(m.count_col(1), 0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Shared plumbing for error injectors.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use rein_data::{CellMask, CellRef, Table};
+
+/// The outcome of one injection pass: the corrupted table and the mask of
+/// cells that were actually modified.
+#[derive(Debug, Clone)]
+pub struct Injection {
+    /// The corrupted table.
+    pub table: Table,
+    /// Cells changed by this pass (sized to `table`).
+    pub cells: CellMask,
+}
+
+impl Injection {
+    /// An identity injection (nothing changed).
+    pub fn unchanged(table: Table) -> Self {
+        let cells = CellMask::new(table.n_rows(), table.n_cols());
+        Self { table, cells }
+    }
+}
+
+/// Picks `rate × |candidates|` cells (rounded, at least one when the rate is
+/// positive and candidates exist) uniformly without replacement.
+pub fn pick_cells(
+    candidates: &[CellRef],
+    rate: f64,
+    rng: &mut StdRng,
+) -> Vec<CellRef> {
+    if candidates.is_empty() || rate <= 0.0 {
+        return Vec::new();
+    }
+    let k = ((candidates.len() as f64 * rate).round() as usize)
+        .clamp(1, candidates.len());
+    let mut idx: Vec<usize> = (0..candidates.len()).collect();
+    idx.shuffle(rng);
+    let mut out: Vec<CellRef> = idx[..k].iter().map(|&i| candidates[i]).collect();
+    out.sort_unstable();
+    out
+}
+
+/// All non-null cells of the listed columns.
+pub fn cells_of_columns(table: &Table, cols: &[usize]) -> Vec<CellRef> {
+    let mut out = Vec::new();
+    for &c in cols {
+        for r in 0..table.n_rows() {
+            if !table.cell(r, c).is_null() {
+                out.push(CellRef::new(r, c));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rein_data::{ColumnMeta, ColumnType, Schema, Value};
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![
+            ColumnMeta::new("a", ColumnType::Int),
+            ColumnMeta::new("b", ColumnType::Str),
+        ]);
+        Table::from_rows(
+            schema,
+            (0..10).map(|i| vec![Value::Int(i), Value::str(format!("v{i}"))]).collect(),
+        )
+    }
+
+    #[test]
+    fn pick_cells_respects_rate() {
+        let t = table();
+        let cands = cells_of_columns(&t, &[0, 1]);
+        assert_eq!(cands.len(), 20);
+        let mut rng = StdRng::seed_from_u64(1);
+        let picked = pick_cells(&cands, 0.25, &mut rng);
+        assert_eq!(picked.len(), 5);
+        // Distinct.
+        let mut d = picked.clone();
+        d.dedup();
+        assert_eq!(d.len(), 5);
+    }
+
+    #[test]
+    fn pick_cells_minimum_one() {
+        let t = table();
+        let cands = cells_of_columns(&t, &[0]);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(pick_cells(&cands, 0.001, &mut rng).len(), 1);
+        assert!(pick_cells(&cands, 0.0, &mut rng).is_empty());
+        assert!(pick_cells(&[], 0.5, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn cells_of_columns_skips_nulls() {
+        let mut t = table();
+        t.set_cell(0, 0, Value::Null);
+        assert_eq!(cells_of_columns(&t, &[0]).len(), 9);
+    }
+
+    #[test]
+    fn pick_cells_deterministic_per_seed() {
+        let t = table();
+        let cands = cells_of_columns(&t, &[0, 1]);
+        let a = pick_cells(&cands, 0.3, &mut StdRng::seed_from_u64(9));
+        let b = pick_cells(&cands, 0.3, &mut StdRng::seed_from_u64(9));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,154 @@
+//! Duplicate-record injection.
+//!
+//! Appends fuzzy copies of existing rows: each duplicate optionally mangles
+//! a few attribute values (typos / case changes) so that exact-match
+//! detection is insufficient and similarity-based matchers (ZeroER) have
+//! something to do. Injected rows are recorded both as whole-row entries in
+//! the mask and as an explicit row-pair list for entity-resolution ground
+//! truth.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use rein_data::{CellMask, Table, Value};
+
+use crate::typos;
+
+/// Result of duplicate injection: the enlarged table, the mask (injected
+/// rows fully flagged), and the ground-truth match pairs
+/// `(original_row, duplicate_row)`.
+#[derive(Debug, Clone)]
+pub struct DuplicateInjection {
+    /// Table with duplicates appended.
+    pub table: Table,
+    /// Mask sized to the enlarged table; injected rows are fully set.
+    pub cells: CellMask,
+    /// Ground-truth duplicate pairs (original index, appended index).
+    pub pairs: Vec<(usize, usize)>,
+}
+
+/// Appends `rate × n_rows` fuzzy duplicates.
+///
+/// `fuzz` is the probability that each cell of a duplicate is perturbed
+/// (typo for strings, small relative shift for numbers); `0.0` yields exact
+/// duplicates.
+pub fn inject_duplicates(table: &Table, rate: f64, fuzz: f64, seed: u64) -> DuplicateInjection {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = table.n_rows();
+    let n_dups = (n as f64 * rate).round() as usize;
+    let mut out = table.clone();
+    let mut pairs = Vec::with_capacity(n_dups);
+
+    for d in 0..n_dups {
+        let src = rng.random_range(0..n);
+        let mut row = table.row(src);
+        for v in row.iter_mut() {
+            if rng.random::<f64>() >= fuzz {
+                continue;
+            }
+            match v {
+                Value::Str(s) => {
+                    // Reuse the typo machinery for realistic string fuzz.
+                    *v = Value::Str(typos_fuzz(s, &mut rng));
+                }
+                Value::Float(x) => {
+                    *v = Value::float(*x * (1.0 + 0.001 * (rng.random::<f64>() - 0.5)));
+                }
+                _ => {}
+            }
+        }
+        out.push_row(row);
+        pairs.push((src, n + d));
+    }
+
+    let mut cells = CellMask::new(out.n_rows(), out.n_cols());
+    for r in n..out.n_rows() {
+        cells.set_row(r, true);
+    }
+    DuplicateInjection { table: out, cells, pairs }
+}
+
+fn typos_fuzz(s: &str, rng: &mut StdRng) -> String {
+    // Random case flip or typo.
+    if rng.random_bool(0.5) && !s.is_empty() {
+        let mut chars: Vec<char> = s.chars().collect();
+        let i = rng.random_range(0..chars.len());
+        chars[i] = if chars[i].is_ascii_uppercase() {
+            chars[i].to_ascii_lowercase()
+        } else {
+            chars[i].to_ascii_uppercase()
+        };
+        chars.into_iter().collect()
+    } else {
+        typos::fuzz_once(s, rng).unwrap_or_else(|| s.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rein_data::{ColumnMeta, ColumnType, Schema};
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![
+            ColumnMeta::new("name", ColumnType::Str),
+            ColumnMeta::new("x", ColumnType::Float),
+        ]);
+        Table::from_rows(
+            schema,
+            (0..40)
+                .map(|i| vec![Value::str(format!("record number {i}")), Value::Float(i as f64)])
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn duplicates_are_appended() {
+        let t = table();
+        let inj = inject_duplicates(&t, 0.25, 0.0, 3);
+        assert_eq!(inj.table.n_rows(), 50);
+        assert_eq!(inj.pairs.len(), 10);
+        // Exact duplicates equal their source rows.
+        for &(src, dup) in &inj.pairs {
+            assert_eq!(inj.table.row(src), inj.table.row(dup));
+        }
+    }
+
+    #[test]
+    fn mask_covers_exactly_the_new_rows() {
+        let t = table();
+        let inj = inject_duplicates(&t, 0.1, 0.0, 5);
+        assert_eq!(inj.cells.count(), 4 * t.n_cols());
+        assert_eq!(inj.cells.dirty_rows(), (40..44).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fuzzed_duplicates_differ_slightly() {
+        let t = table();
+        let inj = inject_duplicates(&t, 0.5, 0.9, 7);
+        let mut fuzzy = 0;
+        for &(src, dup) in &inj.pairs {
+            if inj.table.row(src) != inj.table.row(dup) {
+                fuzzy += 1;
+            }
+        }
+        assert!(fuzzy > inj.pairs.len() / 2, "most duplicates should be fuzzed");
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let t = table();
+        assert_eq!(
+            inject_duplicates(&t, 0.2, 0.5, 9).table,
+            inject_duplicates(&t, 0.2, 0.5, 9).table
+        );
+    }
+
+    #[test]
+    fn zero_rate_adds_nothing() {
+        let t = table();
+        let inj = inject_duplicates(&t, 0.0, 0.5, 1);
+        assert_eq!(inj.table.n_rows(), t.n_rows());
+        assert!(inj.pairs.is_empty());
+        assert!(inj.cells.is_empty());
+    }
+}

@@ -1,0 +1,122 @@
+//! Representation-inconsistency injection (the OpenRefine target): the same
+//! logical value appears under variant spellings — case changes, padding,
+//! punctuation, abbreviation. Clustering-based tools canonicalise these.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use rein_data::{CellMask, Table, Value};
+
+use crate::common::{pick_cells, Injection};
+
+/// Produces a variant spelling of `s` that normalises back to the same
+/// fingerprint (lowercased, alphanumeric only) — the OpenRefine clustering
+/// invariant.
+fn variant(s: &str, rng: &mut StdRng) -> String {
+    match rng.random_range(0..5u8) {
+        0 => s.to_uppercase(),
+        1 => s.to_lowercase(),
+        2 => format!(" {s}"),
+        3 => format!("{s} "),
+        _ => {
+            // Title-case each word.
+            s.split(' ')
+                .map(|w| {
+                    let mut cs = w.chars();
+                    match cs.next() {
+                        Some(f) => f.to_uppercase().chain(cs.flat_map(|c| c.to_lowercase())).collect(),
+                        None => String::new(),
+                    }
+                })
+                .collect::<Vec<String>>()
+                .join(" ")
+        }
+    }
+}
+
+/// Injects inconsistent spellings into `rate` of the string cells of `cols`.
+pub fn inject_inconsistencies(table: &Table, cols: &[usize], rate: f64, seed: u64) -> Injection {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = table.clone();
+    let mut mask = CellMask::new(table.n_rows(), table.n_cols());
+    let candidates: Vec<_> = crate::common::cells_of_columns(table, cols)
+        .into_iter()
+        .filter(|c| matches!(table.cell(c.row, c.col), Value::Str(_)))
+        .collect();
+    for cell in pick_cells(&candidates, rate, &mut rng) {
+        let original = table.cell(cell.row, cell.col).to_string();
+        // Retry a few times: some strings are fixed points of some variants
+        // (e.g. an already-lowercase word under the lowercase transform).
+        let mut changed = None;
+        for _ in 0..8 {
+            let v = variant(&original, &mut rng);
+            if v != original {
+                changed = Some(v);
+                break;
+            }
+        }
+        if let Some(v) = changed {
+            out.set_cell(cell.row, cell.col, Value::Str(v));
+            mask.set(cell.row, cell.col, true);
+        }
+    }
+    Injection { table: out, cells: mask }
+}
+
+/// Re-export of the shared OpenRefine key fingerprint (see
+/// [`rein_constraints::pattern::fingerprint`]).
+pub use rein_constraints::pattern::fingerprint;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rein_data::diff::diff_mask;
+    use rein_data::{ColumnMeta, ColumnType, Schema};
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![ColumnMeta::new("style", ColumnType::Str)]);
+        let styles = ["pale ale", "india pale ale", "stout", "porter"];
+        Table::from_rows(
+            schema,
+            (0..60).map(|i| vec![Value::str(styles[i % 4])]).collect(),
+        )
+    }
+
+    #[test]
+    fn variants_share_fingerprint_with_original() {
+        let t = table();
+        let inj = inject_inconsistencies(&t, &[0], 0.3, 5);
+        assert!(inj.cells.count() >= 15, "count = {}", inj.cells.count());
+        for c in inj.cells.iter() {
+            let orig = t.cell(c.row, c.col).to_string();
+            let var = inj.table.cell(c.row, c.col).to_string();
+            assert_ne!(orig, var);
+            assert_eq!(fingerprint(&orig), fingerprint(&var));
+        }
+        assert_eq!(diff_mask(&t, &inj.table), inj.cells);
+    }
+
+    #[test]
+    fn fingerprint_normalises() {
+        assert_eq!(fingerprint("Pale Ale"), "ale pale");
+        assert_eq!(fingerprint("  pale   ALE "), "ale pale");
+        assert_eq!(fingerprint("ale-pale"), "ale pale");
+        assert_ne!(fingerprint("stout"), fingerprint("porter"));
+    }
+
+    #[test]
+    fn numeric_cells_untouched() {
+        let schema = Schema::new(vec![ColumnMeta::new("x", ColumnType::Int)]);
+        let t = Table::from_rows(schema, (0..10).map(|i| vec![Value::Int(i)]).collect());
+        let inj = inject_inconsistencies(&t, &[0], 0.5, 1);
+        assert!(inj.cells.is_empty());
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let t = table();
+        assert_eq!(
+            inject_inconsistencies(&t, &[0], 0.2, 9).table,
+            inject_inconsistencies(&t, &[0], 0.2, 9).table
+        );
+    }
+}

@@ -1,0 +1,129 @@
+//! # rein-errors
+//!
+//! Seeded error injection — the substitute for BART [Arocena et al., VLDB
+//! 2015] and the BigDaMa `error-generator` library used by the paper to
+//! prepare its dirty datasets offline (§5). Every injector is a pure
+//! function of `(table, config, seed)` and returns the corrupted table plus
+//! the exact mask of changed cells, which doubles as detection ground truth.
+//!
+//! Supported error types (Table 4's "Errors" column): explicit/implicit/
+//! disguised missing values, outliers with a controllable *outlier degree*,
+//! keyboard typos (with numeric→string type shifts), Gaussian noise, value
+//! swaps, FD/rule violations with BART's detectability guarantee, spelling
+//! inconsistencies, fuzzy duplicates, and mislabels.
+
+pub mod common;
+pub mod compose;
+pub mod duplicates;
+pub mod inconsistencies;
+pub mod mislabels;
+pub mod missing;
+pub mod outliers;
+pub mod rules;
+pub mod swaps;
+pub mod typos;
+
+pub use common::Injection;
+pub use compose::{compose, compose_with_target_rate, DirtyDataset, ErrorSpec};
+pub use duplicates::{inject_duplicates, DuplicateInjection};
+pub use inconsistencies::inject_inconsistencies;
+pub use mislabels::inject_mislabels;
+pub use missing::{inject_disguised_missing, inject_explicit_missing, inject_implicit_missing};
+pub use outliers::{inject_gaussian_noise, inject_outliers};
+pub use rules::inject_fd_violations;
+pub use swaps::inject_value_swaps;
+pub use typos::inject_typos;
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use rein_data::{diff::diff_mask, ColumnMeta, ColumnType, Schema, Table, Value};
+
+    fn clean_table(n: usize) -> Table {
+        let schema = Schema::new(vec![
+            ColumnMeta::new("num", ColumnType::Float),
+            ColumnMeta::new("cat", ColumnType::Str),
+        ]);
+        Table::from_rows(
+            schema,
+            (0..n)
+                .map(|i| {
+                    vec![
+                        Value::Float(10.0 + (i % 13) as f64),
+                        Value::str(format!("cat{}", i % 5)),
+                    ]
+                })
+                .collect(),
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn every_injector_mask_equals_diff(
+            n in 10usize..60,
+            rate in 0.01f64..0.4,
+            seed in 0u64..1000,
+        ) {
+            let t = clean_table(n);
+            let injections = [
+                inject_explicit_missing(&t, &[0, 1], rate, seed),
+                inject_implicit_missing(&t, &[0, 1], rate, seed),
+                inject_disguised_missing(&t, &[0], rate, seed),
+                inject_outliers(&t, &[0], rate, 4.0, seed),
+                inject_gaussian_noise(&t, &[0], rate, 1.0, seed),
+                inject_typos(&t, &[1], rate, seed),
+                inject_value_swaps(&t, &[1], rate, seed),
+                inject_inconsistencies(&t, &[1], rate, seed),
+                inject_mislabels(&t, 1, rate, seed),
+            ];
+            for inj in injections {
+                prop_assert_eq!(&diff_mask(&t, &inj.table), &inj.cells);
+            }
+        }
+
+        #[test]
+        fn injection_never_exceeds_candidate_rate_bound(
+            n in 20usize..80,
+            rate in 0.01f64..0.5,
+            seed in 0u64..500,
+        ) {
+            let t = clean_table(n);
+            let inj = inject_explicit_missing(&t, &[0, 1], rate, seed);
+            let expected = ((2 * n) as f64 * rate).round() as usize;
+            prop_assert!(inj.cells.count() <= expected.max(1));
+        }
+
+        #[test]
+        fn compose_error_types_are_deduplicated(
+            seed in 0u64..200,
+        ) {
+            let t = clean_table(40);
+            let d = compose::compose(
+                &t,
+                &[
+                    compose::ErrorSpec::ExplicitMissing { cols: vec![0], rate: 0.1 },
+                    compose::ErrorSpec::ExplicitMissing { cols: vec![1], rate: 0.1 },
+                ],
+                seed,
+            );
+            prop_assert_eq!(d.error_types.len(), 1);
+        }
+
+        #[test]
+        fn duplicate_pairs_reference_valid_rows(
+            rate in 0.01f64..0.5,
+            fuzz in 0.0f64..1.0,
+            seed in 0u64..500,
+        ) {
+            let t = clean_table(30);
+            let inj = inject_duplicates(&t, rate, fuzz, seed);
+            for &(src, dup) in &inj.pairs {
+                prop_assert!(src < 30);
+                prop_assert!(dup >= 30 && dup < inj.table.n_rows());
+            }
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Mislabel (class-error) injection: flips the label of `rate` of the rows
+//! to a different class drawn from the observed label domain. This is the
+//! error type CleanLab targets and the paper's "class errors".
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use rein_data::{CellMask, Table};
+
+use crate::common::Injection;
+
+/// Flips labels in column `label_col` for `rate` of the rows.
+///
+/// Requires at least two distinct non-null label values; otherwise nothing
+/// can be flipped and the injection is the identity.
+pub fn inject_mislabels(table: &Table, label_col: usize, rate: f64, seed: u64) -> Injection {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = table.clone();
+    let mut mask = CellMask::new(table.n_rows(), table.n_cols());
+
+    let domain: Vec<_> = table.value_counts(label_col).into_iter().map(|(v, _)| v).collect();
+    if domain.len() < 2 || rate <= 0.0 {
+        return Injection::unchanged(out);
+    }
+
+    let mut rows: Vec<usize> =
+        (0..table.n_rows()).filter(|&r| !table.cell(r, label_col).is_null()).collect();
+    rows.shuffle(&mut rng);
+    let k = ((rows.len() as f64 * rate).round() as usize).clamp(1, rows.len());
+    for &r in &rows[..k] {
+        let current = table.cell(r, label_col);
+        let others: Vec<_> = domain.iter().filter(|v| *v != current).collect();
+        let new = others[rng.random_range(0..others.len())].clone();
+        out.set_cell(r, label_col, new);
+        mask.set(r, label_col, true);
+    }
+    Injection { table: out, cells: mask }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rein_data::diff::diff_mask;
+    use rein_data::{ColumnMeta, ColumnType, Schema, Value};
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![
+            ColumnMeta::new("x", ColumnType::Float),
+            ColumnMeta::new("y", ColumnType::Str).label(),
+        ]);
+        Table::from_rows(
+            schema,
+            (0..50)
+                .map(|i| {
+                    vec![
+                        Value::Float(i as f64),
+                        Value::str(if i % 2 == 0 { "pos" } else { "neg" }),
+                    ]
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn flips_land_only_on_the_label_column() {
+        let t = table();
+        let inj = inject_mislabels(&t, 1, 0.2, 3);
+        assert_eq!(inj.cells.count(), 10);
+        for c in inj.cells.iter() {
+            assert_eq!(c.col, 1);
+            assert_ne!(inj.table.cell(c.row, 1), t.cell(c.row, 1));
+        }
+        assert_eq!(diff_mask(&t, &inj.table), inj.cells);
+    }
+
+    #[test]
+    fn flipped_labels_stay_in_domain() {
+        let t = table();
+        let inj = inject_mislabels(&t, 1, 0.3, 5);
+        for c in inj.cells.iter() {
+            let v = inj.table.cell(c.row, 1).to_string();
+            assert!(v == "pos" || v == "neg");
+        }
+    }
+
+    #[test]
+    fn single_class_cannot_be_mislabeled() {
+        let schema = Schema::new(vec![ColumnMeta::new("y", ColumnType::Str).label()]);
+        let t = Table::from_rows(schema, (0..10).map(|_| vec![Value::str("only")]).collect());
+        let inj = inject_mislabels(&t, 0, 0.5, 1);
+        assert!(inj.cells.is_empty());
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let t = table();
+        assert_eq!(inject_mislabels(&t, 1, 0.2, 4).table, inject_mislabels(&t, 1, 0.2, 4).table);
+    }
+}

@@ -1,0 +1,162 @@
+//! BART-style rule-violation injection.
+//!
+//! Given an FD `lhs → rhs` that holds on the clean table, the injector
+//! corrupts RHS cells so that the FD is violated *detectably*: the corrupted
+//! row's LHS group must contain at least one other row, otherwise no
+//! rule-based detector could ever witness the violation (BART's
+//! "detectable error" guarantee).
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use rein_constraints::fd::FunctionalDependency;
+use rein_data::{CellMask, Table, Value};
+
+use crate::common::Injection;
+
+/// Injects FD violations at `rate` of the rows that belong to multi-row LHS
+/// groups. The corrupted RHS value is drawn from a *different* LHS group's
+/// RHS domain (realistic wrong-but-plausible values), falling back to a
+/// mangled string when the domain has a single value.
+pub fn inject_fd_violations(
+    table: &Table,
+    fd: &FunctionalDependency,
+    rate: f64,
+    seed: u64,
+) -> Injection {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = table.clone();
+    let mut mask = CellMask::new(table.n_rows(), table.n_cols());
+
+    // Group rows by LHS key.
+    let mut groups: std::collections::HashMap<String, Vec<usize>> = Default::default();
+    'rows: for r in 0..table.n_rows() {
+        let mut key = String::new();
+        for &c in &fd.lhs {
+            let v = table.cell(r, c);
+            if v.is_null() {
+                continue 'rows;
+            }
+            key.push_str(&v.as_key());
+            key.push('\u{1f}');
+        }
+        groups.entry(key).or_default().push(r);
+    }
+
+    // Candidate rows: members of groups with >= 2 rows (detectable).
+    let mut candidates: Vec<usize> = groups
+        .values()
+        .filter(|g| g.len() >= 2)
+        .flat_map(|g| g.iter().copied())
+        .collect();
+    candidates.sort_unstable();
+    if candidates.is_empty() || rate <= 0.0 {
+        return Injection::unchanged(out);
+    }
+
+    // Domain of RHS values for cross-group replacement.
+    let domain: Vec<Value> = table
+        .value_counts(fd.rhs)
+        .into_iter()
+        .map(|(v, _)| v)
+        .collect();
+
+    candidates.shuffle(&mut rng);
+    let k = ((candidates.len() as f64 * rate).round() as usize).clamp(1, candidates.len());
+    for &r in &candidates[..k] {
+        let current = table.cell(r, fd.rhs).clone();
+        let replacement = domain
+            .iter()
+            .filter(|v| **v != current)
+            .nth(rng.random_range(0..domain.len().max(1)).min(domain.len().saturating_sub(2)))
+            .cloned()
+            .unwrap_or_else(|| Value::str(format!("{current}_violation")));
+        out.set_cell(r, fd.rhs, replacement);
+        mask.set(r, fd.rhs, true);
+    }
+    Injection { table: out, cells: mask }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rein_constraints::fd::fd_violations;
+    use rein_data::diff::diff_mask;
+    use rein_data::{ColumnMeta, ColumnType, Schema};
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![
+            ColumnMeta::new("zip", ColumnType::Str),
+            ColumnMeta::new("city", ColumnType::Str),
+        ]);
+        let zips = ["10115", "80331", "20095"];
+        let cities = ["Berlin", "Munich", "Hamburg"];
+        Table::from_rows(
+            schema,
+            (0..60)
+                .map(|i| vec![Value::str(zips[i % 3]), Value::str(cities[i % 3])])
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn violations_are_detectable_by_the_fd() {
+        let t = table();
+        let fd = FunctionalDependency::new([0], 1);
+        let inj = inject_fd_violations(&t, &fd, 0.1, 7);
+        assert!(!inj.cells.is_empty());
+        let detected = fd_violations(&inj.table, &fd);
+        // Every injected cell is caught by the FD scan.
+        for c in inj.cells.iter() {
+            assert!(detected.get(c.row, c.col), "injected cell not detectable");
+        }
+        assert_eq!(diff_mask(&t, &inj.table), inj.cells);
+    }
+
+    #[test]
+    fn only_rhs_cells_are_corrupted() {
+        let t = table();
+        let fd = FunctionalDependency::new([0], 1);
+        let inj = inject_fd_violations(&t, &fd, 0.2, 3);
+        for c in inj.cells.iter() {
+            assert_eq!(c.col, 1);
+        }
+    }
+
+    #[test]
+    fn replacement_comes_from_domain_when_possible() {
+        let t = table();
+        let fd = FunctionalDependency::new([0], 1);
+        let inj = inject_fd_violations(&t, &fd, 0.3, 11);
+        let cities = ["Berlin", "Munich", "Hamburg"];
+        for c in inj.cells.iter() {
+            let v = inj.table.cell(c.row, c.col).to_string();
+            assert!(cities.contains(&v.as_str()), "unexpected replacement {v}");
+            assert_ne!(&v, &t.cell(c.row, c.col).to_string());
+        }
+    }
+
+    #[test]
+    fn zero_rate_is_identity() {
+        let t = table();
+        let fd = FunctionalDependency::new([0], 1);
+        let inj = inject_fd_violations(&t, &fd, 0.0, 1);
+        assert!(inj.cells.is_empty());
+        assert_eq!(inj.table, t);
+    }
+
+    #[test]
+    fn singleton_groups_are_never_corrupted() {
+        let schema = Schema::new(vec![
+            ColumnMeta::new("key", ColumnType::Int),
+            ColumnMeta::new("val", ColumnType::Str),
+        ]);
+        // Every key unique -> no detectable violation possible.
+        let t = Table::from_rows(
+            schema,
+            (0..20).map(|i| vec![Value::Int(i), Value::str(format!("v{i}"))]).collect(),
+        );
+        let fd = FunctionalDependency::new([0], 1);
+        let inj = inject_fd_violations(&t, &fd, 0.5, 1);
+        assert!(inj.cells.is_empty());
+    }
+}

@@ -1,0 +1,86 @@
+//! Value-swapping injection: pairs of cells within one attribute exchange
+//! their values (an `error-generator` error type). Both cells of a swapped
+//! pair become erroneous unless they held equal values.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use rein_data::{CellMask, Table};
+
+use crate::common::Injection;
+
+/// Swaps values between `rate × n_rows / 2` disjoint row pairs in each of
+/// `cols`. Pairs whose two values are equal are skipped (no actual error).
+pub fn inject_value_swaps(table: &Table, cols: &[usize], rate: f64, seed: u64) -> Injection {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = table.clone();
+    let mut mask = CellMask::new(table.n_rows(), table.n_cols());
+    for &col in cols {
+        let mut rows: Vec<usize> =
+            (0..table.n_rows()).filter(|&r| !table.cell(r, col).is_null()).collect();
+        rows.shuffle(&mut rng);
+        let n_pairs = ((rows.len() as f64 * rate / 2.0).round() as usize).min(rows.len() / 2);
+        for p in 0..n_pairs {
+            let (a, b) = (rows[2 * p], rows[2 * p + 1]);
+            if table.cell(a, col) == table.cell(b, col) {
+                continue;
+            }
+            let va = out.cell(a, col).clone();
+            let vb = out.cell(b, col).clone();
+            out.set_cell(a, col, vb);
+            out.set_cell(b, col, va);
+            mask.set(a, col, true);
+            mask.set(b, col, true);
+        }
+    }
+    Injection { table: out, cells: mask }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rein_data::diff::diff_mask;
+    use rein_data::{ColumnMeta, ColumnType, Schema, Value};
+
+    fn table() -> Table {
+        let schema = Schema::new(vec![ColumnMeta::new("x", ColumnType::Int)]);
+        Table::from_rows(schema, (0..30).map(|i| vec![Value::Int(i)]).collect())
+    }
+
+    #[test]
+    fn swaps_produce_pairs_of_errors() {
+        let t = table();
+        let inj = inject_value_swaps(&t, &[0], 0.4, 3);
+        assert!(inj.cells.count() >= 10);
+        assert_eq!(inj.cells.count() % 2, 0, "errors come in pairs");
+        assert_eq!(diff_mask(&t, &inj.table), inj.cells);
+    }
+
+    #[test]
+    fn multiset_of_column_values_is_preserved() {
+        let t = table();
+        let inj = inject_value_swaps(&t, &[0], 0.5, 9);
+        let mut before: Vec<i64> = t.column(0).iter().map(|v| v.as_i64().unwrap()).collect();
+        let mut after: Vec<i64> =
+            inj.table.column(0).iter().map(|v| v.as_i64().unwrap()).collect();
+        before.sort_unstable();
+        after.sort_unstable();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn equal_values_do_not_count_as_errors() {
+        let schema = Schema::new(vec![ColumnMeta::new("c", ColumnType::Str)]);
+        let t = Table::from_rows(schema, (0..20).map(|_| vec![Value::str("same")]).collect());
+        let inj = inject_value_swaps(&t, &[0], 1.0, 2);
+        assert!(inj.cells.is_empty());
+    }
+
+    #[test]
+    fn deterministic_by_seed() {
+        let t = table();
+        assert_eq!(
+            inject_value_swaps(&t, &[0], 0.3, 8).table,
+            inject_value_swaps(&t, &[0], 0.3, 8).table
+        );
+    }
+}

@@ -1,0 +1,173 @@
+//! Affinity propagation (Frey & Dueck): message passing on similarities,
+//! the cluster count emerging from the preference value.
+
+use crate::linalg::{sq_dist, Matrix};
+use crate::model::Clusterer;
+
+/// Affinity propagation clusterer.
+#[derive(Debug, Clone)]
+pub struct AffinityPropagation {
+    /// Damping factor in `[0.5, 1)`.
+    pub damping: f64,
+    /// Message-passing iterations.
+    pub max_iter: usize,
+    /// Preference (self-similarity); `None` = median of similarities.
+    pub preference: Option<f64>,
+}
+
+impl Default for AffinityPropagation {
+    fn default() -> Self {
+        Self { damping: 0.7, max_iter: 200, preference: None }
+    }
+}
+
+impl Clusterer for AffinityPropagation {
+    fn fit_predict(&mut self, x: &Matrix) -> Vec<usize> {
+        let n = x.rows();
+        if n == 0 {
+            return Vec::new();
+        }
+        if n == 1 {
+            return vec![0];
+        }
+
+        // Similarity = negative squared distance.
+        let mut s = vec![vec![0.0f64; n]; n];
+        let mut off_diag = Vec::with_capacity(n * (n - 1));
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    s[i][j] = -sq_dist(x.row(i), x.row(j));
+                    off_diag.push(s[i][j]);
+                }
+            }
+        }
+        off_diag.sort_by(|a, b| a.total_cmp(b));
+        let median = off_diag[off_diag.len() / 2];
+        let pref = self.preference.unwrap_or(median);
+        // Deterministic symmetry-breaking noise (as scikit-learn does with
+        // random noise): exactly symmetric inputs otherwise make both points
+        // of a tight pair exemplars, oscillating forever.
+        let scale = off_diag.iter().map(|v| v.abs()).fold(1e-12, f64::max);
+        for (i, row) in s.iter_mut().enumerate() {
+            for (j, v) in row.iter_mut().enumerate() {
+                let h = ((i * 31 + j * 17) % 101) as f64 / 101.0;
+                *v += scale * 1e-9 * h;
+            }
+            row[i] = pref;
+        }
+
+        let mut r = vec![vec![0.0f64; n]; n]; // responsibilities
+        let mut a = vec![vec![0.0f64; n]; n]; // availabilities
+        let damp = self.damping.clamp(0.5, 0.99);
+
+        for _ in 0..self.max_iter {
+            // Update responsibilities.
+            for i in 0..n {
+                // Two largest of a[i][k] + s[i][k].
+                let (mut max1, mut max2, mut arg1) = (f64::NEG_INFINITY, f64::NEG_INFINITY, 0usize);
+                for k in 0..n {
+                    let v = a[i][k] + s[i][k];
+                    if v > max1 {
+                        max2 = max1;
+                        max1 = v;
+                        arg1 = k;
+                    } else if v > max2 {
+                        max2 = v;
+                    }
+                }
+                for k in 0..n {
+                    let other = if k == arg1 { max2 } else { max1 };
+                    r[i][k] = damp * r[i][k] + (1.0 - damp) * (s[i][k] - other);
+                }
+            }
+            // Update availabilities.
+            for k in 0..n {
+                let col_pos_sum: f64 = (0..n).filter(|&i| i != k).map(|i| r[i][k].max(0.0)).sum();
+                for i in 0..n {
+                    if i == k {
+                        a[k][k] = damp * a[k][k] + (1.0 - damp) * col_pos_sum;
+                    } else {
+                        let v = (r[k][k] + col_pos_sum - r[i][k].max(0.0)).min(0.0);
+                        a[i][k] = damp * a[i][k] + (1.0 - damp) * v;
+                    }
+                }
+            }
+        }
+
+        // Exemplars: points where r(k,k) + a(k,k) > 0.
+        let mut exemplars: Vec<usize> =
+            (0..n).filter(|&k| r[k][k] + a[k][k] > 0.0).collect();
+        if exemplars.is_empty() {
+            // Fall back to the best-scoring point as a single exemplar.
+            let best = (0..n)
+                .max_by(|&p, &q| (r[p][p] + a[p][p]).total_cmp(&(r[q][q] + a[q][q])))
+                .unwrap_or(0);
+            exemplars.push(best);
+        }
+
+        (0..n)
+            .map(|i| {
+                // Exemplars label themselves.
+                if let Some(pos) = exemplars.iter().position(|&e| e == i) {
+                    return pos;
+                }
+                exemplars
+                    .iter()
+                    .enumerate()
+                    .max_by(|(_, &e1), (_, &e2)| s[i][e1].total_cmp(&s[i][e2]))
+                    .map_or(0, |(pos, _)| pos)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::blob_classification;
+
+    #[test]
+    fn finds_blob_structure() {
+        let (x, truth) = blob_classification(90, 3, 201);
+        let labels = AffinityPropagation::default().fit_predict(&x);
+        // AP chooses its own k; require the partition to be pure w.r.t.
+        // the true blobs (each true class maps mostly to one AP cluster).
+        let mut purity = 0usize;
+        for class in 0..3 {
+            let members: Vec<usize> = (0..truth.len()).filter(|&i| truth[i] == class).collect();
+            let mut counts = std::collections::HashMap::new();
+            for &m in &members {
+                *counts.entry(labels[m]).or_insert(0usize) += 1;
+            }
+            purity += counts.values().copied().max().unwrap_or(0);
+        }
+        assert!(purity as f64 / truth.len() as f64 > 0.85, "purity too low");
+    }
+
+    #[test]
+    fn exemplars_label_themselves_consistently() {
+        let (x, _) = blob_classification(40, 2, 211);
+        let labels = AffinityPropagation::default().fit_predict(&x);
+        // Labels are contiguous cluster ids.
+        let max = *labels.iter().max().unwrap();
+        for l in 0..=max {
+            assert!(labels.contains(&l), "label {l} unused");
+        }
+    }
+
+    #[test]
+    fn single_point() {
+        let x = Matrix::from_rows(&[vec![1.0, 2.0]]);
+        assert_eq!(AffinityPropagation::default().fit_predict(&x), vec![0]);
+    }
+
+    #[test]
+    fn two_far_points_get_two_clusters() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![0.2], vec![100.0], vec![100.2]]);
+        let labels = AffinityPropagation::default().fit_predict(&x);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[2], labels[3]);
+        assert_ne!(labels[0], labels[2]);
+    }
+}

@@ -1,0 +1,259 @@
+//! AutoML searchers — the Auto-Sklearn and TPOT substitutes (Table 2).
+//!
+//! [`AutoSelect`] mimics Auto-Sklearn's portfolio + successive-halving
+//! strategy: every model family starts on a small data fraction, the best
+//! half survives each rung, and the final survivors are compared on the
+//! full training set with a holdout. [`GeneticPipeline`] mimics TPOT: a
+//! small genetic algorithm over (model kind, hyperparameter) genomes with
+//! mutation and tournament selection.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use rein_data::rng::derive_seed;
+use rein_data::split::train_test_indices;
+
+use crate::encode::select_matrix_rows;
+use crate::linalg::Matrix;
+use crate::metrics::{accuracy, rmse};
+use crate::model::{Classifier, ClassifierKind, Regressor, RegressorKind};
+
+/// Result of an AutoML run.
+pub struct AutoMlOutcome<M: ?Sized> {
+    /// The winning trained model.
+    pub model: Box<M>,
+    /// Name of the winning family.
+    pub family: String,
+    /// Validation score of the winner (accuracy or −RMSE).
+    pub score: f64,
+    /// Leaderboard of `(family, score)` for every family evaluated.
+    pub leaderboard: Vec<(String, f64)>,
+}
+
+/// Portfolio + successive-halving model selection (Auto-Sklearn stand-in).
+pub struct AutoSelect {
+    /// Random seed controlling splits and model seeds.
+    pub seed: u64,
+    /// Successive-halving rungs (data fractions double each rung).
+    pub rungs: usize,
+}
+
+impl AutoSelect {
+    /// Builds an AutoSelect searcher.
+    pub fn new(seed: u64) -> Self {
+        Self { seed, rungs: 3 }
+    }
+
+    /// Selects and trains the best classifier for `(x, y)`.
+    pub fn fit_classifier(&self, x: &Matrix, y: &[usize], n_classes: usize) -> AutoMlOutcome<dyn Classifier> {
+        let split = train_test_indices(x.rows(), 0.25, self.seed);
+        let xtr = select_matrix_rows(x, &split.train);
+        let ytr: Vec<usize> = split.train.iter().map(|&i| y[i]).collect();
+        let xval = select_matrix_rows(x, &split.test);
+        let yval: Vec<usize> = split.test.iter().map(|&i| y[i]).collect();
+
+        let mut candidates: Vec<ClassifierKind> = ClassifierKind::ALL.to_vec();
+        let mut leaderboard = Vec::new();
+        let mut rung_fraction = 1.0 / 2f64.powi(self.rungs.saturating_sub(1) as i32);
+        for rung in 0..self.rungs {
+            let n_sub = ((xtr.rows() as f64 * rung_fraction) as usize).clamp(
+                (n_classes * 2).min(xtr.rows()),
+                xtr.rows(),
+            );
+            let sub: Vec<usize> = (0..n_sub).collect();
+            let xs = select_matrix_rows(&xtr, &sub);
+            let ys: Vec<usize> = sub.iter().map(|&i| ytr[i]).collect();
+            let mut scored: Vec<(ClassifierKind, f64)> = candidates
+                .iter()
+                .map(|&kind| {
+                    let mut model = kind.build(derive_seed(self.seed, rung as u64));
+                    model.fit(&xs, &ys, n_classes);
+                    let acc = accuracy(&yval, &model.predict(&xval));
+                    (kind, acc)
+                })
+                .collect();
+            scored.sort_by(|a, b| b.1.total_cmp(&a.1));
+            if rung == self.rungs - 1 {
+                leaderboard = scored.iter().map(|(k, s)| (k.name().to_string(), *s)).collect();
+            }
+            let keep = (scored.len() / 2).max(1);
+            candidates = scored.into_iter().take(keep).map(|(k, _)| k).collect();
+            rung_fraction = (rung_fraction * 2.0).min(1.0);
+        }
+
+        let winner = candidates[0];
+        let mut model = winner.build(self.seed);
+        model.fit(&xtr, &ytr, n_classes);
+        let score = accuracy(&yval, &model.predict(&xval));
+        // Refit on everything for deployment.
+        let mut deployed = winner.build(self.seed);
+        deployed.fit(x, y, n_classes);
+        AutoMlOutcome { model: deployed, family: winner.name().to_string(), score, leaderboard }
+    }
+
+    /// Selects and trains the best regressor for `(x, y)`.
+    pub fn fit_regressor(&self, x: &Matrix, y: &[f64]) -> AutoMlOutcome<dyn Regressor> {
+        let split = train_test_indices(x.rows(), 0.25, self.seed);
+        let xtr = select_matrix_rows(x, &split.train);
+        let ytr: Vec<f64> = split.train.iter().map(|&i| y[i]).collect();
+        let xval = select_matrix_rows(x, &split.test);
+        let yval: Vec<f64> = split.test.iter().map(|&i| y[i]).collect();
+
+        let mut candidates: Vec<RegressorKind> = RegressorKind::ALL.to_vec();
+        let mut leaderboard = Vec::new();
+        let mut rung_fraction = 1.0 / 2f64.powi(self.rungs.saturating_sub(1) as i32);
+        for rung in 0..self.rungs {
+            let n_sub =
+                ((xtr.rows() as f64 * rung_fraction) as usize).clamp(4.min(xtr.rows()), xtr.rows());
+            let sub: Vec<usize> = (0..n_sub).collect();
+            let xs = select_matrix_rows(&xtr, &sub);
+            let ys: Vec<f64> = sub.iter().map(|&i| ytr[i]).collect();
+            let mut scored: Vec<(RegressorKind, f64)> = candidates
+                .iter()
+                .map(|&kind| {
+                    let mut model = kind.build(derive_seed(self.seed, rung as u64));
+                    model.fit(&xs, &ys);
+                    let score = -rmse(&yval, &model.predict(&xval));
+                    (kind, score)
+                })
+                .collect();
+            scored.sort_by(|a, b| b.1.total_cmp(&a.1));
+            if rung == self.rungs - 1 {
+                leaderboard = scored.iter().map(|(k, s)| (k.name().to_string(), *s)).collect();
+            }
+            let keep = (scored.len() / 2).max(1);
+            candidates = scored.into_iter().take(keep).map(|(k, _)| k).collect();
+            rung_fraction = (rung_fraction * 2.0).min(1.0);
+        }
+
+        let winner = candidates[0];
+        let mut model = winner.build(self.seed);
+        model.fit(&xtr, &ytr);
+        let score = -rmse(&yval, &model.predict(&xval));
+        let mut deployed = winner.build(self.seed);
+        deployed.fit(x, y);
+        AutoMlOutcome { model: deployed, family: winner.name().to_string(), score, leaderboard }
+    }
+}
+
+/// One genome of the genetic pipeline search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Genome {
+    kind: ClassifierKind,
+    /// Seed perturbation acting as a cheap hyperparameter dimension.
+    variant: u64,
+}
+
+/// Genetic pipeline search over classifier genomes (TPOT stand-in).
+pub struct GeneticPipeline {
+    /// Random seed.
+    pub seed: u64,
+    /// Population size.
+    pub population: usize,
+    /// Generations.
+    pub generations: usize,
+}
+
+impl GeneticPipeline {
+    /// Builds a genetic searcher.
+    pub fn new(seed: u64) -> Self {
+        Self { seed, population: 8, generations: 3 }
+    }
+
+    /// Evolves classifiers for `(x, y)`; returns the winner refit on all data.
+    pub fn fit_classifier(&self, x: &Matrix, y: &[usize], n_classes: usize) -> AutoMlOutcome<dyn Classifier> {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let split = train_test_indices(x.rows(), 0.25, self.seed);
+        let xtr = select_matrix_rows(x, &split.train);
+        let ytr: Vec<usize> = split.train.iter().map(|&i| y[i]).collect();
+        let xval = select_matrix_rows(x, &split.test);
+        let yval: Vec<usize> = split.test.iter().map(|&i| y[i]).collect();
+
+        let fitness = |g: &Genome| -> f64 {
+            let mut m = g.kind.build(derive_seed(self.seed, g.variant));
+            m.fit(&xtr, &ytr, n_classes);
+            accuracy(&yval, &m.predict(&xval))
+        };
+
+        let random_genome = |rng: &mut StdRng| Genome {
+            kind: ClassifierKind::ALL[rng.random_range(0..ClassifierKind::ALL.len())],
+            variant: rng.random_range(0..1000),
+        };
+
+        let mut pop: Vec<(Genome, f64)> = (0..self.population)
+            .map(|_| {
+                let g = random_genome(&mut rng);
+                let f = fitness(&g);
+                (g, f)
+            })
+            .collect();
+
+        for _ in 0..self.generations {
+            pop.sort_by(|a, b| b.1.total_cmp(&a.1));
+            let elite = pop[0];
+            let mut next = vec![elite];
+            while next.len() < self.population {
+                // Tournament selection of a parent from the top half.
+                let parent = pop[rng.random_range(0..(pop.len() / 2).max(1))].0;
+                // Mutate: change family or variant.
+                let child = if rng.random_bool(0.5) {
+                    Genome { kind: random_genome(&mut rng).kind, ..parent }
+                } else {
+                    Genome { variant: rng.random_range(0..1000), ..parent }
+                };
+                let f = fitness(&child);
+                next.push((child, f));
+            }
+            pop = next;
+        }
+        pop.sort_by(|a, b| b.1.total_cmp(&a.1));
+        let (winner, score) = pop[0];
+        let leaderboard =
+            pop.iter().map(|(g, s)| (g.kind.name().to_string(), *s)).collect();
+        let mut deployed = winner.kind.build(derive_seed(self.seed, winner.variant));
+        deployed.fit(x, y, n_classes);
+        AutoMlOutcome { model: deployed, family: winner.kind.name().to_string(), score, leaderboard }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{blob_classification, linear_regression_data};
+
+    #[test]
+    fn auto_select_classifier_finds_strong_model() {
+        let (x, y) = blob_classification(160, 3, 241);
+        let outcome = AutoSelect::new(1).fit_classifier(&x, &y, 3);
+        assert!(outcome.score > 0.85, "score {}", outcome.score);
+        assert!(!outcome.family.is_empty());
+        assert!(!outcome.leaderboard.is_empty());
+        // The deployed model predicts sensibly.
+        let preds = outcome.model.predict(&x);
+        assert!(accuracy(&y, &preds) > 0.85);
+    }
+
+    #[test]
+    fn auto_select_regressor_finds_strong_model() {
+        let (x, y) = linear_regression_data(200, 0.1, 251);
+        let outcome = AutoSelect::new(2).fit_regressor(&x, &y);
+        assert!(outcome.score > -0.8, "score {}", outcome.score);
+        let preds = outcome.model.predict(&x);
+        assert!(rmse(&y, &preds) < 1.0);
+    }
+
+    #[test]
+    fn genetic_pipeline_improves_over_generations() {
+        let (x, y) = blob_classification(120, 2, 261);
+        let outcome = GeneticPipeline::new(3).fit_classifier(&x, &y, 2);
+        assert!(outcome.score > 0.85, "score {}", outcome.score);
+    }
+
+    #[test]
+    fn automl_is_deterministic_per_seed() {
+        let (x, y) = blob_classification(100, 2, 271);
+        let a = AutoSelect::new(5).fit_classifier(&x, &y, 2);
+        let b = AutoSelect::new(5).fit_classifier(&x, &y, 2);
+        assert_eq!(a.family, b.family);
+        assert_eq!(a.score, b.score);
+    }
+}

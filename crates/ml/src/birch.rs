@@ -1,0 +1,184 @@
+//! BIRCH: clustering-feature (CF) summarisation followed by global
+//! clustering of the CF centroids.
+//!
+//! This implements the algorithm's essence — a single pass absorbs points
+//! into CF entries under a radius threshold (splitting is unnecessary at
+//! benchmark scale because the entry list is flat), then agglomerative
+//! merging of CF centroids yields the final `k` clusters.
+
+use crate::hierarchical::Agglomerative;
+use crate::linalg::{sq_dist, Matrix};
+use crate::model::Clusterer;
+
+/// A clustering feature: count, linear sum, squared-norm sum.
+#[derive(Debug, Clone)]
+struct Cf {
+    n: f64,
+    ls: Vec<f64>,
+    ss: f64,
+}
+
+impl Cf {
+    fn new(xr: &[f64]) -> Self {
+        Self { n: 1.0, ls: xr.to_vec(), ss: xr.iter().map(|v| v * v).sum() }
+    }
+
+    fn centroid(&self) -> Vec<f64> {
+        self.ls.iter().map(|v| v / self.n).collect()
+    }
+
+    fn absorb(&mut self, xr: &[f64]) {
+        self.n += 1.0;
+        for (l, &v) in self.ls.iter_mut().zip(xr) {
+            *l += v;
+        }
+        self.ss += xr.iter().map(|v| v * v).sum::<f64>();
+    }
+
+    /// Cluster radius after hypothetically absorbing `xr`.
+    fn radius_with(&self, xr: &[f64]) -> f64 {
+        let n = self.n + 1.0;
+        let ss = self.ss + xr.iter().map(|v| v * v).sum::<f64>();
+        let mut centroid_norm = 0.0;
+        for (l, &v) in self.ls.iter().zip(xr) {
+            let c = (l + v) / n;
+            centroid_norm += c * c;
+        }
+        (ss / n - centroid_norm).max(0.0).sqrt()
+    }
+}
+
+/// BIRCH clusterer.
+#[derive(Debug, Clone)]
+pub struct Birch {
+    /// Final number of clusters.
+    pub k: usize,
+    /// CF absorption radius threshold; `None` = auto (estimated from a
+    /// sample of pairwise distances).
+    pub threshold: Option<f64>,
+}
+
+impl Birch {
+    /// Builds a BIRCH clusterer producing `k` clusters.
+    pub fn new(k: usize) -> Self {
+        Self { k: k.max(1), threshold: None }
+    }
+
+    fn auto_threshold(x: &Matrix) -> f64 {
+        let n = x.rows();
+        if n < 2 {
+            return 1.0;
+        }
+        // Median distance of a deterministic sample of pairs, scaled down so
+        // CF entries stay fine-grained.
+        let step = (n / 64).max(1);
+        let mut ds = Vec::new();
+        let mut i = 0;
+        while i + step < n {
+            ds.push(sq_dist(x.row(i), x.row(i + step)).sqrt());
+            i += step;
+        }
+        ds.sort_by(|a, b| a.total_cmp(b));
+        let median = ds.get(ds.len() / 2).copied().unwrap_or(1.0);
+        (median * 0.25).max(1e-9)
+    }
+}
+
+impl Clusterer for Birch {
+    fn fit_predict(&mut self, x: &Matrix) -> Vec<usize> {
+        let n = x.rows();
+        if n == 0 {
+            return Vec::new();
+        }
+        let threshold = self.threshold.unwrap_or_else(|| Self::auto_threshold(x));
+
+        // Phase 1: absorb points into CF entries.
+        let mut cfs: Vec<Cf> = Vec::new();
+        let mut assignment = vec![0usize; n];
+        for r in 0..n {
+            let xr = x.row(r);
+            let nearest = cfs
+                .iter()
+                .enumerate()
+                .min_by(|(_, a), (_, b)| {
+                    sq_dist(&a.centroid(), xr).total_cmp(&sq_dist(&b.centroid(), xr))
+                })
+                .map(|(i, _)| i);
+            match nearest {
+                Some(i) if cfs[i].radius_with(xr) <= threshold => {
+                    cfs[i].absorb(xr);
+                    assignment[r] = i;
+                }
+                _ => {
+                    assignment[r] = cfs.len();
+                    cfs.push(Cf::new(xr));
+                }
+            }
+        }
+
+        // Phase 2: global clustering of CF centroids.
+        let centroids: Vec<Vec<f64>> = cfs.iter().map(Cf::centroid).collect();
+        let k = self.k.min(centroids.len());
+        let cf_labels = Agglomerative::new(k).fit_predict(&Matrix::from_rows(&centroids));
+
+        assignment.iter().map(|&cf| cf_labels[cf]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::blob_classification;
+
+    #[test]
+    fn recovers_blobs() {
+        let (x, truth) = blob_classification(120, 3, 231);
+        let labels = Birch::new(3).fit_predict(&x);
+        let mut purity = 0usize;
+        for class in 0..3 {
+            let members: Vec<usize> = (0..truth.len()).filter(|&i| truth[i] == class).collect();
+            let mut counts = std::collections::HashMap::new();
+            for &m in &members {
+                *counts.entry(labels[m]).or_insert(0usize) += 1;
+            }
+            purity += counts.values().copied().max().unwrap_or(0);
+        }
+        assert!(purity as f64 / truth.len() as f64 > 0.9);
+    }
+
+    #[test]
+    fn cf_statistics_are_exact() {
+        let mut cf = Cf::new(&[1.0, 2.0]);
+        cf.absorb(&[3.0, 4.0]);
+        assert_eq!(cf.n, 2.0);
+        assert_eq!(cf.centroid(), vec![2.0, 3.0]);
+        assert_eq!(cf.ss, 1.0 + 4.0 + 9.0 + 16.0);
+    }
+
+    #[test]
+    fn summarisation_compresses() {
+        // 200 points in 2 tight blobs (σ=0.5, centres 8 apart) -> CF entries
+        // compress points but never bridge the blobs at this threshold.
+        let (x, _) = blob_classification(200, 2, 233);
+        let mut b = Birch::new(2);
+        b.threshold = Some(1.0);
+        let labels = b.fit_predict(&x);
+        assert_eq!(labels.len(), 200);
+        let mut d = labels.clone();
+        d.sort_unstable();
+        d.dedup();
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn k_clamped_to_cf_count() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![0.0], vec![0.0]]);
+        let labels = Birch::new(10).fit_predict(&x);
+        assert!(labels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(Birch::new(3).fit_predict(&Matrix::zeros(0, 2)).is_empty());
+    }
+}

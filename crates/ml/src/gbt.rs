@@ -1,0 +1,239 @@
+//! Gradient-boosted trees — the XGBoost stand-in.
+//!
+//! Regression boosts squared error; classification boosts the multinomial
+//! deviance with one regression tree per class per round (softmax of the
+//! accumulated raw scores), with shrinkage. This is the algorithmic core
+//! of XGBoost minus its second-order leaf weights and sparsity-aware
+//! splits, which do not change the benchmark's qualitative behaviour.
+
+use crate::linalg::Matrix;
+use crate::logistic::softmax_in_place;
+use crate::model::{Classifier, Regressor};
+use crate::tree::{DecisionTreeRegressor, TreeParams};
+
+/// Boosting hyperparameters.
+#[derive(Debug, Clone)]
+pub struct GbtParams {
+    /// Boosting rounds.
+    pub n_rounds: usize,
+    /// Learning rate (shrinkage).
+    pub learning_rate: f64,
+    /// Depth of each tree.
+    pub max_depth: usize,
+}
+
+impl Default for GbtParams {
+    fn default() -> Self {
+        Self { n_rounds: 60, learning_rate: 0.2, max_depth: 3 }
+    }
+}
+
+fn tree_params(p: &GbtParams, seed: u64) -> TreeParams {
+    TreeParams {
+        max_depth: p.max_depth,
+        min_samples_split: 4,
+        min_samples_leaf: 2,
+        max_features: None,
+        seed,
+    }
+}
+
+/// Gradient-boosted regressor.
+pub struct GradientBoostedRegressor {
+    params: GbtParams,
+    base: f64,
+    trees: Vec<DecisionTreeRegressor>,
+}
+
+impl GradientBoostedRegressor {
+    /// Builds an (unfitted) boosted regressor.
+    pub fn new(params: GbtParams) -> Self {
+        Self { params, base: 0.0, trees: Vec::new() }
+    }
+}
+
+impl Regressor for GradientBoostedRegressor {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) {
+        self.trees.clear();
+        let n = x.rows();
+        if n == 0 {
+            self.base = 0.0;
+            return;
+        }
+        self.base = y.iter().sum::<f64>() / n as f64;
+        let mut preds = vec![self.base; n];
+        for round in 0..self.params.n_rounds {
+            let residuals: Vec<f64> = y.iter().zip(&preds).map(|(t, p)| t - p).collect();
+            let mut tree = DecisionTreeRegressor::new(tree_params(&self.params, round as u64));
+            tree.fit(x, &residuals);
+            let update = tree.predict(x);
+            for (p, u) in preds.iter_mut().zip(&update) {
+                *p += self.params.learning_rate * u;
+            }
+            self.trees.push(tree);
+        }
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<f64> {
+        let mut out = vec![self.base; x.rows()];
+        for tree in &self.trees {
+            for (o, u) in out.iter_mut().zip(tree.predict(x)) {
+                *o += self.params.learning_rate * u;
+            }
+        }
+        out
+    }
+}
+
+/// Gradient-boosted classifier (multinomial deviance).
+pub struct GradientBoostedClassifier {
+    params: GbtParams,
+    n_classes: usize,
+    base: Vec<f64>,
+    /// `rounds × classes` trees.
+    trees: Vec<Vec<DecisionTreeRegressor>>,
+}
+
+impl GradientBoostedClassifier {
+    /// Builds an (unfitted) boosted classifier.
+    pub fn new(params: GbtParams) -> Self {
+        Self { params, n_classes: 0, base: Vec::new(), trees: Vec::new() }
+    }
+
+    fn raw_scores(&self, x: &Matrix) -> Matrix {
+        let mut scores = Matrix::zeros(x.rows(), self.n_classes);
+        for r in 0..x.rows() {
+            scores.row_mut(r).copy_from_slice(&self.base);
+        }
+        for round in &self.trees {
+            for (c, tree) in round.iter().enumerate() {
+                for (r, u) in tree.predict(x).into_iter().enumerate() {
+                    scores[(r, c)] += self.params.learning_rate * u;
+                }
+            }
+        }
+        scores
+    }
+}
+
+impl Classifier for GradientBoostedClassifier {
+    fn fit(&mut self, x: &Matrix, y: &[usize], n_classes: usize) {
+        self.n_classes = n_classes.max(2);
+        self.trees.clear();
+        let n = x.rows();
+        self.base = vec![0.0; self.n_classes];
+        if n == 0 {
+            return;
+        }
+        // Log-prior initial scores.
+        let mut counts = vec![0usize; self.n_classes];
+        for &c in y {
+            counts[c] += 1;
+        }
+        for c in 0..self.n_classes {
+            self.base[c] = ((counts[c] as f64 + 1.0) / (n as f64 + self.n_classes as f64)).ln();
+        }
+
+        let mut scores = Matrix::zeros(n, self.n_classes);
+        for r in 0..n {
+            scores.row_mut(r).copy_from_slice(&self.base);
+        }
+        for round in 0..self.params.n_rounds {
+            // Negative gradient: (one-hot − softmax).
+            let mut probs = scores.clone();
+            for r in 0..n {
+                softmax_in_place(probs.row_mut(r));
+            }
+            let mut round_trees = Vec::with_capacity(self.n_classes);
+            for c in 0..self.n_classes {
+                let residuals: Vec<f64> = (0..n)
+                    .map(|r| if y[r] == c { 1.0 } else { 0.0 } - probs[(r, c)])
+                    .collect();
+                let mut tree = DecisionTreeRegressor::new(tree_params(
+                    &self.params,
+                    (round * self.n_classes + c) as u64,
+                ));
+                tree.fit(x, &residuals);
+                for (r, u) in tree.predict(x).into_iter().enumerate() {
+                    scores[(r, c)] += self.params.learning_rate * u;
+                }
+                round_trees.push(tree);
+            }
+            self.trees.push(round_trees);
+        }
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<usize> {
+        let scores = self.raw_scores(x);
+        (0..x.rows())
+            .map(|r| crate::linalg::argmax(scores.row(r)))
+            .collect()
+    }
+
+    fn predict_proba(&self, x: &Matrix, n_classes: usize) -> Matrix {
+        let mut scores = self.raw_scores(x);
+        for r in 0..scores.rows() {
+            softmax_in_place(scores.row_mut(r));
+        }
+        debug_assert!(scores.cols() <= n_classes || scores.cols() == self.n_classes);
+        let mut out = Matrix::zeros(x.rows(), n_classes);
+        for r in 0..x.rows() {
+            let w = scores.cols().min(n_classes);
+            out.row_mut(r)[..w].copy_from_slice(&scores.row(r)[..w]);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{blob_classification, linear_regression_data, train_test_accuracy, train_test_rmse};
+
+    #[test]
+    fn regressor_fits_nonlinear_target() {
+        let (x, _) = linear_regression_data(300, 0.0, 111);
+        let y: Vec<f64> = (0..x.rows()).map(|r| (x[(r, 0)]).sin() * 2.0 + x[(r, 1)]).collect();
+        let mut m = GradientBoostedRegressor::new(GbtParams::default());
+        let err = train_test_rmse(&mut m, &x, &y);
+        assert!(err < 0.6, "rmse {err}");
+    }
+
+    #[test]
+    fn more_rounds_reduce_training_error() {
+        let (x, y) = linear_regression_data(200, 0.1, 113);
+        let mut short = GradientBoostedRegressor::new(GbtParams { n_rounds: 3, ..Default::default() });
+        let mut long = GradientBoostedRegressor::new(GbtParams { n_rounds: 60, ..Default::default() });
+        short.fit(&x, &y);
+        long.fit(&x, &y);
+        let short_err = crate::metrics::rmse(&y, &short.predict(&x));
+        let long_err = crate::metrics::rmse(&y, &long.predict(&x));
+        assert!(long_err < short_err, "long {long_err} vs short {short_err}");
+    }
+
+    #[test]
+    fn classifier_learns_blobs() {
+        let (x, y) = blob_classification(150, 3, 117);
+        let mut m = GradientBoostedClassifier::new(GbtParams { n_rounds: 20, ..Default::default() });
+        let acc = train_test_accuracy(&mut m, &x, &y, 3);
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn classifier_proba_normalised() {
+        let (x, y) = blob_classification(60, 2, 119);
+        let mut m = GradientBoostedClassifier::new(GbtParams { n_rounds: 10, ..Default::default() });
+        m.fit(&x, &y, 2);
+        let p = m.predict_proba(&x, 2);
+        for r in 0..p.rows() {
+            assert!((p.row(r).iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_fit_safe() {
+        let mut m = GradientBoostedClassifier::new(GbtParams::default());
+        m.fit(&Matrix::zeros(0, 2), &[], 2);
+        assert_eq!(m.predict(&Matrix::zeros(2, 2)).len(), 2);
+    }
+}

@@ -1,0 +1,179 @@
+//! Gaussian mixture model with diagonal covariances, fitted by EM and
+//! initialised from k-means.
+
+use crate::kmeans::KMeans;
+use crate::linalg::Matrix;
+use crate::logistic::softmax_in_place;
+use crate::model::Clusterer;
+
+/// Diagonal-covariance GMM.
+#[derive(Debug, Clone)]
+pub struct GaussianMixture {
+    /// Number of components.
+    pub k: usize,
+    /// EM iterations.
+    pub max_iter: usize,
+    seed: u64,
+    weights: Vec<f64>,
+    means: Vec<Vec<f64>>,
+    vars: Vec<Vec<f64>>,
+}
+
+impl GaussianMixture {
+    /// Builds a GMM clusterer.
+    pub fn new(k: usize, seed: u64) -> Self {
+        Self { k: k.max(1), max_iter: 50, seed, weights: Vec::new(), means: Vec::new(), vars: Vec::new() }
+    }
+
+    /// Log density of row `xr` under component `c` (up to shared constants).
+    fn log_prob(&self, xr: &[f64], c: usize) -> f64 {
+        let mut lp = self.weights[c].max(1e-12).ln();
+        for (f, &x) in xr.iter().enumerate() {
+            let var = self.vars[c][f];
+            lp += -0.5 * ((x - self.means[c][f]).powi(2) / var + var.ln());
+        }
+        lp
+    }
+
+    /// Posterior responsibilities for one sample.
+    fn responsibilities(&self, xr: &[f64]) -> Vec<f64> {
+        let mut lp: Vec<f64> = (0..self.k).map(|c| self.log_prob(xr, c)).collect();
+        softmax_in_place(&mut lp);
+        lp
+    }
+}
+
+impl Clusterer for GaussianMixture {
+    fn fit_predict(&mut self, x: &Matrix) -> Vec<usize> {
+        let n = x.rows();
+        let d = x.cols();
+        if n == 0 {
+            return Vec::new();
+        }
+        let k = self.k.min(n);
+        self.k = k;
+
+        // Init from k-means.
+        let mut km = KMeans::new(k, self.seed);
+        let init_labels = km.fit_predict(x);
+        self.means = km.centroids().to_vec();
+        self.weights = vec![1.0 / k as f64; k];
+        self.vars = vec![vec![1.0; d]; k];
+        // Initial variances from the k-means partition.
+        let mut counts = vec![0usize; k];
+        let mut sq = vec![vec![0.0; d]; k];
+        for (r, &l) in init_labels.iter().enumerate() {
+            counts[l] += 1;
+            for (s, (&v, &m)) in sq[l].iter_mut().zip(x.row(r).iter().zip(&self.means[l])) {
+                *s += (v - m).powi(2);
+            }
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                for (vv, s) in self.vars[c].iter_mut().zip(&sq[c]) {
+                    *vv = (s / counts[c] as f64).max(1e-6);
+                }
+            }
+        }
+
+        for _ in 0..self.max_iter {
+            // E step.
+            let resp: Vec<Vec<f64>> = (0..n).map(|r| self.responsibilities(x.row(r))).collect();
+            // M step.
+            let mut nk = vec![0.0; k];
+            let mut means = vec![vec![0.0; d]; k];
+            for (r, rr) in resp.iter().enumerate() {
+                for c in 0..k {
+                    nk[c] += rr[c];
+                    for (m, &v) in means[c].iter_mut().zip(x.row(r)) {
+                        *m += rr[c] * v;
+                    }
+                }
+            }
+            for c in 0..k {
+                let denom = nk[c].max(1e-12);
+                for m in &mut means[c] {
+                    *m /= denom;
+                }
+            }
+            let mut vars = vec![vec![0.0; d]; k];
+            for (r, rr) in resp.iter().enumerate() {
+                for c in 0..k {
+                    for (vv, (&v, &m)) in
+                        vars[c].iter_mut().zip(x.row(r).iter().zip(&means[c]))
+                    {
+                        *vv += rr[c] * (v - m).powi(2);
+                    }
+                }
+            }
+            let mut max_delta = 0.0f64;
+            for c in 0..k {
+                let denom = nk[c].max(1e-12);
+                for vv in &mut vars[c] {
+                    *vv = (*vv / denom).max(1e-6);
+                }
+                for (new, old) in means[c].iter().zip(&self.means[c]) {
+                    max_delta = max_delta.max((new - old).abs());
+                }
+                self.weights[c] = nk[c] / n as f64;
+            }
+            self.means = means;
+            self.vars = vars;
+            if max_delta < 1e-6 {
+                break;
+            }
+        }
+
+        (0..n)
+            .map(|r| crate::linalg::argmax(&self.responsibilities(x.row(r))))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::blob_classification;
+
+    #[test]
+    fn separates_blobs() {
+        let (x, truth) = blob_classification(150, 3, 171);
+        let mut gmm = GaussianMixture::new(3, 1);
+        let labels = gmm.fit_predict(&x);
+        let mut purity = 0usize;
+        for class in 0..3 {
+            let members: Vec<usize> = (0..truth.len()).filter(|&i| truth[i] == class).collect();
+            let mut counts = std::collections::HashMap::new();
+            for &m in &members {
+                *counts.entry(labels[m]).or_insert(0usize) += 1;
+            }
+            purity += counts.values().copied().max().unwrap_or(0);
+        }
+        assert!(purity as f64 / truth.len() as f64 > 0.9);
+    }
+
+    #[test]
+    fn mixture_weights_sum_to_one() {
+        let (x, _) = blob_classification(90, 3, 173);
+        let mut gmm = GaussianMixture::new(3, 2);
+        gmm.fit_predict(&x);
+        let s: f64 = gmm.weights.iter().sum();
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn handles_k_larger_than_n() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![5.0]]);
+        let mut gmm = GaussianMixture::new(5, 1);
+        let labels = gmm.fit_predict(&x);
+        assert_eq!(labels.len(), 2);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (x, _) = blob_classification(60, 2, 179);
+        let a = GaussianMixture::new(2, 9).fit_predict(&x);
+        let b = GaussianMixture::new(2, 9).fit_predict(&x);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,145 @@
+//! Agglomerative hierarchical clustering with average linkage
+//! (Lance–Williams update), cut at `k` clusters.
+
+use crate::linalg::{euclid, Matrix};
+use crate::model::Clusterer;
+
+/// Average-linkage agglomerative clustering.
+#[derive(Debug, Clone)]
+pub struct Agglomerative {
+    /// Number of clusters to cut the dendrogram at.
+    pub k: usize,
+}
+
+impl Agglomerative {
+    /// Builds an agglomerative clusterer.
+    pub fn new(k: usize) -> Self {
+        Self { k: k.max(1) }
+    }
+}
+
+impl Clusterer for Agglomerative {
+    fn fit_predict(&mut self, x: &Matrix) -> Vec<usize> {
+        let n = x.rows();
+        if n == 0 {
+            return Vec::new();
+        }
+        let k = self.k.min(n);
+
+        // Active cluster list with sizes; pairwise average-linkage distances.
+        let mut active: Vec<bool> = vec![true; n];
+        let mut size: Vec<f64> = vec![1.0; n];
+        let mut members: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+        // Distance matrix (upper triangle used).
+        let mut dist = vec![vec![0.0f64; n]; n];
+        for i in 0..n {
+            for j in i + 1..n {
+                let d = euclid(x.row(i), x.row(j));
+                dist[i][j] = d;
+                dist[j][i] = d;
+            }
+        }
+
+        let mut n_clusters = n;
+        while n_clusters > k {
+            // Find the closest active pair.
+            let mut best = (f64::INFINITY, 0usize, 0usize);
+            for i in 0..n {
+                if !active[i] {
+                    continue;
+                }
+                for j in i + 1..n {
+                    if active[j] && dist[i][j] < best.0 {
+                        best = (dist[i][j], i, j);
+                    }
+                }
+            }
+            let (_, a, b) = best;
+            // Merge b into a; Lance–Williams average-linkage update.
+            for m in 0..n {
+                if m != a && m != b && active[m] {
+                    let d = (size[a] * dist[a][m] + size[b] * dist[b][m]) / (size[a] + size[b]);
+                    dist[a][m] = d;
+                    dist[m][a] = d;
+                }
+            }
+            size[a] += size[b];
+            let moved = std::mem::take(&mut members[b]);
+            members[a].extend(moved);
+            active[b] = false;
+            n_clusters -= 1;
+        }
+
+        let mut labels = vec![0usize; n];
+        let mut next = 0usize;
+        for (i, act) in active.iter().enumerate() {
+            if *act {
+                for &m in &members[i] {
+                    labels[m] = next;
+                }
+                next += 1;
+            }
+        }
+        labels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::blob_classification;
+
+    #[test]
+    fn separates_blobs() {
+        let (x, truth) = blob_classification(90, 3, 181);
+        let labels = Agglomerative::new(3).fit_predict(&x);
+        let mut purity = 0usize;
+        for class in 0..3 {
+            let members: Vec<usize> = (0..truth.len()).filter(|&i| truth[i] == class).collect();
+            let mut counts = std::collections::HashMap::new();
+            for &m in &members {
+                *counts.entry(labels[m]).or_insert(0usize) += 1;
+            }
+            purity += counts.values().copied().max().unwrap_or(0);
+        }
+        assert!(purity as f64 / truth.len() as f64 > 0.9);
+    }
+
+    #[test]
+    fn produces_exactly_k_clusters() {
+        let (x, _) = blob_classification(40, 2, 191);
+        let labels = Agglomerative::new(4).fit_predict(&x);
+        let mut distinct: Vec<usize> = labels.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        assert_eq!(distinct.len(), 4);
+        assert_eq!(distinct, vec![0, 1, 2, 3], "labels are compacted");
+    }
+
+    #[test]
+    fn k_one_merges_everything() {
+        let (x, _) = blob_classification(20, 2, 193);
+        let labels = Agglomerative::new(1).fit_predict(&x);
+        assert!(labels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn k_at_least_n_keeps_singletons() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0]]);
+        let labels = Agglomerative::new(5).fit_predict(&x);
+        let mut d = labels.clone();
+        d.sort_unstable();
+        d.dedup();
+        assert_eq!(d.len(), 3);
+    }
+
+    #[test]
+    fn nearest_points_merge_first() {
+        // Two tight pairs far apart -> k=2 groups the pairs.
+        let x = Matrix::from_rows(&[vec![0.0], vec![0.1], vec![10.0], vec![10.1]]);
+        let labels = Agglomerative::new(2).fit_predict(&x);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[2], labels[3]);
+        assert_ne!(labels[0], labels[2]);
+    }
+}

@@ -1,0 +1,184 @@
+//! Lloyd's k-means with k-means++ initialisation.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use rein_data::rng::weighted_index;
+
+use crate::linalg::{sq_dist, Matrix};
+use crate::model::Clusterer;
+
+/// k-means clusterer.
+#[derive(Debug, Clone)]
+pub struct KMeans {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iter: usize,
+    seed: u64,
+    centroids: Vec<Vec<f64>>,
+}
+
+impl KMeans {
+    /// Builds a k-means clusterer.
+    pub fn new(k: usize, seed: u64) -> Self {
+        Self { k: k.max(1), max_iter: 100, seed, centroids: Vec::new() }
+    }
+
+    /// Fitted centroids (empty before fit).
+    pub fn centroids(&self) -> &[Vec<f64>] {
+        &self.centroids
+    }
+
+    /// k-means++ seeding.
+    fn init_centroids(&self, x: &Matrix, rng: &mut StdRng) -> Vec<Vec<f64>> {
+        let n = x.rows();
+        let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(self.k);
+        centroids.push(x.row(rng.random_range(0..n)).to_vec());
+        while centroids.len() < self.k.min(n) {
+            let weights: Vec<f64> = (0..n)
+                .map(|r| {
+                    centroids
+                        .iter()
+                        .map(|c| sq_dist(x.row(r), c))
+                        .fold(f64::INFINITY, f64::min)
+                })
+                .collect();
+            let next = weighted_index(rng, &weights);
+            centroids.push(x.row(next).to_vec());
+        }
+        centroids
+    }
+
+    /// Assigns each row to its nearest centroid.
+    pub fn assign(&self, x: &Matrix) -> Vec<usize> {
+        (0..x.rows())
+            .map(|r| {
+                self.centroids
+                    .iter()
+                    .enumerate()
+                    .min_by(|(_, a), (_, b)| {
+                        sq_dist(x.row(r), a).total_cmp(&sq_dist(x.row(r), b))
+                    })
+                    .map_or(0, |(i, _)| i)
+            })
+            .collect()
+    }
+
+    /// Total within-cluster sum of squares (inertia) of an assignment.
+    pub fn inertia(&self, x: &Matrix, labels: &[usize]) -> f64 {
+        labels
+            .iter()
+            .enumerate()
+            .map(|(r, &l)| sq_dist(x.row(r), &self.centroids[l]))
+            .sum()
+    }
+}
+
+impl Clusterer for KMeans {
+    fn fit_predict(&mut self, x: &Matrix) -> Vec<usize> {
+        let n = x.rows();
+        if n == 0 {
+            self.centroids.clear();
+            return Vec::new();
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        self.centroids = self.init_centroids(x, &mut rng);
+        let mut labels = vec![0usize; n];
+        for _ in 0..self.max_iter {
+            let new_labels = self.assign(x);
+            // Update centroids.
+            let d = x.cols();
+            let mut sums = vec![vec![0.0; d]; self.centroids.len()];
+            let mut counts = vec![0usize; self.centroids.len()];
+            for (r, &l) in new_labels.iter().enumerate() {
+                counts[l] += 1;
+                for (s, &v) in sums[l].iter_mut().zip(x.row(r)) {
+                    *s += v;
+                }
+            }
+            for (c, (sum, &count)) in
+                self.centroids.iter_mut().zip(sums.iter().zip(&counts))
+            {
+                if count > 0 {
+                    for (cv, &sv) in c.iter_mut().zip(sum) {
+                        *cv = sv / count as f64;
+                    }
+                }
+            }
+            let converged = new_labels == labels;
+            labels = new_labels;
+            if converged {
+                break;
+            }
+        }
+        labels
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::blob_classification;
+
+    #[test]
+    fn recovers_separated_blobs() {
+        let (x, truth) = blob_classification(150, 3, 151);
+        let mut km = KMeans::new(3, 1);
+        let labels = km.fit_predict(&x);
+        // Cluster ids are arbitrary: check that each true class maps to one
+        // dominant cluster (purity > 0.9).
+        let mut purity = 0usize;
+        for class in 0..3 {
+            let members: Vec<usize> =
+                (0..truth.len()).filter(|&i| truth[i] == class).collect();
+            let mut counts = std::collections::HashMap::new();
+            for &m in &members {
+                *counts.entry(labels[m]).or_insert(0usize) += 1;
+            }
+            purity += counts.values().copied().max().unwrap_or(0);
+        }
+        assert!(purity as f64 / truth.len() as f64 > 0.9);
+    }
+
+    #[test]
+    fn labels_are_in_range() {
+        let (x, _) = blob_classification(60, 2, 157);
+        let mut km = KMeans::new(4, 2);
+        let labels = km.fit_predict(&x);
+        assert!(labels.iter().all(|&l| l < 4));
+        assert_eq!(labels.len(), 60);
+    }
+
+    #[test]
+    fn inertia_decreases_with_more_clusters() {
+        let (x, _) = blob_classification(120, 3, 163);
+        let mut k2 = KMeans::new(2, 3);
+        let l2 = k2.fit_predict(&x);
+        let mut k5 = KMeans::new(5, 3);
+        let l5 = k5.fit_predict(&x);
+        assert!(k5.inertia(&x, &l5) < k2.inertia(&x, &l2));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (x, _) = blob_classification(80, 2, 167);
+        let a = KMeans::new(3, 5).fit_predict(&x);
+        let b = KMeans::new(3, 5).fit_predict(&x);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn k_exceeding_points_is_clamped() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0]]);
+        let mut km = KMeans::new(10, 1);
+        let labels = km.fit_predict(&x);
+        assert_eq!(labels.len(), 2);
+        assert!(km.centroids().len() <= 2);
+    }
+
+    #[test]
+    fn empty_input() {
+        let mut km = KMeans::new(3, 1);
+        assert!(km.fit_predict(&Matrix::zeros(0, 2)).is_empty());
+    }
+}

@@ -1,0 +1,175 @@
+//! k-nearest-neighbour classification and regression (brute force with a
+//! partial selection of the k smallest distances).
+
+use crate::linalg::{sq_dist, Matrix};
+use crate::model::{Classifier, Regressor};
+
+/// Indices of the `k` nearest training rows to `query`.
+fn k_nearest(train: &Matrix, query: &[f64], k: usize) -> Vec<usize> {
+    let mut dists: Vec<(f64, usize)> =
+        (0..train.rows()).map(|r| (sq_dist(train.row(r), query), r)).collect();
+    let k = k.min(dists.len());
+    if k == 0 {
+        return Vec::new();
+    }
+    dists.select_nth_unstable_by(k - 1, |a, b| a.0.total_cmp(&b.0));
+    let mut nearest: Vec<(f64, usize)> = dists[..k].to_vec();
+    nearest.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+    nearest.into_iter().map(|(_, r)| r).collect()
+}
+
+/// k-NN classifier (majority vote; ties broken by the nearer neighbour).
+#[derive(Debug, Clone)]
+pub struct KnnClassifier {
+    /// Neighbour count.
+    pub k: usize,
+    x: Option<Matrix>,
+    y: Vec<usize>,
+    n_classes: usize,
+}
+
+impl KnnClassifier {
+    /// Builds a k-NN classifier.
+    pub fn new(k: usize) -> Self {
+        Self { k: k.max(1), x: None, y: Vec::new(), n_classes: 0 }
+    }
+}
+
+impl Classifier for KnnClassifier {
+    fn fit(&mut self, x: &Matrix, y: &[usize], n_classes: usize) {
+        self.x = Some(x.clone());
+        self.y = y.to_vec();
+        self.n_classes = n_classes.max(1);
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<usize> {
+        let Some(train) = &self.x else { return vec![0; x.rows()] };
+        if train.rows() == 0 {
+            return vec![0; x.rows()];
+        }
+        (0..x.rows())
+            .map(|r| {
+                let nn = k_nearest(train, x.row(r), self.k);
+                let mut votes = vec![0usize; self.n_classes];
+                for &i in &nn {
+                    votes[self.y[i]] += 1;
+                }
+                // Break ties toward the class of the nearest neighbour.
+                let max = votes.iter().copied().max().unwrap_or(0);
+                nn.iter()
+                    .map(|&i| self.y[i])
+                    .find(|&c| votes[c] == max)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+
+    fn predict_proba(&self, x: &Matrix, n_classes: usize) -> Matrix {
+        let mut out = Matrix::zeros(x.rows(), n_classes);
+        let Some(train) = &self.x else { return out };
+        if train.rows() == 0 {
+            return out;
+        }
+        for r in 0..x.rows() {
+            let nn = k_nearest(train, x.row(r), self.k);
+            let w = 1.0 / nn.len().max(1) as f64;
+            for &i in &nn {
+                if self.y[i] < n_classes {
+                    out[(r, self.y[i])] += w;
+                }
+            }
+        }
+        out
+    }
+}
+
+/// k-NN regressor (mean of neighbour targets).
+#[derive(Debug, Clone)]
+pub struct KnnRegressor {
+    /// Neighbour count.
+    pub k: usize,
+    x: Option<Matrix>,
+    y: Vec<f64>,
+}
+
+impl KnnRegressor {
+    /// Builds a k-NN regressor.
+    pub fn new(k: usize) -> Self {
+        Self { k: k.max(1), x: None, y: Vec::new() }
+    }
+}
+
+impl Regressor for KnnRegressor {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) {
+        self.x = Some(x.clone());
+        self.y = y.to_vec();
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<f64> {
+        let Some(train) = &self.x else { return vec![0.0; x.rows()] };
+        if train.rows() == 0 {
+            return vec![0.0; x.rows()];
+        }
+        (0..x.rows())
+            .map(|r| {
+                let nn = k_nearest(train, x.row(r), self.k);
+                nn.iter().map(|&i| self.y[i]).sum::<f64>() / nn.len().max(1) as f64
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{blob_classification, linear_regression_data, train_test_accuracy, train_test_rmse};
+
+    #[test]
+    fn knn_classifier_learns_blobs() {
+        let (x, y) = blob_classification(150, 3, 81);
+        let mut m = KnnClassifier::new(5);
+        let acc = train_test_accuracy(&mut m, &x, &y, 3);
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn k1_memorises_training_data() {
+        let (x, y) = blob_classification(60, 3, 83);
+        let mut m = KnnClassifier::new(1);
+        m.fit(&x, &y, 3);
+        assert_eq!(m.predict(&x), y);
+    }
+
+    #[test]
+    fn knn_regressor_interpolates() {
+        let (x, y) = linear_regression_data(300, 0.05, 87);
+        let mut m = KnnRegressor::new(5);
+        let err = train_test_rmse(&mut m, &x, &y);
+        assert!(err < 1.2, "rmse {err}");
+    }
+
+    #[test]
+    fn proba_counts_neighbours() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![0.1], vec![10.0]]);
+        let mut m = KnnClassifier::new(3);
+        m.fit(&x, &[0, 0, 1], 2);
+        let p = m.predict_proba(&Matrix::from_rows(&[vec![0.05]]), 2);
+        assert!((p[(0, 0)] - 2.0 / 3.0).abs() < 1e-12);
+        assert!((p[(0, 1)] - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_larger_than_dataset_is_clamped() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0]]);
+        let mut m = KnnRegressor::new(10);
+        m.fit(&x, &[2.0, 4.0]);
+        let p = m.predict(&Matrix::from_rows(&[vec![0.5]]));
+        assert!((p[0] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unfitted_predicts_default() {
+        let m = KnnClassifier::new(3);
+        assert_eq!(m.predict(&Matrix::zeros(2, 1)), vec![0, 0]);
+    }
+}

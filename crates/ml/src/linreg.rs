@@ -1,0 +1,285 @@
+//! Linear regression family: OLS, Bayesian ridge (evidence maximisation),
+//! and RANSAC robust regression.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use crate::linalg::{dot, solve_spd, Matrix};
+use crate::model::Regressor;
+use crate::ridge::RidgeRegressor;
+
+/// Ordinary least squares (implemented as ridge with a vanishing penalty,
+/// which also regularises rank-deficient designs gracefully).
+#[derive(Debug, Clone)]
+pub struct LinearRegression {
+    inner: RidgeRegressor,
+}
+
+impl Default for LinearRegression {
+    fn default() -> Self {
+        Self { inner: RidgeRegressor::new(1e-8) }
+    }
+}
+
+impl LinearRegression {
+    /// Fitted coefficients.
+    pub fn coefficients(&self) -> &[f64] {
+        self.inner.coefficients()
+    }
+
+    /// Fitted intercept.
+    pub fn intercept(&self) -> f64 {
+        self.inner.intercept()
+    }
+}
+
+impl Regressor for LinearRegression {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) {
+        self.inner.fit(x, y);
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<f64> {
+        self.inner.predict(x)
+    }
+}
+
+/// Bayesian ridge regression via MacKay's evidence (type-II ML) iterations:
+/// precision hyperparameters `alpha` (noise) and `lambda` (weights) are
+/// re-estimated from the data, as in scikit-learn's `BayesianRidge`.
+#[derive(Debug, Clone)]
+pub struct BayesianRidge {
+    /// Maximum evidence iterations.
+    pub max_iter: usize,
+    weights: Vec<f64>,
+    bias: f64,
+    /// Final weight-precision λ.
+    pub lambda: f64,
+    /// Final noise-precision α.
+    pub alpha: f64,
+}
+
+impl Default for BayesianRidge {
+    fn default() -> Self {
+        Self { max_iter: 30, weights: Vec::new(), bias: 0.0, lambda: 1.0, alpha: 1.0 }
+    }
+}
+
+impl Regressor for BayesianRidge {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) {
+        let n = x.rows();
+        let d = x.cols();
+        if n == 0 || d == 0 {
+            self.weights = vec![0.0; d];
+            self.bias = if y.is_empty() { 0.0 } else { y.iter().sum::<f64>() / y.len() as f64 };
+            return;
+        }
+        // Centre for an unpenalised intercept.
+        let mut x_mean = vec![0.0; d];
+        for r in 0..n {
+            for (m, &v) in x_mean.iter_mut().zip(x.row(r)) {
+                *m += v;
+            }
+        }
+        for m in &mut x_mean {
+            *m /= n as f64;
+        }
+        let y_mean = y.iter().sum::<f64>() / n as f64;
+        let mut xc = Matrix::zeros(n, d);
+        for r in 0..n {
+            for c in 0..d {
+                xc[(r, c)] = x[(r, c)] - x_mean[c];
+            }
+        }
+        let yc: Vec<f64> = y.iter().map(|v| v - y_mean).collect();
+
+        let gram = xc.gram();
+        let rhs = xc.t_vec(&yc);
+        let mut alpha = 1.0f64; // noise precision
+        let mut lambda = 1.0f64; // weight precision
+        let mut w = vec![0.0; d];
+        for _ in 0..self.max_iter {
+            let mut a = gram.clone();
+            let ratio = lambda / alpha;
+            for i in 0..d {
+                a[(i, i)] += ratio;
+            }
+            w = solve_spd(&a, &rhs).unwrap_or(w);
+            // Effective number of parameters γ = Σ λᵢ/(λᵢ+ratio); approximate
+            // with the trace identity γ = d - ratio · tr(A⁻¹) ≈ via diagonal.
+            let w_norm: f64 = w.iter().map(|v| v * v).sum();
+            let residual: f64 = (0..n)
+                .map(|r| {
+                    let p = dot(xc.row(r), &w);
+                    (yc[r] - p).powi(2)
+                })
+                .sum();
+            let gamma = (d as f64) - ratio * (0..d).map(|i| 1.0 / a[(i, i)]).sum::<f64>();
+            let gamma = gamma.clamp(1e-6, d as f64);
+            let new_lambda = gamma / w_norm.max(1e-12);
+            let new_alpha = (n as f64 - gamma).max(1e-6) / residual.max(1e-12);
+            let converged =
+                (new_lambda - lambda).abs() < 1e-6 * lambda && (new_alpha - alpha).abs() < 1e-6 * alpha;
+            lambda = new_lambda.clamp(1e-9, 1e9);
+            alpha = new_alpha.clamp(1e-9, 1e9);
+            if converged {
+                break;
+            }
+        }
+        self.lambda = lambda;
+        self.alpha = alpha;
+        self.bias = y_mean - w.iter().zip(&x_mean).map(|(a, b)| a * b).sum::<f64>();
+        self.weights = w;
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<f64> {
+        (0..x.rows()).map(|r| self.bias + dot(x.row(r), &self.weights)).collect()
+    }
+}
+
+/// RANSAC parameters.
+#[derive(Debug, Clone)]
+pub struct RansacParams {
+    /// Number of random minimal-sample trials.
+    pub n_trials: usize,
+    /// Minimum samples per trial (≥ n_features + 1 recommended).
+    pub min_samples: usize,
+    /// Inlier threshold as a multiple of the MAD of residuals.
+    pub residual_scale: f64,
+}
+
+impl Default for RansacParams {
+    fn default() -> Self {
+        Self { n_trials: 40, min_samples: 8, residual_scale: 2.5 }
+    }
+}
+
+/// RANSAC robust linear regression: repeatedly fits on random minimal
+/// subsets, keeps the consensus set with the most inliers, and refits on
+/// the best consensus.
+#[derive(Debug, Clone)]
+pub struct Ransac {
+    params: RansacParams,
+    seed: u64,
+    model: LinearRegression,
+}
+
+impl Ransac {
+    /// Builds a RANSAC estimator.
+    pub fn new(params: RansacParams, seed: u64) -> Self {
+        Self { params, seed, model: LinearRegression::default() }
+    }
+}
+
+impl Regressor for Ransac {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) {
+        let n = x.rows();
+        if n == 0 {
+            self.model.fit(x, y);
+            return;
+        }
+        let min_s = self.params.min_samples.clamp(2, n);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+
+        // Inlier threshold from the target's own MAD (scikit-learn's RANSAC
+        // default) — deriving it from a full fit would let gross outliers
+        // inflate the threshold through the contaminated fit itself.
+        let mut sorted_y: Vec<f64> = y.to_vec();
+        sorted_y.sort_by(|a, b| a.total_cmp(b));
+        let median_y = sorted_y[sorted_y.len() / 2];
+        let mut abs_dev: Vec<f64> = y.iter().map(|v| (v - median_y).abs()).collect();
+        abs_dev.sort_by(|a, b| a.total_cmp(b));
+        let mad = abs_dev[abs_dev.len() / 2].max(1e-9);
+        let threshold = self.params.residual_scale / 2.5 * mad;
+
+        let mut best_inliers: Vec<usize> = (0..n).collect();
+        let mut best_count = 0usize;
+        let mut idx: Vec<usize> = (0..n).collect();
+        for _ in 0..self.params.n_trials {
+            idx.shuffle(&mut rng);
+            let sample = &idx[..min_s];
+            let xs = crate::encode::select_matrix_rows(x, sample);
+            let ys: Vec<f64> = sample.iter().map(|&i| y[i]).collect();
+            let mut m = LinearRegression::default();
+            m.fit(&xs, &ys);
+            let p = m.predict(x);
+            let inliers: Vec<usize> =
+                (0..n).filter(|&i| (y[i] - p[i]).abs() <= threshold).collect();
+            if inliers.len() > best_count {
+                best_count = inliers.len();
+                best_inliers = inliers;
+            }
+        }
+        let xs = crate::encode::select_matrix_rows(x, &best_inliers);
+        let ys: Vec<f64> = best_inliers.iter().map(|&i| y[i]).collect();
+        self.model.fit(&xs, &ys);
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<f64> {
+        self.model.predict(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{linear_regression_data, train_test_rmse};
+
+    #[test]
+    fn ols_recovers_coefficients() {
+        let (x, y) = linear_regression_data(150, 0.01, 4);
+        let mut m = LinearRegression::default();
+        m.fit(&x, &y);
+        assert!((m.coefficients()[0] - 3.0).abs() < 0.05);
+        assert!((m.coefficients()[1] + 2.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn bayes_ridge_matches_ols_on_clean_data() {
+        let (x, y) = linear_regression_data(200, 0.1, 5);
+        let mut m = BayesianRidge::default();
+        let err = train_test_rmse(&mut m, &x, &y);
+        assert!(err < 0.3, "rmse {err}");
+        assert!(m.lambda > 0.0 && m.alpha > 0.0);
+    }
+
+    #[test]
+    fn bayes_ridge_noise_precision_tracks_noise() {
+        let (x1, y1) = linear_regression_data(200, 0.1, 6);
+        let (x2, y2) = linear_regression_data(200, 2.0, 6);
+        let mut low = BayesianRidge::default();
+        let mut high = BayesianRidge::default();
+        low.fit(&x1, &y1);
+        high.fit(&x2, &y2);
+        // α ≈ 1/σ²: noisier data → lower precision.
+        assert!(low.alpha > high.alpha);
+    }
+
+    #[test]
+    fn ransac_ignores_gross_outliers() {
+        let (x, mut y) = linear_regression_data(120, 0.05, 7);
+        // Corrupt 20% of targets badly.
+        for i in 0..24 {
+            y[i * 5] += 500.0;
+        }
+        let mut robust = Ransac::new(RansacParams::default(), 1);
+        robust.fit(&x, &y);
+        let mut plain = LinearRegression::default();
+        plain.fit(&x, &y);
+        // Evaluate against the *true* function on fresh clean data.
+        let (xt, yt) = linear_regression_data(100, 0.0, 8);
+        let robust_rmse = crate::metrics::rmse(&yt, &robust.predict(&xt));
+        let plain_rmse = crate::metrics::rmse(&yt, &plain.predict(&xt));
+        assert!(robust_rmse < plain_rmse / 4.0, "robust {robust_rmse} vs plain {plain_rmse}");
+        assert!(robust_rmse < 1.0);
+    }
+
+    #[test]
+    fn ransac_on_tiny_input() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0]]);
+        let y = [0.0, 1.0, 2.0];
+        let mut m = Ransac::new(RansacParams::default(), 3);
+        m.fit(&x, &y);
+        let p = m.predict(&x);
+        assert!((p[1] - 1.0).abs() < 0.2);
+    }
+}

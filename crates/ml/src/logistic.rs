@@ -1,0 +1,170 @@
+//! Multinomial logistic regression trained by full-batch gradient descent
+//! with L2 regularisation.
+
+use crate::linalg::Matrix;
+use crate::model::Classifier;
+
+/// Softmax of a logit row, written in place (numerically stabilised).
+pub(crate) fn softmax_in_place(row: &mut [f64]) {
+    let max = row.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mut sum = 0.0;
+    for v in row.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    if sum > 0.0 {
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+}
+
+/// Multinomial logistic regression.
+#[derive(Debug, Clone)]
+pub struct LogisticRegression {
+    /// Learning rate.
+    pub lr: f64,
+    /// L2 regularisation strength.
+    pub l2: f64,
+    /// Gradient-descent epochs.
+    pub epochs: usize,
+    weights: Matrix, // (n_features + 1) × n_classes, last row = bias
+    n_classes: usize,
+}
+
+impl Default for LogisticRegression {
+    fn default() -> Self {
+        Self { lr: 0.5, l2: 1e-4, epochs: 200, weights: Matrix::zeros(0, 0), n_classes: 0 }
+    }
+}
+
+impl LogisticRegression {
+    /// Builds with explicit hyperparameters.
+    pub fn new(lr: f64, l2: f64, epochs: usize) -> Self {
+        Self { lr, l2, epochs, ..Default::default() }
+    }
+
+    fn logits(&self, x: &Matrix) -> Matrix {
+        let d = self.weights.rows() - 1;
+        let mut out = Matrix::zeros(x.rows(), self.n_classes);
+        for r in 0..x.rows() {
+            let xr = x.row(r);
+            for c in 0..self.n_classes {
+                let mut z = self.weights[(d, c)]; // bias
+                for (f, &xv) in xr.iter().enumerate() {
+                    z += xv * self.weights[(f, c)];
+                }
+                out[(r, c)] = z;
+            }
+        }
+        out
+    }
+}
+
+impl Classifier for LogisticRegression {
+    fn fit(&mut self, x: &Matrix, y: &[usize], n_classes: usize) {
+        assert_eq!(x.rows(), y.len());
+        self.n_classes = n_classes.max(1);
+        let n = x.rows().max(1);
+        let d = x.cols();
+        self.weights = Matrix::zeros(d + 1, self.n_classes);
+        if x.rows() == 0 {
+            return;
+        }
+        let lr = self.lr;
+        for _ in 0..self.epochs {
+            // Gradient of mean cross-entropy.
+            let mut probs = self.logits(x);
+            for r in 0..probs.rows() {
+                softmax_in_place(probs.row_mut(r));
+            }
+            let mut grad = Matrix::zeros(d + 1, self.n_classes);
+            for r in 0..x.rows() {
+                let xr = x.row(r);
+                for c in 0..self.n_classes {
+                    let err = probs[(r, c)] - if y[r] == c { 1.0 } else { 0.0 };
+                    if err == 0.0 {
+                        continue;
+                    }
+                    for (f, &xv) in xr.iter().enumerate() {
+                        grad[(f, c)] += err * xv;
+                    }
+                    grad[(d, c)] += err;
+                }
+            }
+            let scale = lr / n as f64;
+            for f in 0..=d {
+                for c in 0..self.n_classes {
+                    let reg = if f < d { self.l2 * self.weights[(f, c)] } else { 0.0 };
+                    self.weights[(f, c)] -= scale * grad[(f, c)] + lr * reg;
+                }
+            }
+        }
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<usize> {
+        let logits = self.logits(x);
+        (0..x.rows())
+            .map(|r| crate::linalg::argmax(logits.row(r)))
+            .collect()
+    }
+
+    fn predict_proba(&self, x: &Matrix, n_classes: usize) -> Matrix {
+        let mut p = self.logits(x);
+        for r in 0..p.rows() {
+            softmax_in_place(p.row_mut(r));
+        }
+        debug_assert_eq!(p.cols(), n_classes);
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{blob_classification, train_test_accuracy};
+
+    #[test]
+    fn separable_blobs_are_learned() {
+        let (x, y) = blob_classification(120, 3, 1);
+        let mut m = LogisticRegression::default();
+        let acc = train_test_accuracy(&mut m, &x, &y, 3);
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn binary_problem() {
+        let (x, y) = blob_classification(80, 2, 7);
+        let mut m = LogisticRegression::default();
+        let acc = train_test_accuracy(&mut m, &x, &y, 2);
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn probabilities_sum_to_one() {
+        let (x, y) = blob_classification(60, 3, 2);
+        let mut m = LogisticRegression::default();
+        m.fit(&x, &y, 3);
+        let p = m.predict_proba(&x, 3);
+        for r in 0..p.rows() {
+            let s: f64 = p.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+            assert!(p.row(r).iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_logits() {
+        let mut row = [1000.0, 1001.0, 999.0];
+        softmax_in_place(&mut row);
+        assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(row[1] > row[0] && row[0] > row[2]);
+    }
+
+    #[test]
+    fn empty_fit_predicts_class_zero() {
+        let mut m = LogisticRegression::default();
+        m.fit(&Matrix::zeros(0, 2), &[], 2);
+        assert_eq!(m.predict(&Matrix::zeros(3, 2)), vec![0, 0, 0]);
+    }
+}

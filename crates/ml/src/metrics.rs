@@ -1,0 +1,240 @@
+//! Model-quality metrics: classification P/R/F1, regression RMSE/MAE/R²,
+//! and the silhouette index used to score clusterings (§6.1).
+
+use crate::linalg::{euclid, Matrix};
+use crate::model::NOISE_LABEL;
+
+/// Fraction of exact matches.
+pub fn accuracy(truth: &[usize], pred: &[usize]) -> f64 {
+    assert_eq!(truth.len(), pred.len());
+    if truth.is_empty() {
+        return 0.0;
+    }
+    truth.iter().zip(pred).filter(|(a, b)| a == b).count() as f64 / truth.len() as f64
+}
+
+/// Macro-averaged precision, recall and F1 over `n_classes` classes
+/// (classes absent from the truth contribute zero, as scikit-learn does
+/// with `zero_division=0`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClassificationReport {
+    /// Macro precision.
+    pub precision: f64,
+    /// Macro recall.
+    pub recall: f64,
+    /// Macro F1.
+    pub f1: f64,
+    /// Plain accuracy.
+    pub accuracy: f64,
+}
+
+/// Computes the macro-averaged classification report.
+pub fn classification_report(truth: &[usize], pred: &[usize], n_classes: usize) -> ClassificationReport {
+    assert_eq!(truth.len(), pred.len());
+    let mut tp = vec![0usize; n_classes];
+    let mut fp = vec![0usize; n_classes];
+    let mut fneg = vec![0usize; n_classes];
+    for (&t, &p) in truth.iter().zip(pred) {
+        if t == p {
+            tp[t] += 1;
+        } else {
+            if p < n_classes {
+                fp[p] += 1;
+            }
+            fneg[t] += 1;
+        }
+    }
+    // Average over classes that appear in truth or predictions.
+    let mut used = 0usize;
+    let (mut sp, mut sr, mut sf) = (0.0, 0.0, 0.0);
+    for c in 0..n_classes {
+        if tp[c] + fp[c] + fneg[c] == 0 {
+            continue;
+        }
+        used += 1;
+        let p = if tp[c] + fp[c] == 0 { 0.0 } else { tp[c] as f64 / (tp[c] + fp[c]) as f64 };
+        let r = if tp[c] + fneg[c] == 0 { 0.0 } else { tp[c] as f64 / (tp[c] + fneg[c]) as f64 };
+        let f = if p + r == 0.0 { 0.0 } else { 2.0 * p * r / (p + r) };
+        sp += p;
+        sr += r;
+        sf += f;
+    }
+    let denom = used.max(1) as f64;
+    ClassificationReport {
+        precision: sp / denom,
+        recall: sr / denom,
+        f1: sf / denom,
+        accuracy: accuracy(truth, pred),
+    }
+}
+
+/// Root mean squared error.
+pub fn rmse(truth: &[f64], pred: &[f64]) -> f64 {
+    assert_eq!(truth.len(), pred.len());
+    if truth.is_empty() {
+        return f64::NAN;
+    }
+    (truth.iter().zip(pred).map(|(t, p)| (t - p).powi(2)).sum::<f64>() / truth.len() as f64)
+        .sqrt()
+}
+
+/// Mean absolute error.
+pub fn mae(truth: &[f64], pred: &[f64]) -> f64 {
+    assert_eq!(truth.len(), pred.len());
+    if truth.is_empty() {
+        return f64::NAN;
+    }
+    truth.iter().zip(pred).map(|(t, p)| (t - p).abs()).sum::<f64>() / truth.len() as f64
+}
+
+/// Coefficient of determination R².
+pub fn r2(truth: &[f64], pred: &[f64]) -> f64 {
+    assert_eq!(truth.len(), pred.len());
+    if truth.is_empty() {
+        return f64::NAN;
+    }
+    let mean = truth.iter().sum::<f64>() / truth.len() as f64;
+    let ss_tot: f64 = truth.iter().map(|t| (t - mean).powi(2)).sum();
+    let ss_res: f64 = truth.iter().zip(pred).map(|(t, p)| (t - p).powi(2)).sum();
+    if ss_tot == 0.0 {
+        if ss_res == 0.0 {
+            1.0
+        } else {
+            f64::NEG_INFINITY
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+/// Mean silhouette coefficient of a clustering.
+///
+/// Noise points ([`NOISE_LABEL`]) are excluded; returns `NaN` when fewer
+/// than two clusters contain points. O(n²) distances — fine at benchmark
+/// scale; subsample upstream for very large inputs.
+pub fn silhouette(x: &Matrix, labels: &[usize]) -> f64 {
+    assert_eq!(x.rows(), labels.len());
+    let valid: Vec<usize> = (0..labels.len()).filter(|&i| labels[i] != NOISE_LABEL).collect();
+    let mut clusters: std::collections::BTreeMap<usize, Vec<usize>> = Default::default();
+    for &i in &valid {
+        clusters.entry(labels[i]).or_default().push(i);
+    }
+    if clusters.len() < 2 {
+        return f64::NAN;
+    }
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for &i in &valid {
+        let own = &clusters[&labels[i]];
+        if own.len() <= 1 {
+            // Singleton clusters get silhouette 0 by convention.
+            count += 1;
+            continue;
+        }
+        let a: f64 = own
+            .iter()
+            .filter(|&&j| j != i)
+            .map(|&j| euclid(x.row(i), x.row(j)))
+            .sum::<f64>()
+            / (own.len() - 1) as f64;
+        let b = clusters
+            .iter()
+            .filter(|(&l, _)| l != labels[i])
+            .map(|(_, members)| {
+                members.iter().map(|&j| euclid(x.row(i), x.row(j))).sum::<f64>()
+                    / members.len() as f64
+            })
+            .fold(f64::INFINITY, f64::min);
+        let s = if a.max(b) > 0.0 { (b - a) / a.max(b) } else { 0.0 };
+        total += s;
+        count += 1;
+    }
+    if count == 0 {
+        f64::NAN
+    } else {
+        total / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_basic() {
+        assert_eq!(accuracy(&[0, 1, 2], &[0, 1, 1]), 2.0 / 3.0);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn perfect_classification_report() {
+        let r = classification_report(&[0, 1, 0, 1], &[0, 1, 0, 1], 2);
+        assert_eq!(r.precision, 1.0);
+        assert_eq!(r.recall, 1.0);
+        assert_eq!(r.f1, 1.0);
+        assert_eq!(r.accuracy, 1.0);
+    }
+
+    #[test]
+    fn macro_average_weights_classes_equally() {
+        // Class 0: 2/2 correct; class 1: 0/2 correct, all predicted as 0.
+        let r = classification_report(&[0, 0, 1, 1], &[0, 0, 0, 0], 2);
+        assert!((r.recall - 0.5).abs() < 1e-12); // (1.0 + 0.0)/2
+        assert!(r.precision < 1.0);
+    }
+
+    #[test]
+    fn absent_classes_do_not_dilute() {
+        // 5 declared classes, only 2 present.
+        let r = classification_report(&[0, 1], &[0, 1], 5);
+        assert_eq!(r.f1, 1.0);
+    }
+
+    #[test]
+    fn regression_metrics_known_values() {
+        let t = [1.0, 2.0, 3.0];
+        let p = [1.0, 2.0, 5.0];
+        assert!((rmse(&t, &p) - (4.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert!((mae(&t, &p) - 2.0 / 3.0).abs() < 1e-12);
+        assert!(r2(&t, &t) == 1.0);
+        assert!(r2(&t, &p) < 1.0);
+    }
+
+    #[test]
+    fn silhouette_separated_clusters_near_one() {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..10 {
+            rows.push(vec![0.0 + 0.01 * i as f64, 0.0]);
+            labels.push(0);
+            rows.push(vec![100.0 + 0.01 * i as f64, 0.0]);
+            labels.push(1);
+        }
+        let x = Matrix::from_rows(&rows);
+        let s = silhouette(&x, &labels);
+        assert!(s > 0.95, "s = {s}");
+    }
+
+    #[test]
+    fn silhouette_random_labels_near_zero() {
+        let rows: Vec<Vec<f64>> = (0..20).map(|i| vec![i as f64, 0.0]).collect();
+        let labels: Vec<usize> = (0..20).map(|i| i % 2).collect();
+        let x = Matrix::from_rows(&rows);
+        let s = silhouette(&x, &labels);
+        assert!(s.abs() < 0.3, "s = {s}");
+    }
+
+    #[test]
+    fn silhouette_single_cluster_is_nan() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0]]);
+        assert!(silhouette(&x, &[0, 0]).is_nan());
+    }
+
+    #[test]
+    fn silhouette_ignores_noise() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![0.1], vec![10.0], vec![10.1], vec![500.0]]);
+        let labels = [0, 0, 1, 1, NOISE_LABEL];
+        let s = silhouette(&x, &labels);
+        assert!(s > 0.9);
+    }
+}

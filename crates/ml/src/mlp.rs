@@ -1,0 +1,372 @@
+//! Multi-layer perceptron: one ReLU hidden layer trained by mini-batch
+//! SGD with momentum — softmax/cross-entropy head for classification,
+//! linear/squared-error head for regression.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use rein_data::rng::randn;
+
+use crate::linalg::Matrix;
+use crate::logistic::softmax_in_place;
+use crate::model::{Classifier, Regressor};
+
+/// MLP hyperparameters.
+#[derive(Debug, Clone)]
+pub struct MlpParams {
+    /// Hidden-layer width.
+    pub hidden: usize,
+    /// Learning rate.
+    pub lr: f64,
+    /// Epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch: usize,
+    /// Momentum coefficient.
+    pub momentum: f64,
+}
+
+impl Default for MlpParams {
+    fn default() -> Self {
+        Self { hidden: 32, lr: 0.05, epochs: 60, batch: 32, momentum: 0.9 }
+    }
+}
+
+/// Dense layer weights plus momentum buffers.
+#[derive(Debug, Clone)]
+struct Net {
+    w1: Matrix, // d × h
+    b1: Vec<f64>,
+    w2: Matrix, // h × out
+    b2: Vec<f64>,
+    v_w1: Matrix,
+    v_b1: Vec<f64>,
+    v_w2: Matrix,
+    v_b2: Vec<f64>,
+}
+
+impl Net {
+    fn init(d: usize, h: usize, out: usize, rng: &mut StdRng) -> Self {
+        let mut w1 = Matrix::zeros(d, h);
+        let mut w2 = Matrix::zeros(h, out);
+        let s1 = (2.0 / d.max(1) as f64).sqrt();
+        let s2 = (2.0 / h.max(1) as f64).sqrt();
+        for r in 0..d {
+            for c in 0..h {
+                w1[(r, c)] = s1 * randn(rng);
+            }
+        }
+        for r in 0..h {
+            for c in 0..out {
+                w2[(r, c)] = s2 * randn(rng);
+            }
+        }
+        Net {
+            v_w1: Matrix::zeros(d, h),
+            v_b1: vec![0.0; h],
+            v_w2: Matrix::zeros(h, out),
+            v_b2: vec![0.0; out],
+            w1,
+            b1: vec![0.0; h],
+            w2,
+            b2: vec![0.0; out],
+        }
+    }
+
+    /// Forward pass for one sample: returns (hidden activations, outputs).
+    fn forward(&self, xr: &[f64]) -> (Vec<f64>, Vec<f64>) {
+        let h = self.b1.len();
+        let out = self.b2.len();
+        let mut hidden = self.b1.clone();
+        for (f, &xv) in xr.iter().enumerate() {
+            if xv == 0.0 {
+                continue;
+            }
+            for (hv, c) in hidden.iter_mut().zip(0..h) {
+                *hv += xv * self.w1[(f, c)];
+            }
+        }
+        for hv in &mut hidden {
+            *hv = hv.max(0.0); // ReLU
+        }
+        let mut output = self.b2.clone();
+        for (j, &hv) in hidden.iter().enumerate() {
+            if hv == 0.0 {
+                continue;
+            }
+            for (ov, c) in output.iter_mut().zip(0..out) {
+                *ov += hv * self.w2[(j, c)];
+            }
+        }
+        (hidden, output)
+    }
+
+    /// One SGD step on a batch given per-sample output-layer errors
+    /// (dL/dz of the output pre-activations).
+    #[allow(clippy::too_many_arguments)]
+    fn step(
+        &mut self,
+        x: &Matrix,
+        batch: &[usize],
+        errors: &[Vec<f64>],
+        hiddens: &[Vec<f64>],
+        lr: f64,
+        momentum: f64,
+    ) {
+        let d = self.w1.rows();
+        let h = self.b1.len();
+        let out = self.b2.len();
+        let scale = lr / batch.len().max(1) as f64;
+
+        let mut g_w2 = Matrix::zeros(h, out);
+        let mut g_b2 = vec![0.0; out];
+        let mut g_w1 = Matrix::zeros(d, h);
+        let mut g_b1 = vec![0.0; h];
+
+        for (bi, &i) in batch.iter().enumerate() {
+            let err = &errors[bi];
+            let hid = &hiddens[bi];
+            for (j, &hv) in hid.iter().enumerate() {
+                if hv > 0.0 {
+                    for (c, &e) in err.iter().enumerate() {
+                        g_w2[(j, c)] += hv * e;
+                    }
+                }
+            }
+            for (c, &e) in err.iter().enumerate() {
+                g_b2[c] += e;
+            }
+            // Backprop into hidden.
+            let mut hid_err = vec![0.0; h];
+            for (j, he) in hid_err.iter_mut().enumerate() {
+                if hid[j] > 0.0 {
+                    for (c, &e) in err.iter().enumerate() {
+                        *he += e * self.w2[(j, c)];
+                    }
+                }
+            }
+            let xr = x.row(i);
+            for (f, &xv) in xr.iter().enumerate() {
+                if xv == 0.0 {
+                    continue;
+                }
+                for (j, &he) in hid_err.iter().enumerate() {
+                    g_w1[(f, j)] += xv * he;
+                }
+            }
+            for (j, &he) in hid_err.iter().enumerate() {
+                g_b1[j] += he;
+            }
+        }
+
+        // Momentum updates.
+        for f in 0..d {
+            for j in 0..h {
+                let v = &mut self.v_w1[(f, j)];
+                *v = momentum * *v - scale * g_w1[(f, j)];
+                self.w1[(f, j)] += *v;
+            }
+        }
+        for j in 0..h {
+            self.v_b1[j] = momentum * self.v_b1[j] - scale * g_b1[j];
+            self.b1[j] += self.v_b1[j];
+            for c in 0..out {
+                let v = &mut self.v_w2[(j, c)];
+                *v = momentum * *v - scale * g_w2[(j, c)];
+                self.w2[(j, c)] += *v;
+            }
+        }
+        for c in 0..out {
+            self.v_b2[c] = momentum * self.v_b2[c] - scale * g_b2[c];
+            self.b2[c] += self.v_b2[c];
+        }
+    }
+}
+
+fn train<FErr: FnMut(usize, &[f64]) -> Vec<f64>>(
+    net: &mut Net,
+    x: &Matrix,
+    params: &MlpParams,
+    rng: &mut StdRng,
+    mut out_error: FErr,
+) {
+    let n = x.rows();
+    if n == 0 {
+        return;
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    for _ in 0..params.epochs {
+        order.shuffle(rng);
+        for batch in order.chunks(params.batch.max(1)) {
+            let mut errors = Vec::with_capacity(batch.len());
+            let mut hiddens = Vec::with_capacity(batch.len());
+            for &i in batch {
+                let (hid, out) = net.forward(x.row(i));
+                errors.push(out_error(i, &out));
+                hiddens.push(hid);
+            }
+            net.step(x, batch, &errors, &hiddens, params.lr, params.momentum);
+        }
+    }
+}
+
+/// MLP classifier (softmax head).
+pub struct MlpClassifier {
+    params: MlpParams,
+    seed: u64,
+    net: Option<Net>,
+    n_classes: usize,
+}
+
+impl MlpClassifier {
+    /// Builds an (unfitted) MLP classifier.
+    pub fn new(params: MlpParams, seed: u64) -> Self {
+        Self { params, seed, net: None, n_classes: 0 }
+    }
+}
+
+impl Classifier for MlpClassifier {
+    fn fit(&mut self, x: &Matrix, y: &[usize], n_classes: usize) {
+        self.n_classes = n_classes.max(2);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut net = Net::init(x.cols(), self.params.hidden, self.n_classes, &mut rng);
+        let params = self.params.clone();
+        train(&mut net, x, &params, &mut rng, |i, out| {
+            let mut probs = out.to_vec();
+            softmax_in_place(&mut probs);
+            (0..probs.len())
+                .map(|c| probs[c] - if y[i] == c { 1.0 } else { 0.0 })
+                .collect()
+        });
+        self.net = Some(net);
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<usize> {
+        let Some(net) = &self.net else { return vec![0; x.rows()] };
+        (0..x.rows())
+            .map(|r| {
+                let (_, out) = net.forward(x.row(r));
+                crate::linalg::argmax(&out)
+            })
+            .collect()
+    }
+
+    fn predict_proba(&self, x: &Matrix, n_classes: usize) -> Matrix {
+        let mut p = Matrix::zeros(x.rows(), n_classes);
+        let Some(net) = &self.net else { return p };
+        for r in 0..x.rows() {
+            let (_, mut out) = net.forward(x.row(r));
+            softmax_in_place(&mut out);
+            let w = out.len().min(n_classes);
+            p.row_mut(r)[..w].copy_from_slice(&out[..w]);
+        }
+        p
+    }
+}
+
+/// MLP regressor (linear head, squared error); target standardised
+/// internally for stable learning rates.
+pub struct MlpRegressor {
+    params: MlpParams,
+    seed: u64,
+    net: Option<Net>,
+    y_shift: f64,
+    y_scale: f64,
+}
+
+impl MlpRegressor {
+    /// Builds an (unfitted) MLP regressor.
+    pub fn new(params: MlpParams, seed: u64) -> Self {
+        Self { params, seed, net: None, y_shift: 0.0, y_scale: 1.0 }
+    }
+}
+
+impl Regressor for MlpRegressor {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) {
+        let n = x.rows();
+        if n == 0 {
+            self.net = None;
+            return;
+        }
+        let mean = y.iter().sum::<f64>() / n as f64;
+        let std = (y.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64).sqrt().max(1e-9);
+        self.y_shift = mean;
+        self.y_scale = std;
+        let ys: Vec<f64> = y.iter().map(|v| (v - mean) / std).collect();
+
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut net = Net::init(x.cols(), self.params.hidden, 1, &mut rng);
+        let params = self.params.clone();
+        train(&mut net, x, &params, &mut rng, |i, out| vec![out[0] - ys[i]]);
+        self.net = Some(net);
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<f64> {
+        let Some(net) = &self.net else { return vec![0.0; x.rows()] };
+        (0..x.rows())
+            .map(|r| {
+                let (_, out) = net.forward(x.row(r));
+                self.y_shift + self.y_scale * out[0]
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{blob_classification, linear_regression_data, train_test_accuracy, train_test_rmse};
+
+    #[test]
+    fn classifier_learns_blobs() {
+        let (x, y) = blob_classification(150, 3, 131);
+        let mut m = MlpClassifier::new(MlpParams::default(), 1);
+        let acc = train_test_accuracy(&mut m, &x, &y, 3);
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn classifier_solves_xor() {
+        let mut rows = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..200 {
+            let a = (i / 2) % 2;
+            let b = i % 2;
+            rows.push(vec![a as f64, b as f64]);
+            ys.push(a ^ b);
+        }
+        let x = Matrix::from_rows(&rows);
+        let mut m = MlpClassifier::new(MlpParams { epochs: 150, ..Default::default() }, 5);
+        m.fit(&x, &ys, 2);
+        let acc = crate::metrics::accuracy(&ys, &m.predict(&x));
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn regressor_fits_linear_data() {
+        let (x, y) = linear_regression_data(300, 0.1, 137);
+        let mut m = MlpRegressor::new(MlpParams::default(), 2);
+        let err = train_test_rmse(&mut m, &x, &y);
+        assert!(err < 1.0, "rmse {err}");
+    }
+
+    #[test]
+    fn proba_normalised() {
+        let (x, y) = blob_classification(60, 2, 139);
+        let mut m = MlpClassifier::new(MlpParams { epochs: 20, ..Default::default() }, 3);
+        m.fit(&x, &y, 2);
+        let p = m.predict_proba(&x, 2);
+        for r in 0..p.rows() {
+            assert!((p.row(r).iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn seeded_training_reproducible() {
+        let (x, y) = blob_classification(80, 2, 149);
+        let mut a = MlpClassifier::new(MlpParams { epochs: 10, ..Default::default() }, 7);
+        let mut b = MlpClassifier::new(MlpParams { epochs: 10, ..Default::default() }, 7);
+        a.fit(&x, &y, 2);
+        b.fit(&x, &y, 2);
+        assert_eq!(a.predict(&x), b.predict(&x));
+    }
+}

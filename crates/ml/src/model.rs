@@ -1,0 +1,312 @@
+//! Model traits and the model zoo enumeration (Table 2 of the paper).
+
+use serde::{Deserialize, Serialize};
+
+use crate::linalg::Matrix;
+
+/// A trainable classifier over encoded feature matrices.
+pub trait Classifier: Send + Sync {
+    /// Fits on features `x` and class ids `y` (`0..n_classes`).
+    fn fit(&mut self, x: &Matrix, y: &[usize], n_classes: usize);
+    /// Predicts a class id per row of `x`.
+    fn predict(&self, x: &Matrix) -> Vec<usize>;
+    /// Class-probability estimates (rows × classes). The default lifts hard
+    /// predictions to one-hot rows; probabilistic models override it.
+    fn predict_proba(&self, x: &Matrix, n_classes: usize) -> Matrix {
+        let preds = self.predict(x);
+        let mut p = Matrix::zeros(x.rows(), n_classes);
+        for (r, &c) in preds.iter().enumerate() {
+            if c < n_classes {
+                p[(r, c)] = 1.0;
+            }
+        }
+        p
+    }
+}
+
+/// A trainable regressor.
+pub trait Regressor: Send + Sync {
+    /// Fits on features `x` and targets `y`.
+    fn fit(&mut self, x: &Matrix, y: &[f64]);
+    /// Predicts a target per row of `x`.
+    fn predict(&self, x: &Matrix) -> Vec<f64>;
+}
+
+/// A clustering algorithm.
+pub trait Clusterer: Send + Sync {
+    /// Clusters the rows of `x`; returns one label per row.
+    /// [`NOISE_LABEL`] marks noise points (density-based methods).
+    fn fit_predict(&mut self, x: &Matrix) -> Vec<usize>;
+}
+
+/// Cluster label reserved for noise points.
+pub const NOISE_LABEL: usize = usize::MAX;
+
+/// The classification models of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ClassifierKind {
+    /// Logistic regression ("Logit").
+    Logit,
+    /// CART decision tree.
+    DecisionTree,
+    /// Random forest.
+    RandomForest,
+    /// Linear SVM (hinge loss).
+    LinearSvc,
+    /// SGD classifier (log loss).
+    SgdClassifier,
+    /// k-nearest neighbours.
+    Knn,
+    /// AdaBoost (SAMME over stumps).
+    AdaBoost,
+    /// Gaussian naïve Bayes.
+    GaussianNb,
+    /// Multinomial naïve Bayes.
+    MultinomialNb,
+    /// Gradient-boosted trees (the XGBoost stand-in).
+    XgBoost,
+    /// Ridge classifier.
+    Ridge,
+    /// Multi-layer perceptron.
+    Mlp,
+}
+
+impl ClassifierKind {
+    /// All twelve classifiers, in Table 2 order.
+    pub const ALL: [ClassifierKind; 12] = [
+        ClassifierKind::Logit,
+        ClassifierKind::DecisionTree,
+        ClassifierKind::RandomForest,
+        ClassifierKind::LinearSvc,
+        ClassifierKind::SgdClassifier,
+        ClassifierKind::Knn,
+        ClassifierKind::AdaBoost,
+        ClassifierKind::GaussianNb,
+        ClassifierKind::MultinomialNb,
+        ClassifierKind::XgBoost,
+        ClassifierKind::Ridge,
+        ClassifierKind::Mlp,
+    ];
+
+    /// Short display name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            ClassifierKind::Logit => "Logit",
+            ClassifierKind::DecisionTree => "DT",
+            ClassifierKind::RandomForest => "RF",
+            ClassifierKind::LinearSvc => "SVC",
+            ClassifierKind::SgdClassifier => "SGD",
+            ClassifierKind::Knn => "KNN",
+            ClassifierKind::AdaBoost => "AdaB",
+            ClassifierKind::GaussianNb => "GNB",
+            ClassifierKind::MultinomialNb => "MNB",
+            ClassifierKind::XgBoost => "XGB",
+            ClassifierKind::Ridge => "Ridge",
+            ClassifierKind::Mlp => "MLP",
+        }
+    }
+
+    /// Builds the model with its default hyperparameters.
+    pub fn build(self, seed: u64) -> Box<dyn Classifier> {
+        use crate::*;
+        match self {
+            ClassifierKind::Logit => Box::new(logistic::LogisticRegression::default()),
+            ClassifierKind::DecisionTree => {
+                Box::new(tree::DecisionTreeClassifier::new(tree::TreeParams::default()))
+            }
+            ClassifierKind::RandomForest => {
+                Box::new(forest::RandomForestClassifier::new(forest::ForestParams::default(), seed))
+            }
+            ClassifierKind::LinearSvc => Box::new(svc::LinearSvc::new(svc::SvcParams::default(), seed)),
+            ClassifierKind::SgdClassifier => {
+                Box::new(sgd::SgdClassifier::new(sgd::SgdParams::default(), seed))
+            }
+            ClassifierKind::Knn => Box::new(knn::KnnClassifier::new(5)),
+            ClassifierKind::AdaBoost => Box::new(adaboost::AdaBoostClassifier::new(50)),
+            ClassifierKind::GaussianNb => Box::new(naive_bayes::GaussianNb::default()),
+            ClassifierKind::MultinomialNb => Box::new(naive_bayes::MultinomialNb::default()),
+            ClassifierKind::XgBoost => {
+                Box::new(gbt::GradientBoostedClassifier::new(gbt::GbtParams::default()))
+            }
+            ClassifierKind::Ridge => Box::new(ridge::RidgeClassifier::new(1.0)),
+            ClassifierKind::Mlp => Box::new(mlp::MlpClassifier::new(mlp::MlpParams::default(), seed)),
+        }
+    }
+}
+
+/// The regression models of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RegressorKind {
+    /// Ordinary least squares.
+    LinearRegression,
+    /// Bayesian ridge regression ("BRidge").
+    BayesRidge,
+    /// RANSAC robust regression.
+    Ransac,
+    /// CART regression tree.
+    DecisionTree,
+    /// Random forest regressor.
+    RandomForest,
+    /// Linear support-vector regression.
+    LinearSvr,
+    /// k-nearest neighbours regressor.
+    Knn,
+    /// AdaBoost.R2 regressor.
+    AdaBoost,
+    /// Gradient-boosted trees (XGBoost stand-in).
+    XgBoost,
+    /// Ridge regression.
+    Ridge,
+    /// Multi-layer perceptron regressor.
+    Mlp,
+}
+
+impl RegressorKind {
+    /// All eleven regressors, in Table 2 order.
+    pub const ALL: [RegressorKind; 11] = [
+        RegressorKind::LinearRegression,
+        RegressorKind::BayesRidge,
+        RegressorKind::Ransac,
+        RegressorKind::DecisionTree,
+        RegressorKind::RandomForest,
+        RegressorKind::LinearSvr,
+        RegressorKind::Knn,
+        RegressorKind::AdaBoost,
+        RegressorKind::XgBoost,
+        RegressorKind::Ridge,
+        RegressorKind::Mlp,
+    ];
+
+    /// Short display name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            RegressorKind::LinearRegression => "LinReg",
+            RegressorKind::BayesRidge => "BRidge",
+            RegressorKind::Ransac => "RANSAC",
+            RegressorKind::DecisionTree => "DT",
+            RegressorKind::RandomForest => "RF",
+            RegressorKind::LinearSvr => "SVR",
+            RegressorKind::Knn => "KNN",
+            RegressorKind::AdaBoost => "AdaB",
+            RegressorKind::XgBoost => "XGB",
+            RegressorKind::Ridge => "Ridge",
+            RegressorKind::Mlp => "MLP",
+        }
+    }
+
+    /// Builds the model with its default hyperparameters.
+    pub fn build(self, seed: u64) -> Box<dyn Regressor> {
+        use crate::*;
+        match self {
+            RegressorKind::LinearRegression => Box::new(linreg::LinearRegression::default()),
+            RegressorKind::BayesRidge => Box::new(linreg::BayesianRidge::default()),
+            RegressorKind::Ransac => Box::new(linreg::Ransac::new(linreg::RansacParams::default(), seed)),
+            RegressorKind::DecisionTree => {
+                Box::new(tree::DecisionTreeRegressor::new(tree::TreeParams::default()))
+            }
+            RegressorKind::RandomForest => {
+                Box::new(forest::RandomForestRegressor::new(forest::ForestParams::default(), seed))
+            }
+            RegressorKind::LinearSvr => Box::new(svc::LinearSvr::new(svc::SvcParams::default(), seed)),
+            RegressorKind::Knn => Box::new(knn::KnnRegressor::new(5)),
+            RegressorKind::AdaBoost => Box::new(adaboost::AdaBoostRegressor::new(50, seed)),
+            RegressorKind::XgBoost => {
+                Box::new(gbt::GradientBoostedRegressor::new(gbt::GbtParams::default()))
+            }
+            RegressorKind::Ridge => Box::new(ridge::RidgeRegressor::new(1.0)),
+            RegressorKind::Mlp => Box::new(mlp::MlpRegressor::new(mlp::MlpParams::default(), seed)),
+        }
+    }
+}
+
+/// The clustering methods of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ClustererKind {
+    /// Gaussian mixture (EM).
+    Gmm,
+    /// Lloyd's k-means.
+    KMeans,
+    /// Affinity propagation.
+    AffinityPropagation,
+    /// Agglomerative (average-linkage) clustering.
+    Hierarchical,
+    /// OPTICS density ordering.
+    Optics,
+    /// BIRCH CF-tree clustering.
+    Birch,
+}
+
+impl ClustererKind {
+    /// All six clusterers, in Table 2 order.
+    pub const ALL: [ClustererKind; 6] = [
+        ClustererKind::Gmm,
+        ClustererKind::KMeans,
+        ClustererKind::AffinityPropagation,
+        ClustererKind::Hierarchical,
+        ClustererKind::Optics,
+        ClustererKind::Birch,
+    ];
+
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ClustererKind::Gmm => "GMM",
+            ClustererKind::KMeans => "KMeans",
+            ClustererKind::AffinityPropagation => "AP",
+            ClustererKind::Hierarchical => "HC",
+            ClustererKind::Optics => "OPTICS",
+            ClustererKind::Birch => "BIRCH",
+        }
+    }
+
+    /// Builds the clusterer; `k` is the cluster count for methods that need
+    /// it (ignored by AP and OPTICS which infer it).
+    pub fn build(self, k: usize, seed: u64) -> Box<dyn Clusterer> {
+        use crate::*;
+        match self {
+            ClustererKind::Gmm => Box::new(gmm::GaussianMixture::new(k, seed)),
+            ClustererKind::KMeans => Box::new(kmeans::KMeans::new(k, seed)),
+            ClustererKind::AffinityPropagation => {
+                Box::new(affinity::AffinityPropagation::default())
+            }
+            ClustererKind::Hierarchical => Box::new(hierarchical::Agglomerative::new(k)),
+            ClustererKind::Optics => Box::new(optics::Optics::default()),
+            ClustererKind::Birch => Box::new(birch::Birch::new(k)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zoo_sizes_match_table_2() {
+        assert_eq!(ClassifierKind::ALL.len(), 12);
+        assert_eq!(RegressorKind::ALL.len(), 11);
+        assert_eq!(ClustererKind::ALL.len(), 6);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = ClassifierKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 12);
+    }
+
+    #[test]
+    fn default_proba_is_one_hot() {
+        struct Constant;
+        impl Classifier for Constant {
+            fn fit(&mut self, _: &Matrix, _: &[usize], _: usize) {}
+            fn predict(&self, x: &Matrix) -> Vec<usize> {
+                vec![1; x.rows()]
+            }
+        }
+        let p = Constant.predict_proba(&Matrix::zeros(3, 2), 3);
+        for r in 0..3 {
+            assert_eq!(p.row(r), &[0.0, 1.0, 0.0]);
+        }
+    }
+}

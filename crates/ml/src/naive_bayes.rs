@@ -1,0 +1,224 @@
+//! Naïve Bayes: Gaussian (continuous features) and Multinomial
+//! (count-like / one-hot features, with min-shift to non-negativity).
+
+use crate::linalg::Matrix;
+use crate::logistic::softmax_in_place;
+use crate::model::Classifier;
+
+/// Gaussian naïve Bayes with per-class feature means and variances.
+#[derive(Debug, Clone, Default)]
+pub struct GaussianNb {
+    priors: Vec<f64>,
+    means: Vec<Vec<f64>>,
+    vars: Vec<Vec<f64>>,
+}
+
+impl GaussianNb {
+    fn log_likelihood(&self, xr: &[f64], c: usize) -> f64 {
+        let mut ll = self.priors[c].max(1e-12).ln();
+        for (f, &x) in xr.iter().enumerate() {
+            let mean = self.means[c][f];
+            let var = self.vars[c][f];
+            ll += -0.5 * ((x - mean).powi(2) / var + var.ln() + (2.0 * std::f64::consts::PI).ln());
+        }
+        ll
+    }
+}
+
+impl Classifier for GaussianNb {
+    fn fit(&mut self, x: &Matrix, y: &[usize], n_classes: usize) {
+        let n = x.rows();
+        let d = x.cols();
+        let n_classes = n_classes.max(1);
+        self.priors = vec![0.0; n_classes];
+        self.means = vec![vec![0.0; d]; n_classes];
+        self.vars = vec![vec![1.0; d]; n_classes];
+        if n == 0 {
+            self.priors = vec![1.0 / n_classes as f64; n_classes];
+            return;
+        }
+        let mut counts = vec![0usize; n_classes];
+        for (r, &c) in y.iter().enumerate() {
+            counts[c] += 1;
+            for (m, &v) in self.means[c].iter_mut().zip(x.row(r)) {
+                *m += v;
+            }
+        }
+        for c in 0..n_classes {
+            self.priors[c] = counts[c] as f64 / n as f64;
+            if counts[c] > 0 {
+                for m in &mut self.means[c] {
+                    *m /= counts[c] as f64;
+                }
+            }
+        }
+        // Variance smoothing à la sklearn: add 1e-9 × max feature variance.
+        let mut sq = vec![vec![0.0; d]; n_classes];
+        for (r, &c) in y.iter().enumerate() {
+            for (s, (&v, &m)) in sq[c].iter_mut().zip(x.row(r).iter().zip(&self.means[c])) {
+                *s += (v - m).powi(2);
+            }
+        }
+        let mut max_var = 1e-9f64;
+        for c in 0..n_classes {
+            if counts[c] > 0 {
+                for (vv, s) in self.vars[c].iter_mut().zip(&sq[c]) {
+                    *vv = s / counts[c] as f64;
+                    max_var = max_var.max(*vv);
+                }
+            }
+        }
+        let eps = 1e-9 * max_var;
+        for c in 0..n_classes {
+            for vv in &mut self.vars[c] {
+                *vv = (*vv + eps).max(1e-12);
+            }
+        }
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<usize> {
+        (0..x.rows())
+            .map(|r| {
+                (0..self.priors.len())
+                    .max_by(|&a, &b| {
+                        self.log_likelihood(x.row(r), a)
+                            .total_cmp(&self.log_likelihood(x.row(r), b))
+                    })
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+
+    fn predict_proba(&self, x: &Matrix, n_classes: usize) -> Matrix {
+        let mut out = Matrix::zeros(x.rows(), n_classes);
+        for r in 0..x.rows() {
+            let mut lls: Vec<f64> = (0..self.priors.len().min(n_classes))
+                .map(|c| self.log_likelihood(x.row(r), c))
+                .collect();
+            softmax_in_place(&mut lls);
+            out.row_mut(r)[..lls.len()].copy_from_slice(&lls);
+        }
+        out
+    }
+}
+
+/// Multinomial naïve Bayes with Laplace smoothing.
+///
+/// Features must be non-negative counts; since our encoder standardises
+/// numerics (producing negatives), features are min-shifted per column at
+/// fit time — the same workaround practitioners use to run sklearn's
+/// `MultinomialNB` on standardised data.
+#[derive(Debug, Clone, Default)]
+pub struct MultinomialNb {
+    priors: Vec<f64>,
+    feature_log_prob: Vec<Vec<f64>>,
+    shifts: Vec<f64>,
+}
+
+impl Classifier for MultinomialNb {
+    fn fit(&mut self, x: &Matrix, y: &[usize], n_classes: usize) {
+        let n = x.rows();
+        let d = x.cols();
+        let n_classes = n_classes.max(1);
+        self.shifts = vec![0.0; d];
+        for f in 0..d {
+            let min = (0..n).map(|r| x[(r, f)]).fold(0.0f64, f64::min);
+            self.shifts[f] = -min; // shift so min becomes 0
+        }
+        let mut counts = vec![0usize; n_classes];
+        let mut feat = vec![vec![0.0f64; d]; n_classes];
+        for (r, &c) in y.iter().enumerate() {
+            counts[c] += 1;
+            for (acc, (&v, &s)) in feat[c].iter_mut().zip(x.row(r).iter().zip(&self.shifts)) {
+                *acc += v + s;
+            }
+        }
+        self.priors = counts.iter().map(|&c| (c as f64 + 1.0) / (n as f64 + n_classes as f64)).collect();
+        self.feature_log_prob = feat
+            .into_iter()
+            .map(|row| {
+                let total: f64 = row.iter().sum::<f64>() + d as f64; // Laplace α=1
+                row.into_iter().map(|v| ((v + 1.0) / total).ln()).collect()
+            })
+            .collect();
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<usize> {
+        (0..x.rows())
+            .map(|r| {
+                let score = |c: usize| -> f64 {
+                    let mut s = self.priors[c].max(1e-12).ln();
+                    for (f, &v) in x.row(r).iter().enumerate() {
+                        s += (v + self.shifts[f]).max(0.0) * self.feature_log_prob[c][f];
+                    }
+                    s
+                };
+                (0..self.priors.len())
+                    .max_by(|&a, &b| score(a).total_cmp(&score(b)))
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{blob_classification, train_test_accuracy};
+
+    #[test]
+    fn gnb_learns_blobs() {
+        let (x, y) = blob_classification(150, 3, 101);
+        let mut m = GaussianNb::default();
+        let acc = train_test_accuracy(&mut m, &x, &y, 3);
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn gnb_probabilities_normalised() {
+        let (x, y) = blob_classification(60, 2, 103);
+        let mut m = GaussianNb::default();
+        m.fit(&x, &y, 2);
+        let p = m.predict_proba(&x, 2);
+        for r in 0..p.rows() {
+            assert!((p.row(r).iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn mnb_learns_separable_counts() {
+        // Class 0 heavy on feature 0, class 1 heavy on feature 1.
+        let mut rows = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..100 {
+            if i % 2 == 0 {
+                rows.push(vec![5.0 + (i % 5) as f64, 1.0]);
+                ys.push(0);
+            } else {
+                rows.push(vec![1.0, 5.0 + (i % 5) as f64]);
+                ys.push(1);
+            }
+        }
+        let x = Matrix::from_rows(&rows);
+        let mut m = MultinomialNb::default();
+        let acc = train_test_accuracy(&mut m, &x, &ys, 2);
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn mnb_tolerates_negative_features_via_shift() {
+        let (x, y) = blob_classification(100, 2, 107);
+        let mut m = MultinomialNb::default();
+        // Standardised blobs include negatives; must not panic and should
+        // beat chance.
+        let acc = train_test_accuracy(&mut m, &x, &y, 2);
+        assert!(acc > 0.6, "accuracy {acc}");
+    }
+
+    #[test]
+    fn gnb_empty_fit_safe() {
+        let mut m = GaussianNb::default();
+        m.fit(&Matrix::zeros(0, 2), &[], 2);
+        assert_eq!(m.predict(&Matrix::zeros(1, 2)).len(), 1);
+    }
+}

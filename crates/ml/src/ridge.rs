@@ -1,0 +1,186 @@
+//! Ridge regression and the ridge classifier (closed-form solves).
+
+use crate::linalg::{solve_spd, Matrix};
+use crate::model::{Classifier, Regressor};
+
+/// Fits ridge weights for design `x` (bias handled by augmentation):
+/// `w = (XᵀX + αI)⁻¹ Xᵀ y`, bias unregularised via mean-centering.
+fn ridge_fit(x: &Matrix, y: &[f64], alpha: f64) -> (Vec<f64>, f64) {
+    let d = x.cols();
+    let n = x.rows();
+    if n == 0 || d == 0 {
+        let mean = if y.is_empty() { 0.0 } else { y.iter().sum::<f64>() / y.len() as f64 };
+        return (vec![0.0; d], mean);
+    }
+    // Centre X and y so the intercept is not penalised.
+    let mut x_mean = vec![0.0; d];
+    for r in 0..n {
+        for (m, &v) in x_mean.iter_mut().zip(x.row(r)) {
+            *m += v;
+        }
+    }
+    for m in &mut x_mean {
+        *m /= n as f64;
+    }
+    let y_mean = y.iter().sum::<f64>() / n as f64;
+
+    let mut xc = Matrix::zeros(n, d);
+    for r in 0..n {
+        for c in 0..d {
+            xc[(r, c)] = x[(r, c)] - x_mean[c];
+        }
+    }
+    let yc: Vec<f64> = y.iter().map(|v| v - y_mean).collect();
+
+    let mut gram = xc.gram();
+    for i in 0..d {
+        gram[(i, i)] += alpha;
+    }
+    let rhs = xc.t_vec(&yc);
+    let w = solve_spd(&gram, &rhs).unwrap_or_else(|| vec![0.0; d]);
+    let bias = y_mean - w.iter().zip(&x_mean).map(|(a, b)| a * b).sum::<f64>();
+    (w, bias)
+}
+
+/// Ridge regressor.
+#[derive(Debug, Clone)]
+pub struct RidgeRegressor {
+    /// L2 penalty.
+    pub alpha: f64,
+    weights: Vec<f64>,
+    bias: f64,
+}
+
+impl RidgeRegressor {
+    /// Builds a ridge regressor with penalty `alpha`.
+    pub fn new(alpha: f64) -> Self {
+        Self { alpha, weights: Vec::new(), bias: 0.0 }
+    }
+
+    /// Fitted coefficient vector (empty before `fit`).
+    pub fn coefficients(&self) -> &[f64] {
+        &self.weights
+    }
+
+    /// Fitted intercept.
+    pub fn intercept(&self) -> f64 {
+        self.bias
+    }
+}
+
+impl Regressor for RidgeRegressor {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) {
+        let (w, b) = ridge_fit(x, y, self.alpha);
+        self.weights = w;
+        self.bias = b;
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<f64> {
+        (0..x.rows())
+            .map(|r| self.bias + crate::linalg::dot(x.row(r), &self.weights))
+            .collect()
+    }
+}
+
+/// Ridge classifier: one ridge regression per class on ±1 targets,
+/// predicting the argmax score (scikit-learn's `RidgeClassifier`).
+#[derive(Debug, Clone)]
+pub struct RidgeClassifier {
+    /// L2 penalty.
+    pub alpha: f64,
+    per_class: Vec<(Vec<f64>, f64)>,
+}
+
+impl RidgeClassifier {
+    /// Builds a ridge classifier with penalty `alpha`.
+    pub fn new(alpha: f64) -> Self {
+        Self { alpha, per_class: Vec::new() }
+    }
+}
+
+impl Classifier for RidgeClassifier {
+    fn fit(&mut self, x: &Matrix, y: &[usize], n_classes: usize) {
+        self.per_class = (0..n_classes)
+            .map(|c| {
+                let targets: Vec<f64> =
+                    y.iter().map(|&yc| if yc == c { 1.0 } else { -1.0 }).collect();
+                ridge_fit(x, &targets, self.alpha)
+            })
+            .collect();
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<usize> {
+        (0..x.rows())
+            .map(|r| {
+                let xr = x.row(r);
+                self.per_class
+                    .iter()
+                    .enumerate()
+                    .map(|(c, (w, b))| (c, b + crate::linalg::dot(xr, w)))
+                    .max_by(|a, b| a.1.total_cmp(&b.1))
+                    .map_or(0, |(c, _)| c)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{blob_classification, linear_regression_data, train_test_accuracy, train_test_rmse};
+
+    #[test]
+    fn ridge_recovers_linear_coefficients() {
+        let (x, y) = linear_regression_data(200, 0.01, 1);
+        let mut m = RidgeRegressor::new(1e-6);
+        m.fit(&x, &y);
+        assert!((m.coefficients()[0] - 3.0).abs() < 0.05);
+        assert!((m.coefficients()[1] + 2.0).abs() < 0.05);
+        assert!((m.intercept() - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn ridge_generalises() {
+        let (x, y) = linear_regression_data(200, 0.5, 2);
+        let mut m = RidgeRegressor::new(1.0);
+        let err = train_test_rmse(&mut m, &x, &y);
+        assert!(err < 1.0, "rmse {err}");
+    }
+
+    #[test]
+    fn larger_alpha_shrinks_weights() {
+        let (x, y) = linear_regression_data(100, 0.1, 3);
+        let mut small = RidgeRegressor::new(1e-6);
+        let mut large = RidgeRegressor::new(1e4);
+        small.fit(&x, &y);
+        large.fit(&x, &y);
+        let norm = |w: &[f64]| w.iter().map(|v| v * v).sum::<f64>();
+        assert!(norm(large.coefficients()) < norm(small.coefficients()));
+    }
+
+    #[test]
+    fn classifier_separates_blobs() {
+        let (x, y) = blob_classification(120, 3, 5);
+        let mut m = RidgeClassifier::new(1.0);
+        let acc = train_test_accuracy(&mut m, &x, &y, 3);
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn empty_input_is_safe() {
+        let mut m = RidgeRegressor::new(1.0);
+        m.fit(&Matrix::zeros(0, 3), &[]);
+        assert_eq!(m.predict(&Matrix::zeros(2, 3)), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn constant_target_predicts_constant() {
+        let x = Matrix::from_rows(&[vec![1.0], vec![2.0], vec![3.0]]);
+        let mut m = RidgeRegressor::new(1.0);
+        m.fit(&x, &[5.0, 5.0, 5.0]);
+        let p = m.predict(&x);
+        for v in p {
+            assert!((v - 5.0).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! Linear support-vector machines trained by Pegasos-style SGD:
+//! [`LinearSvc`] (hinge loss, one-vs-rest) and [`LinearSvr`]
+//! (ε-insensitive loss).
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use crate::linalg::{dot, Matrix};
+use crate::model::{Classifier, Regressor};
+
+/// Shared SVM hyperparameters.
+#[derive(Debug, Clone)]
+pub struct SvcParams {
+    /// Regularisation strength λ (Pegasos).
+    pub lambda: f64,
+    /// Training epochs over the data.
+    pub epochs: usize,
+    /// ε for the regression loss tube.
+    pub epsilon: f64,
+}
+
+impl Default for SvcParams {
+    fn default() -> Self {
+        // λ and the epoch budget are chosen so Pegasos's O(1/(λT)) optimality
+        // gap is small at benchmark data sizes.
+        Self { lambda: 1e-2, epochs: 60, epsilon: 0.05 }
+    }
+}
+
+fn pegasos_binary(
+    x: &Matrix,
+    targets: &[f64], // ±1
+    params: &SvcParams,
+    rng: &mut StdRng,
+) -> (Vec<f64>, f64) {
+    let n = x.rows();
+    let d = x.cols();
+    let mut w = vec![0.0; d];
+    let mut b = 0.0;
+    if n == 0 {
+        return (w, b);
+    }
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut t = 0usize;
+    for _ in 0..params.epochs {
+        order.shuffle(rng);
+        for &i in &order {
+            t += 1;
+            let eta = 1.0 / (params.lambda * t as f64);
+            let margin = targets[i] * (dot(x.row(i), &w) + b);
+            // Shrink step.
+            let shrink = 1.0 - eta * params.lambda;
+            for v in &mut w {
+                *v *= shrink;
+            }
+            if margin < 1.0 {
+                let step = eta * targets[i];
+                for (wv, &xv) in w.iter_mut().zip(x.row(i)) {
+                    *wv += step * xv;
+                }
+                b += step;
+            }
+        }
+    }
+    (w, b)
+}
+
+/// Linear SVM classifier (one-vs-rest hinge loss).
+#[derive(Debug, Clone)]
+pub struct LinearSvc {
+    params: SvcParams,
+    seed: u64,
+    per_class: Vec<(Vec<f64>, f64)>,
+}
+
+impl LinearSvc {
+    /// Builds a linear SVC.
+    pub fn new(params: SvcParams, seed: u64) -> Self {
+        Self { params, seed, per_class: Vec::new() }
+    }
+}
+
+impl Classifier for LinearSvc {
+    fn fit(&mut self, x: &Matrix, y: &[usize], n_classes: usize) {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        self.per_class = (0..n_classes)
+            .map(|c| {
+                let targets: Vec<f64> =
+                    y.iter().map(|&yc| if yc == c { 1.0 } else { -1.0 }).collect();
+                pegasos_binary(x, &targets, &self.params, &mut rng)
+            })
+            .collect();
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<usize> {
+        (0..x.rows())
+            .map(|r| {
+                let xr = x.row(r);
+                self.per_class
+                    .iter()
+                    .enumerate()
+                    .map(|(c, (w, b))| (c, b + dot(xr, w)))
+                    .max_by(|a, b| a.1.total_cmp(&b.1))
+                    .map_or(0, |(c, _)| c)
+            })
+            .collect()
+    }
+}
+
+/// Linear support-vector regressor (ε-insensitive loss, SGD).
+#[derive(Debug, Clone)]
+pub struct LinearSvr {
+    params: SvcParams,
+    seed: u64,
+    weights: Vec<f64>,
+    bias: f64,
+    y_scale: f64,
+    y_shift: f64,
+}
+
+impl LinearSvr {
+    /// Builds a linear SVR.
+    pub fn new(params: SvcParams, seed: u64) -> Self {
+        Self { params, seed, weights: Vec::new(), bias: 0.0, y_scale: 1.0, y_shift: 0.0 }
+    }
+}
+
+impl Regressor for LinearSvr {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) {
+        let n = x.rows();
+        let d = x.cols();
+        self.weights = vec![0.0; d];
+        self.bias = 0.0;
+        if n == 0 {
+            return;
+        }
+        // Standardise y so ε and λ are scale-free.
+        let mean = y.iter().sum::<f64>() / n as f64;
+        let std =
+            (y.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64).sqrt().max(1e-9);
+        self.y_shift = mean;
+        self.y_scale = std;
+        let ys: Vec<f64> = y.iter().map(|v| (v - mean) / std).collect();
+
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut t = 0usize;
+        for _ in 0..self.params.epochs {
+            order.shuffle(&mut rng);
+            for &i in &order {
+                t += 1;
+                let eta = 1.0 / (self.params.lambda * t as f64);
+                let pred = dot(x.row(i), &self.weights) + self.bias;
+                let err = pred - ys[i];
+                let shrink = 1.0 - eta * self.params.lambda;
+                for v in &mut self.weights {
+                    *v *= shrink;
+                }
+                if err.abs() > self.params.epsilon {
+                    let g = err.signum();
+                    for (wv, &xv) in self.weights.iter_mut().zip(x.row(i)) {
+                        *wv -= eta * g * xv;
+                    }
+                    self.bias -= eta * g;
+                }
+            }
+        }
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<f64> {
+        (0..x.rows())
+            .map(|r| {
+                self.y_shift + self.y_scale * (self.bias + dot(x.row(r), &self.weights))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{blob_classification, linear_regression_data, train_test_accuracy, train_test_rmse};
+
+    #[test]
+    fn svc_separates_blobs() {
+        let (x, y) = blob_classification(150, 3, 11);
+        let mut m = LinearSvc::new(SvcParams::default(), 1);
+        let acc = train_test_accuracy(&mut m, &x, &y, 3);
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn svc_binary() {
+        let (x, y) = blob_classification(100, 2, 13);
+        let mut m = LinearSvc::new(SvcParams::default(), 2);
+        let acc = train_test_accuracy(&mut m, &x, &y, 2);
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn svr_fits_linear_target() {
+        let (x, y) = linear_regression_data(200, 0.1, 17);
+        let mut m = LinearSvr::new(SvcParams { epochs: 60, ..Default::default() }, 3);
+        let err = train_test_rmse(&mut m, &x, &y);
+        // y std is ~4+; err below 1 means real learning.
+        assert!(err < 1.0, "rmse {err}");
+    }
+
+    #[test]
+    fn svr_is_scale_invariant_enough() {
+        let (x, y) = linear_regression_data(150, 0.1, 19);
+        let y_big: Vec<f64> = y.iter().map(|v| v * 1000.0).collect();
+        let mut m = LinearSvr::new(SvcParams { epochs: 60, ..Default::default() }, 5);
+        let err = train_test_rmse(&mut m, &x, &y_big);
+        let y_std = {
+            let mean = y_big.iter().sum::<f64>() / y_big.len() as f64;
+            (y_big.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / y_big.len() as f64).sqrt()
+        };
+        assert!(err < 0.3 * y_std, "rmse {err} vs std {y_std}");
+    }
+
+    #[test]
+    fn empty_fit_is_safe() {
+        let mut m = LinearSvc::new(SvcParams::default(), 1);
+        m.fit(&Matrix::zeros(0, 2), &[], 2);
+        assert_eq!(m.predict(&Matrix::zeros(1, 2)).len(), 1);
+    }
+}

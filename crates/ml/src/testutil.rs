@@ -1,0 +1,72 @@
+//! Shared test fixtures for the model zoo (compiled only for tests).
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use rein_data::rng::randn;
+
+use crate::linalg::Matrix;
+use crate::model::{Classifier, Regressor};
+
+/// Well-separated Gaussian blobs in 2-D: one blob per class, centres on a
+/// coarse grid, σ = 0.5.
+pub fn blob_classification(n: usize, n_classes: usize, seed: u64) -> (Matrix, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Non-collinear grid: collinear centres would mask middle classes for
+    // least-squares one-vs-rest classifiers (Hastie et al., ESL §4.2).
+    let centres: Vec<(f64, f64)> =
+        (0..n_classes).map(|c| ((c % 2) as f64 * 8.0, (c / 2) as f64 * 8.0)).collect();
+    let mut rows = Vec::with_capacity(n);
+    let mut ys = Vec::with_capacity(n);
+    for i in 0..n {
+        let c = i % n_classes;
+        let (cx, cy) = centres[c];
+        rows.push(vec![cx + 0.5 * randn(&mut rng), cy + 0.5 * randn(&mut rng)]);
+        ys.push(c);
+    }
+    (Matrix::from_rows(&rows), ys)
+}
+
+/// Noisy linear regression data `y = 3x₀ - 2x₁ + 1 + ε`.
+pub fn linear_regression_data(n: usize, noise: f64, seed: u64) -> (Matrix, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rows = Vec::with_capacity(n);
+    let mut ys = Vec::with_capacity(n);
+    for _ in 0..n {
+        let x0 = rng.random_range(-3.0..3.0);
+        let x1 = rng.random_range(-3.0..3.0);
+        rows.push(vec![x0, x1]);
+        ys.push(3.0 * x0 - 2.0 * x1 + 1.0 + noise * randn(&mut rng));
+    }
+    (Matrix::from_rows(&rows), ys)
+}
+
+/// Fits on the first 75% and returns accuracy on the remaining 25%.
+pub fn train_test_accuracy<C: Classifier + ?Sized>(
+    model: &mut C,
+    x: &Matrix,
+    y: &[usize],
+    n_classes: usize,
+) -> f64 {
+    let n_train = x.rows() * 3 / 4;
+    let train_rows: Vec<usize> = (0..n_train).collect();
+    let test_rows: Vec<usize> = (n_train..x.rows()).collect();
+    let xtr = crate::encode::select_matrix_rows(x, &train_rows);
+    let xte = crate::encode::select_matrix_rows(x, &test_rows);
+    let ytr: Vec<usize> = train_rows.iter().map(|&i| y[i]).collect();
+    let yte: Vec<usize> = test_rows.iter().map(|&i| y[i]).collect();
+    model.fit(&xtr, &ytr, n_classes);
+    crate::metrics::accuracy(&yte, &model.predict(&xte))
+}
+
+/// Fits on the first 75% and returns test RMSE on the rest.
+pub fn train_test_rmse<R: Regressor + ?Sized>(model: &mut R, x: &Matrix, y: &[f64]) -> f64 {
+    let n_train = x.rows() * 3 / 4;
+    let train_rows: Vec<usize> = (0..n_train).collect();
+    let test_rows: Vec<usize> = (n_train..x.rows()).collect();
+    let xtr = crate::encode::select_matrix_rows(x, &train_rows);
+    let xte = crate::encode::select_matrix_rows(x, &test_rows);
+    let ytr: Vec<f64> = train_rows.iter().map(|&i| y[i]).collect();
+    let yte: Vec<f64> = test_rows.iter().map(|&i| y[i]).collect();
+    model.fit(&xtr, &ytr);
+    crate::metrics::rmse(&yte, &model.predict(&xte))
+}

@@ -1,0 +1,462 @@
+//! CART decision trees (classification by Gini impurity, regression by
+//! variance reduction), with optional per-node feature subsampling so the
+//! same machinery drives random forests.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use crate::linalg::Matrix;
+use crate::model::{Classifier, Regressor};
+
+/// Tree growth limits.
+#[derive(Debug, Clone)]
+pub struct TreeParams {
+    /// Maximum depth.
+    pub max_depth: usize,
+    /// Minimum samples required to split a node.
+    pub min_samples_split: usize,
+    /// Minimum samples in each leaf.
+    pub min_samples_leaf: usize,
+    /// Features considered per split (`None` = all); forests set √d.
+    pub max_features: Option<usize>,
+    /// Seed for feature subsampling.
+    pub seed: u64,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        Self { max_depth: 12, min_samples_split: 4, min_samples_leaf: 2, max_features: None, seed: 0 }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Split { feature: usize, threshold: f64, left: usize, right: usize },
+    /// Leaf payload: class histogram (classification) or mean (regression,
+    /// stored as a one-element histogram with the mean in `value`).
+    Leaf { value: Vec<f64> },
+}
+
+#[derive(Debug, Clone)]
+struct Tree {
+    nodes: Vec<Node>,
+}
+
+enum Target<'a> {
+    Class { y: &'a [usize], n_classes: usize },
+    Reg { y: &'a [f64] },
+}
+
+impl Target<'_> {
+    /// Leaf payload for the given samples.
+    fn leaf_value(&self, rows: &[usize]) -> Vec<f64> {
+        match self {
+            Target::Class { y, n_classes } => {
+                let mut hist = vec![0.0; *n_classes];
+                for &r in rows {
+                    hist[y[r]] += 1.0;
+                }
+                let total: f64 = hist.iter().sum();
+                if total > 0.0 {
+                    for h in &mut hist {
+                        *h /= total;
+                    }
+                }
+                hist
+            }
+            Target::Reg { y } => {
+                let mean = if rows.is_empty() {
+                    0.0
+                } else {
+                    rows.iter().map(|&r| y[r]).sum::<f64>() / rows.len() as f64
+                };
+                vec![mean]
+            }
+        }
+    }
+
+    /// Impurity of a sample set (Gini or variance).
+    fn impurity(&self, rows: &[usize]) -> f64 {
+        match self {
+            Target::Class { y, n_classes } => {
+                let mut hist = vec![0usize; *n_classes];
+                for &r in rows {
+                    hist[y[r]] += 1;
+                }
+                let n = rows.len() as f64;
+                if n == 0.0 {
+                    return 0.0;
+                }
+                1.0 - hist.iter().map(|&h| (h as f64 / n).powi(2)).sum::<f64>()
+            }
+            Target::Reg { y } => {
+                if rows.is_empty() {
+                    return 0.0;
+                }
+                let n = rows.len() as f64;
+                let mean = rows.iter().map(|&r| y[r]).sum::<f64>() / n;
+                rows.iter().map(|&r| (y[r] - mean).powi(2)).sum::<f64>() / n
+            }
+        }
+    }
+}
+
+/// Finds the best (feature, threshold) split of `rows`, or `None` when no
+/// split improves impurity.
+fn best_split(
+    x: &Matrix,
+    target: &Target<'_>,
+    rows: &[usize],
+    features: &[usize],
+    min_leaf: usize,
+) -> Option<(usize, f64, Vec<usize>, Vec<usize>)> {
+    let parent_impurity = target.impurity(rows);
+    if parent_impurity <= 1e-12 {
+        return None;
+    }
+    let n = rows.len() as f64;
+    // (score, imbalance, feature, threshold); ties on score prefer the more
+    // balanced split — on XOR-like data every split has equal gain and the
+    // balanced choice keeps the tree shallow enough to reach purity.
+    let mut best: Option<(f64, f64, usize, f64)> = None;
+
+    for &f in features {
+        // Sort row indices by feature value.
+        let mut sorted: Vec<usize> = rows.to_vec();
+        sorted.sort_by(|&a, &b| x[(a, f)].total_cmp(&x[(b, f)]));
+        // Candidate thresholds at value changes; evaluate impurity
+        // incrementally by walking the sorted order.
+        match target {
+            Target::Class { y, n_classes } => {
+                let mut left_hist = vec![0usize; *n_classes];
+                let mut right_hist = vec![0usize; *n_classes];
+                for &r in &sorted {
+                    right_hist[y[r]] += 1;
+                }
+                let gini = |hist: &[usize], cnt: f64| -> f64 {
+                    if cnt == 0.0 {
+                        return 0.0;
+                    }
+                    1.0 - hist.iter().map(|&h| (h as f64 / cnt).powi(2)).sum::<f64>()
+                };
+                for i in 0..sorted.len() - 1 {
+                    let r = sorted[i];
+                    left_hist[y[r]] += 1;
+                    right_hist[y[r]] -= 1;
+                    let nl = (i + 1) as f64;
+                    let nr = n - nl;
+                    if (i + 1) < min_leaf || (sorted.len() - i - 1) < min_leaf {
+                        continue;
+                    }
+                    let v_here = x[(r, f)];
+                    let v_next = x[(sorted[i + 1], f)];
+                    if v_here == v_next {
+                        continue;
+                    }
+                    let score =
+                        (nl / n) * gini(&left_hist, nl) + (nr / n) * gini(&right_hist, nr);
+                    let imbalance = (nl - nr).abs();
+                    let better = match best {
+                        None => true,
+                        Some((bs, bi, _, _)) => {
+                            score < bs - 1e-12 || ((score - bs).abs() <= 1e-12 && imbalance < bi)
+                        }
+                    };
+                    if better {
+                        best = Some((score, imbalance, f, (v_here + v_next) / 2.0));
+                    }
+                }
+            }
+            Target::Reg { y } => {
+                let total_sum: f64 = sorted.iter().map(|&r| y[r]).sum();
+                let total_sq: f64 = sorted.iter().map(|&r| y[r] * y[r]).sum();
+                let mut left_sum = 0.0;
+                let mut left_sq = 0.0;
+                for i in 0..sorted.len() - 1 {
+                    let r = sorted[i];
+                    left_sum += y[r];
+                    left_sq += y[r] * y[r];
+                    let nl = (i + 1) as f64;
+                    let nr = n - nl;
+                    if (i + 1) < min_leaf || (sorted.len() - i - 1) < min_leaf {
+                        continue;
+                    }
+                    let v_here = x[(r, f)];
+                    let v_next = x[(sorted[i + 1], f)];
+                    if v_here == v_next {
+                        continue;
+                    }
+                    let var_l = left_sq / nl - (left_sum / nl).powi(2);
+                    let right_sum = total_sum - left_sum;
+                    let right_sq = total_sq - left_sq;
+                    let var_r = right_sq / nr - (right_sum / nr).powi(2);
+                    let score = (nl / n) * var_l.max(0.0) + (nr / n) * var_r.max(0.0);
+                    let imbalance = (nl - nr).abs();
+                    let better = match best {
+                        None => true,
+                        Some((bs, bi, _, _)) => {
+                            score < bs - 1e-12 || ((score - bs).abs() <= 1e-12 && imbalance < bi)
+                        }
+                    };
+                    if better {
+                        best = Some((score, imbalance, f, (v_here + v_next) / 2.0));
+                    }
+                }
+            }
+        }
+    }
+
+    // Zero-gain splits are allowed (as in scikit-learn): on XOR-like data
+    // no single split improves impurity, yet the children become separable.
+    // Recursion still terminates because both children are strictly smaller.
+    let (_, _, f, threshold) = best?;
+    let (left, right): (Vec<usize>, Vec<usize>) =
+        rows.iter().partition(|&&r| x[(r, f)] <= threshold);
+    if left.is_empty() || right.is_empty() {
+        return None;
+    }
+    Some((f, threshold, left, right))
+}
+
+fn build_tree(x: &Matrix, target: &Target<'_>, rows: &[usize], params: &TreeParams) -> Tree {
+    let mut tree = Tree { nodes: Vec::new() };
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    build_node(x, target, rows, params, 0, &mut tree, &mut rng);
+    tree
+}
+
+fn build_node(
+    x: &Matrix,
+    target: &Target<'_>,
+    rows: &[usize],
+    params: &TreeParams,
+    depth: usize,
+    tree: &mut Tree,
+    rng: &mut StdRng,
+) -> usize {
+    let make_leaf = depth >= params.max_depth || rows.len() < params.min_samples_split;
+    if !make_leaf {
+        let all: Vec<usize> = (0..x.cols()).collect();
+        let features: Vec<usize> = match params.max_features {
+            Some(k) if k < x.cols() => {
+                let mut f = all.clone();
+                f.shuffle(rng);
+                f.truncate(k.max(1));
+                f
+            }
+            _ => all,
+        };
+        if let Some((f, thr, left_rows, right_rows)) =
+            best_split(x, target, rows, &features, params.min_samples_leaf)
+        {
+            let id = tree.nodes.len();
+            tree.nodes.push(Node::Leaf { value: Vec::new() }); // placeholder
+            let left = build_node(x, target, &left_rows, params, depth + 1, tree, rng);
+            let right = build_node(x, target, &right_rows, params, depth + 1, tree, rng);
+            tree.nodes[id] = Node::Split { feature: f, threshold: thr, left, right };
+            return id;
+        }
+    }
+    let id = tree.nodes.len();
+    tree.nodes.push(Node::Leaf { value: target.leaf_value(rows) });
+    id
+}
+
+impl Tree {
+    fn leaf_of(&self, xr: &[f64]) -> &[f64] {
+        let mut node = 0usize;
+        loop {
+            match &self.nodes[node] {
+                Node::Split { feature, threshold, left, right } => {
+                    node = if xr[*feature] <= *threshold { *left } else { *right };
+                }
+                Node::Leaf { value } => return value,
+            }
+        }
+    }
+}
+
+/// CART classifier.
+#[derive(Debug, Clone)]
+pub struct DecisionTreeClassifier {
+    params: TreeParams,
+    tree: Option<Tree>,
+    n_classes: usize,
+}
+
+impl DecisionTreeClassifier {
+    /// Builds an (unfitted) tree classifier.
+    pub fn new(params: TreeParams) -> Self {
+        Self { params, tree: None, n_classes: 0 }
+    }
+
+    /// Class-probability row for one sample (exposed for boosting/forests).
+    pub fn proba_row(&self, xr: &[f64]) -> Vec<f64> {
+        match &self.tree {
+            Some(t) => t.leaf_of(xr).to_vec(),
+            None => vec![0.0; self.n_classes],
+        }
+    }
+}
+
+impl Classifier for DecisionTreeClassifier {
+    fn fit(&mut self, x: &Matrix, y: &[usize], n_classes: usize) {
+        assert_eq!(x.rows(), y.len());
+        self.n_classes = n_classes.max(1);
+        let rows: Vec<usize> = (0..x.rows()).collect();
+        if rows.is_empty() {
+            self.tree = Some(Tree {
+                nodes: vec![Node::Leaf { value: vec![0.0; self.n_classes] }],
+            });
+            return;
+        }
+        let target = Target::Class { y, n_classes: self.n_classes };
+        self.tree = Some(build_tree(x, &target, &rows, &self.params));
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<usize> {
+        (0..x.rows())
+            .map(|r| crate::linalg::argmax(&self.proba_row(x.row(r))))
+            .collect()
+    }
+
+    fn predict_proba(&self, x: &Matrix, n_classes: usize) -> Matrix {
+        let mut out = Matrix::zeros(x.rows(), n_classes);
+        for r in 0..x.rows() {
+            let p = self.proba_row(x.row(r));
+            let w = p.len().min(n_classes);
+            out.row_mut(r)[..w].copy_from_slice(&p[..w]);
+        }
+        out
+    }
+}
+
+/// CART regressor.
+#[derive(Debug, Clone)]
+pub struct DecisionTreeRegressor {
+    params: TreeParams,
+    tree: Option<Tree>,
+}
+
+impl DecisionTreeRegressor {
+    /// Builds an (unfitted) tree regressor.
+    pub fn new(params: TreeParams) -> Self {
+        Self { params, tree: None }
+    }
+}
+
+impl Regressor for DecisionTreeRegressor {
+    fn fit(&mut self, x: &Matrix, y: &[f64]) {
+        assert_eq!(x.rows(), y.len());
+        let rows: Vec<usize> = (0..x.rows()).collect();
+        if rows.is_empty() {
+            self.tree = Some(Tree { nodes: vec![Node::Leaf { value: vec![0.0] }] });
+            return;
+        }
+        let target = Target::Reg { y };
+        self.tree = Some(build_tree(x, &target, &rows, &self.params));
+    }
+
+    fn predict(&self, x: &Matrix) -> Vec<f64> {
+        (0..x.rows())
+            .map(|r| self.tree.as_ref().map_or(0.0, |t| t.leaf_of(x.row(r))[0]))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::{blob_classification, linear_regression_data, train_test_accuracy, train_test_rmse};
+
+    #[test]
+    fn classifier_learns_blobs() {
+        let (x, y) = blob_classification(150, 3, 41);
+        let mut m = DecisionTreeClassifier::new(TreeParams::default());
+        let acc = train_test_accuracy(&mut m, &x, &y, 3);
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn classifier_fits_xor_which_linear_models_cannot() {
+        // XOR pattern with random jitter: needs at least depth 2; no single
+        // split has positive gain, exercising the zero-gain/balance logic.
+        use rand::prelude::*;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut rows = Vec::new();
+        let mut ys = Vec::new();
+        for i in 0..200 {
+            let a = (i / 2) % 2;
+            let b = i % 2;
+            rows.push(vec![
+                a as f64 + rng.random_range(-0.05..0.05),
+                b as f64 + rng.random_range(-0.05..0.05),
+            ]);
+            ys.push(a ^ b);
+        }
+        let x = Matrix::from_rows(&rows);
+        let mut m = DecisionTreeClassifier::new(TreeParams::default());
+        m.fit(&x, &ys, 2);
+        let acc = crate::metrics::accuracy(&ys, &m.predict(&x));
+        assert!(acc > 0.98, "accuracy {acc}");
+    }
+
+    #[test]
+    fn regressor_fits_nonlinear_target() {
+        let (x, _) = linear_regression_data(300, 0.0, 43);
+        // y = x0^2
+        let y: Vec<f64> = (0..x.rows()).map(|r| x[(r, 0)].powi(2)).collect();
+        let mut m = DecisionTreeRegressor::new(TreeParams::default());
+        let err = train_test_rmse(&mut m, &x, &y);
+        assert!(err < 1.0, "rmse {err}");
+    }
+
+    #[test]
+    fn depth_limit_is_respected() {
+        let (x, y) = blob_classification(100, 2, 47);
+        let mut stump = DecisionTreeClassifier::new(TreeParams { max_depth: 1, ..Default::default() });
+        stump.fit(&x, &y, 2);
+        // Depth-1 tree has at most 3 nodes.
+        assert!(stump.tree.as_ref().unwrap().nodes.len() <= 3);
+    }
+
+    #[test]
+    fn pure_node_stops_splitting() {
+        let x = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0], vec![3.0]]);
+        let mut m = DecisionTreeClassifier::new(TreeParams::default());
+        m.fit(&x, &[1, 1, 1, 1], 2);
+        assert_eq!(m.tree.as_ref().unwrap().nodes.len(), 1);
+        assert_eq!(m.predict(&x), vec![1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn proba_rows_are_distributions() {
+        let (x, y) = blob_classification(90, 3, 53);
+        let mut m = DecisionTreeClassifier::new(TreeParams::default());
+        m.fit(&x, &y, 3);
+        let p = m.predict_proba(&x, 3);
+        for r in 0..p.rows() {
+            let s: f64 = p.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_fit_safe() {
+        let mut m = DecisionTreeRegressor::new(TreeParams::default());
+        m.fit(&Matrix::zeros(0, 2), &[]);
+        assert_eq!(m.predict(&Matrix::zeros(2, 2)), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn feature_subsampling_still_learns() {
+        let (x, y) = blob_classification(150, 3, 59);
+        let mut m = DecisionTreeClassifier::new(TreeParams {
+            max_features: Some(1),
+            seed: 3,
+            ..Default::default()
+        });
+        let acc = train_test_accuracy(&mut m, &x, &y, 3);
+        assert!(acc > 0.7, "accuracy {acc}");
+    }
+}

@@ -1,0 +1,282 @@
+//! Hyperparameter search — the Optuna substitute.
+//!
+//! Seeded random search with one coarse-to-fine refinement pass: after the
+//! exploration budget, numeric ranges shrink around the best-quantile
+//! region and the remaining trials sample there (the behaviour that makes
+//! informed search beat pure random search, without Optuna's full TPE).
+
+use std::collections::BTreeMap;
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// A hyperparameter's sampling range.
+#[derive(Debug, Clone)]
+pub enum ParamRange {
+    /// Uniform float in `[lo, hi]`; `log` samples in log space.
+    Float {
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+        /// Sample on a log scale.
+        log: bool,
+    },
+    /// Uniform integer in `[lo, hi]`.
+    Int {
+        /// Lower bound.
+        lo: i64,
+        /// Upper bound (inclusive).
+        hi: i64,
+    },
+    /// Uniform choice.
+    Choice(Vec<String>),
+}
+
+/// A sampled hyperparameter value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ParamValue {
+    /// Float value.
+    Float(f64),
+    /// Integer value.
+    Int(i64),
+    /// Categorical value.
+    Choice(String),
+}
+
+impl ParamValue {
+    /// Float view (ints convert).
+    pub fn as_f64(&self) -> f64 {
+        match self {
+            ParamValue::Float(f) => *f,
+            ParamValue::Int(i) => *i as f64,
+            ParamValue::Choice(_) => f64::NAN,
+        }
+    }
+
+    /// Integer view.
+    pub fn as_i64(&self) -> i64 {
+        match self {
+            ParamValue::Int(i) => *i,
+            ParamValue::Float(f) => *f as i64,
+            ParamValue::Choice(_) => 0,
+        }
+    }
+
+    /// Choice view.
+    pub fn as_str(&self) -> &str {
+        match self {
+            ParamValue::Choice(s) => s,
+            _ => "",
+        }
+    }
+}
+
+/// A named parameter assignment.
+pub type ParamSample = BTreeMap<String, ParamValue>;
+
+/// Search space: named parameter ranges.
+#[derive(Debug, Clone, Default)]
+pub struct ParamSpace {
+    params: Vec<(String, ParamRange)>,
+}
+
+impl ParamSpace {
+    /// Empty space.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a float parameter.
+    pub fn float(mut self, name: &str, lo: f64, hi: f64, log: bool) -> Self {
+        self.params.push((name.to_string(), ParamRange::Float { lo, hi, log }));
+        self
+    }
+
+    /// Adds an integer parameter.
+    pub fn int(mut self, name: &str, lo: i64, hi: i64) -> Self {
+        self.params.push((name.to_string(), ParamRange::Int { lo, hi }));
+        self
+    }
+
+    /// Adds a categorical parameter.
+    pub fn choice(mut self, name: &str, options: &[&str]) -> Self {
+        self.params.push((
+            name.to_string(),
+            ParamRange::Choice(options.iter().map(|s| s.to_string()).collect()),
+        ));
+        self
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> ParamSample {
+        self.params
+            .iter()
+            .map(|(name, range)| {
+                let v = match range {
+                    ParamRange::Float { lo, hi, log } => {
+                        if *log {
+                            let l = lo.max(1e-12).ln();
+                            let h = hi.max(1e-12).ln();
+                            ParamValue::Float(rng.random_range(l..=h).exp())
+                        } else {
+                            ParamValue::Float(rng.random_range(*lo..=*hi))
+                        }
+                    }
+                    ParamRange::Int { lo, hi } => ParamValue::Int(rng.random_range(*lo..=*hi)),
+                    ParamRange::Choice(opts) => {
+                        ParamValue::Choice(opts[rng.random_range(0..opts.len())].clone())
+                    }
+                };
+                (name.clone(), v)
+            })
+            .collect()
+    }
+
+    /// A narrowed space around a centre sample (numeric ranges shrink to a
+    /// ±25% window; choices collapse to the centre's value).
+    fn refine_around(&self, centre: &ParamSample) -> ParamSpace {
+        let params = self
+            .params
+            .iter()
+            .map(|(name, range)| {
+                let new_range = match (range, centre.get(name)) {
+                    (ParamRange::Float { lo, hi, log }, Some(v)) => {
+                        let c = v.as_f64();
+                        let span = (hi - lo) * 0.25;
+                        ParamRange::Float {
+                            lo: (c - span).max(*lo),
+                            hi: (c + span).min(*hi),
+                            log: *log,
+                        }
+                    }
+                    (ParamRange::Int { lo, hi }, Some(v)) => {
+                        let c = v.as_i64();
+                        let span = ((hi - lo) / 4).max(1);
+                        ParamRange::Int { lo: (c - span).max(*lo), hi: (c + span).min(*hi) }
+                    }
+                    (ParamRange::Choice(_), Some(ParamValue::Choice(c))) => {
+                        ParamRange::Choice(vec![c.clone()])
+                    }
+                    (r, _) => r.clone(),
+                };
+                (name.clone(), new_range)
+            })
+            .collect();
+        ParamSpace { params }
+    }
+}
+
+/// Outcome of a search.
+#[derive(Debug, Clone)]
+pub struct SearchResult {
+    /// Best parameter sample found.
+    pub best_params: ParamSample,
+    /// Objective value of the best sample.
+    pub best_score: f64,
+    /// Every `(sample, score)` trial, in evaluation order.
+    pub trials: Vec<(ParamSample, f64)>,
+}
+
+/// Maximises `objective` over `space` with `n_trials` evaluations: the
+/// first 60% explore uniformly, the rest exploit a region around the
+/// incumbent. Deterministic per seed.
+pub fn search<F: FnMut(&ParamSample) -> f64>(
+    space: &ParamSpace,
+    n_trials: usize,
+    seed: u64,
+    mut objective: F,
+) -> SearchResult {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut trials: Vec<(ParamSample, f64)> = Vec::with_capacity(n_trials);
+    let explore = (n_trials * 3 / 5).max(1);
+    let mut refined: Option<ParamSpace> = None;
+    for t in 0..n_trials {
+        if t == explore {
+            if let Some((best, _)) = trials
+                .iter()
+                .max_by(|a, b| a.1.total_cmp(&b.1))
+            {
+                refined = Some(space.refine_around(best));
+            }
+        }
+        let s = match (&refined, t >= explore) {
+            (Some(r), true) => r.sample(&mut rng),
+            _ => space.sample(&mut rng),
+        };
+        let score = objective(&s);
+        trials.push((s, score));
+    }
+    let (best_params, best_score) = trials
+        .iter()
+        .max_by(|a, b| a.1.total_cmp(&b.1))
+        .map(|(p, s)| (p.clone(), *s))
+        .unwrap_or((ParamSample::new(), f64::NEG_INFINITY));
+    SearchResult { best_params, best_score, trials }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_good_float_optimum() {
+        // Maximise -(x-3)^2: optimum at x = 3.
+        let space = ParamSpace::new().float("x", 0.0, 10.0, false);
+        let result = search(&space, 80, 1, |s| {
+            let x = s["x"].as_f64();
+            -(x - 3.0).powi(2)
+        });
+        assert!((result.best_params["x"].as_f64() - 3.0).abs() < 0.5);
+        assert!(result.best_score > -0.25);
+    }
+
+    #[test]
+    fn refinement_beats_pure_exploration_on_average() {
+        let space = ParamSpace::new().float("x", 0.0, 100.0, false);
+        let result = search(&space, 60, 7, |s| -(s["x"].as_f64() - 42.0).abs());
+        // Later trials should cluster near the incumbent.
+        let late: Vec<f64> =
+            result.trials[40..].iter().map(|(p, _)| p["x"].as_f64()).collect();
+        let close = late.iter().filter(|x| (**x - 42.0).abs() < 20.0).count();
+        assert!(close > late.len() / 2, "late trials not concentrated");
+    }
+
+    #[test]
+    fn int_and_choice_sampling() {
+        let space = ParamSpace::new().int("k", 1, 10).choice("kind", &["a", "b"]);
+        let result = search(&space, 40, 3, |s| {
+            let k = s["k"].as_i64() as f64;
+            let bonus = if s["kind"].as_str() == "b" { 5.0 } else { 0.0 };
+            k + bonus
+        });
+        assert_eq!(result.best_params["k"].as_i64(), 10);
+        assert_eq!(result.best_params["kind"].as_str(), "b");
+    }
+
+    #[test]
+    fn log_scale_covers_magnitudes() {
+        let space = ParamSpace::new().float("lr", 1e-6, 1.0, true);
+        let result = search(&space, 60, 5, |s| {
+            // Optimum at lr = 1e-3.
+            let lr = s["lr"].as_f64();
+            -((lr.ln() - (1e-3f64).ln()).powi(2))
+        });
+        let best = result.best_params["lr"].as_f64();
+        assert!(best > 1e-5 && best < 1e-1, "best lr {best}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let space = ParamSpace::new().float("x", 0.0, 1.0, false);
+        let a = search(&space, 20, 9, |s| s["x"].as_f64());
+        let b = search(&space, 20, 9, |s| s["x"].as_f64());
+        assert_eq!(a.best_params, b.best_params);
+    }
+
+    #[test]
+    fn trials_are_recorded() {
+        let space = ParamSpace::new().int("k", 0, 5);
+        let r = search(&space, 15, 2, |s| s["k"].as_i64() as f64);
+        assert_eq!(r.trials.len(), 15);
+    }
+}

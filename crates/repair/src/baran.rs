@@ -1,0 +1,288 @@
+//! BARAN (Mahdavi & Abedjan): holistic, configuration-free error
+//! correction. Three incrementally updatable candidate models — the
+//! **value** model (string-similarity transformations of the erroneous
+//! value), the **vicinity** model (co-occurrence with the row's other
+//! attributes) and the **domain** model (column value distribution) —
+//! propose corrections; their votes are combined with weights learned from
+//! a small set of labelled corrections (the "Labels" signal of Table 1,
+//! simulated from the ground truth, standing in for Wikipedia revision
+//! data).
+
+use std::collections::HashMap;
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use rein_data::{CellMask, CellRef, Table, Value};
+
+use crate::context::{RepairContext, RepairOutcome, Repairer};
+
+/// BARAN repairer.
+#[derive(Debug, Clone)]
+pub struct Baran {
+    /// Minimum combined score for a candidate to be applied.
+    pub min_score: f64,
+}
+
+impl Default for Baran {
+    fn default() -> Self {
+        Self { min_score: 0.2 }
+    }
+}
+
+/// Character-trigram similarity (the value model's transformation proxy).
+fn trigram_sim(a: &str, b: &str) -> f64 {
+    let grams = |s: &str| -> std::collections::HashSet<String> {
+        let lower = s.to_lowercase();
+        let cs: Vec<char> = lower.chars().collect();
+        if cs.len() < 3 {
+            return [lower].into_iter().collect();
+        }
+        cs.windows(3).map(|w| w.iter().collect()).collect()
+    };
+    let ga = grams(a);
+    let gb = grams(b);
+    if ga.is_empty() && gb.is_empty() {
+        return 1.0;
+    }
+    let inter = ga.intersection(&gb).count();
+    inter as f64 / (ga.len() + gb.len() - inter).max(1) as f64
+}
+
+/// Per-column evidence shared by all candidate models.
+struct ColumnModels {
+    /// Candidate domain: trusted values with relative frequencies.
+    domain: Vec<(Value, f64)>,
+    /// vicinity: (other_col, other_value_key) -> value votes.
+    vicinity: HashMap<(usize, String), HashMap<String, f64>>,
+}
+
+fn build_models(t: &Table, det: &CellMask, col: usize) -> ColumnModels {
+    let trusted_rows: Vec<usize> =
+        (0..t.n_rows()).filter(|&r| !det.get(r, col) && !t.cell(r, col).is_null()).collect();
+    let mut counts: HashMap<String, (Value, usize)> = HashMap::new();
+    for &r in &trusted_rows {
+        let v = t.cell(r, col);
+        counts.entry(v.as_key().into_owned()).or_insert((v.clone(), 0)).1 += 1;
+    }
+    let total = trusted_rows.len().max(1) as f64;
+    let mut domain: Vec<(Value, f64)> =
+        counts.into_values().map(|(v, n)| (v, n as f64 / total)).collect();
+    domain.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.total_cmp(&b.0)));
+    domain.truncate(64);
+
+    let mut vicinity: HashMap<(usize, String), HashMap<String, f64>> = HashMap::new();
+    for other in 0..t.n_cols() {
+        if other == col {
+            continue;
+        }
+        for &r in &trusted_rows {
+            let anchor = t.cell(r, other);
+            if anchor.is_null() || det.get(r, other) {
+                continue;
+            }
+            let entry = vicinity
+                .entry((other, anchor.as_key().into_owned()))
+                .or_default();
+            *entry.entry(t.cell(r, col).as_key().into_owned()).or_insert(0.0) += 1.0;
+        }
+    }
+    // Normalise vicinity votes per anchor.
+    for votes in vicinity.values_mut() {
+        let s: f64 = votes.values().sum();
+        if s > 0.0 {
+            votes.values_mut().for_each(|v| *v /= s);
+        }
+    }
+    ColumnModels { domain, vicinity }
+}
+
+/// Per-model score of `candidate` for cell `(row, col)`.
+fn model_scores(
+    t: &Table,
+    det: &CellMask,
+    models: &ColumnModels,
+    row: usize,
+    col: usize,
+    candidate: &Value,
+) -> [f64; 3] {
+    let error = t.cell(row, col).to_string();
+    let cand_key = candidate.as_key().into_owned();
+    // Value model: similarity of candidate to the erroneous spelling.
+    let value_score = trigram_sim(&error, &candidate.to_string());
+    // Vicinity model: co-occurrence votes from the row's trusted attributes.
+    let mut vicinity_score = 0.0;
+    let mut anchors = 0usize;
+    for other in 0..t.n_cols() {
+        if other == col || det.get(row, other) {
+            continue;
+        }
+        let anchor = t.cell(row, other);
+        if anchor.is_null() {
+            continue;
+        }
+        if let Some(votes) = models.vicinity.get(&(other, anchor.as_key().into_owned())) {
+            vicinity_score += votes.get(&cand_key).copied().unwrap_or(0.0);
+            anchors += 1;
+        }
+    }
+    if anchors > 0 {
+        vicinity_score /= anchors as f64;
+    }
+    // Domain model: candidate frequency.
+    let domain_score = models
+        .domain
+        .iter()
+        .find(|(v, _)| v == candidate)
+        .map(|(_, f)| *f)
+        .unwrap_or(0.0);
+    [value_score, vicinity_score, domain_score]
+}
+
+impl Repairer for Baran {
+    fn name(&self) -> &'static str {
+        "baran"
+    }
+
+    fn repair(&self, ctx: &RepairContext<'_>) -> RepairOutcome {
+        let t = ctx.dirty;
+        let det = ctx.detections;
+        let mut table = t.clone();
+        let mut repaired = CellMask::new(t.n_rows(), t.n_cols());
+
+        let per_column_models: HashMap<usize, ColumnModels> = (0..t.n_cols())
+            .filter(|&c| det.count_col(c) > 0)
+            .map(|c| (c, build_models(t, det, c)))
+            .collect();
+
+        // Learn model weights from labelled corrections (incremental
+        // training on user feedback in the original; ground-truth oracle
+        // here, exactly as the benchmark supplies it).
+        let mut weights = [1.0f64, 1.0, 1.0];
+        if let Some(clean) = ctx.clean {
+            let mut rng = StdRng::seed_from_u64(ctx.seed);
+            let mut labelled: Vec<CellRef> = det
+                .iter()
+                .filter(|cell| cell.row < clean.n_rows())
+                .collect();
+            labelled.shuffle(&mut rng);
+            labelled.truncate(ctx.label_budget.max(5));
+            let mut hits = [1.0f64; 3]; // Laplace smoothing
+            for cell in labelled {
+                let truth = clean.cell(cell.row, cell.col);
+                let Some(models) = per_column_models.get(&cell.col) else { continue };
+                // Which model ranks the truth highest among domain cands?
+                for (m, hit) in hits.iter_mut().enumerate() {
+                    let truth_score =
+                        model_scores(t, det, models, cell.row, cell.col, truth)[m];
+                    let best_other = models
+                        .domain
+                        .iter()
+                        .filter(|(v, _)| v != truth)
+                        .map(|(v, _)| model_scores(t, det, models, cell.row, cell.col, v)[m])
+                        .fold(0.0, f64::max);
+                    if truth_score > best_other {
+                        *hit += 1.0;
+                    }
+                }
+            }
+            let total: f64 = hits.iter().sum();
+            for (w, h) in weights.iter_mut().zip(hits) {
+                *w = h / total * 3.0;
+            }
+        }
+
+        for cell in det.iter() {
+            let Some(models) = per_column_models.get(&cell.col) else { continue };
+            let mut best: Option<(&Value, f64)> = None;
+            for (cand, _) in &models.domain {
+                let s = model_scores(t, det, models, cell.row, cell.col, cand);
+                let combined =
+                    (weights[0] * s[0] + weights[1] * s[1] + weights[2] * s[2]) / 3.0;
+                if best.is_none_or(|(_, b)| combined > b) {
+                    best = Some((cand, combined));
+                }
+            }
+            if let Some((cand, score)) = best {
+                if score >= self.min_score && cand != t.cell(cell.row, cell.col) {
+                    table.set_cell(cell.row, cell.col, cand.clone());
+                    repaired.set(cell.row, cell.col, true);
+                }
+            }
+        }
+        RepairOutcome::repaired(table, repaired)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rein_data::diff::diff_mask;
+    use rein_data::{ColumnMeta, ColumnType, Schema};
+
+    fn dataset() -> (Table, Table, CellMask) {
+        let schema = Schema::new(vec![
+            ColumnMeta::new("zip", ColumnType::Str),
+            ColumnMeta::new("city", ColumnType::Str),
+        ]);
+        let clean = Table::from_rows(
+            schema,
+            (0..60)
+                .map(|i| {
+                    vec![
+                        Value::str(["10115", "80331", "20095"][i % 3]),
+                        Value::str(["Berlin", "Munich", "Hamburg"][i % 3]),
+                    ]
+                })
+                .collect(),
+        );
+        let mut dirty = clean.clone();
+        dirty.set_cell(3, 1, Value::str("Berlln")); // typo: value model territory (truth Berlin)
+        dirty.set_cell(7, 1, Value::str("Hamburg")); // wrong city: vicinity territory
+        dirty.set_cell(11, 1, Value::Null); // missing: domain/vicinity
+        let det = diff_mask(&clean, &dirty);
+        (clean, dirty, det)
+    }
+
+    #[test]
+    fn baran_corrects_typos_via_value_model() {
+        let (clean, dirty, det) = dataset();
+        let ctx = RepairContext { clean: Some(&clean), ..RepairContext::new(&dirty, &det) };
+        let out = Baran::default().repair(&ctx);
+        let t = out.table().unwrap();
+        assert_eq!(t.cell(3, 1), &Value::str("Berlin"), "typo corrected");
+    }
+
+    #[test]
+    fn baran_corrects_semantic_errors_via_vicinity() {
+        let (clean, dirty, det) = dataset();
+        let ctx = RepairContext { clean: Some(&clean), ..RepairContext::new(&dirty, &det) };
+        let out = Baran::default().repair(&ctx);
+        let t = out.table().unwrap();
+        assert_eq!(t.cell(7, 1), &Value::str("Munich"), "vicinity vote");
+        assert_eq!(t.cell(11, 1), &Value::str("Hamburg"), "missing value filled");
+    }
+
+    #[test]
+    fn baran_works_without_labels_using_uniform_weights() {
+        let (_, dirty, det) = dataset();
+        let out = Baran::default().repair(&RepairContext::new(&dirty, &det));
+        let t = out.table().unwrap();
+        // Typo correction only needs value+domain evidence.
+        assert_eq!(t.cell(3, 1), &Value::str("Berlin"));
+    }
+
+    #[test]
+    fn untouched_cells_stay_identical() {
+        let (clean, dirty, det) = dataset();
+        let ctx = RepairContext { clean: Some(&clean), ..RepairContext::new(&dirty, &det) };
+        let out = Baran::default().repair(&ctx);
+        let t = out.table().unwrap();
+        for r in 0..dirty.n_rows() {
+            for c in 0..dirty.n_cols() {
+                if !det.get(r, c) {
+                    assert_eq!(t.cell(r, c), dirty.cell(r, c));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! CleanLab as a *repair* method (Table 1 row 16): relabelling. Detected
+//! label cells are replaced by the prediction of a classifier trained on
+//! the rows whose labels were not flagged.
+
+use rein_data::{CellMask, Value};
+use rein_ml::encode::{select_matrix_rows, Encoder, LabelMap};
+use rein_ml::forest::{ForestParams, RandomForestClassifier};
+use rein_ml::model::Classifier;
+
+use crate::context::{RepairContext, RepairOutcome, Repairer};
+
+/// CleanLab relabeller.
+#[derive(Debug, Default, Clone)]
+pub struct CleanLabRepair;
+
+impl Repairer for CleanLabRepair {
+    fn name(&self) -> &'static str {
+        "cleanlab"
+    }
+
+    fn repair(&self, ctx: &RepairContext<'_>) -> RepairOutcome {
+        let t = ctx.dirty;
+        let det = ctx.detections;
+        let mut table = t.clone();
+        let mut repaired = CellMask::new(t.n_rows(), t.n_cols());
+        let Some(label_col) = ctx.label_col else {
+            return RepairOutcome::repaired(table, repaired);
+        };
+        if det.count_col(label_col) == 0 {
+            return RepairOutcome::repaired(table, repaired);
+        }
+        let feature_cols: Vec<usize> =
+            (0..t.n_cols()).filter(|&c| c != label_col).collect();
+        let labels = LabelMap::fit([t], label_col);
+        if labels.n_classes() < 2 || feature_cols.is_empty() {
+            return RepairOutcome::repaired(table, repaired);
+        }
+        let encoder = Encoder::fit(t, &feature_cols);
+        let x = encoder.transform(t);
+        let (rows, y) = labels.encode(t, label_col);
+        let trusted: Vec<(usize, usize)> = rows
+            .iter()
+            .zip(&y)
+            .filter(|(r, _)| !det.get(**r, label_col))
+            .map(|(&r, &v)| (r, v))
+            .collect();
+        if trusted.len() < 10 {
+            return RepairOutcome::repaired(table, repaired);
+        }
+        let tr_rows: Vec<usize> = trusted.iter().map(|(r, _)| *r).collect();
+        let tr_y: Vec<usize> = trusted.iter().map(|(_, v)| *v).collect();
+        let xs = select_matrix_rows(&x, &tr_rows);
+        let mut model = RandomForestClassifier::new(
+            ForestParams { n_trees: 20, ..Default::default() },
+            ctx.seed,
+        );
+        model.fit(&xs, &tr_y, labels.n_classes());
+
+        let flagged: Vec<usize> =
+            (0..t.n_rows()).filter(|&r| det.get(r, label_col)).collect();
+        let xf = select_matrix_rows(&x, &flagged);
+        let preds = model.predict(&xf);
+        for (local, &row) in flagged.iter().enumerate() {
+            let new_label = Value::parse(labels.name_of(preds[local]));
+            if &new_label != t.cell(row, label_col) {
+                table.set_cell(row, label_col, new_label);
+                repaired.set(row, label_col, true);
+            }
+        }
+        RepairOutcome::repaired(table, repaired)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rein_data::diff::diff_mask;
+    use rein_data::{ColumnMeta, ColumnType, Schema, Table};
+
+    fn dataset() -> (Table, Table, CellMask) {
+        let schema = Schema::new(vec![
+            ColumnMeta::new("x", ColumnType::Float),
+            ColumnMeta::new("y", ColumnType::Str).label(),
+        ]);
+        let clean = Table::from_rows(
+            schema,
+            (0..100)
+                .map(|i| {
+                    let pos = i % 2 == 0;
+                    vec![
+                        Value::Float(if pos { 10.0 } else { -10.0 } + (i % 5) as f64 * 0.1),
+                        Value::str(if pos { "pos" } else { "neg" }),
+                    ]
+                })
+                .collect(),
+        );
+        let mut dirty = clean.clone();
+        for r in [4usize, 17, 62, 81] {
+            let cur = dirty.cell(r, 1).to_string();
+            dirty.set_cell(r, 1, Value::str(if cur == "pos" { "neg" } else { "pos" }));
+        }
+        let det = diff_mask(&clean, &dirty);
+        (clean, dirty, det)
+    }
+
+    #[test]
+    fn relabels_flagged_cells_correctly() {
+        let (clean, dirty, det) = dataset();
+        let ctx = RepairContext { label_col: Some(1), ..RepairContext::new(&dirty, &det) };
+        let out = CleanLabRepair.repair(&ctx);
+        let t = out.table().unwrap();
+        for r in [4usize, 17, 62, 81] {
+            assert_eq!(t.cell(r, 1), clean.cell(r, 1), "row {r}");
+        }
+    }
+
+    #[test]
+    fn without_label_column_nothing_happens() {
+        let (_, dirty, det) = dataset();
+        let out = CleanLabRepair.repair(&RepairContext::new(&dirty, &det));
+        assert_eq!(out.table().unwrap(), &dirty);
+    }
+
+    #[test]
+    fn feature_detections_do_not_trigger_relabelling() {
+        let (_, dirty, _) = dataset();
+        let mut det = CellMask::new(dirty.n_rows(), dirty.n_cols());
+        det.set(3, 0, true); // feature cell, not label
+        let ctx = RepairContext { label_col: Some(1), ..RepairContext::new(&dirty, &det) };
+        let out = CleanLabRepair.repair(&ctx);
+        assert_eq!(out.table().unwrap(), &dirty);
+    }
+}

@@ -1,0 +1,147 @@
+//! Repair context and outcome types.
+//!
+//! A repairer consumes the dirty table plus the cells a detector flagged
+//! and produces either a repaired table (generic methods, category I) or a
+//! trained model (ML-oriented methods, category II — their output *is* the
+//! model, evaluated under scenario S5).
+
+use rein_constraints::fd::FunctionalDependency;
+use rein_data::{CellMask, Table};
+use rein_ml::encode::{Encoder, LabelMap};
+use rein_ml::linalg::Matrix;
+use rein_ml::model::Classifier;
+
+/// Everything a repair method may consume.
+pub struct RepairContext<'a> {
+    /// The dirty table.
+    pub dirty: &'a Table,
+    /// Cells flagged by the upstream detector — the set to repair.
+    pub detections: &'a CellMask,
+    /// Ground truth, for the GT upper bound and for simulated oracles
+    /// (BARAN's labelled corrections, ActiveClean/CPClean's cleaning
+    /// oracle) — exactly the paper's use of it.
+    pub clean: Option<&'a Table>,
+    /// FD rules (HoloClean signal).
+    pub fds: &'a [FunctionalDependency],
+    /// Label column for model-producing methods.
+    pub label_col: Option<usize>,
+    /// Oracle/label budget for methods that consume labelled corrections.
+    pub label_budget: usize,
+    /// Seed for stochastic repairers.
+    pub seed: u64,
+}
+
+impl<'a> RepairContext<'a> {
+    /// Minimal context.
+    pub fn new(dirty: &'a Table, detections: &'a CellMask) -> Self {
+        Self {
+            dirty,
+            detections,
+            clean: None,
+            fds: &[],
+            label_col: None,
+            label_budget: 20,
+            seed: 0,
+        }
+    }
+}
+
+/// A model produced by an ML-oriented repairer, bundled with its encoding
+/// so it can be applied to any compatible data version.
+pub struct TrainedPipeline {
+    /// The trained classifier.
+    pub model: Box<dyn Classifier>,
+    /// Feature encoder fitted during training.
+    pub encoder: Encoder,
+    /// Label map fitted during training.
+    pub labels: LabelMap,
+    /// Feature column indices.
+    pub feature_cols: Vec<usize>,
+    /// Label column index.
+    pub label_col: usize,
+}
+
+impl TrainedPipeline {
+    /// Predicts class ids for every row of `table`.
+    pub fn predict(&self, table: &Table) -> Vec<usize> {
+        let x = self.encoder.transform(table);
+        self.model.predict(&x)
+    }
+
+    /// Macro-F1 of the pipeline on `table` (rows with unknown labels are
+    /// skipped).
+    pub fn f1_on(&self, table: &Table) -> f64 {
+        let (rows, truth) = self.labels.encode(table, self.label_col);
+        if rows.is_empty() {
+            return f64::NAN;
+        }
+        let x = self.encoder.transform(table);
+        let xs = rein_ml::encode::select_matrix_rows(&x, &rows);
+        let preds = self.model.predict(&xs);
+        rein_ml::metrics::classification_report(&truth, &preds, self.labels.n_classes()).f1
+    }
+
+    /// Encoded features for external use.
+    pub fn encode(&self, table: &Table) -> Matrix {
+        self.encoder.transform(table)
+    }
+}
+
+/// Outcome of a repair method.
+pub enum RepairOutcome {
+    /// A repaired data version plus the cells actually modified (rows may
+    /// shrink for the Delete strategy — `row_map[i]` gives the original
+    /// dirty-row index of output row `i`).
+    Repaired {
+        /// The repaired table.
+        table: Table,
+        /// Cells modified, sized to the *output* table.
+        repaired_cells: CellMask,
+        /// Output-row → dirty-row mapping.
+        row_map: Vec<usize>,
+    },
+    /// A trained model (ML-oriented methods; scenario S5).
+    Model(TrainedPipeline),
+}
+
+impl RepairOutcome {
+    /// Convenience constructor for same-shape repairs.
+    pub fn repaired(table: Table, repaired_cells: CellMask) -> Self {
+        let row_map = (0..table.n_rows()).collect();
+        RepairOutcome::Repaired { table, repaired_cells, row_map }
+    }
+
+    /// The repaired table, if this outcome carries one.
+    pub fn table(&self) -> Option<&Table> {
+        match self {
+            RepairOutcome::Repaired { table, .. } => Some(table),
+            RepairOutcome::Model(_) => None,
+        }
+    }
+}
+
+/// A repair method.
+pub trait Repairer: Send + Sync {
+    /// Stable name used in figures and result tables.
+    fn name(&self) -> &'static str;
+    /// Runs the repair.
+    fn repair(&self, ctx: &RepairContext<'_>) -> RepairOutcome;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rein_data::{ColumnMeta, ColumnType, Schema, Value};
+
+    #[test]
+    fn outcome_accessors() {
+        let schema = Schema::new(vec![ColumnMeta::new("x", ColumnType::Int)]);
+        let t = Table::from_rows(schema, vec![vec![Value::Int(1)]]);
+        let out = RepairOutcome::repaired(t.clone(), CellMask::new(1, 1));
+        assert_eq!(out.table().unwrap().n_rows(), 1);
+        match out {
+            RepairOutcome::Repaired { row_map, .. } => assert_eq!(row_map, vec![0]),
+            _ => panic!("expected repaired"),
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! Generic repairers without learned models: the ground-truth upper bound,
+//! the Delete strategy, and the three standard imputation baselines
+//! (mean-mode, median-mode, mode-mode).
+
+use rein_data::{CellMask, Value};
+use rein_stats::descriptive;
+
+use crate::context::{RepairContext, RepairOutcome, Repairer};
+
+/// Ground-truth repair — the performance upper bound ("GT" in Table 1).
+/// Detected cells are replaced by their true values; detected rows that do
+/// not exist in the clean table (injected duplicates) are removed.
+#[derive(Debug, Default, Clone)]
+pub struct GroundTruthRepair;
+
+impl Repairer for GroundTruthRepair {
+    fn name(&self) -> &'static str {
+        "ground_truth"
+    }
+
+    fn repair(&self, ctx: &RepairContext<'_>) -> RepairOutcome {
+        let Some(clean) = ctx.clean else {
+            return RepairOutcome::repaired(
+                ctx.dirty.clone(),
+                CellMask::new(ctx.dirty.n_rows(), ctx.dirty.n_cols()),
+            );
+        };
+        let dirty = ctx.dirty;
+        // Rows beyond the clean table are injected duplicates: drop those
+        // that were detected.
+        let keep: Vec<usize> = (0..dirty.n_rows())
+            .filter(|&r| {
+                r < clean.n_rows() || !(0..dirty.n_cols()).any(|c| ctx.detections.get(r, c))
+            })
+            .collect();
+        let mut table = dirty.select_rows(&keep);
+        let mut repaired = CellMask::new(table.n_rows(), table.n_cols());
+        for (out_r, &orig_r) in keep.iter().enumerate() {
+            if orig_r >= clean.n_rows() {
+                continue;
+            }
+            for c in 0..table.n_cols() {
+                if ctx.detections.get(orig_r, c) {
+                    table.set_cell(out_r, c, clean.cell(orig_r, c).clone());
+                    repaired.set(out_r, c, true);
+                }
+            }
+        }
+        RepairOutcome::Repaired { table, repaired_cells: repaired, row_map: keep }
+    }
+}
+
+/// Delete strategy: drops every row containing a detected cell.
+#[derive(Debug, Default, Clone)]
+pub struct DeleteRows;
+
+impl Repairer for DeleteRows {
+    fn name(&self) -> &'static str {
+        "delete"
+    }
+
+    fn repair(&self, ctx: &RepairContext<'_>) -> RepairOutcome {
+        let dirty = ctx.dirty;
+        let keep: Vec<usize> = (0..dirty.n_rows())
+            .filter(|&r| !(0..dirty.n_cols()).any(|c| ctx.detections.get(r, c)))
+            .collect();
+        let table = dirty.select_rows(&keep);
+        let repaired = CellMask::new(table.n_rows(), table.n_cols());
+        RepairOutcome::Repaired { table, repaired_cells: repaired, row_map: keep }
+    }
+}
+
+/// Statistic used for numeric cells by the standard imputers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NumericStat {
+    /// Column mean.
+    Mean,
+    /// Column median.
+    Median,
+    /// Column mode.
+    Mode,
+}
+
+/// Standard imputation: `NumericStat` for numeric columns, mode for
+/// categorical columns (Table 1 rows 3–5).
+#[derive(Debug, Clone)]
+pub struct StandardImpute {
+    /// Numeric statistic.
+    pub numeric: NumericStat,
+}
+
+impl StandardImpute {
+    /// Mean-mode imputer.
+    pub fn mean_mode() -> Self {
+        Self { numeric: NumericStat::Mean }
+    }
+
+    /// Median-mode imputer.
+    pub fn median_mode() -> Self {
+        Self { numeric: NumericStat::Median }
+    }
+
+    /// Mode-mode imputer.
+    pub fn mode_mode() -> Self {
+        Self { numeric: NumericStat::Mode }
+    }
+}
+
+impl Repairer for StandardImpute {
+    fn name(&self) -> &'static str {
+        match self.numeric {
+            NumericStat::Mean => "impute_mean_mode",
+            NumericStat::Median => "impute_median_mode",
+            NumericStat::Mode => "impute_mode_mode",
+        }
+    }
+
+    fn repair(&self, ctx: &RepairContext<'_>) -> RepairOutcome {
+        let dirty = ctx.dirty;
+        let mut table = dirty.clone();
+        let mut repaired = CellMask::new(dirty.n_rows(), dirty.n_cols());
+        for c in 0..dirty.n_cols() {
+            if ctx.detections.count_col(c) == 0 {
+                continue;
+            }
+            // Statistics from the *undetected* cells only.
+            let trusted: Vec<f64> = (0..dirty.n_rows())
+                .filter(|&r| !ctx.detections.get(r, c))
+                .filter_map(|r| dirty.cell(r, c).as_f64())
+                .collect();
+            let numeric_majority = {
+                let non_null =
+                    (0..dirty.n_rows()).filter(|&r| !dirty.cell(r, c).is_null()).count();
+                trusted.len() * 2 >= non_null.max(1)
+            };
+            let replacement: Value = if numeric_majority && !trusted.is_empty() {
+                match self.numeric {
+                    NumericStat::Mean => Value::float(descriptive::mean(&trusted)),
+                    NumericStat::Median => Value::float(descriptive::median(&trusted)),
+                    NumericStat::Mode => {
+                        // Mode over exact values.
+                        let mut counts: std::collections::HashMap<u64, (f64, usize)> =
+                            Default::default();
+                        for &x in &trusted {
+                            counts.entry(x.to_bits()).or_insert((x, 0)).1 += 1;
+                        }
+                        let mode = counts
+                            .values()
+                            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.total_cmp(&a.0)))
+                            .map(|&(x, _)| x)
+                            .unwrap_or(0.0);
+                        Value::float(mode)
+                    }
+                }
+            } else {
+                // Mode over trusted categorical values.
+                let mut counts: std::collections::HashMap<String, usize> = Default::default();
+                for r in 0..dirty.n_rows() {
+                    if !ctx.detections.get(r, c) && !dirty.cell(r, c).is_null() {
+                        *counts.entry(dirty.cell(r, c).as_key().into_owned()).or_insert(0) += 1;
+                    }
+                }
+                match counts.into_iter().max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0))) {
+                    Some((v, _)) => Value::parse(&v),
+                    None => Value::Null,
+                }
+            };
+            for r in 0..dirty.n_rows() {
+                if ctx.detections.get(r, c) {
+                    table.set_cell(r, c, replacement.clone());
+                    repaired.set(r, c, true);
+                }
+            }
+        }
+        RepairOutcome::repaired(table, repaired)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rein_data::diff::diff_mask;
+    use rein_data::{ColumnMeta, ColumnType, Schema, Table};
+
+    fn dataset() -> (Table, Table, CellMask) {
+        let schema = Schema::new(vec![
+            ColumnMeta::new("x", ColumnType::Float),
+            ColumnMeta::new("c", ColumnType::Str),
+        ]);
+        let clean = Table::from_rows(
+            schema,
+            (0..20)
+                .map(|i| vec![Value::Float((i % 4) as f64), Value::str(["a", "b"][i % 2])])
+                .collect(),
+        );
+        let mut dirty = clean.clone();
+        dirty.set_cell(3, 0, Value::Float(500.0));
+        dirty.set_cell(7, 1, Value::str("zzz"));
+        let detections = diff_mask(&clean, &dirty);
+        (clean, dirty, detections)
+    }
+
+    #[test]
+    fn ground_truth_restores_everything() {
+        let (clean, dirty, det) = dataset();
+        let ctx = RepairContext { clean: Some(&clean), ..RepairContext::new(&dirty, &det) };
+        let out = GroundTruthRepair.repair(&ctx);
+        let t = out.table().unwrap();
+        assert_eq!(t, &clean);
+    }
+
+    #[test]
+    fn ground_truth_drops_detected_duplicate_rows() {
+        let (clean, mut dirty, _) = dataset();
+        dirty.push_row(vec![Value::Float(0.0), Value::str("a")]); // injected dup
+        let det = diff_mask(&clean, &dirty);
+        let ctx = RepairContext { clean: Some(&clean), ..RepairContext::new(&dirty, &det) };
+        let out = GroundTruthRepair.repair(&ctx);
+        assert_eq!(out.table().unwrap().n_rows(), clean.n_rows());
+    }
+
+    #[test]
+    fn delete_removes_flagged_rows() {
+        let (_, dirty, det) = dataset();
+        let out = DeleteRows.repair(&RepairContext::new(&dirty, &det));
+        match out {
+            RepairOutcome::Repaired { table, row_map, .. } => {
+                assert_eq!(table.n_rows(), 18);
+                assert!(!row_map.contains(&3));
+                assert!(!row_map.contains(&7));
+            }
+            _ => panic!("expected repaired"),
+        }
+    }
+
+    #[test]
+    fn mean_impute_uses_trusted_cells_only() {
+        let (_, dirty, det) = dataset();
+        let out = StandardImpute::mean_mode().repair(&RepairContext::new(&dirty, &det));
+        let t = out.table().unwrap();
+        // Trusted values of col 0 are (i % 4) over i != 3 -> mean ~1.47,
+        // definitely not influenced by the 500.0 outlier.
+        let v = t.cell(3, 0).as_f64().unwrap();
+        assert!(v < 3.0, "imputed {v}");
+    }
+
+    #[test]
+    fn mode_impute_for_categorical() {
+        let (_, dirty, det) = dataset();
+        let out = StandardImpute::mode_mode().repair(&RepairContext::new(&dirty, &det));
+        let t = out.table().unwrap();
+        // Row 7 is odd -> true value "b"; mode over trusted is "a" (10 vs 9).
+        let v = t.cell(7, 1).to_string();
+        assert!(v == "a" || v == "b");
+        assert_ne!(v, "zzz");
+    }
+
+    #[test]
+    fn median_differs_from_mean_under_skew() {
+        let schema = Schema::new(vec![ColumnMeta::new("x", ColumnType::Float)]);
+        let mut rows: Vec<Vec<Value>> = (0..21).map(|_| vec![Value::Float(1.0)]).collect();
+        rows[20][0] = Value::Float(1000.0); // trusted but skewing value
+        let dirty = {
+            let mut d = Table::from_rows(schema, rows);
+            d.set_cell(0, 0, Value::Null);
+            d
+        };
+        let mut det = CellMask::new(21, 1);
+        det.set(0, 0, true);
+        let mean_t = StandardImpute::mean_mode().repair(&RepairContext::new(&dirty, &det));
+        let median_t = StandardImpute::median_mode().repair(&RepairContext::new(&dirty, &det));
+        let mean_v = mean_t.table().unwrap().cell(0, 0).as_f64().unwrap();
+        let median_v = median_t.table().unwrap().cell(0, 0).as_f64().unwrap();
+        assert!(mean_v > 40.0);
+        assert_eq!(median_v, 1.0);
+    }
+
+    #[test]
+    fn repaired_cells_mask_matches_detections_for_imputers() {
+        let (_, dirty, det) = dataset();
+        let out = StandardImpute::mean_mode().repair(&RepairContext::new(&dirty, &det));
+        match out {
+            RepairOutcome::Repaired { repaired_cells, .. } => assert_eq!(repaired_cells, det),
+            _ => panic!(),
+        }
+    }
+}

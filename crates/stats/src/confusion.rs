@@ -1,0 +1,114 @@
+//! Cell-level detection quality: precision, recall, F1 (§6.1 of the paper).
+
+use rein_data::CellMask;
+use serde::{Deserialize, Serialize};
+
+/// Precision / recall / F1 together with the raw confusion counts.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DetectionQuality {
+    /// Detected cells that are actually erroneous.
+    pub true_positives: usize,
+    /// Detected cells that are actually clean.
+    pub false_positives: usize,
+    /// Erroneous cells the detector missed.
+    pub false_negatives: usize,
+    /// `tp / (tp + fp)`; 0 when nothing was detected.
+    pub precision: f64,
+    /// `tp / (tp + fn)`; 0 when the ground truth has no errors.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall; 0 when both are 0.
+    pub f1: f64,
+}
+
+impl DetectionQuality {
+    /// Computes quality from raw confusion counts.
+    pub fn from_counts(tp: usize, fp: usize, fneg: usize) -> Self {
+        let precision = if tp + fp == 0 { 0.0 } else { tp as f64 / (tp + fp) as f64 };
+        let recall = if tp + fneg == 0 { 0.0 } else { tp as f64 / (tp + fneg) as f64 };
+        let f1 = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        Self { true_positives: tp, false_positives: fp, false_negatives: fneg, precision, recall, f1 }
+    }
+
+    /// Total number of cells the detector flagged.
+    pub fn detected(&self) -> usize {
+        self.true_positives + self.false_positives
+    }
+
+    /// Total number of actually erroneous cells.
+    pub fn actual_errors(&self) -> usize {
+        self.true_positives + self.false_negatives
+    }
+}
+
+/// Evaluates a detection mask against the ground-truth error mask.
+///
+/// # Panics
+/// Panics on mask dimension mismatch (the masks come from the same table).
+pub fn evaluate_detection(detected: &CellMask, actual: &CellMask) -> DetectionQuality {
+    let tp = detected.intersect(actual).count();
+    let fp = detected.count() - tp;
+    let fneg = actual.count() - tp;
+    DetectionQuality::from_counts(tp, fp, fneg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rein_data::CellRef;
+
+    fn mask(cells: &[(usize, usize)]) -> CellMask {
+        CellMask::from_cells(10, 4, cells.iter().map(|&(r, c)| CellRef::new(r, c)))
+    }
+
+    #[test]
+    fn perfect_detection() {
+        let actual = mask(&[(0, 0), (1, 2), (3, 3)]);
+        let q = evaluate_detection(&actual, &actual);
+        assert_eq!(q.precision, 1.0);
+        assert_eq!(q.recall, 1.0);
+        assert_eq!(q.f1, 1.0);
+        assert_eq!(q.true_positives, 3);
+    }
+
+    #[test]
+    fn partial_overlap() {
+        let actual = mask(&[(0, 0), (1, 1), (2, 2), (3, 3)]);
+        let detected = mask(&[(0, 0), (1, 1), (5, 0), (6, 0)]);
+        let q = evaluate_detection(&detected, &actual);
+        assert_eq!(q.true_positives, 2);
+        assert_eq!(q.false_positives, 2);
+        assert_eq!(q.false_negatives, 2);
+        assert_eq!(q.precision, 0.5);
+        assert_eq!(q.recall, 0.5);
+        assert_eq!(q.f1, 0.5);
+        assert_eq!(q.detected(), 4);
+        assert_eq!(q.actual_errors(), 4);
+    }
+
+    #[test]
+    fn empty_detection_yields_zero_scores() {
+        let actual = mask(&[(0, 0)]);
+        let q = evaluate_detection(&mask(&[]), &actual);
+        assert_eq!(q.precision, 0.0);
+        assert_eq!(q.recall, 0.0);
+        assert_eq!(q.f1, 0.0);
+    }
+
+    #[test]
+    fn no_actual_errors() {
+        let q = evaluate_detection(&mask(&[(1, 1)]), &mask(&[]));
+        assert_eq!(q.recall, 0.0);
+        assert_eq!(q.precision, 0.0);
+        assert_eq!(q.false_positives, 1);
+    }
+
+    #[test]
+    fn f1_is_harmonic_mean() {
+        let q = DetectionQuality::from_counts(1, 0, 3); // P=1, R=0.25
+        assert!((q.f1 - 0.4).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,88 @@
+//! # rein-stats
+//!
+//! Evaluation metrics and statistical machinery of the REIN benchmark
+//! (§6.1 and §4 of the paper): cell-level detection precision/recall/F1,
+//! the true-positive-restricted IoU similarity between detectors, repair
+//! quality metrics (categorical P/R/F1, numerical RMSE with the paper's
+//! filtering rule), descriptive statistics, and the two-tailed Wilcoxon
+//! signed-rank A/B test with continuity correction.
+
+pub mod confusion;
+pub mod descriptive;
+pub mod iou;
+pub mod repair_quality;
+pub mod wilcoxon;
+
+pub use confusion::{evaluate_detection, DetectionQuality};
+pub use descriptive::{mean, mean_std, median, quantile, sample_std, std_dev, MeanStd};
+pub use iou::{iou, iou_matrix, iou_true_positives};
+pub use repair_quality::{categorical_repair_quality, numerical_rmse, RmseReport};
+pub use wilcoxon::{wilcoxon_signed_rank, WilcoxonError, WilcoxonResult};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn detection_quality_invariants(tp in 0usize..500, fp in 0usize..500, fneg in 0usize..500) {
+            let q = confusion::DetectionQuality::from_counts(tp, fp, fneg);
+            prop_assert!((0.0..=1.0).contains(&q.precision));
+            prop_assert!((0.0..=1.0).contains(&q.recall));
+            prop_assert!((0.0..=1.0).contains(&q.f1));
+            // F1 lies between min and max of P and R (or is 0 when both 0).
+            if q.precision + q.recall > 0.0 {
+                prop_assert!(q.f1 <= q.precision.max(q.recall) + 1e-12);
+                prop_assert!(q.f1 >= q.precision.min(q.recall) - 1e-12);
+            }
+        }
+
+        #[test]
+        fn wilcoxon_p_value_in_unit_interval(
+            pairs in prop::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 2..40)
+        ) {
+            let a: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+            let b: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+            if let Ok(r) = wilcoxon::wilcoxon_signed_rank(&a, &b) {
+                prop_assert!((0.0..=1.0).contains(&r.p_value), "p = {}", r.p_value);
+                prop_assert!(r.statistic >= 0.0);
+                prop_assert!(r.n_used <= a.len());
+            }
+        }
+
+        #[test]
+        fn wilcoxon_symmetry(
+            pairs in prop::collection::vec((-10.0f64..10.0, -10.0f64..10.0), 3..25)
+        ) {
+            let a: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+            let b: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+            match (wilcoxon::wilcoxon_signed_rank(&a, &b), wilcoxon::wilcoxon_signed_rank(&b, &a)) {
+                (Ok(r1), Ok(r2)) => {
+                    prop_assert!((r1.p_value - r2.p_value).abs() < 1e-12);
+                    prop_assert!((r1.statistic - r2.statistic).abs() < 1e-12);
+                }
+                (Err(e1), Err(e2)) => prop_assert_eq!(e1, e2),
+                _ => prop_assert!(false, "asymmetric outcome"),
+            }
+        }
+
+        #[test]
+        fn quantile_is_monotone_in_q(
+            xs in prop::collection::vec(-1e6f64..1e6, 1..60),
+            q1 in 0.0f64..1.0,
+            q2 in 0.0f64..1.0,
+        ) {
+            let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+            prop_assert!(descriptive::quantile(&xs, lo) <= descriptive::quantile(&xs, hi) + 1e-9);
+        }
+
+        #[test]
+        fn mean_bounded_by_extremes(xs in prop::collection::vec(-1e6f64..1e6, 1..60)) {
+            let m = descriptive::mean(&xs);
+            let lo = xs.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(m >= lo - 1e-6 && m <= hi + 1e-6);
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! Repair-phase quality metrics (§6.1).
+//!
+//! Categorical attributes are scored with precision/recall/F1 over repaired
+//! cells; numerical attributes with RMSE between repaired values and their
+//! ground truth. Following the paper, numerical cells whose error turned
+//! them categorical (typos/disguised values) and which were *not* repaired
+//! are filtered out of the RMSE computation.
+
+use rein_data::{CellMask, Table};
+use serde::{Deserialize, Serialize};
+
+use crate::confusion::DetectionQuality;
+
+/// Relative tolerance for judging a numerical repair "correct" in the
+/// categorical-style P/R/F1 accounting.
+pub const REPAIR_TOL: f64 = 1e-6;
+
+/// Precision/recall/F1 of a repair pass over categorical columns.
+///
+/// * `precision` — correctly repaired cells / repaired cells;
+/// * `recall` — correctly repaired cells / actually erroneous cells.
+///
+/// `repaired` marks the cells the repairer modified; `actual` marks the
+/// truly erroneous cells (ground-truth diff of the dirty table).
+pub fn categorical_repair_quality(
+    dirty: &Table,
+    repaired_table: &Table,
+    clean: &Table,
+    repaired: &CellMask,
+    actual: &CellMask,
+    columns: &[usize],
+) -> DetectionQuality {
+    let mut correct = 0usize;
+    let mut total_repaired = 0usize;
+    let shared = clean.n_rows().min(repaired_table.n_rows());
+    for cell in repaired.iter() {
+        if !columns.contains(&cell.col) || cell.row >= shared {
+            continue;
+        }
+        // Only count repairs that changed the cell.
+        if repaired_table.cell(cell.row, cell.col) == dirty.cell(cell.row, cell.col) {
+            continue;
+        }
+        total_repaired += 1;
+        if repaired_table
+            .cell(cell.row, cell.col)
+            .approx_eq(clean.cell(cell.row, cell.col), REPAIR_TOL)
+        {
+            correct += 1;
+        }
+    }
+    let actual_in_cols = actual
+        .iter()
+        .filter(|c| columns.contains(&c.col) && c.row < shared)
+        .count();
+    let fp = total_repaired - correct;
+    let fneg = actual_in_cols.saturating_sub(correct);
+    DetectionQuality::from_counts(correct, fp, fneg)
+}
+
+/// RMSE summary over numerical columns.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RmseReport {
+    /// Root mean squared error over the compared cells.
+    pub rmse: f64,
+    /// Number of cells that entered the computation.
+    pub compared_cells: usize,
+    /// Cells skipped because their value was not numeric (e.g. an undetected
+    /// typo left a string in a numeric column) — the paper's filtering rule.
+    pub skipped_cells: usize,
+}
+
+/// RMSE between a data version and the ground truth over `columns`,
+/// restricted to the cells in `scope` (normally the actually-erroneous
+/// cells, so the metric reflects repair quality, not untouched data).
+pub fn numerical_rmse(
+    version: &Table,
+    clean: &Table,
+    scope: &CellMask,
+    columns: &[usize],
+) -> RmseReport {
+    let mut sum_sq = 0.0;
+    let mut n = 0usize;
+    let mut skipped = 0usize;
+    let shared = clean.n_rows().min(version.n_rows());
+    for cell in scope.iter() {
+        if !columns.contains(&cell.col) || cell.row >= shared {
+            continue;
+        }
+        let truth = clean.cell(cell.row, cell.col).as_f64();
+        let got = version.cell(cell.row, cell.col).as_f64();
+        match (truth, got) {
+            (Some(t), Some(g)) => {
+                sum_sq += (t - g).powi(2);
+                n += 1;
+            }
+            _ => skipped += 1,
+        }
+    }
+    let rmse = if n == 0 { f64::NAN } else { (sum_sq / n as f64).sqrt() };
+    RmseReport { rmse, compared_cells: n, skipped_cells: skipped }
+}
+
+/// Convenience: RMSE of the *dirty* version (the red dashed baseline of
+/// Figure 5).
+pub fn dirty_rmse(dirty: &Table, clean: &Table, actual: &CellMask, columns: &[usize]) -> RmseReport {
+    numerical_rmse(dirty, clean, actual, columns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rein_data::{ColumnMeta, ColumnType, Schema, Value};
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            ColumnMeta::new("num", ColumnType::Float),
+            ColumnMeta::new("cat", ColumnType::Str),
+        ])
+    }
+
+    fn clean() -> Table {
+        Table::from_rows(
+            schema(),
+            vec![
+                vec![Value::Float(1.0), Value::str("a")],
+                vec![Value::Float(2.0), Value::str("b")],
+                vec![Value::Float(3.0), Value::str("c")],
+            ],
+        )
+    }
+
+    #[test]
+    fn categorical_quality_counts_correct_repairs() {
+        let c = clean();
+        let mut dirty = c.clone();
+        dirty.set_cell(0, 1, Value::str("x"));
+        dirty.set_cell(1, 1, Value::str("y"));
+        let actual = rein_data::diff::diff_mask(&c, &dirty);
+
+        let mut repaired_table = dirty.clone();
+        repaired_table.set_cell(0, 1, Value::str("a")); // correct
+        repaired_table.set_cell(1, 1, Value::str("wrong")); // wrong
+        let mut repaired = CellMask::new(3, 2);
+        repaired.set(0, 1, true);
+        repaired.set(1, 1, true);
+
+        let q = categorical_repair_quality(&dirty, &repaired_table, &c, &repaired, &actual, &[1]);
+        assert_eq!(q.true_positives, 1);
+        assert_eq!(q.false_positives, 1);
+        assert_eq!(q.false_negatives, 1);
+        assert_eq!(q.precision, 0.5);
+        assert_eq!(q.recall, 0.5);
+    }
+
+    #[test]
+    fn unchanged_cells_do_not_count_as_repairs() {
+        let c = clean();
+        let mut dirty = c.clone();
+        dirty.set_cell(0, 1, Value::str("x"));
+        let actual = rein_data::diff::diff_mask(&c, &dirty);
+        // Repairer claims the whole column but changed nothing.
+        let mut repaired = CellMask::new(3, 2);
+        repaired.set_col(1, true);
+        let q = categorical_repair_quality(&dirty, &dirty, &c, &repaired, &actual, &[1]);
+        assert_eq!(q.detected(), 0);
+        assert_eq!(q.false_negatives, 1);
+    }
+
+    #[test]
+    fn rmse_over_erroneous_cells() {
+        let c = clean();
+        let mut dirty = c.clone();
+        dirty.set_cell(0, 0, Value::Float(4.0)); // err 3
+        dirty.set_cell(2, 0, Value::Float(7.0)); // err 4
+        let actual = rein_data::diff::diff_mask(&c, &dirty);
+        let r = numerical_rmse(&dirty, &c, &actual, &[0]);
+        assert_eq!(r.compared_cells, 2);
+        assert!((r.rmse - (12.5f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_numeric_cells_are_skipped_per_paper_rule() {
+        let c = clean();
+        let mut dirty = c.clone();
+        dirty.set_cell(0, 0, Value::str("9x9")); // typo turned number into string
+        dirty.set_cell(1, 0, Value::Float(5.0));
+        let actual = rein_data::diff::diff_mask(&c, &dirty);
+        let r = numerical_rmse(&dirty, &c, &actual, &[0]);
+        assert_eq!(r.compared_cells, 1);
+        assert_eq!(r.skipped_cells, 1);
+        assert!((r.rmse - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rmse_empty_scope_is_nan() {
+        let c = clean();
+        let r = numerical_rmse(&c, &c, &CellMask::new(3, 2), &[0]);
+        assert!(r.rmse.is_nan());
+        assert_eq!(r.compared_cells, 0);
+    }
+
+    #[test]
+    fn perfect_repair_has_zero_rmse() {
+        let c = clean();
+        let mut dirty = c.clone();
+        dirty.set_cell(0, 0, Value::Float(10.0));
+        let actual = rein_data::diff::diff_mask(&c, &dirty);
+        let repaired = rein_data::diff::apply_ground_truth(&dirty, &c, &actual);
+        let r = numerical_rmse(&repaired, &c, &actual, &[0]);
+        assert_eq!(r.rmse, 0.0);
+    }
+}

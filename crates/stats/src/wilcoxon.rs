@@ -1,0 +1,276 @@
+//! Two-tailed Wilcoxon signed-rank test with continuity correction (§4).
+//!
+//! REIN uses this non-parametric A/B test to decide whether an ML model
+//! "behaves similarly" in two scenarios (e.g. S1 vs S4) across the ten
+//! repeated runs. The implementation mirrors the classical procedure:
+//! zero differences are discarded, absolute differences are ranked with
+//! average ranks for ties, and the rank-sum statistic is referenced to the
+//! exact null distribution for small samples (no ties) or to a normal
+//! approximation with tie correction and a 0.5 continuity correction.
+
+use serde::{Deserialize, Serialize};
+
+/// Result of a Wilcoxon signed-rank test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WilcoxonResult {
+    /// The smaller of the positive/negative rank sums (the W statistic).
+    pub statistic: f64,
+    /// Two-tailed p-value.
+    pub p_value: f64,
+    /// Number of non-zero differences that entered the test.
+    pub n_used: usize,
+}
+
+impl WilcoxonResult {
+    /// Whether the null hypothesis ("same behaviour") is rejected at `alpha`.
+    pub fn rejects_null(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Errors from [`wilcoxon_signed_rank`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WilcoxonError {
+    /// The two samples had different lengths.
+    LengthMismatch,
+    /// After discarding zero differences nothing remained.
+    AllZeroDifferences,
+}
+
+impl std::fmt::Display for WilcoxonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WilcoxonError::LengthMismatch => write!(f, "paired samples differ in length"),
+            WilcoxonError::AllZeroDifferences => {
+                write!(f, "all paired differences are zero; test undefined")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WilcoxonError {}
+
+/// Standard normal CDF via the Abramowitz–Stegun 7.1.26 erf approximation
+/// (absolute error < 1.5e-7, ample for p-value thresholds).
+pub fn std_normal_cdf(x: f64) -> f64 {
+    let t = x / std::f64::consts::SQRT_2;
+    0.5 * (1.0 + erf(t))
+}
+
+fn erf(x: f64) -> f64 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.327_591_1 * x);
+    let y = 1.0
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
+            * t
+            + 0.254_829_592)
+            * t
+            * (-x * x).exp();
+    sign * y
+}
+
+/// Average ranks of `xs` (1-based; ties get the mean of their rank range).
+fn average_ranks(xs: &[f64]) -> Vec<f64> {
+    let mut order: Vec<usize> = (0..xs.len()).collect();
+    order.sort_by(|&a, &b| xs[a].total_cmp(&xs[b]));
+    let mut ranks = vec![0.0; xs.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && xs[order[j + 1]] == xs[order[i]] {
+            j += 1;
+        }
+        let avg = (i + 1 + j + 1) as f64 / 2.0;
+        for &k in &order[i..=j] {
+            ranks[k] = avg;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Exact two-tailed p-value for the signed-rank statistic with `n` untied
+/// observations: `P(W⁻ ≤ w or W⁺ ≤ w)` from the exact null distribution,
+/// computed by dynamic programming over the 2ⁿ sign assignments.
+fn exact_p_value(w_min: f64, n: usize) -> f64 {
+    let max_sum = n * (n + 1) / 2;
+    // counts[s] = number of sign assignments with positive-rank-sum s.
+    let mut counts = vec![0f64; max_sum + 1];
+    counts[0] = 1.0;
+    for rank in 1..=n {
+        for s in (rank..=max_sum).rev() {
+            counts[s] += counts[s - rank];
+        }
+    }
+    let total = 2f64.powi(n as i32);
+    let w = w_min.floor() as usize;
+    let lower: f64 = counts[..=w.min(max_sum)].iter().sum();
+    (2.0 * lower / total).min(1.0)
+}
+
+/// Two-tailed Wilcoxon signed-rank test on paired samples `a`, `b`.
+///
+/// Uses the exact distribution when `n ≤ 25` and the differences are untied;
+/// otherwise the normal approximation with tie correction and continuity
+/// correction.
+pub fn wilcoxon_signed_rank(a: &[f64], b: &[f64]) -> Result<WilcoxonResult, WilcoxonError> {
+    if a.len() != b.len() {
+        return Err(WilcoxonError::LengthMismatch);
+    }
+    let diffs: Vec<f64> = a
+        .iter()
+        .zip(b)
+        .map(|(x, y)| x - y)
+        .filter(|d| *d != 0.0)
+        .collect();
+    let n = diffs.len();
+    if n == 0 {
+        return Err(WilcoxonError::AllZeroDifferences);
+    }
+
+    let abs: Vec<f64> = diffs.iter().map(|d| d.abs()).collect();
+    let ranks = average_ranks(&abs);
+    let w_plus: f64 = diffs
+        .iter()
+        .zip(&ranks)
+        .filter(|(d, _)| **d > 0.0)
+        .map(|(_, r)| r)
+        .sum();
+    let w_minus: f64 = n as f64 * (n + 1) as f64 / 2.0 - w_plus;
+    let w = w_plus.min(w_minus);
+
+    let mut sorted = abs.clone();
+    sorted.sort_by(|x, y| x.total_cmp(y));
+    let has_ties = sorted.windows(2).any(|p| p[0] == p[1]);
+
+    let p_value = if n <= 25 && !has_ties {
+        exact_p_value(w, n)
+    } else {
+        // Tie-corrected normal approximation.
+        let mean = n as f64 * (n + 1) as f64 / 4.0;
+        let mut var = n as f64 * (n + 1) as f64 * (2 * n + 1) as f64 / 24.0;
+        let mut i = 0;
+        while i < sorted.len() {
+            let mut j = i;
+            while j + 1 < sorted.len() && sorted[j + 1] == sorted[i] {
+                j += 1;
+            }
+            let t = (j - i + 1) as f64;
+            if t > 1.0 {
+                var -= (t * t * t - t) / 48.0;
+            }
+            i = j + 1;
+        }
+        if var <= 0.0 {
+            // All differences tied at one magnitude with n too small: fall
+            // back to p = 1 (no evidence either way).
+            1.0
+        } else {
+            // Continuity correction pulls |W - mean| toward zero by 0.5.
+            let num = (w - mean).abs() - 0.5;
+            let z = num.max(0.0) / var.sqrt();
+            (2.0 * (1.0 - std_normal_cdf(z))).min(1.0)
+        }
+    };
+
+    Ok(WilcoxonResult { statistic: w, p_value, n_used: n })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_samples_are_degenerate() {
+        let a = [1.0, 2.0, 3.0];
+        assert_eq!(wilcoxon_signed_rank(&a, &a).unwrap_err(), WilcoxonError::AllZeroDifferences);
+    }
+
+    #[test]
+    fn length_mismatch_is_error() {
+        assert_eq!(
+            wilcoxon_signed_rank(&[1.0], &[1.0, 2.0]).unwrap_err(),
+            WilcoxonError::LengthMismatch
+        );
+    }
+
+    #[test]
+    fn normal_cdf_reference_points() {
+        assert!((std_normal_cdf(0.0) - 0.5).abs() < 1e-7);
+        assert!((std_normal_cdf(1.96) - 0.975).abs() < 1e-3);
+        assert!((std_normal_cdf(-1.96) - 0.025).abs() < 1e-3);
+    }
+
+    #[test]
+    fn exact_small_sample_matches_reference() {
+        // R: wilcox.test(c(125,115,130,140,140,115,140,125,140,135),
+        //                c(110,122,125,120,140,124,123,137,135,145),
+        //                paired=TRUE, correct=TRUE)
+        // -> ties + one zero: corrected normal approximation, p = 0.6353.
+        let a = [125.0, 115.0, 130.0, 140.0, 140.0, 115.0, 140.0, 125.0, 140.0, 135.0];
+        let b = [110.0, 122.0, 125.0, 120.0, 140.0, 124.0, 123.0, 137.0, 135.0, 145.0];
+        let r = wilcoxon_signed_rank(&a, &b).unwrap();
+        assert_eq!(r.n_used, 9);
+        assert!((r.statistic - 18.0).abs() < 1e-9); // min(W+, W-) = min(27, 18)
+        assert!((r.p_value - 0.6353).abs() < 0.001, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn clearly_shifted_samples_reject_null() {
+        let a: Vec<f64> = (0..15).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..15).map(|i| i as f64 + 10.0 + 0.01 * i as f64).collect();
+        let r = wilcoxon_signed_rank(&a, &b).unwrap();
+        assert!(r.rejects_null(0.05), "p = {}", r.p_value);
+        assert!(r.p_value < 0.01);
+    }
+
+    #[test]
+    fn symmetric_noise_fails_to_reject() {
+        // Alternating ±1 differences: perfectly symmetric.
+        let a: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let b: Vec<f64> =
+            (0..20).map(|i| i as f64 + if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let r = wilcoxon_signed_rank(&a, &b).unwrap();
+        assert!(!r.rejects_null(0.05), "p = {}", r.p_value);
+        assert!(r.p_value > 0.5);
+    }
+
+    #[test]
+    fn test_is_symmetric_in_its_arguments() {
+        let a = [1.0, 4.0, 2.5, 7.0, 3.0, 9.0, 0.5, 6.0];
+        let b = [2.0, 3.0, 5.0, 1.0, 4.0, 8.0, 2.5, 5.5];
+        let r1 = wilcoxon_signed_rank(&a, &b).unwrap();
+        let r2 = wilcoxon_signed_rank(&b, &a).unwrap();
+        assert_eq!(r1.p_value, r2.p_value);
+        assert_eq!(r1.statistic, r2.statistic);
+    }
+
+    #[test]
+    fn large_sample_normal_path() {
+        // 30 pairs with a consistent shift: strongly significant.
+        let a: Vec<f64> = (0..30).map(|i| (i as f64).sin()).collect();
+        let b: Vec<f64> = a.iter().map(|x| x + 0.5).collect();
+        let r = wilcoxon_signed_rank(&a, &b).unwrap();
+        assert!(r.p_value < 1e-4);
+        // All differences tied (-0.5): exercises tie-corrected variance path.
+        assert_eq!(r.n_used, 30);
+    }
+
+    #[test]
+    fn p_value_bounded() {
+        let a = [1.0, 2.0];
+        let b = [0.5, 2.5];
+        let r = wilcoxon_signed_rank(&a, &b).unwrap();
+        assert!((0.0..=1.0).contains(&r.p_value));
+    }
+
+    #[test]
+    fn exact_distribution_sanity_n3() {
+        // n=3, W=0 -> 2 * P(W<=0) = 2 * 1/8 = 0.25
+        let p = exact_p_value(0.0, 3);
+        assert!((p - 0.25).abs() < 1e-12);
+        // W at max/2 covers everything.
+        assert_eq!(exact_p_value(6.0, 3), 1.0);
+    }
+}

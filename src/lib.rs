@@ -1,0 +1,34 @@
+//! # REIN
+//!
+//! Facade crate re-exporting the whole REIN workspace — a Rust
+//! reproduction of the EDBT 2023 benchmark *"REIN: A Comprehensive
+//! Benchmark Framework for Data Cleaning Methods in ML Pipelines"*.
+//!
+//! ```
+//! use rein::core::{run_repair, DetectorHarness};
+//! use rein::datasets::{DatasetId, Params};
+//! use rein::detect::DetectorKind;
+//! use rein::repair::RepairKind;
+//!
+//! // A scaled benchmark dataset with exact error ground truth.
+//! let ds = DatasetId::Beers.generate(&Params::scaled(0.05, 42));
+//! assert!(ds.error_rate() > 0.05);
+//!
+//! // Detect with the Min-K ensemble, repair with mean-mode imputation.
+//! let harness = DetectorHarness::new(&ds, 50, 1);
+//! let detection = harness.run(&ds, DetectorKind::MinK);
+//! assert!(detection.quality.recall > 0.0);
+//!
+//! let repair = run_repair(&ds, &detection.mask, RepairKind::ImputeMeanMode, 1);
+//! let repaired = repair.version.expect("generic repairers return a table");
+//! assert_eq!(repaired.table.n_rows(), ds.dirty.n_rows());
+//! ```
+pub use rein_constraints as constraints;
+pub use rein_core as core;
+pub use rein_data as data;
+pub use rein_datasets as datasets;
+pub use rein_detect as detect;
+pub use rein_errors as errors;
+pub use rein_ml as ml;
+pub use rein_repair as repair;
+pub use rein_stats as stats;
