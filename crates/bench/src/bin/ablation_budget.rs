@@ -4,17 +4,20 @@
 //! accuracy; this harness sweeps the label budget on the Beers dataset and
 //! reports each method's F1 and the labels it actually consumed.
 
-use rein_bench::{dataset, f, header};
+use rein_bench::{dataset, f, header, phase, write_run_manifest};
 use rein_datasets::DatasetId;
 use rein_detect::{DetectContext, DetectorKind, KnowledgeBase, Oracle};
 use rein_stats::evaluate_detection;
 
 fn main() {
+    let setup = phase("setup");
     let ds = dataset(DatasetId::Beers, 13);
     header("Ablation — ML-supported detector F1 vs labelling budget (beers)");
     let budgets = [10usize, 20, 50, 100, 200, 400];
     println!("{:<18} {}", "detector", budgets.map(|b| format!("{b:>8}")).join(""));
     let kb = KnowledgeBase::from_reference(&ds.clean);
+    drop(setup);
+    let sweep = phase("sweep");
     for kind in [DetectorKind::Raha, DetectorKind::Ed2, DetectorKind::MetadataDriven] {
         print!("{:<18}", kind.name());
         for &budget in &budgets {
@@ -35,7 +38,11 @@ fn main() {
         }
         println!();
     }
+    drop(sweep);
+    let report = phase("report");
     println!("\n(RAHA's per-cluster labelling keeps its budget per column; ED2's");
     println!("active learning and the metadata-driven classifier consume the");
     println!("global budget directly.)");
+    drop(report);
+    write_run_manifest("ablation_budget", 13, 400);
 }

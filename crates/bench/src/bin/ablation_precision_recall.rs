@@ -9,7 +9,7 @@
 
 use rand::prelude::*;
 use rand::rngs::StdRng;
-use rein_bench::{dataset, f, header};
+use rein_bench::{dataset, f, header, phase, write_run_manifest};
 use rein_core::run_repair;
 use rein_data::CellMask;
 use rein_datasets::{DatasetId, GeneratedDataset};
@@ -44,24 +44,18 @@ fn synth_detection(ds: &GeneratedDataset, recall: f64, precision: f64, seed: u64
 }
 
 fn main() {
+    let setup = phase("setup");
     let ds = dataset(DatasetId::SmartFactory, 17);
     let numeric = ds.clean.schema().numeric_indices();
-    let dirty_rmse =
-        rein_stats::numerical_rmse(&ds.dirty, &ds.clean, &ds.mask, &numeric).rmse;
+    let dirty_rmse = rein_stats::numerical_rmse(&ds.dirty, &ds.clean, &ds.mask, &numeric).rmse;
     header("Ablation — repair RMSE vs detection precision/recall (smart_factory)");
     println!("dirty-version RMSE baseline: {}\n", f(dirty_rmse));
-    println!(
-        "{:<10} {:<10} {:>14} {:>14}",
-        "precision", "recall", "GT repair", "mean impute"
-    );
-    for &(precision, recall) in &[
-        (1.0, 1.0),
-        (1.0, 0.5),
-        (1.0, 0.25),
-        (0.5, 1.0),
-        (0.25, 1.0),
-        (0.5, 0.5),
-    ] {
+    drop(setup);
+    let sweep = phase("sweep");
+    println!("{:<10} {:<10} {:>14} {:>14}", "precision", "recall", "GT repair", "mean impute");
+    for &(precision, recall) in
+        &[(1.0, 1.0), (1.0, 0.5), (1.0, 0.25), (0.5, 1.0), (0.25, 1.0), (0.5, 0.5)]
+    {
         let det = synth_detection(&ds, recall, precision, 3);
         let rmse_of = |kind: RepairKind| {
             let run = run_repair(&ds, &det, kind, 1);
@@ -76,7 +70,11 @@ fn main() {
             f(rmse_of(RepairKind::ImputeMeanMode)),
         );
     }
+    drop(sweep);
+    let report = phase("report");
     println!("\nUnder GT repair only recall matters (false positives are repaired");
     println!("to their true values anyway); under imperfect repairers low");
     println!("precision adds new damage to clean cells.");
+    drop(report);
+    write_run_manifest("ablation_precision_recall", 17, 0);
 }

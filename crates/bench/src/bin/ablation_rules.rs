@@ -8,7 +8,7 @@
 
 use rand::prelude::*;
 use rand::rngs::StdRng;
-use rein_bench::{f, header};
+use rein_bench::{f, header, phase, write_run_manifest};
 use rein_constraints::fd::FunctionalDependency;
 use rein_data::diff::diff_mask;
 use rein_data::{ColumnMeta, ColumnRole, ColumnType, Schema, Table, Value};
@@ -39,25 +39,25 @@ fn build(n_rows: usize, n_fds: usize, seed: u64) -> (Table, Vec<FunctionalDepend
         c.role = ColumnRole::Feature;
     }
     let table = Table::from_columns(Schema::new(schema_cols), cols);
-    let fds =
-        (0..n_fds).map(|i| FunctionalDependency::new([2 * i], 2 * i + 1)).collect();
+    let fds = (0..n_fds).map(|i| FunctionalDependency::new([2 * i], 2 * i + 1)).collect();
     (table, fds)
 }
 
 fn main() {
+    let setup = phase("setup");
     let n_fds = 16usize;
     let (clean, fds) = build(1500, n_fds, 3);
     // Violate every FD at a uniform rate.
-    let specs: Vec<ErrorSpec> = fds
-        .iter()
-        .map(|fd| ErrorSpec::FdViolations { fd: fd.clone(), rate: 0.08 })
-        .collect();
+    let specs: Vec<ErrorSpec> =
+        fds.iter().map(|fd| ErrorSpec::FdViolations { fd: fd.clone(), rate: 0.08 }).collect();
     let dirty = compose(&clean, &specs, 11);
     let actual = diff_mask(&clean, &dirty.dirty);
+    drop(setup);
 
     header("Ablation — rule-based detection F1 vs number of provided rules");
     println!("(planted FDs: {n_fds}, all violated; detectors see the first k rules)");
     println!("{:<12} {:>10} {:>10}", "k rules", "holoclean", "nadeef");
+    let sweep = phase("sweep");
     for k in [1, 3, 5, 7, 10, 13, 16] {
         let subset = &fds[..k.min(fds.len())];
         let ctx = DetectContext { fds: subset, ..DetectContext::bare(&dirty.dirty) };
@@ -65,5 +65,9 @@ fn main() {
         let nadeef = evaluate_detection(&DetectorKind::Nadeef.build().detect(&ctx), &actual);
         println!("{:<12} {:>10} {:>10}", k, f(holo.f1), f(nadeef.f1));
     }
+    drop(sweep);
+    let report = phase("report");
     println!("\nF1 grows with the rule budget — the paper's HoloClean 17→7 rule finding.");
+    drop(report);
+    write_run_manifest("ablation_rules", 3, 0);
 }

@@ -6,7 +6,7 @@
 //! gradient-boosting and k-NN hyperparameters, scored by holdout accuracy
 //! on the Beers classification task.
 
-use rein_bench::{dataset, f, header};
+use rein_bench::{dataset, f, header, phase, write_run_manifest};
 use rein_datasets::DatasetId;
 use rein_ml::encode::{select_matrix_rows, Encoder, LabelMap};
 use rein_ml::gbt::{GbtParams, GradientBoostedClassifier};
@@ -16,6 +16,7 @@ use rein_ml::model::Classifier;
 use rein_ml::tune::{search, ParamSpace};
 
 fn main() {
+    let setup = phase("setup");
     let ds = dataset(DatasetId::Beers, 31);
     let label = ds.clean.schema().label_index().unwrap();
     let features = ds.clean.schema().feature_indices();
@@ -31,17 +32,17 @@ fn main() {
     let n_classes = labels.n_classes();
 
     header("Ablation — default vs tuned hyperparameters (beers, holdout accuracy)");
+    drop(setup);
 
     // Gradient-boosted trees.
+    let tune_xgb = phase("tune:xgb");
     let default_acc = {
         let mut m = GradientBoostedClassifier::new(GbtParams::default());
         m.fit(&xtr, &ytr, n_classes);
         accuracy(&yte, &m.predict(&xte))
     };
-    let space = ParamSpace::new()
-        .int("rounds", 5, 80)
-        .float("lr", 0.02, 0.5, true)
-        .int("depth", 2, 5);
+    let space =
+        ParamSpace::new().int("rounds", 5, 80).float("lr", 0.02, 0.5, true).int("depth", 2, 5);
     let result = search(&space, 20, 7, |s| {
         let mut m = GradientBoostedClassifier::new(GbtParams {
             n_rounds: s["rounds"].as_i64() as usize,
@@ -59,8 +60,10 @@ fn main() {
         result.best_params["lr"].as_f64(),
         result.best_params["depth"].as_i64(),
     );
+    drop(tune_xgb);
 
     // k-NN.
+    let tune_knn = phase("tune:knn");
     let default_acc = {
         let mut m = KnnClassifier::new(5);
         m.fit(&xtr, &ytr, n_classes);
@@ -78,5 +81,7 @@ fn main() {
         f(result.best_score),
         result.best_params["k"].as_i64(),
     );
+    drop(tune_knn);
     println!("\n(search: 60% uniform exploration, then refinement around the incumbent)");
+    write_run_manifest("ablation_tuning", 31, 0);
 }

@@ -4,28 +4,30 @@
 //!
 //! Usage: `export_versions <dataset> [out_dir]` (default `./rein_repo`).
 
-use rein_bench::dataset;
+use rein_bench::{dataset, phase, write_run_manifest};
 use rein_core::{Controller, Repository, VersionKey};
 use rein_datasets::DatasetId;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let id = args
-        .first()
-        .and_then(|a| DatasetId::from_name(a))
-        .unwrap_or(DatasetId::Beers);
+    let id = args.first().and_then(|a| DatasetId::from_name(a)).unwrap_or(DatasetId::Beers);
     let out = args.get(1).cloned().unwrap_or_else(|| "rein_repo".to_string());
 
+    let setup = phase("setup");
     let ds = dataset(id, 7);
     let mut repo = Repository::with_root(&out).expect("create repository root");
     repo.store(&ds.info.name, VersionKey::GroundTruth, ds.clean.clone()).unwrap();
     repo.store(&ds.info.name, VersionKey::Dirty, ds.dirty.clone()).unwrap();
+    drop(setup);
 
     let ctrl = Controller { label_budget: 100, seed: 3 };
+    let detect = phase("detect");
     let mut detections = ctrl.run_detection(&ds);
+    drop(detect);
     detections.retain(|d| d.quality.detected() > 0);
     detections.sort_by(|a, b| b.quality.f1.total_cmp(&a.quality.f1));
     detections.truncate(4);
+    let repair = phase("repair-and-store");
     let mut stored = 2usize;
     for det in &detections {
         for run in ctrl.run_repairs(&ds, det) {
@@ -39,11 +41,10 @@ fn main() {
             }
         }
     }
-    println!(
-        "stored {stored} data versions of {} under {out}/{}/",
-        ds.info.name, ds.info.name
-    );
+    drop(repair);
+    println!("stored {stored} data versions of {} under {out}/{}/", ds.info.name, ds.info.name);
     for key in repo.versions_of(&ds.info.name) {
         println!("  {key:?}");
     }
+    write_run_manifest("export_versions", ctrl.seed, ctrl.label_budget as u64);
 }

@@ -9,12 +9,13 @@
 //! Usage: `fig2_detection [dataset ...]` (default: the nine datasets the
 //! figure covers).
 
-use rein_bench::{dataset, f, header, secs};
+use rein_bench::{dataset, f, header, phase, secs, write_run_manifest};
 use rein_core::Controller;
 use rein_datasets::DatasetId;
 use rein_stats::iou::iou_matrix;
 
 fn main() {
+    let setup = phase("setup");
     let args: Vec<String> = std::env::args().skip(1).collect();
     let default = [
         DatasetId::Beers,
@@ -34,22 +35,28 @@ fn main() {
             .filter_map(|a| {
                 let id = DatasetId::from_name(a);
                 if id.is_none() {
-                    eprintln!("unknown dataset {a:?}");
+                    rein_telemetry::info!("unknown dataset {a:?}");
                 }
                 id
             })
             .collect()
     };
+    drop(setup);
 
     let ctrl = Controller { label_budget: 100, seed: 11 };
     for (i, id) in ids.iter().enumerate() {
+        let generate = phase("generate");
         let ds = dataset(*id, 200 + i as u64);
+        drop(generate);
         header(&format!(
             "Figure 2 — {} (actual erroneous cells: {})",
             ds.info.name,
             ds.mask.count()
         ));
+        let detect = phase("detect");
         let mut runs = ctrl.run_detection(&ds);
+        drop(detect);
+        let _report = phase("report");
         // The paper excludes detectors that found nothing.
         runs.retain(|r| r.quality.detected() > 0);
         runs.sort_by(|a, b| b.quality.f1.total_cmp(&a.quality.f1));
@@ -99,4 +106,6 @@ fn main() {
             println!("  {:<18} {}{}", run.kind.name(), secs(run.runtime), flag);
         }
     }
+
+    write_run_manifest("fig2_detection", ctrl.seed, ctrl.label_budget as u64);
 }

@@ -6,7 +6,7 @@
 //! (c) F1 while the *outlier degree* sweeps on Smart Factory at a fixed
 //! 30% error rate.
 
-use rein_bench::{dataset, f, header};
+use rein_bench::{dataset, f, header, phase, write_run_manifest};
 use rein_core::{DetectorHarness, VersionTable};
 use rein_data::diff::diff_mask;
 use rein_datasets::{DatasetId, GeneratedDataset};
@@ -44,6 +44,7 @@ const PANEL: [DetectorKind; 7] = [
 ];
 
 fn sweep_error_rate(id: DatasetId, seed: u64) {
+    let setup = phase("setup");
     let base = dataset(id, seed);
     header(&format!("Figure 3 — F1 vs error rate ({})", base.info.name));
     let rates = [0.01, 0.02, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5];
@@ -52,6 +53,8 @@ fn sweep_error_rate(id: DatasetId, seed: u64) {
         print!("{:>8}", format!("{r}"));
     }
     println!();
+    drop(setup);
+    let sweep = phase(&format!("sweep:error-rate-{}", base.info.name));
     let mut results: Vec<(DetectorKind, Vec<f64>)> =
         PANEL.iter().map(|&k| (k, Vec::new())).collect();
     for (ri, &rate) in rates.iter().enumerate() {
@@ -62,6 +65,8 @@ fn sweep_error_rate(id: DatasetId, seed: u64) {
             series.push(run.quality.f1);
         }
     }
+    drop(sweep);
+    let _report = phase("report");
     for (kind, series) in &results {
         print!("{:<18}", kind.name());
         for v in series {
@@ -74,6 +79,7 @@ fn sweep_error_rate(id: DatasetId, seed: u64) {
 }
 
 fn sweep_outlier_degree(seed: u64) {
+    let setup = phase("setup");
     let base = dataset(DatasetId::SmartFactory, seed);
     header("Figure 3c — F1 vs outlier degree (smart_factory, rate 0.3)");
     let degrees = [0.5, 1.0, 2.0, 3.0, 4.0, 6.0, 8.0];
@@ -82,6 +88,8 @@ fn sweep_outlier_degree(seed: u64) {
         print!("{:>8}", format!("{d}"));
     }
     println!();
+    drop(setup);
+    let sweep = phase("sweep:outlier-degree");
     let panel: Vec<DetectorKind> = PANEL
         .iter()
         .copied()
@@ -107,6 +115,8 @@ fn sweep_outlier_degree(seed: u64) {
             series.push(harness.run(&ds, *kind).quality.f1);
         }
     }
+    drop(sweep);
+    let _report = phase("report");
     for (kind, series) in &results {
         print!("{:<18}", kind.name());
         for v in series {
@@ -120,9 +130,11 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--outlier-degree") {
         sweep_outlier_degree(7);
+        write_run_manifest("fig3_robustness", 7, 100);
         return;
     }
     sweep_error_rate(DatasetId::Adult, 3);
     sweep_error_rate(DatasetId::Power, 5);
     sweep_outlier_degree(7);
+    write_run_manifest("fig3_robustness", 7, 100);
 }

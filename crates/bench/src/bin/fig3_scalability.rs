@@ -4,7 +4,7 @@
 //! dataset and reports F1 and runtime per fraction — the experiment behind
 //! the paper's "ML-based detectors do not scale past ~50k rows" finding.
 
-use rein_bench::{dataset_at, f, header, scale};
+use rein_bench::{dataset_at, f, header, phase, scale, write_run_manifest};
 use rein_core::DetectorHarness;
 use rein_datasets::DatasetId;
 use rein_detect::DetectorKind;
@@ -21,6 +21,7 @@ const PANEL: [DetectorKind; 8] = [
 ];
 
 fn main() {
+    let setup = phase("setup");
     let fractions = [0.1, 0.25, 0.5, 0.75, 1.0];
     header("Figure 3d/3e — Soccer scalability (F1 and runtime per data fraction)");
     println!("base scale REIN_SCALE={} of 180228 rows\n", scale());
@@ -28,19 +29,27 @@ fn main() {
     let mut f1: Vec<(DetectorKind, Vec<f64>)> = PANEL.iter().map(|&k| (k, Vec::new())).collect();
     let mut rt: Vec<(DetectorKind, Vec<f64>)> = PANEL.iter().map(|&k| (k, Vec::new())).collect();
     let mut rows_per_fraction = Vec::new();
+    drop(setup);
+    let sweep = phase("sweep");
     for (fi, frac) in fractions.iter().enumerate() {
+        let generate = phase("generate");
         let ds = dataset_at(DatasetId::Soccer, scale() * frac, 40 + fi as u64);
         rows_per_fraction.push(ds.dirty.n_rows());
+        drop(generate);
         let harness = DetectorHarness::new(&ds, 100, 9);
         for (kind, series) in f1.iter_mut() {
             let run = harness.run(&ds, *kind);
             series.push(run.quality.f1);
-            rt.iter_mut().find(|(k, _)| k == kind).expect("same panel").1.push(
-                run.runtime.as_secs_f64(),
-            );
+            rt.iter_mut()
+                .find(|(k, _)| k == kind)
+                .expect("same panel")
+                .1
+                .push(run.runtime.as_secs_f64());
         }
     }
+    drop(sweep);
 
+    let _report = phase("report");
     print!("{:<18}", "fraction");
     for (frac, rows) in fractions.iter().zip(&rows_per_fraction) {
         print!("{:>12}", format!("{frac} ({rows})"));
@@ -61,4 +70,5 @@ fn main() {
         }
         println!();
     }
+    write_run_manifest("fig3_scalability", 9, 100);
 }

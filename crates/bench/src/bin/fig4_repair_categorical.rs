@@ -6,20 +6,25 @@
 //! (the bubble plot of the paper, with bubbles above F1 0.6 highlighted)
 //! and the repairers' runtimes.
 
-use rein_bench::{dataset, f, header};
+use rein_bench::{dataset, f, header, phase, write_run_manifest};
 use rein_core::{Controller, DetectorRun};
 use rein_datasets::DatasetId;
 use rein_repair::RepairKind;
 
 fn run_dataset(id: DatasetId, seed: u64) {
+    let generate = phase("generate");
     let ds = dataset(id, seed);
+    drop(generate);
     let ctrl = Controller { label_budget: 100, seed };
     header(&format!("Figure 4 — categorical repair ({})", ds.info.name));
+    let detect = phase("detect");
     let mut detections: Vec<DetectorRun> = ctrl.run_detection(&ds);
+    drop(detect);
     detections.retain(|d| d.quality.detected() > 0);
     detections.sort_by(|a, b| b.quality.f1.total_cmp(&a.quality.f1));
     detections.truncate(6); // figure shows the interesting strategies
 
+    let _repair = phase("repair");
     println!(
         "{:<10} {:<18} {:>7} {:>7} {:>7} {:>10}",
         "detector", "repairer", "P", "R", "F1", "runtime"
@@ -44,18 +49,19 @@ fn run_dataset(id: DatasetId, seed: u64) {
                 rec.runtime_ms / 1e3,
                 mark,
             );
-            repair_times.entry(match rec.repairer.as_str() {
-                s if s == RepairKind::Baran.name() => "baran",
-                s if s == RepairKind::HoloClean.name() => "holoclean",
-                s if s == RepairKind::MissMix.name() => "miss_mix",
-                s if s == RepairKind::DataWigMix.name() => "datawig_mix",
-                s if s == RepairKind::ImputeMeanMode.name() => "impute_mean_mode",
-                s if s == RepairKind::GroundTruth.name() => "ground_truth",
-                s if s == RepairKind::OpenRefine.name() => "openrefine",
-                _ => "other",
-            })
-            .or_default()
-            .push(rec.runtime_ms / 1e3);
+            repair_times
+                .entry(match rec.repairer.as_str() {
+                    s if s == RepairKind::Baran.name() => "baran",
+                    s if s == RepairKind::HoloClean.name() => "holoclean",
+                    s if s == RepairKind::MissMix.name() => "miss_mix",
+                    s if s == RepairKind::DataWigMix.name() => "datawig_mix",
+                    s if s == RepairKind::ImputeMeanMode.name() => "impute_mean_mode",
+                    s if s == RepairKind::GroundTruth.name() => "ground_truth",
+                    s if s == RepairKind::OpenRefine.name() => "openrefine",
+                    _ => "other",
+                })
+                .or_default()
+                .push(rec.runtime_ms / 1e3);
         }
     }
 
@@ -63,8 +69,8 @@ fn run_dataset(id: DatasetId, seed: u64) {
     for (name, times) in &repair_times {
         let mean = times.iter().sum::<f64>() / times.len().max(1) as f64;
         let std = {
-            let v = times.iter().map(|t| (t - mean).powi(2)).sum::<f64>()
-                / times.len().max(1) as f64;
+            let v =
+                times.iter().map(|t| (t - mean).powi(2)).sum::<f64>() / times.len().max(1) as f64;
             v.sqrt()
         };
         println!("  {:<18} {:>8.3} ± {:.3}", name, mean, std);
@@ -75,4 +81,5 @@ fn run_dataset(id: DatasetId, seed: u64) {
 fn main() {
     run_dataset(DatasetId::Beers, 51);
     run_dataset(DatasetId::BreastCancer, 52);
+    write_run_manifest("fig4_repair_categorical", 51, 100);
 }

@@ -6,23 +6,31 @@
 //! erroneous cells, against the dirty version's RMSE (the red dashed
 //! baseline — bars above it mean the "repair" made things worse).
 
-use rein_bench::{dataset, f, header};
+use rein_bench::{dataset, f, header, phase, write_run_manifest};
 use rein_core::{Controller, DetectorRun};
 use rein_datasets::DatasetId;
 use rein_repair::RepairKind;
 
 fn run_dataset(id: DatasetId, seed: u64) {
+    let generate = phase("generate");
     let ds = dataset(id, seed);
+    drop(generate);
     let ctrl = Controller { label_budget: 100, seed };
     header(&format!("Figure 5 — numerical repair RMSE ({})", ds.info.name));
 
+    let detect = phase("detect");
     let mut detections: Vec<DetectorRun> = ctrl.run_detection(&ds);
+    drop(detect);
     detections.retain(|d| d.quality.detected() > 0);
     detections.sort_by(|a, b| b.quality.f1.total_cmp(&a.quality.f1));
     detections.truncate(5);
 
+    let _repair = phase("repair");
     let mut dirty_baseline: Option<f64> = None;
-    println!("{:<10} {:<18} {:>10} {:>12} {:>10}", "detector", "repairer", "rmse", "vs dirty", "runtime");
+    println!(
+        "{:<10} {:<18} {:>10} {:>12} {:>10}",
+        "detector", "repairer", "rmse", "vs dirty", "runtime"
+    );
     for det in &detections {
         let runs = ctrl.run_repairs(&ds, det);
         let records = ctrl.repair_records(&ds, det.kind, &runs);
@@ -59,4 +67,5 @@ fn main() {
     run_dataset(DatasetId::BreastCancer, 62);
     run_dataset(DatasetId::Bikes, 63);
     run_dataset(DatasetId::Water, 64);
+    write_run_manifest("fig5_repair_numerical", 61, 100);
 }

@@ -6,7 +6,7 @@
 //! the ground truth) and S5 (the method's own output model tested on
 //! dirty data).
 
-use rein_bench::{dataset, f, header, repeats};
+use rein_bench::{dataset, f, header, phase, repeats, write_run_manifest};
 use rein_core::{eval_classifier, eval_pipeline_s5, run_repair, Scenario, VersionTable};
 use rein_data::rng::derive_seed;
 use rein_datasets::DatasetId;
@@ -15,16 +15,21 @@ use rein_repair::RepairKind;
 use rein_stats::mean_std;
 
 fn run_dataset(id: DatasetId, seed: u64) {
+    let generate = phase("generate");
     let ds = dataset(id, seed);
+    drop(generate);
     header(&format!("Figure 6 — ML-oriented repair methods ({})", ds.info.name));
     let version = VersionTable::identity(ds.dirty.clone());
     let reps = repeats();
 
     // Reference scenario scores with a logistic model (ActiveClean's
     // convex-model family).
+    let scenarios = phase("reference-scenarios");
     let s1 = eval_classifier(Scenario::S1, &ds, &version, ClassifierKind::Logit, reps, seed);
     let s4 = eval_classifier(Scenario::S4, &ds, &version, ClassifierKind::Logit, reps, seed);
+    drop(scenarios);
 
+    let _methods = phase("methods");
     println!("{:<14} {:>10} {:>10} {:>10}", "method", "S1", "S4", "S5");
     for kind in [RepairKind::ActiveClean, RepairKind::CpClean, RepairKind::BoostClean] {
         let s5: Vec<f64> = (0..reps)
@@ -47,4 +52,5 @@ fn run_dataset(id: DatasetId, seed: u64) {
 fn main() {
     run_dataset(DatasetId::Adult, 71);
     run_dataset(DatasetId::BreastCancer, 72);
+    write_run_manifest("fig6_ml_oriented", 71, 0);
 }

@@ -4,7 +4,7 @@
 //! the Wilcoxon A/B markers between S1 and S4 and the S2-vs-S3
 //! serve-clean experiment (Figures 7n/7o).
 
-use rein_bench::{dataset, f, header, repeats};
+use rein_bench::{dataset, f, header, phase, repeats, write_run_manifest};
 use rein_core::{
     eval_classifier, eval_clusterer, eval_regressor, run_repair, CleaningStrategy, Controller,
     Scenario, VersionTable,
@@ -26,7 +26,11 @@ const REPAIRERS: [RepairKind; 5] = [
 
 /// Builds the evaluated data versions: the dirty table ("D0") plus one
 /// repaired version per (detector, repairer) strategy.
-fn versions(ds: &GeneratedDataset, detectors: &[DetectorKind], seed: u64) -> Vec<(String, VersionTable)> {
+fn versions(
+    ds: &GeneratedDataset,
+    detectors: &[DetectorKind],
+    seed: u64,
+) -> Vec<(String, VersionTable)> {
     let ctrl = Controller { label_budget: 100, seed };
     let mut out = vec![("D0".to_string(), VersionTable::identity(ds.dirty.clone()))];
     for &det_kind in detectors {
@@ -37,7 +41,8 @@ fn versions(ds: &GeneratedDataset, detectors: &[DetectorKind], seed: u64) -> Vec
         }
         for rep_kind in REPAIRERS {
             let strategy = CleaningStrategy { detector: det_kind, repairer: rep_kind };
-            let run = run_repair(ds, &det.mask, rep_kind, derive_seed(seed, rep_kind.index() as u64));
+            let run =
+                run_repair(ds, &det.mask, rep_kind, derive_seed(seed, rep_kind.index() as u64));
             if let Some(v) = run.version {
                 if v.table.n_rows() >= 20 {
                     out.push((strategy.label(), v));
@@ -133,9 +138,14 @@ fn clustering(id: DatasetId, detectors: &[DetectorKind], models: &[ClustererKind
 }
 
 fn main() {
-    let cls_models =
-        [ClassifierKind::Mlp, ClassifierKind::DecisionTree, ClassifierKind::RandomForest,
-         ClassifierKind::Logit, ClassifierKind::XgBoost, ClassifierKind::GaussianNb];
+    let cls_models = [
+        ClassifierKind::Mlp,
+        ClassifierKind::DecisionTree,
+        ClassifierKind::RandomForest,
+        ClassifierKind::Logit,
+        ClassifierKind::XgBoost,
+        ClassifierKind::GaussianNb,
+    ];
     let reg_models = [
         RegressorKind::XgBoost,
         RegressorKind::DecisionTree,
@@ -150,41 +160,41 @@ fn main() {
         ClustererKind::Optics,
     ];
 
+    let p = phase("classification:beers");
     classification(
         DatasetId::Beers,
         &[DetectorKind::MaxEntropy, DetectorKind::Raha, DetectorKind::Nadeef],
         &cls_models,
         81,
     );
+    drop(p);
+    let p = phase("classification:breast_cancer");
     classification(
         DatasetId::BreastCancer,
         &[DetectorKind::MaxEntropy, DetectorKind::Ed2],
         &cls_models,
         82,
     );
+    drop(p);
+    let p = phase("classification:citation");
     classification(
         DatasetId::Citation,
         &[DetectorKind::KeyCollision, DetectorKind::MaxEntropy],
         &cls_models[..4],
         83,
     );
-    regression(
-        DatasetId::Nasa,
-        &[DetectorKind::MaxEntropy, DetectorKind::DBoost],
-        &reg_models,
-        84,
-    );
-    regression(
-        DatasetId::Bikes,
-        &[DetectorKind::Raha, DetectorKind::Nadeef],
-        &reg_models,
-        85,
-    );
-    clustering(
-        DatasetId::Water,
-        &[DetectorKind::Raha, DetectorKind::MaxEntropy],
-        &clu_models,
-        86,
-    );
+    drop(p);
+    let p = phase("regression:nasa");
+    regression(DatasetId::Nasa, &[DetectorKind::MaxEntropy, DetectorKind::DBoost], &reg_models, 84);
+    drop(p);
+    let p = phase("regression:bikes");
+    regression(DatasetId::Bikes, &[DetectorKind::Raha, DetectorKind::Nadeef], &reg_models, 85);
+    drop(p);
+    let p = phase("clustering:water");
+    clustering(DatasetId::Water, &[DetectorKind::Raha, DetectorKind::MaxEntropy], &clu_models, 86);
+    drop(p);
+    let p = phase("clustering:power");
     clustering(DatasetId::Power, &[DetectorKind::MaxEntropy], &clu_models, 87);
+    drop(p);
+    write_run_manifest("fig7_modeling", 81, 100);
 }

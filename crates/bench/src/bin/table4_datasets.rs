@@ -4,15 +4,18 @@
 //! rows, columns, numeric/categorical split, realised error rate, error
 //! types, domain and ML task — the columns of the paper's Table 4.
 
-use rein_bench::{dataset, f, header};
+use rein_bench::{dataset, f, header, phase, write_run_manifest};
 use rein_datasets::DatasetId;
 
 fn main() {
+    let setup = phase("setup");
     header("Table 4: dataset characteristics");
     println!(
         "{:<14} {:>7} {:>5} {:>5} {:>5} {:>7}  {:<14} {:<14} {:?}",
         "dataset", "rows", "cols", "#num", "#cat", "rate", "domain", "task", "errors"
     );
+    drop(setup);
+    let generate = phase("generate");
     for (i, id) in DatasetId::ALL.iter().enumerate() {
         let ds = dataset(*id, 100 + i as u64);
         let schema = ds.clean.schema();
@@ -29,8 +32,12 @@ fn main() {
             ds.info.errors.types,
         );
     }
+    drop(generate);
+    let report = phase("report");
     println!(
         "\n(rows scaled by REIN_SCALE={}; paper-size rows via REIN_SCALE=1)",
         rein_bench::scale()
     );
+    drop(report);
+    write_run_manifest("table4_datasets", 100, 0);
 }

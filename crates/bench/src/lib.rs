@@ -13,24 +13,88 @@
 use rein_core::{DetectorHarness, DetectorRun};
 use rein_datasets::{DatasetId, GeneratedDataset, Params};
 use rein_detect::DetectorKind;
+pub use rein_telemetry::{RunConfig, RunManifest, Span};
 
-/// Reads the global scale factor (`REIN_SCALE`, default 0.05).
+/// Default for `REIN_SCALE`.
+pub const DEFAULT_SCALE: f64 = 0.05;
+
+/// Default for `REIN_REPEATS` (the paper uses 10).
+pub const DEFAULT_REPEATS: usize = 3;
+
+/// Reads the global scale factor (`REIN_SCALE`, default
+/// [`DEFAULT_SCALE`]). A value that is not a positive finite number is
+/// rejected with a telemetry warning naming it and the default used.
+/// Parsed once per process — the bins call this in every loop iteration
+/// and a bad value should warn once, not per dataset.
 pub fn scale() -> f64 {
-    std::env::var("REIN_SCALE")
-        .ok()
-        .and_then(|s| s.parse::<f64>().ok())
-        .filter(|s| *s > 0.0)
-        .unwrap_or(0.05)
+    static SCALE: std::sync::OnceLock<f64> = std::sync::OnceLock::new();
+    *SCALE.get_or_init(|| match std::env::var("REIN_SCALE") {
+        Err(_) => DEFAULT_SCALE,
+        Ok(raw) => match raw.parse::<f64>() {
+            Ok(s) if s > 0.0 && s.is_finite() => s,
+            _ => {
+                rein_telemetry::info!(
+                    "REIN_SCALE={raw:?} rejected (want a positive finite number); \
+                     using default {DEFAULT_SCALE}"
+                );
+                DEFAULT_SCALE
+            }
+        },
+    })
 }
 
 /// Reads the repeat count for stochastic experiments (`REIN_REPEATS`,
-/// default 3; the paper uses 10).
+/// default [`DEFAULT_REPEATS`]). A value that is not a positive integer
+/// is rejected with a telemetry warning naming it and the default used.
+/// Parsed once per process, like [`scale`].
 pub fn repeats() -> usize {
-    std::env::var("REIN_REPEATS")
-        .ok()
-        .and_then(|s| s.parse::<usize>().ok())
-        .filter(|r| *r > 0)
-        .unwrap_or(3)
+    static REPEATS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *REPEATS.get_or_init(|| match std::env::var("REIN_REPEATS") {
+        Err(_) => DEFAULT_REPEATS,
+        Ok(raw) => match raw.parse::<usize>() {
+            Ok(r) if r > 0 => r,
+            _ => {
+                rein_telemetry::info!(
+                    "REIN_REPEATS={raw:?} rejected (want a positive integer); \
+                     using default {DEFAULT_REPEATS}"
+                );
+                DEFAULT_REPEATS
+            }
+        },
+    })
+}
+
+/// Opens a top-level phase span (named `phase:<name>`) for a section of
+/// a benchmark binary. Phases land in the run manifest with their
+/// durations; under `REIN_LOG=debug` they print open/close events.
+pub fn phase(name: &str) -> Span {
+    rein_telemetry::span(format!("phase:{name}"))
+}
+
+/// The counters every run manifest should carry, even when a phase that
+/// would increment them did not run.
+const STANDARD_COUNTERS: [&str; 5] =
+    ["cells_scanned", "detector_invocations", "model_fits", "repair_applications", "rng_draws"];
+
+/// Collects the run's telemetry into a manifest for `binary` and writes
+/// it to `artifacts/telemetry/<binary>-<seed>.json`. Failures are
+/// reported as telemetry events, not panics — a missing manifest must
+/// not fail a benchmark run that already printed its report.
+pub fn write_run_manifest(binary: &str, seed: u64, label_budget: u64) {
+    for name in STANDARD_COUNTERS {
+        rein_telemetry::counter(name);
+    }
+    let config = RunConfig { scale: scale(), repeats: repeats() as u32, seed, label_budget };
+    let manifest = RunManifest::collect(binary, config);
+    match manifest.write() {
+        Ok(path) => rein_telemetry::info!(
+            "{} spans, {} counters -> {}",
+            manifest.spans.len(),
+            manifest.counters.len(),
+            path.display()
+        ),
+        Err(e) => rein_telemetry::info!("failed to write run manifest for {binary}: {e}"),
+    }
 }
 
 /// Generates a dataset at the global scale.

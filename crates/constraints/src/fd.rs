@@ -75,8 +75,7 @@ pub fn fd_violations(table: &Table, fd: &FunctionalDependency) -> CellMask {
         let max = counts.values().copied().max().unwrap_or(0);
         let majority_unique = counts.values().filter(|&&c| c == max).count() == 1;
         if majority_unique {
-            let majority: &Value =
-                counts.iter().find(|(_, &c)| c == max).map(|(v, _)| *v).unwrap();
+            let majority: &Value = counts.iter().find(|(_, &c)| c == max).map(|(v, _)| *v).unwrap();
             let majority = majority.clone();
             for &r in rows {
                 if table.cell(r, fd.rhs) != &majority {
@@ -149,8 +148,7 @@ pub fn repair_candidates_with_support(
         if counts.values().filter(|&&c| c == max).count() != 1 {
             continue;
         }
-        let majority =
-            counts.iter().find(|(_, &c)| c == max).map(|(v, _)| (*v).clone()).unwrap();
+        let majority = counts.iter().find(|(_, &c)| c == max).map(|(v, _)| (*v).clone()).unwrap();
         for &r in rows {
             if table.cell(r, fd.rhs) != &majority {
                 out.push(RepairCandidate {
@@ -168,10 +166,7 @@ pub fn repair_candidates_with_support(
 
 /// For each violating LHS group, the majority RHS value — the natural FD
 /// repair candidate used by rule-based repairers.
-pub fn repair_candidates(
-    table: &Table,
-    fd: &FunctionalDependency,
-) -> Vec<(usize, Value)> {
+pub fn repair_candidates(table: &Table, fd: &FunctionalDependency) -> Vec<(usize, Value)> {
     let mut out = Vec::new();
     for rows in lhs_groups(table, fd).values() {
         if rows.len() < 2 {
@@ -188,8 +183,7 @@ pub fn repair_candidates(
         if counts.values().filter(|&&c| c == max).count() != 1 {
             continue; // ambiguous, no candidate
         }
-        let majority =
-            counts.iter().find(|(_, &c)| c == max).map(|(v, _)| (*v).clone()).unwrap();
+        let majority = counts.iter().find(|(_, &c)| c == max).map(|(v, _)| (*v).clone()).unwrap();
         for &r in rows {
             if table.cell(r, fd.rhs) != &majority {
                 out.push((r, majority.clone()));

@@ -14,7 +14,9 @@ pub mod pattern;
 pub use dc::{all_dc_violations, CmpOp, DenialConstraint, Operand, Predicate};
 pub use discovery::{discover_fds, g3_error, DiscoveryConfig};
 pub use fd::{all_fd_violations, fd_violations, FunctionalDependency};
-pub use pattern::{fingerprint, pattern_of, pattern_outliers, value_pattern, PatternProfile, ValuePattern};
+pub use pattern::{
+    fingerprint, pattern_of, pattern_outliers, value_pattern, PatternProfile, ValuePattern,
+};
 
 #[cfg(test)]
 mod proptests {
@@ -29,10 +31,7 @@ mod proptests {
         ]);
         Table::from_rows(
             schema,
-            pairs
-                .iter()
-                .map(|&(a, b)| vec![Value::Int(a as i64), Value::Int(b as i64)])
-                .collect(),
+            pairs.iter().map(|&(a, b)| vec![Value::Int(a as i64), Value::Int(b as i64)]).collect(),
         )
     }
 

@@ -192,7 +192,8 @@ mod tests {
 
     #[test]
     fn no_dominant_pattern_no_outliers() {
-        let t = column(vec![Value::str("abc"), Value::str("123"), Value::str("a1"), Value::str("-")]);
+        let t =
+            column(vec![Value::str("abc"), Value::str("123"), Value::str("a1"), Value::str("-")]);
         assert!(pattern_outliers(&t, 0, 0.6).is_empty());
     }
 

@@ -9,8 +9,8 @@ use rein_detect::DetectorKind;
 use rein_repair::{RepairCategory, RepairKind};
 
 use crate::evaluate::{
-    repair_quality_categorical, repair_quality_numerical, run_repair, DetectorHarness,
-    DetectorRun, RepairRun,
+    repair_quality_categorical, repair_quality_numerical, run_repair, DetectorHarness, DetectorRun,
+    RepairRun,
 };
 use crate::experiment::{DetectionRecord, RepairRecord};
 use crate::toolbox::{applicable_detectors, applicable_repairers, AvailableSignals};
@@ -75,21 +75,26 @@ impl Controller {
 
     /// Builds the pruned plan for a dataset.
     pub fn plan(&self, ds: &GeneratedDataset) -> Plan {
+        let _span = rein_telemetry::span("controller:plan");
         let signals = Self::signals_for(ds);
         let detectors = applicable_detectors(&ds.info.errors, &signals);
         let repairers = applicable_repairers(&ds.info.errors, ds.info.task, &signals);
-        let (ml, generic): (Vec<RepairKind>, Vec<RepairKind>) = repairers
-            .into_iter()
-            .partition(|r| r.category() == RepairCategory::MlOriented);
+        let (ml, generic): (Vec<RepairKind>, Vec<RepairKind>) =
+            repairers.into_iter().partition(|r| r.category() == RepairCategory::MlOriented);
         Plan { detectors, generic_repairers: generic, ml_repairers: ml }
     }
 
     /// Runs the detection phase: every planned detector, in parallel.
     pub fn run_detection(&self, ds: &GeneratedDataset) -> Vec<DetectorRun> {
         let plan = self.plan(ds);
+        let span = rein_telemetry::span("controller:detect");
+        // Detector spans open on rayon worker threads; hand them the
+        // phase span explicitly so nesting survives the fan-out.
+        let parent = Some(span.ctx());
         plan.detectors
             .par_iter()
             .map(|&kind| {
+                let _worker = rein_telemetry::span_under("controller:detect-one", parent);
                 let harness = DetectorHarness::new(
                     ds,
                     self.label_budget,
@@ -104,15 +109,14 @@ impl Controller {
     /// generic repairer plus the ML-oriented ones.
     pub fn run_repairs(&self, ds: &GeneratedDataset, detection: &DetectorRun) -> Vec<RepairRun> {
         let plan = self.plan(ds);
-        let kinds: Vec<RepairKind> = plan
-            .generic_repairers
-            .iter()
-            .chain(plan.ml_repairers.iter())
-            .copied()
-            .collect();
+        let kinds: Vec<RepairKind> =
+            plan.generic_repairers.iter().chain(plan.ml_repairers.iter()).copied().collect();
+        let span = rein_telemetry::span("controller:repair");
+        let parent = Some(span.ctx());
         kinds
             .par_iter()
             .map(|&kind| {
+                let _worker = rein_telemetry::span_under("controller:repair-one", parent);
                 run_repair(ds, &detection.mask, kind, derive_seed(self.seed, kind.index() as u64))
             })
             .collect()
@@ -227,10 +231,8 @@ mod tests {
             repairer: RepairKind::ImputeMeanMode,
         };
         assert_eq!(s.label(), "X3");
-        let s = CleaningStrategy {
-            detector: DetectorKind::Raha,
-            repairer: RepairKind::GroundTruth,
-        };
+        let s =
+            CleaningStrategy { detector: DetectorKind::Raha, repairer: RepairKind::GroundTruth };
         assert_eq!(s.label(), "R1");
     }
 }

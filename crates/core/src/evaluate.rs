@@ -2,7 +2,7 @@
 //! signals, measures quality and runtime, and trains/evaluates ML models
 //! on data versions under the S1–S5 scenarios.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use rein_data::rng::derive_seed;
 use rein_data::{CellMask, Table};
@@ -56,13 +56,19 @@ impl DetectorHarness {
         }
     }
 
-    /// Runs one detector, returning its mask, quality and runtime.
+    /// Runs one detector, returning its mask, quality and runtime. The
+    /// detection is wrapped in a telemetry span named after the detector;
+    /// the reported runtime is that span's duration.
     pub fn run(&self, ds: &GeneratedDataset, kind: DetectorKind) -> DetectorRun {
         let ctx = self.context(ds);
         let detector = kind.build();
-        let start = Instant::now();
+        let span = rein_telemetry::span(format!("detect:{}", kind.name()));
         let mask = detector.detect(&ctx);
-        let runtime = start.elapsed();
+        let runtime = span.finish();
+        rein_telemetry::counter("detector_invocations").incr();
+        rein_telemetry::counter("cells_scanned")
+            .add((ds.dirty.n_rows() * ds.dirty.n_cols()) as u64);
+        rein_telemetry::histogram("detector_runtime").record(runtime);
         let quality = evaluate_detection(&mask, &ds.mask);
         DetectorRun { kind, mask, quality, runtime }
     }
@@ -130,17 +136,22 @@ pub fn run_repair(
         seed,
     };
     let repairer = kind.build();
-    let start = Instant::now();
+    let span = rein_telemetry::span(format!("repair:{}", kind.name()));
     let outcome = repairer.repair(&ctx);
-    let runtime = start.elapsed();
+    let runtime = span.finish();
+    rein_telemetry::counter("repair_applications").incr();
+    rein_telemetry::histogram("repair_runtime").record(runtime);
     match outcome {
-        RepairOutcome::Repaired { table, repaired_cells, row_map } => RepairRun {
-            kind,
-            version: Some(VersionTable { table, row_map }),
-            repaired_cells: Some(repaired_cells),
-            pipeline: None,
-            runtime,
-        },
+        RepairOutcome::Repaired { table, repaired_cells, row_map } => {
+            rein_telemetry::counter("cells_repaired").add(repaired_cells.count() as u64);
+            RepairRun {
+                kind,
+                version: Some(VersionTable { table, row_map }),
+                repaired_cells: Some(repaired_cells),
+                pipeline: None,
+                runtime,
+            }
+        }
         RepairOutcome::Model(p) => {
             RepairRun { kind, version: None, repaired_cells: None, pipeline: Some(p), runtime }
         }
@@ -305,20 +316,14 @@ pub fn eval_regressor(
 /// Silhouette score of a clusterer on a data version. Methods requiring
 /// `k` get the best silhouette over `k ∈ 2..=max_k` (the paper's
 /// silhouette-driven choice of k); self-selecting methods run once.
-pub fn eval_clusterer(
-    table: &Table,
-    kind: ClustererKind,
-    max_k: usize,
-    seed: u64,
-) -> f64 {
+pub fn eval_clusterer(table: &Table, kind: ClustererKind, max_k: usize, seed: u64) -> f64 {
     let feature_cols = table.schema().feature_indices();
     let encoder = Encoder::fit(table, &feature_cols);
     let x = encoder.transform(table);
     if x.rows() < 4 {
         return f64::NAN;
     }
-    let self_selecting =
-        matches!(kind, ClustererKind::AffinityPropagation | ClustererKind::Optics);
+    let self_selecting = matches!(kind, ClustererKind::AffinityPropagation | ClustererKind::Optics);
     if self_selecting {
         let labels = kind.build(2, seed).fit_predict(&x);
         return rein_ml::silhouette(&x, &labels);
@@ -395,8 +400,7 @@ mod tests {
     fn regression_eval_produces_finite_rmse() {
         let ds = DatasetId::Nasa.generate(&Params::scaled(0.2, 3));
         let version = VersionTable::identity(ds.dirty.clone());
-        let scores =
-            eval_regressor(Scenario::S4, &ds, &version, RegressorKind::Ridge, 2, 1);
+        let scores = eval_regressor(Scenario::S4, &ds, &version, RegressorKind::Ridge, 2, 1);
         assert!(scores.iter().all(|s| s.is_finite()));
     }
 

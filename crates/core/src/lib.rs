@@ -17,8 +17,8 @@ pub mod toolbox;
 
 pub use controller::{CleaningStrategy, Controller, Plan};
 pub use evaluate::{
-    eval_classifier, eval_clusterer, eval_pipeline_s5, eval_regressor, run_repair,
-    scenario_split, DetectorHarness, DetectorRun, RepairRun, VersionTable,
+    eval_classifier, eval_clusterer, eval_pipeline_s5, eval_regressor, run_repair, scenario_split,
+    DetectorHarness, DetectorRun, RepairRun, VersionTable,
 };
 pub use experiment::{ab_test, AbTestRecord, DetectionRecord, ModelRecord, RepairRecord};
 pub use repository::{Repository, VersionKey};

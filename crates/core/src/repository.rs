@@ -59,12 +59,7 @@ impl Repository {
     }
 
     /// Stores a version (overwrites an existing one).
-    pub fn store(
-        &mut self,
-        dataset: &str,
-        key: VersionKey,
-        table: Table,
-    ) -> std::io::Result<()> {
+    pub fn store(&mut self, dataset: &str, key: VersionKey, table: Table) -> std::io::Result<()> {
         if let Some(root) = &self.root {
             let dir = root.join(dataset);
             std::fs::create_dir_all(&dir)?;
@@ -86,12 +81,8 @@ impl Repository {
 
     /// Lists the stored version keys of a dataset (in-memory only).
     pub fn versions_of(&self, dataset: &str) -> Vec<VersionKey> {
-        let mut keys: Vec<VersionKey> = self
-            .versions
-            .keys()
-            .filter(|(d, _)| d == dataset)
-            .map(|(_, k)| k.clone())
-            .collect();
+        let mut keys: Vec<VersionKey> =
+            self.versions.keys().filter(|(d, _)| d == dataset).map(|(_, k)| k.clone()).collect();
         keys.sort_by_key(|k| k.file_stem());
         keys
     }
@@ -122,12 +113,17 @@ mod tests {
         let mut repo = Repository::in_memory();
         repo.store("beers", VersionKey::GroundTruth, table(1)).unwrap();
         repo.store("beers", VersionKey::Dirty, table(2)).unwrap();
-        assert_eq!(repo.load("beers", &VersionKey::GroundTruth).unwrap().cell(0, 0), &Value::Int(1));
+        assert_eq!(
+            repo.load("beers", &VersionKey::GroundTruth).unwrap().cell(0, 0),
+            &Value::Int(1)
+        );
         assert_eq!(repo.load("beers", &VersionKey::Dirty).unwrap().cell(0, 0), &Value::Int(2));
-        assert!(repo.load("beers", &VersionKey::Repaired {
-            detector: "sd".into(),
-            repairer: "delete".into()
-        }).is_none());
+        assert!(repo
+            .load(
+                "beers",
+                &VersionKey::Repaired { detector: "sd".into(), repairer: "delete".into() }
+            )
+            .is_none());
         assert_eq!(repo.versions_of("beers").len(), 2);
         assert_eq!(repo.len(), 2);
     }

@@ -30,13 +30,8 @@ pub enum Scenario {
 
 impl Scenario {
     /// All five scenarios.
-    pub const ALL: [Scenario; 5] = [
-        Scenario::S1,
-        Scenario::S2,
-        Scenario::S3,
-        Scenario::S4,
-        Scenario::S5,
-    ];
+    pub const ALL: [Scenario; 5] =
+        [Scenario::S1, Scenario::S2, Scenario::S3, Scenario::S4, Scenario::S5];
 
     /// `(train, test)` roles (Table 3). S5 has no train role — the model
     /// comes from the repairer — so its train role is `Version` by

@@ -35,16 +35,12 @@ pub fn signals_satisfied(kind: DetectorKind, avail: &AvailableSignals) -> bool {
 /// of the error types present *and* have its signals available — the
 /// design-time pruning of §2 ("if a dataset is known to have duplicates,
 /// it is meaningless to run rule violation or outlier detection").
-pub fn applicable_detectors(
-    errors: &ErrorProfile,
-    avail: &AvailableSignals,
-) -> Vec<DetectorKind> {
+pub fn applicable_detectors(errors: &ErrorProfile, avail: &AvailableSignals) -> Vec<DetectorKind> {
     DetectorKind::ALL
         .iter()
         .copied()
         .filter(|kind| {
-            kind.tackled_errors().iter().any(|t| errors.has(*t))
-                && signals_satisfied(*kind, avail)
+            kind.tackled_errors().iter().any(|t| errors.has(*t)) && signals_satisfied(*kind, avail)
         })
         .collect()
 }
@@ -67,9 +63,7 @@ pub fn applicable_repairers(
             }
             RepairCategory::Generic => match kind {
                 RepairKind::GroundTruth => avail.oracle,
-                RepairKind::CleanLab => {
-                    avail.label_column && errors.has_class_errors()
-                }
+                RepairKind::CleanLab => avail.label_column && errors.has_class_errors(),
                 RepairKind::HoloClean => true, // degrades to co-occurrence voting
                 _ => true,
             },

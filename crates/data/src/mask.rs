@@ -98,19 +98,22 @@ impl CellMask {
 
     /// Iterates over set cells in row-major order.
     pub fn iter(&self) -> impl Iterator<Item = CellRef> + '_ {
-        self.bits.iter().enumerate().flat_map(move |(w, &word)| {
-            let mut word = word;
-            std::iter::from_fn(move || {
-                if word == 0 {
-                    return None;
-                }
-                let bit = word.trailing_zeros() as usize;
-                word &= word - 1;
-                Some(w * 64 + bit)
+        self.bits
+            .iter()
+            .enumerate()
+            .flat_map(move |(w, &word)| {
+                let mut word = word;
+                std::iter::from_fn(move || {
+                    if word == 0 {
+                        return None;
+                    }
+                    let bit = word.trailing_zeros() as usize;
+                    word &= word - 1;
+                    Some(w * 64 + bit)
+                })
             })
-        })
-        .filter(move |&i| i < self.rows * self.cols)
-        .map(move |i| CellRef::new(i / self.cols, i % self.cols))
+            .filter(move |&i| i < self.rows * self.cols)
+            .map(move |i| CellRef::new(i / self.cols, i % self.cols))
     }
 
     /// Rows that contain at least one set cell.

@@ -4,10 +4,21 @@
 //! the workspace (noise injection, synthetic data, weight init, GMMs) are
 //! provided here via Box–Muller so no extra distribution crate is needed.
 
-use rand::{Rng, RngExt};
+use std::sync::OnceLock;
+
+use rand::Rng;
+use rein_telemetry::Counter;
+
+/// Cached handle onto the global `rng_draws` counter: draws are hot
+/// enough that a registry lookup per call would dominate.
+fn draws() -> &'static Counter {
+    static DRAWS: OnceLock<Counter> = OnceLock::new();
+    DRAWS.get_or_init(|| rein_telemetry::counter("rng_draws"))
+}
 
 /// One standard-normal draw (Box–Muller, fresh pair each call).
 pub fn randn<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    draws().incr();
     // u1 in (0, 1] so ln(u1) is finite.
     let u1: f64 = 1.0 - rng.random::<f64>();
     let u2: f64 = rng.random();
@@ -24,6 +35,7 @@ pub fn gaussian<R: Rng + ?Sized>(rng: &mut R, mean: f64, std: f64) -> f64 {
 /// Falls back to uniform sampling when all weights are zero or non-finite.
 pub fn weighted_index<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
     assert!(!weights.is_empty(), "weighted_index on empty weights");
+    draws().incr();
     let total: f64 = weights.iter().copied().filter(|w| w.is_finite() && *w > 0.0).sum();
     if total <= 0.0 {
         return rng.random_range(0..weights.len());
@@ -43,8 +55,7 @@ pub fn weighted_index<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
 /// Derives a child seed from a parent seed and a stream id, so parallel
 /// components get decorrelated but reproducible randomness (SplitMix64 mix).
 pub fn derive_seed(seed: u64, stream: u64) -> u64 {
-    let mut z = seed
-        .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream.wrapping_add(1)));
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(stream.wrapping_add(1)));
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)

@@ -148,9 +148,8 @@ mod tests {
 
     #[test]
     fn stratified_keeps_class_balance() {
-        let labels: Vec<String> = (0..100)
-            .map(|i| if i < 80 { "a".to_string() } else { "b".to_string() })
-            .collect();
+        let labels: Vec<String> =
+            (0..100).map(|i| if i < 80 { "a".to_string() } else { "b".to_string() }).collect();
         let s = stratified_indices(&labels, 0.25, 3);
         let test_b = s.test.iter().filter(|&&i| labels[i] == "b").count();
         assert_eq!(s.test.len(), 25);

@@ -119,18 +119,14 @@ impl Table {
     /// A new table containing only the rows at `indices`, in that order.
     /// Indices may repeat (used by bootstrap sampling).
     pub fn select_rows(&self, indices: &[usize]) -> Table {
-        let columns = self
-            .columns
-            .iter()
-            .map(|c| indices.iter().map(|&i| c[i].clone()).collect())
-            .collect();
+        let columns =
+            self.columns.iter().map(|c| indices.iter().map(|&i| c[i].clone()).collect()).collect();
         Table { schema: self.schema.clone(), columns, n_rows: indices.len() }
     }
 
     /// A new table containing only the columns at `indices`, in that order.
     pub fn select_columns(&self, indices: &[usize]) -> Table {
-        let columns: Vec<Vec<Value>> =
-            indices.iter().map(|&i| self.columns[i].clone()).collect();
+        let columns: Vec<Vec<Value>> = indices.iter().map(|&i| self.columns[i].clone()).collect();
         Table { schema: self.schema.select(indices), columns, n_rows: self.n_rows }
     }
 
@@ -154,8 +150,7 @@ impl Table {
                 *map.entry(v).or_insert(0) += 1;
             }
         }
-        let mut out: Vec<(Value, usize)> =
-            map.into_iter().map(|(v, n)| (v.clone(), n)).collect();
+        let mut out: Vec<(Value, usize)> = map.into_iter().map(|(v, n)| (v.clone(), n)).collect();
         out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.total_cmp(&b.0)));
         out
     }

@@ -116,9 +116,9 @@ pub fn citation(p: &Params) -> GeneratedDataset {
         let (topic, field) = topics[rng.random_range(0..topics.len())];
         // Year correlates with field so the classifier has signal beyond
         // the title words.
-        let base_year = if field == "databases" { 2005 } else { 2015 };
+        let base_year: i64 = if field == "databases" { 2005 } else { 2015 };
         title.push(Value::str(format!("A study of {topic} volume {i}")));
-        year.push(Value::Int(base_year + rng.random_range(0..8)));
+        year.push(Value::Int(base_year + rng.random_range(0..8i64)));
         venue.push(Value::str(field));
     }
     let clean = TableBuilder::new()
@@ -131,7 +131,17 @@ pub fn citation(p: &Params) -> GeneratedDataset {
         ErrorSpec::Duplicates { rate: 0.35, fuzz: 0.4 },
         ErrorSpec::Mislabels { label_col: 2, rate: 0.12 },
     ];
-    finish("citation", "Research", MlTask::Classification, clean, &specs, 0.2, p.seed, vec![], vec![0])
+    finish(
+        "citation",
+        "Research",
+        MlTask::Classification,
+        clean,
+        &specs,
+        0.2,
+        p.seed,
+        vec![],
+        vec![0],
+    )
 }
 
 /// Adult (45223 × 15, social, C): census records with the
@@ -165,7 +175,9 @@ pub fn adult(p: &Params) -> GeneratedDataset {
         let loss = if rng.random_bool(0.05) { rng.random_range(500.0..4000.0) } else { 0.0 };
         let fnlwgt = 100_000.0 + 50_000.0 * randn(&mut rng).abs();
         // Planted income rule: education, age, hours and gains matter.
-        let z = 0.25 * educations[edu].1 as f64 + 0.03 * age as f64 + 0.05 * hours as f64
+        let z = 0.25 * educations[edu].1 as f64
+            + 0.03 * age as f64
+            + 0.05 * hours as f64
             + gain / 4000.0
             - 7.5
             + randn(&mut rng);
@@ -235,7 +247,8 @@ pub fn breast_cancer(p: &Params) -> GeneratedDataset {
         "nucleus_density",
         "border_irregularity",
     ];
-    let mut features: Vec<Vec<Value>> = (0..feature_names.len()).map(|_| Vec::with_capacity(n)).collect();
+    let mut features: Vec<Vec<Value>> =
+        (0..feature_names.len()).map(|_| Vec::with_capacity(n)).collect();
     let mut label = Vec::with_capacity(n);
     for _ in 0..n {
         let malignant = rng.random_bool(0.35);
@@ -280,12 +293,7 @@ pub fn smart_factory(p: &Params) -> GeneratedDataset {
     let (features, assignment) = cluster_features(&mut rng, n, d, 4, 1.2);
     let mut b = TableBuilder::new();
     for (i, f) in features.into_iter().enumerate() {
-        b = b.column(
-            &format!("sensor_{i:02}"),
-            ColumnType::Float,
-            ColumnRole::Feature,
-            floats(f),
-        );
+        b = b.column(&format!("sensor_{i:02}"), ColumnType::Float, ColumnRole::Feature, floats(f));
     }
     let labels: Vec<Value> = assignment.into_iter().map(|c| Value::Int(c as i64)).collect();
     let clean = b.column("machine_state", ColumnType::Int, ColumnRole::Label, labels).build();

@@ -29,7 +29,17 @@ pub fn water(p: &Params) -> GeneratedDataset {
         ErrorSpec::Outliers { cols: all.clone(), rate: 0.08, degree: 4.0 },
         ErrorSpec::DisguisedMissing { cols: all, rate: 0.07 },
     ];
-    finish("water", "Manufacturing", MlTask::Clustering, clean, &specs, 0.14, p.seed, vec![], vec![])
+    finish(
+        "water",
+        "Manufacturing",
+        MlTask::Clustering,
+        clean,
+        &specs,
+        0.14,
+        p.seed,
+        vec![],
+        vec![],
+    )
 }
 
 /// HAR (70000 × 4, wearables, UC): tri-axial accelerometer summaries with
@@ -48,8 +58,7 @@ pub fn har(p: &Params) -> GeneratedDataset {
             floats(f),
         );
     }
-    let tags: Vec<Value> =
-        assignment.iter().map(|&a| Value::str(activities[a])).collect();
+    let tags: Vec<Value> = assignment.iter().map(|&a| Value::str(activities[a])).collect();
     let clean = b.column("activity", ColumnType::Str, ColumnRole::Feature, tags).build();
     let specs = [
         ErrorSpec::Outliers { cols: vec![0, 1, 2], rate: 0.1, degree: 4.0 },

@@ -58,10 +58,7 @@ pub fn finish(
         domain: domain.to_string(),
         task,
         errors: ErrorProfile { types: error_types, rate: target_rate },
-        key_columns: key_columns
-            .iter()
-            .map(|&c| clean.schema().column(c).name.clone())
-            .collect(),
+        key_columns: key_columns.iter().map(|&c| clean.schema().column(c).name.clone()).collect(),
     };
     GeneratedDataset {
         info,

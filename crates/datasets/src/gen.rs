@@ -119,9 +119,8 @@ pub fn cluster_features(
     k: usize,
     spread: f64,
 ) -> (Vec<Vec<f64>>, Vec<usize>) {
-    let centres: Vec<Vec<f64>> = (0..k)
-        .map(|_| (0..d).map(|_| rng.random_range(-10.0..10.0)).collect())
-        .collect();
+    let centres: Vec<Vec<f64>> =
+        (0..k).map(|_| (0..d).map(|_| rng.random_range(-10.0..10.0)).collect()).collect();
     let mut features: Vec<Vec<f64>> = (0..d).map(|_| Vec::with_capacity(n)).collect();
     let mut assignment = Vec::with_capacity(n);
     for i in 0..n {
@@ -191,7 +190,11 @@ pub fn logistic_labels(
             if rng.random::<f64>() < flip_noise {
                 label = !label;
             }
-            if label { pos.to_string() } else { neg.to_string() }
+            if label {
+                pos.to_string()
+            } else {
+                neg.to_string()
+            }
         })
         .collect()
 }
@@ -230,7 +233,8 @@ mod tests {
             let m = features[0].iter().sum::<f64>() / 120.0;
             features[0].iter().map(|v| (v - m).powi(2)).sum::<f64>() / 120.0
         };
-        let c0: Vec<f64> = (0..120).filter(|&i| assignment[i] == 0).map(|i| features[0][i]).collect();
+        let c0: Vec<f64> =
+            (0..120).filter(|&i| assignment[i] == 0).map(|i| features[0][i]).collect();
         let within = {
             let m = c0.iter().sum::<f64>() / c0.len() as f64;
             c0.iter().map(|v| (v - m).powi(2)).sum::<f64>() / c0.len() as f64

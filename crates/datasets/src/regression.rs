@@ -59,7 +59,8 @@ pub fn bikes(p: &Params) -> GeneratedDataset {
         let weekday = (i % 7) as i64;
         let holiday = i64::from(rng.random_bool(0.03));
         let workingday = i64::from(weekday < 5 && holiday == 0);
-        let temp = 0.5 + 0.3 * ((month as f64 - 7.0) / 6.0 * std::f64::consts::PI).cos()
+        let temp = 0.5
+            + 0.3 * ((month as f64 - 7.0) / 6.0 * std::f64::consts::PI).cos()
             + 0.05 * randn(&mut rng);
         let atemp = temp + 0.02 * randn(&mut rng);
         let humidity = (0.6 + 0.15 * randn(&mut rng)).clamp(0.0, 1.0);
@@ -69,7 +70,10 @@ pub fn bikes(p: &Params) -> GeneratedDataset {
         // Demand: peaks at commute hours, warm weather, working days.
         let commute = (-(hour as f64 - 8.0).powi(2) / 8.0).exp()
             + (-(hour as f64 - 18.0).powi(2) / 8.0).exp();
-        let count = (350.0 * commute * (0.5 + temp) * (1.0 + 0.2 * workingday as f64)
+        let count = (350.0
+            * commute
+            * (0.5 + temp)
+            * (1.0 + 0.2 * workingday as f64)
             * (1.0 - 0.2 * (weather - 1) as f64)
             + 20.0 * randn(&mut rng).abs())
         .max(0.0);
@@ -94,8 +98,22 @@ pub fn bikes(p: &Params) -> GeneratedDataset {
         cols[15].push(Value::float(count));
     }
     let names = [
-        "instant", "season", "year", "month", "hour", "holiday", "weekday", "workingday",
-        "weather", "temp", "atemp", "humidity", "windspeed", "casual", "registered", "count",
+        "instant",
+        "season",
+        "year",
+        "month",
+        "hour",
+        "holiday",
+        "weekday",
+        "workingday",
+        "weather",
+        "temp",
+        "atemp",
+        "humidity",
+        "windspeed",
+        "casual",
+        "registered",
+        "count",
     ];
     let mut b = TableBuilder::new();
     for (idx, (name, values)) in names.iter().zip(cols).enumerate() {
@@ -178,8 +196,7 @@ pub fn printer3d(p: &Params) -> GeneratedDataset {
         let speed = rng.random_range(40.0..120.0f64);
         let material = if rng.random_bool(0.5) { "abs" } else { "pla" };
         let fan = rng.random_range(0.0..100.0f64);
-        let roughness = 20.0 + 800.0 * layer_height + 0.3 * speed
-            - 0.1 * fan
+        let roughness = 20.0 + 800.0 * layer_height + 0.3 * speed - 0.1 * fan
             + if material == "abs" { 15.0 } else { 0.0 }
             + 5.0 * randn(&mut rng);
         let elongation = rng.random_range(0.8..3.5f64);
@@ -197,8 +214,17 @@ pub fn printer3d(p: &Params) -> GeneratedDataset {
         cols[11].push(Value::float(roughness));
     }
     let names = [
-        "id", "layer_height", "wall_thickness", "infill_density", "infill_pattern",
-        "nozzle_temp", "bed_temp", "print_speed", "material", "fan_speed", "elongation",
+        "id",
+        "layer_height",
+        "wall_thickness",
+        "infill_density",
+        "infill_pattern",
+        "nozzle_temp",
+        "bed_temp",
+        "print_speed",
+        "material",
+        "fan_speed",
+        "elongation",
         "roughness",
     ];
     let mut b = TableBuilder::new();

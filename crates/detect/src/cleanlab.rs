@@ -26,13 +26,7 @@ impl Default for CleanLab {
 }
 
 /// Out-of-fold class probabilities for every labelled row.
-fn out_of_fold_probs(
-    x: &Matrix,
-    y: &[usize],
-    n_classes: usize,
-    folds: usize,
-    seed: u64,
-) -> Matrix {
+fn out_of_fold_probs(x: &Matrix, y: &[usize], n_classes: usize, folds: usize, seed: u64) -> Matrix {
     let n = x.rows();
     let mut probs = Matrix::zeros(n, n_classes);
     let splits = rein_data::split::k_fold_indices(n, folds.max(2), seed);
@@ -60,8 +54,7 @@ impl Detector for CleanLab {
         let mut mask = CellMask::new(t.n_rows(), t.n_cols());
         let Some(label_col) = ctx.label_col else { return mask };
 
-        let feature_cols: Vec<usize> =
-            (0..t.n_cols()).filter(|&c| c != label_col).collect();
+        let feature_cols: Vec<usize> = (0..t.n_cols()).filter(|&c| c != label_col).collect();
         if feature_cols.is_empty() {
             return mask;
         }
@@ -130,8 +123,10 @@ mod tests {
         let mut rows: Vec<Vec<Value>> = (0..120)
             .map(|i| {
                 let pos = i % 2 == 0;
+                // Unique x per row: duplicated feature values would let a
+                // flipped row hide behind clean twins in its leaf.
                 vec![
-                    Value::Float(if pos { 10.0 } else { -10.0 } + (i % 7) as f64 * 0.1),
+                    Value::Float(if pos { 10.0 } else { -10.0 } + i as f64 * 0.01),
                     Value::str(if pos { "pos" } else { "neg" }),
                 ]
             })

@@ -120,9 +120,7 @@ impl<'a> DetectContext<'a> {
     /// Numeric columns by *observed* majority type (dirty data may have
     /// type-shifted cells).
     pub fn numeric_columns(&self) -> Vec<usize> {
-        (0..self.dirty.n_cols())
-            .filter(|&c| self.dirty.observed_type(c).is_numeric())
-            .collect()
+        (0..self.dirty.n_cols()).filter(|&c| self.dirty.observed_type(c).is_numeric()).collect()
     }
 
     /// Categorical (non-numeric) columns by observed type.

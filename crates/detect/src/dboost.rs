@@ -105,9 +105,7 @@ fn flags_for(t: &Table, col: usize, kind: ModelKind, tightness: f64) -> Vec<usiz
                 .max(1e-12);
             (0..t.n_rows())
                 .filter(|&r| {
-                    t.cell(r, col)
-                        .as_f64()
-                        .is_some_and(|x| (x - mean).abs() > tightness * std)
+                    t.cell(r, col).as_f64().is_some_and(|x| (x - mean).abs() > tightness * std)
                 })
                 .collect()
         }
@@ -240,7 +238,13 @@ mod tests {
     #[test]
     fn mixture_fit_separates_two_modes() {
         let xs: Vec<f64> = (0..100)
-            .map(|i| if i % 2 == 0 { 0.0 + (i % 10) as f64 * 0.01 } else { 10.0 + (i % 10) as f64 * 0.01 })
+            .map(|i| {
+                if i % 2 == 0 {
+                    0.0 + (i % 10) as f64 * 0.01
+                } else {
+                    10.0 + (i % 10) as f64 * 0.01
+                }
+            })
             .collect();
         let ((m1, _), (m2, _)) = fit_mixture(&xs);
         let (lo, hi) = if m1 < m2 { (m1, m2) } else { (m2, m1) };

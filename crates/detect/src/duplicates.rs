@@ -46,8 +46,7 @@ impl Detector for KeyCollision {
             }
             groups.entry(key).or_default().push(r);
         }
-        let dup_groups: Vec<Vec<usize>> =
-            groups.into_values().filter(|g| g.len() > 1).collect();
+        let dup_groups: Vec<Vec<usize>> = groups.into_values().filter(|g| g.len() > 1).collect();
         flag_duplicate_rows(&mut mask, &dup_groups);
         mask
     }
@@ -153,8 +152,7 @@ impl Detector for ZeroEr {
         let mut blocks: HashMap<String, Vec<usize>> = HashMap::new();
         for r in 0..t.n_rows() {
             let fp = fingerprint(&t.cell(r, bc).to_string());
-            let key: String =
-                fp.split(' ').take(2).collect::<Vec<_>>().join(" ");
+            let key: String = fp.split(' ').take(2).collect::<Vec<_>>().join(" ");
             blocks.entry(key).or_default().push(r);
         }
 
@@ -219,8 +217,8 @@ impl Detector for ZeroEr {
         }
         let mut any_match = false;
         for (&(a, b), &score) in pairs.iter().zip(&scores) {
-            let p_match = (-(score - match_mean).powi(2) / (2.0 * match_std * match_std)).exp()
-                / match_std;
+            let p_match =
+                (-(score - match_mean).powi(2) / (2.0 * match_std * match_std)).exp() / match_std;
             let p_un = (-(score - unmatch_mean).powi(2) / (2.0 * unmatch_std * unmatch_std)).exp()
                 / unmatch_std;
             // Guard against degenerate EM: a "match" must also be
@@ -242,8 +240,7 @@ impl Detector for ZeroEr {
             let root = find(&mut parent, r);
             groups.entry(root).or_default().push(r);
         }
-        let dup_groups: Vec<Vec<usize>> =
-            groups.into_values().filter(|g| g.len() > 1).collect();
+        let dup_groups: Vec<Vec<usize>> = groups.into_values().filter(|g| g.len() > 1).collect();
         flag_duplicate_rows(&mut mask, &dup_groups);
         mask
     }

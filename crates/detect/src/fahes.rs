@@ -66,8 +66,7 @@ impl Detector for Fahes {
             let sentinels: Vec<f64> = counts
                 .values()
                 .filter(|(x, n)| {
-                    *n >= min_count.max(3)
-                        && (*x < q05 - 0.5 * iqr || *x > q95 + 0.5 * iqr)
+                    *n >= min_count.max(3) && (*x < q05 - 0.5 * iqr || *x > q95 + 0.5 * iqr)
                 })
                 .map(|(x, _)| *x)
                 .collect();
@@ -136,8 +135,9 @@ mod tests {
     fn frequent_central_values_are_not_sentinels() {
         // The mode of a distribution repeats a lot but is not at the edge.
         let schema = Schema::new(vec![ColumnMeta::new("x", ColumnType::Float)]);
-        let rows: Vec<Vec<Value>> =
-            (0..200).map(|i| vec![Value::Float(if i % 2 == 0 { 50.0 } else { 40.0 + (i % 17) as f64 })]).collect();
+        let rows: Vec<Vec<Value>> = (0..200)
+            .map(|i| vec![Value::Float(if i % 2 == 0 { 50.0 } else { 40.0 + (i % 17) as f64 })])
+            .collect();
         let t = Table::from_rows(schema, rows);
         let m = Fahes::default().detect(&DetectContext::bare(&t));
         assert!(m.is_empty(), "count {}", m.count());

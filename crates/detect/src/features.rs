@@ -74,8 +74,7 @@ impl CellFeaturizer {
         let v = t.cell(row, col);
         let key = v.as_key();
         out[0] = self.value_freq[col].get(key.as_ref()).copied().unwrap_or(0.0);
-        out[1] =
-            self.pattern_freq[col].get(&value_pattern(v)).copied().unwrap_or(0.0);
+        out[1] = self.pattern_freq[col].get(&value_pattern(v)).copied().unwrap_or(0.0);
         out[2] = v.to_string().len() as f64 / self.max_len;
         out[3] = match (self.col_stats[col], v.as_f64()) {
             (Some((mean, std)), Some(x)) => ((x - mean).abs() / std).min(10.0) / 10.0,

@@ -250,9 +250,7 @@ impl DetectorKind {
             DetectorKind::HoloClean => Box::new(holoclean::HoloCleanDetect),
             DetectorKind::DBoost => Box::new(dboost::DBoost::default()),
             DetectorKind::OpenRefine => Box::new(openrefine::OpenRefine),
-            DetectorKind::IsolationForest => {
-                Box::new(isolation_forest::IsolationForest::default())
-            }
+            DetectorKind::IsolationForest => Box::new(isolation_forest::IsolationForest::default()),
             DetectorKind::Sd => Box::new(simple::SdDetector::default()),
             DetectorKind::Iqr => Box::new(simple::IqrDetector::default()),
             DetectorKind::MvDetector => Box::new(simple::MvDetector),
@@ -276,8 +274,7 @@ mod registry_tests {
     #[test]
     fn nineteen_detectors_with_unique_letters() {
         assert_eq!(DetectorKind::ALL.len(), 19);
-        let mut letters: Vec<char> =
-            DetectorKind::ALL.iter().map(|d| d.index_letter()).collect();
+        let mut letters: Vec<char> = DetectorKind::ALL.iter().map(|d| d.index_letter()).collect();
         letters.sort_unstable();
         letters.dedup();
         assert_eq!(letters.len(), 19);
@@ -328,8 +325,7 @@ mod registry_tests {
         // Duplicate detectors and only they tackle duplicates.
         for kind in DetectorKind::ALL {
             let dups = kind.tackled_errors().contains(&rein_data::ErrorType::Duplicate);
-            let is_dup_detector =
-                matches!(kind, DetectorKind::KeyCollision | DetectorKind::ZeroEr);
+            let is_dup_detector = matches!(kind, DetectorKind::KeyCollision | DetectorKind::ZeroEr);
             assert_eq!(dups, is_dup_detector, "{}", kind.name());
         }
     }

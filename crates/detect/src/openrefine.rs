@@ -5,8 +5,8 @@
 
 use std::collections::HashMap;
 
-use rein_data::{CellMask, Value};
 use rein_constraints::pattern::fingerprint;
+use rein_data::{CellMask, Value};
 
 use crate::context::{DetectContext, Detector};
 
@@ -91,8 +91,7 @@ mod tests {
 
     fn table() -> Table {
         let schema = Schema::new(vec![ColumnMeta::new("style", ColumnType::Str)]);
-        let mut rows: Vec<Vec<Value>> =
-            (0..30).map(|_| vec![Value::str("pale ale")]).collect();
+        let mut rows: Vec<Vec<Value>> = (0..30).map(|_| vec![Value::str("pale ale")]).collect();
         rows[3][0] = Value::str("Pale Ale");
         rows[7][0] = Value::str(" pale ale");
         rows[11][0] = Value::str("PALE ALE");

@@ -41,8 +41,7 @@ impl Detector for Picket {
             return mask;
         }
         for target_col in 0..t.n_cols() {
-            let other: Vec<usize> =
-                (0..t.n_cols()).filter(|&c| c != target_col).collect();
+            let other: Vec<usize> = (0..t.n_cols()).filter(|&c| c != target_col).collect();
             let encoder = Encoder::fit(t, &other);
             let x = encoder.transform(t);
             match t.observed_type(target_col) {
@@ -58,8 +57,7 @@ impl Detector for Picket {
                     });
                     model.fit(&xs, &y);
                     let preds = model.predict(&xs);
-                    let residuals: Vec<f64> =
-                        y.iter().zip(&preds).map(|(t, p)| t - p).collect();
+                    let residuals: Vec<f64> = y.iter().zip(&preds).map(|(t, p)| t - p).collect();
                     let mean = residuals.iter().sum::<f64>() / residuals.len() as f64;
                     let std = (residuals.iter().map(|r| (r - mean).powi(2)).sum::<f64>()
                         / residuals.len() as f64)

@@ -40,8 +40,7 @@ fn column_strategy_verdicts(t: &Table, col: usize, fds: &[fd::FunctionalDependen
     };
 
     // Null / empty checks.
-    let null_rows: Vec<usize> =
-        (0..n).filter(|&r| t.cell(r, col).is_null()).collect();
+    let null_rows: Vec<usize> = (0..n).filter(|&r| t.cell(r, col).is_null()).collect();
     mark(&mut verdicts, &null_rows, strategy);
     strategy += 1;
 
@@ -65,9 +64,7 @@ fn column_strategy_verdicts(t: &Table, col: usize, fds: &[fd::FunctionalDependen
         for k in [1.5, 3.0] {
             let rows: Vec<usize> = (0..n)
                 .filter(|&r| {
-                    t.cell(r, col)
-                        .as_f64()
-                        .is_some_and(|x| x < q1 - k * iqr || x > q3 + k * iqr)
+                    t.cell(r, col).as_f64().is_some_and(|x| x < q1 - k * iqr || x > q3 + k * iqr)
                 })
                 .collect();
             mark(&mut verdicts, &rows, strategy);
@@ -113,8 +110,11 @@ fn column_strategy_verdicts(t: &Table, col: usize, fds: &[fd::FunctionalDependen
     for f in fds {
         if f.rhs == col || f.lhs.contains(&col) {
             let viol = fd::fd_violations(t, f);
-            let rows: Vec<usize> =
-                (0..n).filter(|&r| viol.get(r, col.min(viol.cols() - 1)) && viol.get(r, f.rhs) || viol.get(r, col)).collect();
+            let rows: Vec<usize> = (0..n)
+                .filter(|&r| {
+                    viol.get(r, col.min(viol.cols() - 1)) && viol.get(r, f.rhs) || viol.get(r, col)
+                })
+                .collect();
             mark(&mut verdicts, &rows, strategy);
         }
         strategy += 1;
@@ -213,8 +213,7 @@ mod tests {
         let (clean, dirty) = dataset();
         let actual = diff_mask(&clean, &dirty);
         let oracle = Oracle::new(actual.clone());
-        let ctx =
-            DetectContext { oracle: Some(&oracle), seed: 3, ..DetectContext::bare(&dirty) };
+        let ctx = DetectContext { oracle: Some(&oracle), seed: 3, ..DetectContext::bare(&dirty) };
         let m = Raha::default().detect(&ctx);
         let q = evaluate_detection(&m, &actual);
         assert!(q.f1 > 0.8, "f1 {}", q.f1);

@@ -24,16 +24,11 @@ impl Injection {
 
 /// Picks `rate × |candidates|` cells (rounded, at least one when the rate is
 /// positive and candidates exist) uniformly without replacement.
-pub fn pick_cells(
-    candidates: &[CellRef],
-    rate: f64,
-    rng: &mut StdRng,
-) -> Vec<CellRef> {
+pub fn pick_cells(candidates: &[CellRef], rate: f64, rng: &mut StdRng) -> Vec<CellRef> {
     if candidates.is_empty() || rate <= 0.0 {
         return Vec::new();
     }
-    let k = ((candidates.len() as f64 * rate).round() as usize)
-        .clamp(1, candidates.len());
+    let k = ((candidates.len() as f64 * rate).round() as usize).clamp(1, candidates.len());
     let mut idx: Vec<usize> = (0..candidates.len()).collect();
     idx.shuffle(rng);
     let mut out: Vec<CellRef> = idx[..k].iter().map(|&i| candidates[i]).collect();

@@ -23,7 +23,9 @@ fn variant(s: &str, rng: &mut StdRng) -> String {
                 .map(|w| {
                     let mut cs = w.chars();
                     match cs.next() {
-                        Some(f) => f.to_uppercase().chain(cs.flat_map(|c| c.to_lowercase())).collect(),
+                        Some(f) => {
+                            f.to_uppercase().chain(cs.flat_map(|c| c.to_lowercase())).collect()
+                        }
                         None => String::new(),
                     }
                 })
@@ -75,10 +77,7 @@ mod tests {
     fn table() -> Table {
         let schema = Schema::new(vec![ColumnMeta::new("style", ColumnType::Str)]);
         let styles = ["pale ale", "india pale ale", "stout", "porter"];
-        Table::from_rows(
-            schema,
-            (0..60).map(|i| vec![Value::str(styles[i % 4])]).collect(),
-        )
+        Table::from_rows(schema, (0..60).map(|i| vec![Value::str(styles[i % 4])]).collect())
     }
 
     #[test]

@@ -49,10 +49,7 @@ mod proptests {
             schema,
             (0..n)
                 .map(|i| {
-                    vec![
-                        Value::Float(10.0 + (i % 13) as f64),
-                        Value::str(format!("cat{}", i % 5)),
-                    ]
+                    vec![Value::Float(10.0 + (i % 13) as f64), Value::str(format!("cat{}", i % 5))]
                 })
                 .collect(),
         )

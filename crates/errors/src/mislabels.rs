@@ -51,10 +51,7 @@ mod tests {
             schema,
             (0..50)
                 .map(|i| {
-                    vec![
-                        Value::Float(i as f64),
-                        Value::str(if i % 2 == 0 { "pos" } else { "neg" }),
-                    ]
+                    vec![Value::Float(i as f64), Value::str(if i % 2 == 0 { "pos" } else { "neg" })]
                 })
                 .collect(),
         )

@@ -15,12 +15,7 @@ pub const IMPLICIT_TOKENS: [&str; 5] = ["?", "unknown", "-", "N/A", "missing"];
 pub const DISGUISED_NUMBERS: [i64; 4] = [99999, 999999, -1, 0];
 
 /// Replaces `rate` of the non-null cells in `cols` with explicit NULLs.
-pub fn inject_explicit_missing(
-    table: &Table,
-    cols: &[usize],
-    rate: f64,
-    seed: u64,
-) -> Injection {
+pub fn inject_explicit_missing(table: &Table, cols: &[usize], rate: f64, seed: u64) -> Injection {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut out = table.clone();
     let mut mask = CellMask::new(table.n_rows(), table.n_cols());
@@ -33,12 +28,7 @@ pub fn inject_explicit_missing(
 
 /// Replaces `rate` of the non-null cells in `cols` with implicit
 /// missing-value placeholders (`"?"`, `"unknown"`, …).
-pub fn inject_implicit_missing(
-    table: &Table,
-    cols: &[usize],
-    rate: f64,
-    seed: u64,
-) -> Injection {
+pub fn inject_implicit_missing(table: &Table, cols: &[usize], rate: f64, seed: u64) -> Injection {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut out = table.clone();
     let mut mask = CellMask::new(table.n_rows(), table.n_cols());
@@ -53,12 +43,7 @@ pub fn inject_implicit_missing(
 /// Replaces `rate` of the non-null *numeric* cells in `cols` with disguised
 /// sentinels (`999999`, `-1`, …) that sit inside the column's domain type
 /// but outside its plausible range.
-pub fn inject_disguised_missing(
-    table: &Table,
-    cols: &[usize],
-    rate: f64,
-    seed: u64,
-) -> Injection {
+pub fn inject_disguised_missing(table: &Table, cols: &[usize], rate: f64, seed: u64) -> Injection {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut out = table.clone();
     let mut mask = CellMask::new(table.n_rows(), table.n_cols());

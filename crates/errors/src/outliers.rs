@@ -39,11 +39,8 @@ pub fn inject_outliers(
     let mut rng = StdRng::seed_from_u64(seed);
     let mut out = table.clone();
     let mut mask = CellMask::new(table.n_rows(), table.n_cols());
-    let numeric_cols: Vec<usize> = cols
-        .iter()
-        .copied()
-        .filter(|&c| column_stats(table, c).is_some())
-        .collect();
+    let numeric_cols: Vec<usize> =
+        cols.iter().copied().filter(|&c| column_stats(table, c).is_some()).collect();
     let candidates: Vec<_> = cells_of_columns(table, &numeric_cols)
         .into_iter()
         .filter(|c| table.cell(c.row, c.col).as_f64().is_some())
@@ -71,11 +68,8 @@ pub fn inject_gaussian_noise(
     let mut rng = StdRng::seed_from_u64(seed);
     let mut out = table.clone();
     let mut mask = CellMask::new(table.n_rows(), table.n_cols());
-    let numeric_cols: Vec<usize> = cols
-        .iter()
-        .copied()
-        .filter(|&c| column_stats(table, c).is_some())
-        .collect();
+    let numeric_cols: Vec<usize> =
+        cols.iter().copied().filter(|&c| column_stats(table, c).is_some()).collect();
     let candidates: Vec<_> = cells_of_columns(table, &numeric_cols)
         .into_iter()
         .filter(|c| table.cell(c.row, c.col).as_f64().is_some())

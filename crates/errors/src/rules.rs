@@ -43,22 +43,15 @@ pub fn inject_fd_violations(
     }
 
     // Candidate rows: members of groups with >= 2 rows (detectable).
-    let mut candidates: Vec<usize> = groups
-        .values()
-        .filter(|g| g.len() >= 2)
-        .flat_map(|g| g.iter().copied())
-        .collect();
+    let mut candidates: Vec<usize> =
+        groups.values().filter(|g| g.len() >= 2).flat_map(|g| g.iter().copied()).collect();
     candidates.sort_unstable();
     if candidates.is_empty() || rate <= 0.0 {
         return Injection::unchanged(out);
     }
 
     // Domain of RHS values for cross-group replacement.
-    let domain: Vec<Value> = table
-        .value_counts(fd.rhs)
-        .into_iter()
-        .map(|(v, _)| v)
-        .collect();
+    let domain: Vec<Value> = table.value_counts(fd.rhs).into_iter().map(|(v, _)| v).collect();
 
     candidates.shuffle(&mut rng);
     let k = ((candidates.len() as f64 * rate).round() as usize).clamp(1, candidates.len());
@@ -92,9 +85,7 @@ mod tests {
         let cities = ["Berlin", "Munich", "Hamburg"];
         Table::from_rows(
             schema,
-            (0..60)
-                .map(|i| vec![Value::str(zips[i % 3]), Value::str(cities[i % 3])])
-                .collect(),
+            (0..60).map(|i| vec![Value::str(zips[i % 3]), Value::str(cities[i % 3])]).collect(),
         )
     }
 

@@ -60,8 +60,7 @@ mod tests {
         let t = table();
         let inj = inject_value_swaps(&t, &[0], 0.5, 9);
         let mut before: Vec<i64> = t.column(0).iter().map(|v| v.as_i64().unwrap()).collect();
-        let mut after: Vec<i64> =
-            inj.table.column(0).iter().map(|v| v.as_i64().unwrap()).collect();
+        let mut after: Vec<i64> = inj.table.column(0).iter().map(|v| v.as_i64().unwrap()).collect();
         before.sort_unstable();
         after.sort_unstable();
         assert_eq!(before, after);

@@ -166,9 +166,7 @@ mod tests {
         Table::from_rows(
             schema,
             (0..50)
-                .map(|i| {
-                    vec![Value::str(format!("product{i}")), Value::Float(10.0 + i as f64)]
-                })
+                .map(|i| vec![Value::str(format!("product{i}")), Value::Float(10.0 + i as f64)])
                 .collect(),
         )
     }

@@ -159,12 +159,8 @@ impl Regressor for AdaBoostRegressor {
         let all: Vec<Vec<f64>> = self.learners.iter().map(|(t, _)| t.predict(x)).collect();
         (0..x.rows())
             .map(|r| {
-                let mut pairs: Vec<(f64, f64)> = self
-                    .learners
-                    .iter()
-                    .enumerate()
-                    .map(|(i, (_, a))| (all[i][r], *a))
-                    .collect();
+                let mut pairs: Vec<(f64, f64)> =
+                    self.learners.iter().enumerate().map(|(i, (_, a))| (all[i][r], *a)).collect();
                 pairs.sort_by(|a, b| a.0.total_cmp(&b.0));
                 let total: f64 = pairs.iter().map(|(_, a)| a).sum();
                 let mut acc = 0.0;
@@ -183,7 +179,9 @@ impl Regressor for AdaBoostRegressor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::testutil::{blob_classification, linear_regression_data, train_test_accuracy, train_test_rmse};
+    use crate::testutil::{
+        blob_classification, linear_regression_data, train_test_accuracy, train_test_rmse,
+    };
 
     #[test]
     fn boosting_learns_blobs() {

@@ -96,8 +96,7 @@ impl Clusterer for AffinityPropagation {
         }
 
         // Exemplars: points where r(k,k) + a(k,k) > 0.
-        let mut exemplars: Vec<usize> =
-            (0..n).filter(|&k| r[k][k] + a[k][k] > 0.0).collect();
+        let mut exemplars: Vec<usize> = (0..n).filter(|&k| r[k][k] + a[k][k] > 0.0).collect();
         if exemplars.is_empty() {
             // Fall back to the best-scoring point as a single exemplar.
             let best = (0..n)

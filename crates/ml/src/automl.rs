@@ -44,7 +44,12 @@ impl AutoSelect {
     }
 
     /// Selects and trains the best classifier for `(x, y)`.
-    pub fn fit_classifier(&self, x: &Matrix, y: &[usize], n_classes: usize) -> AutoMlOutcome<dyn Classifier> {
+    pub fn fit_classifier(
+        &self,
+        x: &Matrix,
+        y: &[usize],
+        n_classes: usize,
+    ) -> AutoMlOutcome<dyn Classifier> {
         let split = train_test_indices(x.rows(), 0.25, self.seed);
         let xtr = select_matrix_rows(x, &split.train);
         let ytr: Vec<usize> = split.train.iter().map(|&i| y[i]).collect();
@@ -55,10 +60,8 @@ impl AutoSelect {
         let mut leaderboard = Vec::new();
         let mut rung_fraction = 1.0 / 2f64.powi(self.rungs.saturating_sub(1) as i32);
         for rung in 0..self.rungs {
-            let n_sub = ((xtr.rows() as f64 * rung_fraction) as usize).clamp(
-                (n_classes * 2).min(xtr.rows()),
-                xtr.rows(),
-            );
+            let n_sub = ((xtr.rows() as f64 * rung_fraction) as usize)
+                .clamp((n_classes * 2).min(xtr.rows()), xtr.rows());
             let sub: Vec<usize> = (0..n_sub).collect();
             let xs = select_matrix_rows(&xtr, &sub);
             let ys: Vec<usize> = sub.iter().map(|&i| ytr[i]).collect();
@@ -160,7 +163,12 @@ impl GeneticPipeline {
     }
 
     /// Evolves classifiers for `(x, y)`; returns the winner refit on all data.
-    pub fn fit_classifier(&self, x: &Matrix, y: &[usize], n_classes: usize) -> AutoMlOutcome<dyn Classifier> {
+    pub fn fit_classifier(
+        &self,
+        x: &Matrix,
+        y: &[usize],
+        n_classes: usize,
+    ) -> AutoMlOutcome<dyn Classifier> {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let split = train_test_indices(x.rows(), 0.25, self.seed);
         let xtr = select_matrix_rows(x, &split.train);
@@ -207,11 +215,15 @@ impl GeneticPipeline {
         }
         pop.sort_by(|a, b| b.1.total_cmp(&a.1));
         let (winner, score) = pop[0];
-        let leaderboard =
-            pop.iter().map(|(g, s)| (g.kind.name().to_string(), *s)).collect();
+        let leaderboard = pop.iter().map(|(g, s)| (g.kind.name().to_string(), *s)).collect();
         let mut deployed = winner.kind.build(derive_seed(self.seed, winner.variant));
         deployed.fit(x, y, n_classes);
-        AutoMlOutcome { model: deployed, family: winner.kind.name().to_string(), score, leaderboard }
+        AutoMlOutcome {
+            model: deployed,
+            family: winner.kind.name().to_string(),
+            score,
+            leaderboard,
+        }
     }
 }
 

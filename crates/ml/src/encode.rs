@@ -42,17 +42,13 @@ impl Encoder {
         let mut plans = Vec::with_capacity(feature_cols.len());
         let mut width = 0;
         for &c in feature_cols {
-            let non_null: Vec<&Value> =
-                table.column(c).iter().filter(|v| !v.is_null()).collect();
+            let non_null: Vec<&Value> = table.column(c).iter().filter(|v| !v.is_null()).collect();
             let numeric = non_null.iter().filter(|v| v.as_f64().is_some()).count();
             let is_numeric = !non_null.is_empty() && numeric * 2 >= non_null.len();
             if is_numeric {
                 let xs = table.numeric_values(c);
-                let mean = if xs.is_empty() {
-                    0.0
-                } else {
-                    xs.iter().sum::<f64>() / xs.len() as f64
-                };
+                let mean =
+                    if xs.is_empty() { 0.0 } else { xs.iter().sum::<f64>() / xs.len() as f64 };
                 let var = if xs.is_empty() {
                     1.0
                 } else {

@@ -66,12 +66,8 @@ impl Classifier for RandomForestClassifier {
                     bootstrap_indices(x.rows(), x.rows(), derive_seed(seed, 10_000 + i as u64));
                 let xb = select_matrix_rows(x, &boot);
                 let yb: Vec<usize> = boot.iter().map(|&r| y[r]).collect();
-                let mut t = DecisionTreeClassifier::new(tree_params_for(
-                    x.cols(),
-                    &params.tree,
-                    seed,
-                    i,
-                ));
+                let mut t =
+                    DecisionTreeClassifier::new(tree_params_for(x.cols(), &params.tree, seed, i));
                 t.fit(&xb, &yb, n_classes);
                 t
             })
@@ -80,9 +76,7 @@ impl Classifier for RandomForestClassifier {
 
     fn predict(&self, x: &Matrix) -> Vec<usize> {
         let p = self.predict_proba(x, self.n_classes.max(1));
-        (0..x.rows())
-            .map(|r| crate::linalg::argmax(p.row(r)))
-            .collect()
+        (0..x.rows()).map(|r| crate::linalg::argmax(p.row(r))).collect()
     }
 
     fn predict_proba(&self, x: &Matrix, n_classes: usize) -> Matrix {
@@ -137,12 +131,8 @@ impl Regressor for RandomForestRegressor {
                     bootstrap_indices(x.rows(), x.rows(), derive_seed(seed, 20_000 + i as u64));
                 let xb = select_matrix_rows(x, &boot);
                 let yb: Vec<f64> = boot.iter().map(|&r| y[r]).collect();
-                let mut t = DecisionTreeRegressor::new(tree_params_for(
-                    x.cols(),
-                    &params.tree,
-                    seed,
-                    i,
-                ));
+                let mut t =
+                    DecisionTreeRegressor::new(tree_params_for(x.cols(), &params.tree, seed, i));
                 t.fit(&xb, &yb);
                 t
             })
@@ -168,12 +158,15 @@ impl Regressor for RandomForestRegressor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::testutil::{blob_classification, linear_regression_data, train_test_accuracy, train_test_rmse};
+    use crate::testutil::{
+        blob_classification, linear_regression_data, train_test_accuracy, train_test_rmse,
+    };
 
     #[test]
     fn forest_classifier_learns_blobs() {
         let (x, y) = blob_classification(150, 3, 61);
-        let mut m = RandomForestClassifier::new(ForestParams { n_trees: 15, ..Default::default() }, 1);
+        let mut m =
+            RandomForestClassifier::new(ForestParams { n_trees: 15, ..Default::default() }, 1);
         let acc = train_test_accuracy(&mut m, &x, &y, 3);
         assert!(acc > 0.9, "accuracy {acc}");
     }
@@ -182,9 +175,8 @@ mod tests {
     fn forest_beats_single_shallow_tree_on_noisy_data() {
         // Noisy nonlinear target.
         let (x, _) = linear_regression_data(400, 0.0, 67);
-        let y: Vec<f64> = (0..x.rows())
-            .map(|r| (x[(r, 0)] * 1.3).sin() * 3.0 + x[(r, 1)].powi(2))
-            .collect();
+        let y: Vec<f64> =
+            (0..x.rows()).map(|r| (x[(r, 0)] * 1.3).sin() * 3.0 + x[(r, 1)].powi(2)).collect();
         let mut forest =
             RandomForestRegressor::new(ForestParams { n_trees: 30, ..Default::default() }, 2);
         let forest_rmse = train_test_rmse(&mut forest, &x, &y);
@@ -194,7 +186,8 @@ mod tests {
     #[test]
     fn forest_probabilities_are_distributions() {
         let (x, y) = blob_classification(90, 3, 71);
-        let mut m = RandomForestClassifier::new(ForestParams { n_trees: 10, ..Default::default() }, 4);
+        let mut m =
+            RandomForestClassifier::new(ForestParams { n_trees: 10, ..Default::default() }, 4);
         m.fit(&x, &y, 3);
         let p = m.predict_proba(&x, 3);
         for r in 0..p.rows() {
@@ -206,8 +199,10 @@ mod tests {
     #[test]
     fn forest_is_seed_deterministic() {
         let (x, y) = blob_classification(80, 2, 73);
-        let mut a = RandomForestClassifier::new(ForestParams { n_trees: 8, ..Default::default() }, 9);
-        let mut b = RandomForestClassifier::new(ForestParams { n_trees: 8, ..Default::default() }, 9);
+        let mut a =
+            RandomForestClassifier::new(ForestParams { n_trees: 8, ..Default::default() }, 9);
+        let mut b =
+            RandomForestClassifier::new(ForestParams { n_trees: 8, ..Default::default() }, 9);
         a.fit(&x, &y, 2);
         b.fit(&x, &y, 2);
         assert_eq!(a.predict(&x), b.predict(&x));

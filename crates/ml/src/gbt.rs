@@ -146,9 +146,8 @@ impl Classifier for GradientBoostedClassifier {
             }
             let mut round_trees = Vec::with_capacity(self.n_classes);
             for c in 0..self.n_classes {
-                let residuals: Vec<f64> = (0..n)
-                    .map(|r| if y[r] == c { 1.0 } else { 0.0 } - probs[(r, c)])
-                    .collect();
+                let residuals: Vec<f64> =
+                    (0..n).map(|r| if y[r] == c { 1.0 } else { 0.0 } - probs[(r, c)]).collect();
                 let mut tree = DecisionTreeRegressor::new(tree_params(
                     &self.params,
                     (round * self.n_classes + c) as u64,
@@ -165,9 +164,7 @@ impl Classifier for GradientBoostedClassifier {
 
     fn predict(&self, x: &Matrix) -> Vec<usize> {
         let scores = self.raw_scores(x);
-        (0..x.rows())
-            .map(|r| crate::linalg::argmax(scores.row(r)))
-            .collect()
+        (0..x.rows()).map(|r| crate::linalg::argmax(scores.row(r))).collect()
     }
 
     fn predict_proba(&self, x: &Matrix, n_classes: usize) -> Matrix {
@@ -188,7 +185,9 @@ impl Classifier for GradientBoostedClassifier {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::testutil::{blob_classification, linear_regression_data, train_test_accuracy, train_test_rmse};
+    use crate::testutil::{
+        blob_classification, linear_regression_data, train_test_accuracy, train_test_rmse,
+    };
 
     #[test]
     fn regressor_fits_nonlinear_target() {
@@ -202,8 +201,10 @@ mod tests {
     #[test]
     fn more_rounds_reduce_training_error() {
         let (x, y) = linear_regression_data(200, 0.1, 113);
-        let mut short = GradientBoostedRegressor::new(GbtParams { n_rounds: 3, ..Default::default() });
-        let mut long = GradientBoostedRegressor::new(GbtParams { n_rounds: 60, ..Default::default() });
+        let mut short =
+            GradientBoostedRegressor::new(GbtParams { n_rounds: 3, ..Default::default() });
+        let mut long =
+            GradientBoostedRegressor::new(GbtParams { n_rounds: 60, ..Default::default() });
         short.fit(&x, &y);
         long.fit(&x, &y);
         let short_err = crate::metrics::rmse(&y, &short.predict(&x));
@@ -214,7 +215,8 @@ mod tests {
     #[test]
     fn classifier_learns_blobs() {
         let (x, y) = blob_classification(150, 3, 117);
-        let mut m = GradientBoostedClassifier::new(GbtParams { n_rounds: 20, ..Default::default() });
+        let mut m =
+            GradientBoostedClassifier::new(GbtParams { n_rounds: 20, ..Default::default() });
         let acc = train_test_accuracy(&mut m, &x, &y, 3);
         assert!(acc > 0.9, "accuracy {acc}");
     }
@@ -222,7 +224,8 @@ mod tests {
     #[test]
     fn classifier_proba_normalised() {
         let (x, y) = blob_classification(60, 2, 119);
-        let mut m = GradientBoostedClassifier::new(GbtParams { n_rounds: 10, ..Default::default() });
+        let mut m =
+            GradientBoostedClassifier::new(GbtParams { n_rounds: 10, ..Default::default() });
         m.fit(&x, &y, 2);
         let p = m.predict_proba(&x, 2);
         for r in 0..p.rows() {

@@ -22,7 +22,14 @@ pub struct GaussianMixture {
 impl GaussianMixture {
     /// Builds a GMM clusterer.
     pub fn new(k: usize, seed: u64) -> Self {
-        Self { k: k.max(1), max_iter: 50, seed, weights: Vec::new(), means: Vec::new(), vars: Vec::new() }
+        Self {
+            k: k.max(1),
+            max_iter: 50,
+            seed,
+            weights: Vec::new(),
+            means: Vec::new(),
+            vars: Vec::new(),
+        }
     }
 
     /// Log density of row `xr` under component `c` (up to shared constants).
@@ -99,9 +106,7 @@ impl Clusterer for GaussianMixture {
             let mut vars = vec![vec![0.0; d]; k];
             for (r, rr) in resp.iter().enumerate() {
                 for c in 0..k {
-                    for (vv, (&v, &m)) in
-                        vars[c].iter_mut().zip(x.row(r).iter().zip(&means[c]))
-                    {
+                    for (vv, (&v, &m)) in vars[c].iter_mut().zip(x.row(r).iter().zip(&means[c])) {
                         *vv += rr[c] * (v - m).powi(2);
                     }
                 }
@@ -124,9 +129,7 @@ impl Clusterer for GaussianMixture {
             }
         }
 
-        (0..n)
-            .map(|r| crate::linalg::argmax(&self.responsibilities(x.row(r))))
-            .collect()
+        (0..n).map(|r| crate::linalg::argmax(&self.responsibilities(x.row(r)))).collect()
     }
 }
 

@@ -37,10 +37,7 @@ impl KMeans {
         while centroids.len() < self.k.min(n) {
             let weights: Vec<f64> = (0..n)
                 .map(|r| {
-                    centroids
-                        .iter()
-                        .map(|c| sq_dist(x.row(r), c))
-                        .fold(f64::INFINITY, f64::min)
+                    centroids.iter().map(|c| sq_dist(x.row(r), c)).fold(f64::INFINITY, f64::min)
                 })
                 .collect();
             let next = weighted_index(rng, &weights);
@@ -56,9 +53,7 @@ impl KMeans {
                 self.centroids
                     .iter()
                     .enumerate()
-                    .min_by(|(_, a), (_, b)| {
-                        sq_dist(x.row(r), a).total_cmp(&sq_dist(x.row(r), b))
-                    })
+                    .min_by(|(_, a), (_, b)| sq_dist(x.row(r), a).total_cmp(&sq_dist(x.row(r), b)))
                     .map_or(0, |(i, _)| i)
             })
             .collect()
@@ -66,11 +61,7 @@ impl KMeans {
 
     /// Total within-cluster sum of squares (inertia) of an assignment.
     pub fn inertia(&self, x: &Matrix, labels: &[usize]) -> f64 {
-        labels
-            .iter()
-            .enumerate()
-            .map(|(r, &l)| sq_dist(x.row(r), &self.centroids[l]))
-            .sum()
+        labels.iter().enumerate().map(|(r, &l)| sq_dist(x.row(r), &self.centroids[l])).sum()
     }
 }
 
@@ -96,9 +87,7 @@ impl Clusterer for KMeans {
                     *s += v;
                 }
             }
-            for (c, (sum, &count)) in
-                self.centroids.iter_mut().zip(sums.iter().zip(&counts))
-            {
+            for (c, (sum, &count)) in self.centroids.iter_mut().zip(sums.iter().zip(&counts)) {
                 if count > 0 {
                     for (cv, &sv) in c.iter_mut().zip(sum) {
                         *cv = sv / count as f64;
@@ -129,8 +118,7 @@ mod tests {
         // dominant cluster (purity > 0.9).
         let mut purity = 0usize;
         for class in 0..3 {
-            let members: Vec<usize> =
-                (0..truth.len()).filter(|&i| truth[i] == class).collect();
+            let members: Vec<usize> = (0..truth.len()).filter(|&i| truth[i] == class).collect();
             let mut counts = std::collections::HashMap::new();
             for &m in &members {
                 *counts.entry(labels[m]).or_insert(0usize) += 1;

@@ -56,10 +56,7 @@ impl Classifier for KnnClassifier {
                 }
                 // Break ties toward the class of the nearest neighbour.
                 let max = votes.iter().copied().max().unwrap_or(0);
-                nn.iter()
-                    .map(|&i| self.y[i])
-                    .find(|&c| votes[c] == max)
-                    .unwrap_or(0)
+                nn.iter().map(|&i| self.y[i]).find(|&c| votes[c] == max).unwrap_or(0)
             })
             .collect()
     }
@@ -122,7 +119,9 @@ impl Regressor for KnnRegressor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::testutil::{blob_classification, linear_regression_data, train_test_accuracy, train_test_rmse};
+    use crate::testutil::{
+        blob_classification, linear_regression_data, train_test_accuracy, train_test_rmse,
+    };
 
     #[test]
     fn knn_classifier_learns_blobs() {

@@ -27,6 +27,7 @@ pub mod forest;
 pub mod gbt;
 pub mod gmm;
 pub mod hierarchical;
+pub mod instrument;
 pub mod kmeans;
 pub mod knn;
 pub mod linalg;

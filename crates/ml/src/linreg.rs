@@ -117,8 +117,8 @@ impl Regressor for BayesianRidge {
             let gamma = gamma.clamp(1e-6, d as f64);
             let new_lambda = gamma / w_norm.max(1e-12);
             let new_alpha = (n as f64 - gamma).max(1e-6) / residual.max(1e-12);
-            let converged =
-                (new_lambda - lambda).abs() < 1e-6 * lambda && (new_alpha - alpha).abs() < 1e-6 * alpha;
+            let converged = (new_lambda - lambda).abs() < 1e-6 * lambda
+                && (new_alpha - alpha).abs() < 1e-6 * alpha;
             lambda = new_lambda.clamp(1e-9, 1e9);
             alpha = new_alpha.clamp(1e-9, 1e9);
             if converged {

@@ -104,9 +104,7 @@ impl Classifier for LogisticRegression {
 
     fn predict(&self, x: &Matrix) -> Vec<usize> {
         let logits = self.logits(x);
-        (0..x.rows())
-            .map(|r| crate::linalg::argmax(logits.row(r)))
-            .collect()
+        (0..x.rows()).map(|r| crate::linalg::argmax(logits.row(r))).collect()
     }
 
     fn predict_proba(&self, x: &Matrix, n_classes: usize) -> Matrix {

@@ -29,7 +29,11 @@ pub struct ClassificationReport {
 }
 
 /// Computes the macro-averaged classification report.
-pub fn classification_report(truth: &[usize], pred: &[usize], n_classes: usize) -> ClassificationReport {
+pub fn classification_report(
+    truth: &[usize],
+    pred: &[usize],
+    n_classes: usize,
+) -> ClassificationReport {
     assert_eq!(truth.len(), pred.len());
     let mut tp = vec![0usize; n_classes];
     let mut fp = vec![0usize; n_classes];
@@ -74,8 +78,7 @@ pub fn rmse(truth: &[f64], pred: &[f64]) -> f64 {
     if truth.is_empty() {
         return f64::NAN;
     }
-    (truth.iter().zip(pred).map(|(t, p)| (t - p).powi(2)).sum::<f64>() / truth.len() as f64)
-        .sqrt()
+    (truth.iter().zip(pred).map(|(t, p)| (t - p).powi(2)).sum::<f64>() / truth.len() as f64).sqrt()
 }
 
 /// Mean absolute error.
@@ -131,12 +134,9 @@ pub fn silhouette(x: &Matrix, labels: &[usize]) -> f64 {
             count += 1;
             continue;
         }
-        let a: f64 = own
-            .iter()
-            .filter(|&&j| j != i)
-            .map(|&j| euclid(x.row(i), x.row(j)))
-            .sum::<f64>()
-            / (own.len() - 1) as f64;
+        let a: f64 =
+            own.iter().filter(|&&j| j != i).map(|&j| euclid(x.row(i), x.row(j))).sum::<f64>()
+                / (own.len() - 1) as f64;
         let b = clusters
             .iter()
             .filter(|(&l, _)| l != labels[i])

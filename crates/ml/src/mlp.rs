@@ -233,9 +233,7 @@ impl Classifier for MlpClassifier {
         train(&mut net, x, &params, &mut rng, |i, out| {
             let mut probs = out.to_vec();
             softmax_in_place(&mut probs);
-            (0..probs.len())
-                .map(|c| probs[c] - if y[i] == c { 1.0 } else { 0.0 })
-                .collect()
+            (0..probs.len()).map(|c| probs[c] - if y[i] == c { 1.0 } else { 0.0 }).collect()
         });
         self.net = Some(net);
     }
@@ -314,7 +312,9 @@ impl Regressor for MlpRegressor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::testutil::{blob_classification, linear_regression_data, train_test_accuracy, train_test_rmse};
+    use crate::testutil::{
+        blob_classification, linear_regression_data, train_test_accuracy, train_test_rmse,
+    };
 
     #[test]
     fn classifier_learns_blobs() {

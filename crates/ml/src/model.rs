@@ -106,10 +106,12 @@ impl ClassifierKind {
         }
     }
 
-    /// Builds the model with its default hyperparameters.
+    /// Builds the model with its default hyperparameters. The returned
+    /// model is wrapped so its fit/predict calls feed the telemetry
+    /// metrics registry (`model_fits`, `model_fit`, `model_predict`).
     pub fn build(self, seed: u64) -> Box<dyn Classifier> {
         use crate::*;
-        match self {
+        let inner: Box<dyn Classifier> = match self {
             ClassifierKind::Logit => Box::new(logistic::LogisticRegression::default()),
             ClassifierKind::DecisionTree => {
                 Box::new(tree::DecisionTreeClassifier::new(tree::TreeParams::default()))
@@ -117,7 +119,9 @@ impl ClassifierKind {
             ClassifierKind::RandomForest => {
                 Box::new(forest::RandomForestClassifier::new(forest::ForestParams::default(), seed))
             }
-            ClassifierKind::LinearSvc => Box::new(svc::LinearSvc::new(svc::SvcParams::default(), seed)),
+            ClassifierKind::LinearSvc => {
+                Box::new(svc::LinearSvc::new(svc::SvcParams::default(), seed))
+            }
             ClassifierKind::SgdClassifier => {
                 Box::new(sgd::SgdClassifier::new(sgd::SgdParams::default(), seed))
             }
@@ -129,8 +133,11 @@ impl ClassifierKind {
                 Box::new(gbt::GradientBoostedClassifier::new(gbt::GbtParams::default()))
             }
             ClassifierKind::Ridge => Box::new(ridge::RidgeClassifier::new(1.0)),
-            ClassifierKind::Mlp => Box::new(mlp::MlpClassifier::new(mlp::MlpParams::default(), seed)),
-        }
+            ClassifierKind::Mlp => {
+                Box::new(mlp::MlpClassifier::new(mlp::MlpParams::default(), seed))
+            }
+        };
+        Box::new(instrument::InstrumentedClassifier::new(self.name(), inner))
     }
 }
 
@@ -194,20 +201,25 @@ impl RegressorKind {
         }
     }
 
-    /// Builds the model with its default hyperparameters.
+    /// Builds the model with its default hyperparameters. Wrapped for
+    /// telemetry like [`ClassifierKind::build`].
     pub fn build(self, seed: u64) -> Box<dyn Regressor> {
         use crate::*;
-        match self {
+        let inner: Box<dyn Regressor> = match self {
             RegressorKind::LinearRegression => Box::new(linreg::LinearRegression::default()),
             RegressorKind::BayesRidge => Box::new(linreg::BayesianRidge::default()),
-            RegressorKind::Ransac => Box::new(linreg::Ransac::new(linreg::RansacParams::default(), seed)),
+            RegressorKind::Ransac => {
+                Box::new(linreg::Ransac::new(linreg::RansacParams::default(), seed))
+            }
             RegressorKind::DecisionTree => {
                 Box::new(tree::DecisionTreeRegressor::new(tree::TreeParams::default()))
             }
             RegressorKind::RandomForest => {
                 Box::new(forest::RandomForestRegressor::new(forest::ForestParams::default(), seed))
             }
-            RegressorKind::LinearSvr => Box::new(svc::LinearSvr::new(svc::SvcParams::default(), seed)),
+            RegressorKind::LinearSvr => {
+                Box::new(svc::LinearSvr::new(svc::SvcParams::default(), seed))
+            }
             RegressorKind::Knn => Box::new(knn::KnnRegressor::new(5)),
             RegressorKind::AdaBoost => Box::new(adaboost::AdaBoostRegressor::new(50, seed)),
             RegressorKind::XgBoost => {
@@ -215,7 +227,8 @@ impl RegressorKind {
             }
             RegressorKind::Ridge => Box::new(ridge::RidgeRegressor::new(1.0)),
             RegressorKind::Mlp => Box::new(mlp::MlpRegressor::new(mlp::MlpParams::default(), seed)),
-        }
+        };
+        Box::new(instrument::InstrumentedRegressor::new(self.name(), inner))
     }
 }
 
@@ -260,10 +273,11 @@ impl ClustererKind {
     }
 
     /// Builds the clusterer; `k` is the cluster count for methods that need
-    /// it (ignored by AP and OPTICS which infer it).
+    /// it (ignored by AP and OPTICS which infer it). Wrapped for
+    /// telemetry like [`ClassifierKind::build`].
     pub fn build(self, k: usize, seed: u64) -> Box<dyn Clusterer> {
         use crate::*;
-        match self {
+        let inner: Box<dyn Clusterer> = match self {
             ClustererKind::Gmm => Box::new(gmm::GaussianMixture::new(k, seed)),
             ClustererKind::KMeans => Box::new(kmeans::KMeans::new(k, seed)),
             ClustererKind::AffinityPropagation => {
@@ -272,7 +286,8 @@ impl ClustererKind {
             ClustererKind::Hierarchical => Box::new(hierarchical::Agglomerative::new(k)),
             ClustererKind::Optics => Box::new(optics::Optics::default()),
             ClustererKind::Birch => Box::new(birch::Birch::new(k)),
-        }
+        };
+        Box::new(instrument::InstrumentedClusterer::new(self.name(), inner))
     }
 }
 

@@ -133,7 +133,8 @@ impl Classifier for MultinomialNb {
                 *acc += v + s;
             }
         }
-        self.priors = counts.iter().map(|&c| (c as f64 + 1.0) / (n as f64 + n_classes as f64)).collect();
+        self.priors =
+            counts.iter().map(|&c| (c as f64 + 1.0) / (n as f64 + n_classes as f64)).collect();
         self.feature_log_prob = feat
             .into_iter()
             .map(|row| {
@@ -153,9 +154,7 @@ impl Classifier for MultinomialNb {
                     }
                     s
                 };
-                (0..self.priors.len())
-                    .max_by(|&a, &b| score(a).total_cmp(&score(b)))
-                    .unwrap_or(0)
+                (0..self.priors.len()).max_by(|&a, &b| score(a).total_cmp(&score(b))).unwrap_or(0)
             })
             .collect()
     }

@@ -76,9 +76,7 @@ impl Regressor for RidgeRegressor {
     }
 
     fn predict(&self, x: &Matrix) -> Vec<f64> {
-        (0..x.rows())
-            .map(|r| self.bias + crate::linalg::dot(x.row(r), &self.weights))
-            .collect()
+        (0..x.rows()).map(|r| self.bias + crate::linalg::dot(x.row(r), &self.weights)).collect()
     }
 }
 
@@ -127,7 +125,9 @@ impl Classifier for RidgeClassifier {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::testutil::{blob_classification, linear_regression_data, train_test_accuracy, train_test_rmse};
+    use crate::testutil::{
+        blob_classification, linear_regression_data, train_test_accuracy, train_test_rmse,
+    };
 
     #[test]
     fn ridge_recovers_linear_coefficients() {

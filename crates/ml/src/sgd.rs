@@ -72,7 +72,8 @@ impl Classifier for SgdClassifier {
             for &i in &order {
                 t += 1;
                 // Inverse-scaling learning rate.
-                let eta = self.params.eta0 / (1.0 + self.params.eta0 * self.params.alpha * t as f64);
+                let eta =
+                    self.params.eta0 / (1.0 + self.params.eta0 * self.params.alpha * t as f64);
                 let xr = x.row(i);
                 let mut probs = self.scores(xr);
                 softmax_in_place(&mut probs);
@@ -92,9 +93,7 @@ impl Classifier for SgdClassifier {
     }
 
     fn predict(&self, x: &Matrix) -> Vec<usize> {
-        (0..x.rows())
-            .map(|r| crate::linalg::argmax(&self.scores(x.row(r))))
-            .collect()
+        (0..x.rows()).map(|r| crate::linalg::argmax(&self.scores(x.row(r)))).collect()
     }
 
     fn predict_proba(&self, x: &Matrix, n_classes: usize) -> Matrix {
@@ -102,8 +101,7 @@ impl Classifier for SgdClassifier {
         for r in 0..x.rows() {
             let mut s = self.scores(x.row(r));
             softmax_in_place(&mut s);
-            p.row_mut(r)[..s.len().min(n_classes)]
-                .copy_from_slice(&s[..s.len().min(n_classes)]);
+            p.row_mut(r)[..s.len().min(n_classes)].copy_from_slice(&s[..s.len().min(n_classes)]);
         }
         p
     }

@@ -136,8 +136,7 @@ impl Regressor for LinearSvr {
         }
         // Standardise y so ε and λ are scale-free.
         let mean = y.iter().sum::<f64>() / n as f64;
-        let std =
-            (y.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64).sqrt().max(1e-9);
+        let std = (y.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n as f64).sqrt().max(1e-9);
         self.y_shift = mean;
         self.y_scale = std;
         let ys: Vec<f64> = y.iter().map(|v| (v - mean) / std).collect();
@@ -169,9 +168,7 @@ impl Regressor for LinearSvr {
 
     fn predict(&self, x: &Matrix) -> Vec<f64> {
         (0..x.rows())
-            .map(|r| {
-                self.y_shift + self.y_scale * (self.bias + dot(x.row(r), &self.weights))
-            })
+            .map(|r| self.y_shift + self.y_scale * (self.bias + dot(x.row(r), &self.weights)))
             .collect()
     }
 }
@@ -179,7 +176,9 @@ impl Regressor for LinearSvr {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::testutil::{blob_classification, linear_regression_data, train_test_accuracy, train_test_rmse};
+    use crate::testutil::{
+        blob_classification, linear_regression_data, train_test_accuracy, train_test_rmse,
+    };
 
     #[test]
     fn svc_separates_blobs() {

@@ -25,16 +25,29 @@ pub struct TreeParams {
 
 impl Default for TreeParams {
     fn default() -> Self {
-        Self { max_depth: 12, min_samples_split: 4, min_samples_leaf: 2, max_features: None, seed: 0 }
+        Self {
+            max_depth: 12,
+            min_samples_split: 4,
+            min_samples_leaf: 2,
+            max_features: None,
+            seed: 0,
+        }
     }
 }
 
 #[derive(Debug, Clone)]
 enum Node {
-    Split { feature: usize, threshold: f64, left: usize, right: usize },
+    Split {
+        feature: usize,
+        threshold: f64,
+        left: usize,
+        right: usize,
+    },
     /// Leaf payload: class histogram (classification) or mean (regression,
     /// stored as a one-element histogram with the mean in `value`).
-    Leaf { value: Vec<f64> },
+    Leaf {
+        value: Vec<f64>,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -153,8 +166,7 @@ fn best_split(
                     if v_here == v_next {
                         continue;
                     }
-                    let score =
-                        (nl / n) * gini(&left_hist, nl) + (nr / n) * gini(&right_hist, nr);
+                    let score = (nl / n) * gini(&left_hist, nl) + (nr / n) * gini(&right_hist, nr);
                     let imbalance = (nl - nr).abs();
                     let better = match best {
                         None => true,
@@ -305,9 +317,7 @@ impl Classifier for DecisionTreeClassifier {
         self.n_classes = n_classes.max(1);
         let rows: Vec<usize> = (0..x.rows()).collect();
         if rows.is_empty() {
-            self.tree = Some(Tree {
-                nodes: vec![Node::Leaf { value: vec![0.0; self.n_classes] }],
-            });
+            self.tree = Some(Tree { nodes: vec![Node::Leaf { value: vec![0.0; self.n_classes] }] });
             return;
         }
         let target = Target::Class { y, n_classes: self.n_classes };
@@ -315,9 +325,7 @@ impl Classifier for DecisionTreeClassifier {
     }
 
     fn predict(&self, x: &Matrix) -> Vec<usize> {
-        (0..x.rows())
-            .map(|r| crate::linalg::argmax(&self.proba_row(x.row(r))))
-            .collect()
+        (0..x.rows()).map(|r| crate::linalg::argmax(&self.proba_row(x.row(r)))).collect()
     }
 
     fn predict_proba(&self, x: &Matrix, n_classes: usize) -> Matrix {
@@ -358,16 +366,16 @@ impl Regressor for DecisionTreeRegressor {
     }
 
     fn predict(&self, x: &Matrix) -> Vec<f64> {
-        (0..x.rows())
-            .map(|r| self.tree.as_ref().map_or(0.0, |t| t.leaf_of(x.row(r))[0]))
-            .collect()
+        (0..x.rows()).map(|r| self.tree.as_ref().map_or(0.0, |t| t.leaf_of(x.row(r))[0])).collect()
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::testutil::{blob_classification, linear_regression_data, train_test_accuracy, train_test_rmse};
+    use crate::testutil::{
+        blob_classification, linear_regression_data, train_test_accuracy, train_test_rmse,
+    };
 
     #[test]
     fn classifier_learns_blobs() {
@@ -414,7 +422,8 @@ mod tests {
     #[test]
     fn depth_limit_is_respected() {
         let (x, y) = blob_classification(100, 2, 47);
-        let mut stump = DecisionTreeClassifier::new(TreeParams { max_depth: 1, ..Default::default() });
+        let mut stump =
+            DecisionTreeClassifier::new(TreeParams { max_depth: 1, ..Default::default() });
         stump.fit(&x, &y, 2);
         // Depth-1 tree has at most 3 nodes.
         assert!(stump.tree.as_ref().unwrap().nodes.len() <= 3);

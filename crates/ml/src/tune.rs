@@ -192,10 +192,7 @@ pub fn search<F: FnMut(&ParamSample) -> f64>(
     let mut refined: Option<ParamSpace> = None;
     for t in 0..n_trials {
         if t == explore {
-            if let Some((best, _)) = trials
-                .iter()
-                .max_by(|a, b| a.1.total_cmp(&b.1))
-            {
+            if let Some((best, _)) = trials.iter().max_by(|a, b| a.1.total_cmp(&b.1)) {
                 refined = Some(space.refine_around(best));
             }
         }
@@ -235,8 +232,7 @@ mod tests {
         let space = ParamSpace::new().float("x", 0.0, 100.0, false);
         let result = search(&space, 60, 7, |s| -(s["x"].as_f64() - 42.0).abs());
         // Later trials should cluster near the incumbent.
-        let late: Vec<f64> =
-            result.trials[40..].iter().map(|(p, _)| p["x"].as_f64()).collect();
+        let late: Vec<f64> = result.trials[40..].iter().map(|(p, _)| p["x"].as_f64()).collect();
         let close = late.iter().filter(|x| (**x - 42.0).abs() < 20.0).count();
         assert!(close > late.len() / 2, "late trials not concentrated");
     }

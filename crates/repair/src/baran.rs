@@ -80,9 +80,7 @@ fn build_models(t: &Table, det: &CellMask, col: usize) -> ColumnModels {
             if anchor.is_null() || det.get(r, other) {
                 continue;
             }
-            let entry = vicinity
-                .entry((other, anchor.as_key().into_owned()))
-                .or_default();
+            let entry = vicinity.entry((other, anchor.as_key().into_owned())).or_default();
             *entry.entry(t.cell(r, col).as_key().into_owned()).or_insert(0.0) += 1.0;
         }
     }
@@ -129,12 +127,8 @@ fn model_scores(
         vicinity_score /= anchors as f64;
     }
     // Domain model: candidate frequency.
-    let domain_score = models
-        .domain
-        .iter()
-        .find(|(v, _)| v == candidate)
-        .map(|(_, f)| *f)
-        .unwrap_or(0.0);
+    let domain_score =
+        models.domain.iter().find(|(v, _)| v == candidate).map(|(_, f)| *f).unwrap_or(0.0);
     [value_score, vicinity_score, domain_score]
 }
 
@@ -160,10 +154,8 @@ impl Repairer for Baran {
         let mut weights = [1.0f64, 1.0, 1.0];
         if let Some(clean) = ctx.clean {
             let mut rng = StdRng::seed_from_u64(ctx.seed);
-            let mut labelled: Vec<CellRef> = det
-                .iter()
-                .filter(|cell| cell.row < clean.n_rows())
-                .collect();
+            let mut labelled: Vec<CellRef> =
+                det.iter().filter(|cell| cell.row < clean.n_rows()).collect();
             labelled.shuffle(&mut rng);
             labelled.truncate(ctx.label_budget.max(5));
             let mut hits = [1.0f64; 3]; // Laplace smoothing
@@ -172,8 +164,7 @@ impl Repairer for Baran {
                 let Some(models) = per_column_models.get(&cell.col) else { continue };
                 // Which model ranks the truth highest among domain cands?
                 for (m, hit) in hits.iter_mut().enumerate() {
-                    let truth_score =
-                        model_scores(t, det, models, cell.row, cell.col, truth)[m];
+                    let truth_score = model_scores(t, det, models, cell.row, cell.col, truth)[m];
                     let best_other = models
                         .domain
                         .iter()
@@ -196,8 +187,7 @@ impl Repairer for Baran {
             let mut best: Option<(&Value, f64)> = None;
             for (cand, _) in &models.domain {
                 let s = model_scores(t, det, models, cell.row, cell.col, cand);
-                let combined =
-                    (weights[0] * s[0] + weights[1] * s[1] + weights[2] * s[2]) / 3.0;
+                let combined = (weights[0] * s[0] + weights[1] * s[1] + weights[2] * s[2]) / 3.0;
                 if best.is_none_or(|(_, b)| combined > b) {
                     best = Some((cand, combined));
                 }

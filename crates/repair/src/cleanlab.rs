@@ -29,8 +29,7 @@ impl Repairer for CleanLabRepair {
         if det.count_col(label_col) == 0 {
             return RepairOutcome::repaired(table, repaired);
         }
-        let feature_cols: Vec<usize> =
-            (0..t.n_cols()).filter(|&c| c != label_col).collect();
+        let feature_cols: Vec<usize> = (0..t.n_cols()).filter(|&c| c != label_col).collect();
         let labels = LabelMap::fit([t], label_col);
         if labels.n_classes() < 2 || feature_cols.is_empty() {
             return RepairOutcome::repaired(table, repaired);
@@ -56,8 +55,7 @@ impl Repairer for CleanLabRepair {
         );
         model.fit(&xs, &tr_y, labels.n_classes());
 
-        let flagged: Vec<usize> =
-            (0..t.n_rows()).filter(|&r| det.get(r, label_col)).collect();
+        let flagged: Vec<usize> = (0..t.n_rows()).filter(|&r| det.get(r, label_col)).collect();
         let xf = select_matrix_rows(&x, &flagged);
         let preds = model.predict(&xf);
         for (local, &row) in flagged.iter().enumerate() {

@@ -129,8 +129,7 @@ impl Repairer for StandardImpute {
                 .filter_map(|r| dirty.cell(r, c).as_f64())
                 .collect();
             let numeric_majority = {
-                let non_null =
-                    (0..dirty.n_rows()).filter(|&r| !dirty.cell(r, c).is_null()).count();
+                let non_null = (0..dirty.n_rows()).filter(|&r| !dirty.cell(r, c).is_null()).count();
                 trusted.len() * 2 >= non_null.max(1)
             };
             let replacement: Value = if numeric_majority && !trusted.is_empty() {

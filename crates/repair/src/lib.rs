@@ -217,10 +217,8 @@ mod registry_tests {
 
     #[test]
     fn three_ml_oriented_methods() {
-        let n = RepairKind::ALL
-            .iter()
-            .filter(|k| k.category() == RepairCategory::MlOriented)
-            .count();
+        let n =
+            RepairKind::ALL.iter().filter(|k| k.category() == RepairCategory::MlOriented).count();
         assert_eq!(n, 3);
     }
 
@@ -296,10 +294,7 @@ mod proptests {
                     schema,
                     (0..n)
                         .map(|i| {
-                            vec![
-                                Value::Float((i % 7) as f64),
-                                Value::str(["a", "b", "c"][i % 3]),
-                            ]
+                            vec![Value::Float((i % 7) as f64), Value::str(["a", "b", "c"][i % 3])]
                         })
                         .collect(),
                 );

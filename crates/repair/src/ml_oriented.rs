@@ -337,9 +337,7 @@ impl Repairer for CpClean {
                     let mut dists: Vec<(f64, usize)> = split
                         .train
                         .iter()
-                        .map(|&tr| {
-                            (rein_ml::linalg::sq_dist(x.row(v), x.row(tr)), tr)
-                        })
+                        .map(|&tr| (rein_ml::linalg::sq_dist(x.row(v), x.row(tr)), tr))
                         .collect();
                     let kk = self.k.min(dists.len());
                     if kk == 0 {
@@ -479,14 +477,20 @@ mod tests {
     fn methods_work_without_oracle_as_dirty_baseline() {
         let (_, dirty, det) = dataset();
         for (name, out) in [
-            ("activeclean", ActiveClean::default().repair(&RepairContext {
-                label_col: Some(2),
-                ..RepairContext::new(&dirty, &det)
-            })),
-            ("cpclean", CpClean::default().repair(&RepairContext {
-                label_col: Some(2),
-                ..RepairContext::new(&dirty, &det)
-            })),
+            (
+                "activeclean",
+                ActiveClean::default().repair(&RepairContext {
+                    label_col: Some(2),
+                    ..RepairContext::new(&dirty, &det)
+                }),
+            ),
+            (
+                "cpclean",
+                CpClean::default().repair(&RepairContext {
+                    label_col: Some(2),
+                    ..RepairContext::new(&dirty, &det)
+                }),
+            ),
         ] {
             match out {
                 RepairOutcome::Model(p) => {

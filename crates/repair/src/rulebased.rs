@@ -222,7 +222,10 @@ mod tests {
             schema,
             (0..40)
                 .map(|i| {
-                    vec![Value::str(["10115", "80331"][i % 2]), Value::str(["Berlin", "Munich"][i % 2])]
+                    vec![
+                        Value::str(["10115", "80331"][i % 2]),
+                        Value::str(["Berlin", "Munich"][i % 2]),
+                    ]
                 })
                 .collect(),
         );
@@ -256,10 +259,8 @@ mod tests {
     #[test]
     fn holoclean_numeric_fallback() {
         let schema = Schema::new(vec![ColumnMeta::new("x", ColumnType::Float)]);
-        let mut dirty = Table::from_rows(
-            schema,
-            (0..20).map(|i| vec![Value::Float((i % 5) as f64)]).collect(),
-        );
+        let mut dirty =
+            Table::from_rows(schema, (0..20).map(|i| vec![Value::Float((i % 5) as f64)]).collect());
         dirty.set_cell(3, 0, Value::Float(900.0));
         let mut det = CellMask::new(20, 1);
         det.set(3, 0, true);
@@ -271,10 +272,8 @@ mod tests {
     #[test]
     fn openrefine_canonicalises_detected_variants() {
         let schema = Schema::new(vec![ColumnMeta::new("style", ColumnType::Str)]);
-        let mut dirty = Table::from_rows(
-            schema,
-            (0..20).map(|_| vec![Value::str("pale ale")]).collect(),
-        );
+        let mut dirty =
+            Table::from_rows(schema, (0..20).map(|_| vec![Value::str("pale ale")]).collect());
         dirty.set_cell(3, 0, Value::str("PALE ALE"));
         dirty.set_cell(7, 0, Value::str(" pale ale"));
         let mut det = CellMask::new(20, 1);
@@ -289,10 +288,8 @@ mod tests {
     #[test]
     fn openrefine_leaves_unclustered_cells_alone() {
         let schema = Schema::new(vec![ColumnMeta::new("c", ColumnType::Str)]);
-        let dirty = Table::from_rows(
-            schema,
-            (0..10).map(|i| vec![Value::str(format!("v{i}"))]).collect(),
-        );
+        let dirty =
+            Table::from_rows(schema, (0..10).map(|i| vec![Value::str(format!("v{i}"))]).collect());
         let mut det = CellMask::new(10, 1);
         det.set(2, 0, true);
         let out = OpenRefineRepair.repair(&RepairContext::new(&dirty, &det));

@@ -30,7 +30,14 @@ impl DetectionQuality {
         } else {
             2.0 * precision * recall / (precision + recall)
         };
-        Self { true_positives: tp, false_positives: fp, false_negatives: fneg, precision, recall, f1 }
+        Self {
+            true_positives: tp,
+            false_positives: fp,
+            false_negatives: fneg,
+            precision,
+            recall,
+            f1,
+        }
     }
 
     /// Total number of cells the detector flagged.

@@ -49,10 +49,8 @@ pub fn categorical_repair_quality(
             correct += 1;
         }
     }
-    let actual_in_cols = actual
-        .iter()
-        .filter(|c| columns.contains(&c.col) && c.row < shared)
-        .count();
+    let actual_in_cols =
+        actual.iter().filter(|c| columns.contains(&c.col) && c.row < shared).count();
     let fp = total_repaired - correct;
     let fneg = actual_in_cols.saturating_sub(correct);
     DetectionQuality::from_counts(correct, fp, fneg)
@@ -103,7 +101,12 @@ pub fn numerical_rmse(
 
 /// Convenience: RMSE of the *dirty* version (the red dashed baseline of
 /// Figure 5).
-pub fn dirty_rmse(dirty: &Table, clean: &Table, actual: &CellMask, columns: &[usize]) -> RmseReport {
+pub fn dirty_rmse(
+    dirty: &Table,
+    clean: &Table,
+    actual: &CellMask,
+    columns: &[usize],
+) -> RmseReport {
     numerical_rmse(dirty, clean, actual, columns)
 }
 

@@ -62,8 +62,7 @@ fn erf(x: f64) -> f64 {
     let x = x.abs();
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let y = 1.0
-        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
-            * t
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736) * t
             + 0.254_829_592)
             * t
             * (-x * x).exp();
@@ -118,12 +117,7 @@ pub fn wilcoxon_signed_rank(a: &[f64], b: &[f64]) -> Result<WilcoxonResult, Wilc
     if a.len() != b.len() {
         return Err(WilcoxonError::LengthMismatch);
     }
-    let diffs: Vec<f64> = a
-        .iter()
-        .zip(b)
-        .map(|(x, y)| x - y)
-        .filter(|d| *d != 0.0)
-        .collect();
+    let diffs: Vec<f64> = a.iter().zip(b).map(|(x, y)| x - y).filter(|d| *d != 0.0).collect();
     let n = diffs.len();
     if n == 0 {
         return Err(WilcoxonError::AllZeroDifferences);
@@ -131,12 +125,7 @@ pub fn wilcoxon_signed_rank(a: &[f64], b: &[f64]) -> Result<WilcoxonResult, Wilc
 
     let abs: Vec<f64> = diffs.iter().map(|d| d.abs()).collect();
     let ranks = average_ranks(&abs);
-    let w_plus: f64 = diffs
-        .iter()
-        .zip(&ranks)
-        .filter(|(d, _)| **d > 0.0)
-        .map(|(_, r)| r)
-        .sum();
+    let w_plus: f64 = diffs.iter().zip(&ranks).filter(|(d, _)| **d > 0.0).map(|(_, r)| r).sum();
     let w_minus: f64 = n as f64 * (n + 1) as f64 / 2.0 - w_plus;
     let w = w_plus.min(w_minus);
 
@@ -229,8 +218,7 @@ mod tests {
     fn symmetric_noise_fails_to_reject() {
         // Alternating ±1 differences: perfectly symmetric.
         let a: Vec<f64> = (0..20).map(|i| i as f64).collect();
-        let b: Vec<f64> =
-            (0..20).map(|i| i as f64 + if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let b: Vec<f64> = (0..20).map(|i| i as f64 + if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
         let r = wilcoxon_signed_rank(&a, &b).unwrap();
         assert!(!r.rejects_null(0.05), "p = {}", r.p_value);
         assert!(r.p_value > 0.5);

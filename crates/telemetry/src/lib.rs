@@ -1,0 +1,60 @@
+//! Observability for the REIN benchmark pipeline.
+//!
+//! Four pieces, all backed by process-global state so instrumentation
+//! never threads handles through APIs:
+//!
+//! * **Spans** ([`span`], [`span_under`]) — hierarchical wall-clock
+//!   timers. Nesting is tracked per thread; a parent context can be
+//!   captured with [`current`] and handed across a rayon fan-out so
+//!   worker-thread spans attach to the right parent.
+//! * **Metrics** ([`counter`], [`histogram`]) — named monotonic
+//!   counters and log-bucketed duration histograms with percentile
+//!   summaries. Counter increments are single relaxed atomic adds and
+//!   safe to call from parallel iterators.
+//! * **Log emitter** ([`info!`], [`debug!`]) — stderr events gated by
+//!   the `REIN_LOG` environment variable (`off`, `info`, `debug`).
+//!   When a level is disabled the macro costs one atomic load; the
+//!   message is never formatted.
+//! * **Run manifests** ([`RunManifest`]) — a serializable snapshot of
+//!   the run configuration, every finished span, and all metric values,
+//!   written to `artifacts/telemetry/<binary>-<seed>.json` by each
+//!   benchmark binary.
+//!
+//! Typical binary skeleton:
+//!
+//! ```no_run
+//! let _run = rein_telemetry::span("run");
+//! {
+//!     let _p = rein_telemetry::span("phase:setup");
+//!     // ... load datasets ...
+//! }
+//! {
+//!     let _p = rein_telemetry::span("phase:detect");
+//!     rein_telemetry::counter("detector_invocations").incr();
+//! }
+//! drop(_run);
+//! let config = rein_telemetry::RunConfig { scale: 0.05, repeats: 3, seed: 7, label_budget: 100 };
+//! let manifest = rein_telemetry::RunManifest::collect("fig2_detection", config);
+//! manifest.write().expect("manifest written");
+//! ```
+
+mod log;
+mod manifest;
+mod metrics;
+mod span;
+
+pub use log::{emit, enabled, level, set_level, Level};
+pub use manifest::{manifest_dir, RunConfig, RunManifest};
+pub use metrics::{
+    counter, counters_snapshot, histogram, histograms_snapshot, Counter, Histogram,
+    HistogramSummary,
+};
+pub use span::{current, drain_spans, snapshot_spans, span, span_under, Span, SpanCtx, SpanRecord};
+
+/// Clears all recorded spans and metric values (counters reset to zero,
+/// histograms emptied). Intended for tests and for binaries that run
+/// several independent experiments in one process.
+pub fn reset() {
+    span::reset_spans();
+    metrics::reset_metrics();
+}

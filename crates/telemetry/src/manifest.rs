@@ -1,0 +1,110 @@
+//! JSON run manifests.
+//!
+//! A [`RunManifest`] is the durable record of one benchmark binary
+//! invocation: the effective configuration, every finished span, and the
+//! final value of every counter and histogram. Binaries write one as
+//! their last act so any run can be audited (and diffed against another
+//! seed or scale) without re-running it.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use crate::metrics::{counters_snapshot, histograms_snapshot, HistogramSummary};
+use crate::span::{snapshot_spans, SpanRecord};
+
+/// The effective run configuration, echoed into the manifest so a result
+/// file is self-describing.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunConfig {
+    /// Dataset scale factor (`REIN_SCALE`).
+    pub scale: f64,
+    /// Repeats per configuration (`REIN_REPEATS`).
+    pub repeats: u32,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Labelling budget (cells the oracle may reveal).
+    pub label_budget: u64,
+}
+
+/// Snapshot of one run's telemetry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunManifest {
+    /// Name of the benchmark binary that produced this run.
+    pub binary: String,
+    /// Effective configuration.
+    pub config: RunConfig,
+    /// Every finished span, in completion order.
+    pub spans: Vec<SpanRecord>,
+    /// Final counter values.
+    pub counters: BTreeMap<String, u64>,
+    /// Final histogram summaries.
+    pub histograms: BTreeMap<String, HistogramSummary>,
+}
+
+/// Directory manifests are written to, relative to the working
+/// directory: `artifacts/telemetry`.
+pub fn manifest_dir() -> PathBuf {
+    Path::new("artifacts").join("telemetry")
+}
+
+impl RunManifest {
+    /// Snapshots the global span list and metric registries into a
+    /// manifest for `binary`.
+    pub fn collect(binary: &str, config: RunConfig) -> Self {
+        RunManifest {
+            binary: binary.to_string(),
+            config,
+            spans: snapshot_spans(),
+            counters: counters_snapshot(),
+            histograms: histograms_snapshot(),
+        }
+    }
+
+    /// The file this manifest belongs at:
+    /// `artifacts/telemetry/<binary>-<seed>.json`.
+    pub fn path(&self) -> PathBuf {
+        manifest_dir().join(format!("{}-{}.json", self.binary, self.config.seed))
+    }
+
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("manifest serializes")
+    }
+
+    /// Writes the manifest to [`RunManifest::path`], creating the
+    /// directory if needed, and returns the path written.
+    pub fn write(&self) -> io::Result<PathBuf> {
+        let path = self.path();
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        std::fs::write(&path, self.to_json())?;
+        crate::info!("wrote run manifest {}", path.display());
+        Ok(path)
+    }
+
+    /// Parses a manifest back from JSON.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        serde_json::from_str(json).map_err(|e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_path_includes_binary_and_seed() {
+        let m = RunManifest {
+            binary: "fig2_detection".into(),
+            config: RunConfig { scale: 0.05, repeats: 3, seed: 42, label_budget: 100 },
+            spans: Vec::new(),
+            counters: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+        };
+        assert!(m.path().ends_with("artifacts/telemetry/fig2_detection-42.json"));
+    }
+}

@@ -1,0 +1,194 @@
+//! Hierarchical wall-clock spans.
+//!
+//! Each thread keeps a stack of open spans; [`span`] parents a new span
+//! under the top of the current thread's stack. Rayon fan-out runs
+//! closures on worker threads whose stacks start empty, so parallel code
+//! captures the parent context first and opens children explicitly:
+//!
+//! ```ignore
+//! let parent = rein_telemetry::current();
+//! items.par_iter().map(|it| {
+//!     let _s = rein_telemetry::span_under("detect:one", parent);
+//!     ...
+//! })
+//! ```
+//!
+//! Finished spans accumulate in a process-global list that
+//! [`RunManifest::collect`](crate::RunManifest::collect) snapshots.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+
+use crate::log::{emit, enabled, Level};
+
+/// A lightweight handle to an open span, safe to copy into closures
+/// running on other threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanCtx {
+    /// Process-unique span id (ids start at 1; 0 means "no parent").
+    pub id: u64,
+    /// Nesting depth, 0 for root spans.
+    pub depth: u32,
+}
+
+/// One finished span.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanRecord {
+    /// Span name, e.g. `"phase:detect"` or `"detect:raha"`.
+    pub name: String,
+    /// Process-unique id.
+    pub id: u64,
+    /// Parent span id, or 0 for root spans.
+    pub parent_id: u64,
+    /// Nesting depth, 0 for root spans.
+    pub depth: u32,
+    /// Start offset in milliseconds from the first telemetry event of
+    /// the process.
+    pub start_ms: f64,
+    /// Wall-clock duration in milliseconds.
+    pub duration_ms: f64,
+}
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Process start reference for `start_ms` offsets.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn finished() -> &'static Mutex<Vec<SpanRecord>> {
+    static FINISHED: OnceLock<Mutex<Vec<SpanRecord>>> = OnceLock::new();
+    FINISHED.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+thread_local! {
+    static STACK: RefCell<Vec<SpanCtx>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The innermost span open on the current thread, if any. Capture this
+/// before a rayon fan-out and pass it to [`span_under`] inside the
+/// parallel closure.
+pub fn current() -> Option<SpanCtx> {
+    STACK.with(|s| s.borrow().last().copied())
+}
+
+/// An open span; records itself when dropped or [`finish`](Span::finish)ed.
+#[derive(Debug)]
+pub struct Span {
+    name: String,
+    id: u64,
+    parent_id: u64,
+    depth: u32,
+    start_ms: f64,
+    start: Instant,
+    closed: bool,
+}
+
+/// Opens a span parented under the current thread's innermost open span.
+pub fn span(name: impl Into<String>) -> Span {
+    span_under(name, current())
+}
+
+/// Opens a span under an explicit parent (or as a root when `None`).
+/// This is the fan-out form: the parent context travels into worker
+/// threads by value, so nesting stays correct under rayon.
+pub fn span_under(name: impl Into<String>, parent: Option<SpanCtx>) -> Span {
+    let name = name.into();
+    let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+    let depth = parent.map_or(0, |p| p.depth + 1);
+    let parent_id = parent.map_or(0, |p| p.id);
+    let start_ms = epoch().elapsed().as_secs_f64() * 1e3;
+    STACK.with(|s| s.borrow_mut().push(SpanCtx { id, depth }));
+    if enabled(Level::Debug) {
+        emit(Level::Debug, &format!("{}+ open {name} depth={depth}", Indent(depth)));
+    }
+    Span { name, id, parent_id, depth, start_ms, start: Instant::now(), closed: false }
+}
+
+/// Depth-proportional indentation for debug span events.
+struct Indent(u32);
+
+impl std::fmt::Display for Indent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for _ in 0..self.0 {
+            f.write_str("  ")?;
+        }
+        Ok(())
+    }
+}
+
+impl Span {
+    /// Handle for parenting children (possibly on other threads).
+    pub fn ctx(&self) -> SpanCtx {
+        SpanCtx { id: self.id, depth: self.depth }
+    }
+
+    /// Closes the span now and returns its wall-clock duration.
+    pub fn finish(mut self) -> Duration {
+        self.close()
+    }
+
+    fn close(&mut self) -> Duration {
+        if self.closed {
+            return Duration::ZERO;
+        }
+        self.closed = true;
+        let duration = self.start.elapsed();
+        // Pop by id rather than blindly popping the top: a guard moved
+        // across threads or dropped out of order must not corrupt the
+        // stack of unrelated spans.
+        STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            if let Some(pos) = stack.iter().rposition(|c| c.id == self.id) {
+                stack.remove(pos);
+            }
+        });
+        let record = SpanRecord {
+            name: std::mem::take(&mut self.name),
+            id: self.id,
+            parent_id: self.parent_id,
+            depth: self.depth,
+            start_ms: self.start_ms,
+            duration_ms: duration.as_secs_f64() * 1e3,
+        };
+        if enabled(Level::Debug) {
+            emit(
+                Level::Debug,
+                &format!(
+                    "{}- close {} depth={} ({:.3}ms)",
+                    Indent(record.depth),
+                    record.name,
+                    record.depth,
+                    record.duration_ms
+                ),
+            );
+        }
+        finished().lock().expect("span list lock").push(record);
+        duration
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.close();
+    }
+}
+
+/// Copies out every finished span, in completion order.
+pub fn snapshot_spans() -> Vec<SpanRecord> {
+    finished().lock().expect("span list lock").clone()
+}
+
+/// Removes and returns every finished span.
+pub fn drain_spans() -> Vec<SpanRecord> {
+    std::mem::take(&mut *finished().lock().expect("span list lock"))
+}
+
+pub(crate) fn reset_spans() {
+    finished().lock().expect("span list lock").clear();
+}

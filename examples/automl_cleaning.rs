@@ -14,8 +14,7 @@ use rein::ml::encode::{select_matrix_rows, Encoder, LabelMap};
 use rein::repair::RepairKind;
 
 fn f1_of_automl(table: &rein::data::Table, label_col: usize, seed: u64) -> (String, f64) {
-    let features: Vec<usize> =
-        (0..table.n_cols()).filter(|&c| c != label_col).collect();
+    let features: Vec<usize> = (0..table.n_cols()).filter(|&c| c != label_col).collect();
     let encoder = Encoder::fit(table, &features);
     let labels = LabelMap::fit([table], label_col);
     let (rows, y) = labels.encode(table, label_col);
@@ -44,11 +43,9 @@ fn main() {
     let repaired = run.version.expect("generic repair");
 
     println!("AutoSelect (Auto-Sklearn stand-in) on breast_cancer:");
-    for (name, table) in [
-        ("dirty", &ds.dirty),
-        ("auto-repaired", &repaired.table),
-        ("ground truth", &ds.clean),
-    ] {
+    for (name, table) in
+        [("dirty", &ds.dirty), ("auto-repaired", &repaired.table), ("ground truth", &ds.clean)]
+    {
         let (family, f1) = f1_of_automl(table, label_col, 5);
         println!("  {name:<14} winner = {family:<8} holdout F1 = {f1:.3}");
     }

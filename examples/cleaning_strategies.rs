@@ -36,7 +36,10 @@ fn main() {
     let s4 = mean(&eval_regressor(Scenario::S4, &ds, &dirty, RegressorKind::XgBoost, 3, 1));
 
     println!("\nXGB RMSE on dirty data (S1): {s1_dirty:.3}   ground truth (S4): {s4:.3}\n");
-    println!("{:<10} {:<20} {:>12} {:>12}", "strategy", "(det + repairer)", "repair RMSE", "model RMSE");
+    println!(
+        "{:<10} {:<20} {:>12} {:>12}",
+        "strategy", "(det + repairer)", "repair RMSE", "model RMSE"
+    );
     for det in &detections {
         for rep in [RepairKind::ImputeMeanMode, RepairKind::MissMix, RepairKind::KnnMiss] {
             let strategy = CleaningStrategy { detector: det.kind, repairer: rep };

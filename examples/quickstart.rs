@@ -39,12 +39,24 @@ fn main() {
     //    against the ground-truth upper bound (S4).
     let dirty_version = VersionTable::identity(ds.dirty.clone());
     let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
-    let f1_dirty =
-        mean(&eval_classifier(Scenario::S1, &ds, &dirty_version, ClassifierKind::DecisionTree, 5, 7));
+    let f1_dirty = mean(&eval_classifier(
+        Scenario::S1,
+        &ds,
+        &dirty_version,
+        ClassifierKind::DecisionTree,
+        5,
+        7,
+    ));
     let f1_repaired =
         mean(&eval_classifier(Scenario::S1, &ds, &repaired, ClassifierKind::DecisionTree, 5, 7));
-    let f1_truth =
-        mean(&eval_classifier(Scenario::S4, &ds, &dirty_version, ClassifierKind::DecisionTree, 5, 7));
+    let f1_truth = mean(&eval_classifier(
+        Scenario::S4,
+        &ds,
+        &dirty_version,
+        ClassifierKind::DecisionTree,
+        5,
+        7,
+    ));
 
     println!("\ndecision-tree macro F1:");
     println!("  trained on dirty data     {f1_dirty:.3}");

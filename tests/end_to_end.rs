@@ -26,15 +26,10 @@ fn full_pipeline_on_beers_improves_over_dirty() {
     let repaired = run.version.expect("generic repair");
 
     let dirty = VersionTable::identity(ds.dirty.clone());
-    let f1_dirty =
-        mean(&eval_classifier(Scenario::S1, &ds, &dirty, ClassifierKind::Logit, 3, 7));
-    let f1_rep =
-        mean(&eval_classifier(Scenario::S1, &ds, &repaired, ClassifierKind::Logit, 3, 7));
+    let f1_dirty = mean(&eval_classifier(Scenario::S1, &ds, &dirty, ClassifierKind::Logit, 3, 7));
+    let f1_rep = mean(&eval_classifier(Scenario::S1, &ds, &repaired, ClassifierKind::Logit, 3, 7));
     let f1_gt = mean(&eval_classifier(Scenario::S4, &ds, &dirty, ClassifierKind::Logit, 3, 7));
-    assert!(
-        f1_rep >= f1_dirty - 0.02,
-        "repair must not hurt: dirty {f1_dirty} repaired {f1_rep}"
-    );
+    assert!(f1_rep >= f1_dirty - 0.02, "repair must not hurt: dirty {f1_dirty} repaired {f1_rep}");
     assert!(f1_gt >= f1_rep - 0.05, "ground truth is the upper bound");
 }
 
@@ -59,10 +54,8 @@ fn controller_end_to_end_on_breast_cancer() {
     let ctrl = Controller { label_budget: 60, seed: 1 };
     let detections = ctrl.run_detection(&ds);
     assert!(detections.len() >= 5, "only {} detectors planned", detections.len());
-    let best = detections
-        .iter()
-        .max_by(|a, b| a.quality.f1.total_cmp(&b.quality.f1))
-        .expect("non-empty");
+    let best =
+        detections.iter().max_by(|a, b| a.quality.f1.total_cmp(&b.quality.f1)).expect("non-empty");
     assert!(best.quality.f1 > 0.5, "best detector f1 {}", best.quality.f1);
 
     let repairs = ctrl.run_repairs(&ds, best);

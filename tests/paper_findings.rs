@@ -30,10 +30,7 @@ fn ml_detectors_cost_more_runtime_than_simple_ones() {
     let h = DetectorHarness::new(&ds, 100, 1);
     let sd = h.run(&ds, DetectorKind::Sd).runtime;
     let ed2 = h.run(&ds, DetectorKind::Ed2).runtime;
-    assert!(
-        ed2 > sd,
-        "ED2 ({ed2:?}) must cost more than the SD rule ({sd:?})"
-    );
+    assert!(ed2 > sd, "ED2 ({ed2:?}) must cost more than the SD rule ({sd:?})");
 }
 
 #[test]
@@ -42,14 +39,18 @@ fn classifiers_are_more_robust_to_attribute_errors_than_regressors() {
     // regressors — cleaning matters more for regression.
     let cls = DatasetId::SmartFactory.generate(&Params::scaled(0.02, 23));
     let version = VersionTable::identity(cls.dirty.clone());
-    let s1 = mean(&eval_classifier(Scenario::S1, &cls, &version, ClassifierKind::RandomForest, 3, 1));
-    let s4 = mean(&eval_classifier(Scenario::S4, &cls, &version, ClassifierKind::RandomForest, 3, 1));
+    let s1 =
+        mean(&eval_classifier(Scenario::S1, &cls, &version, ClassifierKind::RandomForest, 3, 1));
+    let s4 =
+        mean(&eval_classifier(Scenario::S4, &cls, &version, ClassifierKind::RandomForest, 3, 1));
     let cls_gap = (s4 - s1).max(0.0) / s4.max(1e-9);
 
     let reg = DatasetId::Nasa.generate(&Params::scaled(0.3, 24));
     let version = VersionTable::identity(reg.dirty.clone());
-    let r1 = mean(&eval_regressor(Scenario::S1, &reg, &version, RegressorKind::LinearRegression, 3, 1));
-    let r4 = mean(&eval_regressor(Scenario::S4, &reg, &version, RegressorKind::LinearRegression, 3, 1));
+    let r1 =
+        mean(&eval_regressor(Scenario::S1, &reg, &version, RegressorKind::LinearRegression, 3, 1));
+    let r4 =
+        mean(&eval_regressor(Scenario::S4, &reg, &version, RegressorKind::LinearRegression, 3, 1));
     let reg_gap = (r1 - r4).max(0.0) / r4.max(1e-9); // RMSE: higher is worse
 
     assert!(
@@ -67,11 +68,7 @@ fn models_trained_dirty_but_served_clean_perform_well() {
     for model in [RegressorKind::Ransac, RegressorKind::BayesRidge] {
         let s2 = mean(&eval_regressor(Scenario::S2, &ds, &version, model, 4, 3));
         let s3 = mean(&eval_regressor(Scenario::S3, &ds, &version, model, 4, 3));
-        assert!(
-            s2 < s3,
-            "{}: S2 RMSE ({s2:.3}) should beat S3 ({s3:.3})",
-            model.name()
-        );
+        assert!(s2 < s3, "{}: S2 RMSE ({s2:.3}) should beat S3 ({s3:.3})", model.name());
     }
 }
 

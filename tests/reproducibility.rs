@@ -55,12 +55,7 @@ fn detection_is_deterministic() {
 fn repair_is_deterministic() {
     let ds = DatasetId::Beers.generate(&Params::scaled(0.1, 4));
     for kind in [RepairKind::MissMix, RepairKind::Baran, RepairKind::HoloClean] {
-        let run = || {
-            run_repair(&ds, &ds.mask, kind, 7)
-                .version
-                .expect("generic repair")
-                .table
-        };
+        let run = || run_repair(&ds, &ds.mask, kind, 7).version.expect("generic repair").table;
         assert_eq!(run(), run(), "{}", kind.name());
     }
 }

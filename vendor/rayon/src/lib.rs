@@ -1,0 +1,223 @@
+//! Offline vendored stand-in for `rayon`.
+//!
+//! Implements the parallel-iterator subset the REIN-RS workspace uses
+//! (`par_iter` / `into_par_iter` on slices, vectors and ranges, plus
+//! `map` / `filter` / `for_each` / `collect` / `sum` / `count`) on top of
+//! `std::thread::scope`. Work is materialised into a `Vec`, split into
+//! one contiguous chunk per available core, and mapped in parallel, so
+//! the fan-out behaviour the benchmark's telemetry has to survive is
+//! real OS-thread concurrency, not a sequential simulation.
+
+use std::ops::Range;
+
+/// Number of worker threads a parallel stage uses.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+}
+
+/// Runs `f` over the items of `items` on up to [`current_num_threads`]
+/// scoped threads, preserving order.
+fn parallel_map<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R> {
+    let n = items.len();
+    let threads = current_num_threads().min(n);
+    if threads <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let mut slots: Vec<Option<T>> = items.into_iter().map(Some).collect();
+    let mut out: Vec<Option<R>> = Vec::with_capacity(n);
+    out.resize_with(n, || None);
+    let chunk = n.div_ceil(threads);
+    let f = &f;
+    std::thread::scope(|scope| {
+        for (in_chunk, out_chunk) in slots.chunks_mut(chunk).zip(out.chunks_mut(chunk)) {
+            scope.spawn(move || {
+                for (slot, dst) in in_chunk.iter_mut().zip(out_chunk.iter_mut()) {
+                    *dst = Some(f(slot.take().expect("slot taken twice")));
+                }
+            });
+        }
+    });
+    out.into_iter().map(|o| o.expect("parallel_map slot unfilled")).collect()
+}
+
+/// A materialised parallel iterator: holds its items and applies each
+/// adaptor stage across scoped threads.
+pub struct ParallelIterator<T: Send> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator<T> {
+    /// Parallel map.
+    pub fn map<R: Send, F: Fn(T) -> R + Sync + Send>(self, f: F) -> ParallelIterator<R> {
+        ParallelIterator { items: parallel_map(self.items, f) }
+    }
+
+    /// Parallel filter.
+    pub fn filter<F: Fn(&T) -> bool + Sync + Send>(self, f: F) -> ParallelIterator<T> {
+        let kept = parallel_map(self.items, |item| if f(&item) { Some(item) } else { None });
+        ParallelIterator { items: kept.into_iter().flatten().collect() }
+    }
+
+    /// Parallel filter-map.
+    pub fn filter_map<R: Send, F: Fn(T) -> Option<R> + Sync + Send>(
+        self,
+        f: F,
+    ) -> ParallelIterator<R> {
+        let kept = parallel_map(self.items, f);
+        ParallelIterator { items: kept.into_iter().flatten().collect() }
+    }
+
+    /// Parallel flat-map.
+    pub fn flat_map<R, I, F>(self, f: F) -> ParallelIterator<R>
+    where
+        R: Send,
+        I: IntoIterator<Item = R>,
+        F: Fn(T) -> I + Sync + Send,
+    {
+        let nested: Vec<Vec<R>> =
+            parallel_map(self.items, |item| f(item).into_iter().collect());
+        ParallelIterator { items: nested.into_iter().flatten().collect() }
+    }
+
+    /// Parallel side-effecting traversal.
+    pub fn for_each<F: Fn(T) + Sync + Send>(self, f: F) {
+        drop(self.map(f));
+    }
+
+    /// Collects into any `FromIterator` container (order preserved).
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    /// Sums the items.
+    pub fn sum<S: std::iter::Sum<T>>(self) -> S {
+        self.items.into_iter().sum()
+    }
+
+    /// Item count.
+    pub fn count(self) -> usize {
+        self.items.len()
+    }
+
+    /// Reduces with an identity (both applied sequentially post-map).
+    pub fn reduce<Id, F>(self, identity: Id, op: F) -> T
+    where
+        Id: Fn() -> T,
+        F: Fn(T, T) -> T,
+    {
+        self.items.into_iter().fold(identity(), op)
+    }
+}
+
+/// Conversion into a parallel iterator (by value).
+pub trait IntoParallelIterator {
+    /// Item type.
+    type Item: Send;
+
+    /// Builds the parallel iterator.
+    fn into_par_iter(self) -> ParallelIterator<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParallelIterator<T> {
+        ParallelIterator { items: self }
+    }
+}
+
+macro_rules! impl_range_par_iter {
+    ($($t:ty),*) => {$(
+        impl IntoParallelIterator for Range<$t> {
+            type Item = $t;
+
+            fn into_par_iter(self) -> ParallelIterator<$t> {
+                ParallelIterator { items: self.collect() }
+            }
+        }
+    )*};
+}
+impl_range_par_iter!(u32, u64, usize, i32, i64);
+
+/// Conversion into a parallel iterator over references.
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type (a reference).
+    type Item: Send;
+
+    /// Builds the parallel iterator.
+    fn par_iter(&'a self) -> ParallelIterator<Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParallelIterator<&'a T> {
+        ParallelIterator { items: self.iter().collect() }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+
+    fn par_iter(&'a self) -> ParallelIterator<&'a T> {
+        ParallelIterator { items: self.iter().collect() }
+    }
+}
+
+/// Runs two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon::join worker panicked"))
+    })
+}
+
+/// The customary glob import.
+pub mod prelude {
+    pub use super::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).into_par_iter().map(|i| i * 2).collect();
+        assert_eq!(v, (0..1000).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_over_refs() {
+        let data = vec![1u64, 2, 3, 4];
+        let doubled: Vec<u64> = data.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+        let total: u64 = data.par_iter().map(|&x| x).sum();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn for_each_runs_every_item() {
+        let hits = AtomicUsize::new(0);
+        (0..517usize).into_par_iter().for_each(|_| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 517);
+    }
+
+    #[test]
+    fn filter_and_join() {
+        let evens: Vec<usize> = (0..20).into_par_iter().filter(|i| i % 2 == 0).collect();
+        assert_eq!(evens.len(), 10);
+        let (a, b) = super::join(|| 1 + 1, || "two");
+        assert_eq!((a, b), (2, "two"));
+    }
+}

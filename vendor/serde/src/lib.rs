@@ -1,0 +1,413 @@
+//! Offline vendored stand-in for `serde`.
+//!
+//! The build environment has no crates.io access, so this crate provides
+//! the serialization subset REIN-RS needs: `#[derive(Serialize,
+//! Deserialize)]` (via the sibling `serde_derive` proc-macro) over a
+//! JSON-shaped [`Content`] tree, consumed by the vendored `serde_json`.
+//!
+//! The data model intentionally mirrors serde's JSON defaults: structs
+//! become maps, unit enum variants become strings, newtype variants
+//! become single-entry maps, `Option::None` becomes null, and non-finite
+//! floats serialize as null (deserializing null into `f64` yields NaN so
+//! score vectors containing NaN round-trip).
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing value tree every type serializes through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON null.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer (used when the value exceeds `i64::MAX`).
+    U64(u64),
+    /// Floating point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Content>),
+    /// Object (insertion-ordered).
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// The object entries, if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A short name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::I64(_) | Content::U64(_) => "integer",
+            Content::F64(_) => "number",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "array",
+            Content::Map(_) => "object",
+        }
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// "expected X while deserializing Y" error.
+    pub fn expected(what: &str, while_in: &str) -> Self {
+        DeError(format!("expected {what} while deserializing {while_in}"))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can be turned into a [`Content`] tree.
+pub trait Serialize {
+    /// Serializes `self` into the value tree.
+    fn serialize_content(&self) -> Content;
+}
+
+/// Types that can be rebuilt from a [`Content`] tree.
+pub trait Deserialize: Sized {
+    /// Deserializes from the value tree.
+    fn deserialize_content(content: &Content) -> Result<Self, DeError>;
+}
+
+/// Looks up and deserializes a struct field (derive-macro helper).
+pub fn de_field<T: Deserialize>(
+    map: &[(String, Content)],
+    name: &str,
+    type_name: &str,
+) -> Result<T, DeError> {
+    match map.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::deserialize_content(v),
+        None => Err(DeError(format!("missing field `{name}` in {type_name}"))),
+    }
+}
+
+macro_rules! impl_serde_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_content(&self) -> Content {
+                let v = *self as i128;
+                if v >= 0 && v > i64::MAX as i128 {
+                    Content::U64(*self as u64)
+                } else {
+                    Content::I64(*self as i64)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+                let wide: i128 = match content {
+                    Content::I64(v) => *v as i128,
+                    Content::U64(v) => *v as i128,
+                    Content::F64(v) if v.fract() == 0.0 => *v as i128,
+                    other => return Err(DeError::expected("integer", other.kind())),
+                };
+                <$t>::try_from(wide)
+                    .map_err(|_| DeError(format!("integer {wide} out of range for {}", stringify!($t))))
+            }
+        }
+    )*};
+}
+impl_serde_int!(u8, u16, u32, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for u64 {
+    fn serialize_content(&self) -> Content {
+        if *self > i64::MAX as u64 {
+            Content::U64(*self)
+        } else {
+            Content::I64(*self as i64)
+        }
+    }
+}
+
+impl Deserialize for u64 {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::I64(v) if *v >= 0 => Ok(*v as u64),
+            Content::U64(v) => Ok(*v),
+            Content::F64(v) if v.fract() == 0.0 && *v >= 0.0 => Ok(*v as u64),
+            other => Err(DeError::expected("unsigned integer", other.kind())),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize_content(&self) -> Content {
+        if self.is_finite() {
+            Content::F64(*self)
+        } else {
+            Content::Null
+        }
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::F64(v) => Ok(*v),
+            Content::I64(v) => Ok(*v as f64),
+            Content::U64(v) => Ok(*v as f64),
+            Content::Null => Ok(f64::NAN),
+            other => Err(DeError::expected("number", other.kind())),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_content(&self) -> Content {
+        (*self as f64).serialize_content()
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        f64::deserialize_content(content).map(|v| v as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Bool(b) => Ok(*b),
+            other => Err(DeError::expected("bool", other.kind())),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Str(s) => Ok(s.clone()),
+            other => Err(DeError::expected("string", other.kind())),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            other => Err(DeError::expected("single-character string", other.kind())),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_content(&self) -> Content {
+        match self {
+            Some(v) => v.serialize_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Null => Ok(None),
+            other => T::deserialize_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(self.iter().map(|v| v.serialize_content()).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Seq(items) => items.iter().map(T::deserialize_content).collect(),
+            other => Err(DeError::expected("array", other.kind())),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(self.iter().map(|v| v.serialize_content()).collect())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_content(&self) -> Content {
+        (**self).serialize_content()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn serialize_content(&self) -> Content {
+        (**self).serialize_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        T::deserialize_content(content).map(Box::new)
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(vec![self.0.serialize_content(), self.1.serialize_content()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        match content.as_seq() {
+            Some([a, b]) => Ok((A::deserialize_content(a)?, B::deserialize_content(b)?)),
+            _ => Err(DeError::expected("2-element array", content.kind())),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(vec![
+            self.0.serialize_content(),
+            self.1.serialize_content(),
+            self.2.serialize_content(),
+        ])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        match content.as_seq() {
+            Some([a, b, c]) => Ok((
+                A::deserialize_content(a)?,
+                B::deserialize_content(b)?,
+                C::deserialize_content(c)?,
+            )),
+            _ => Err(DeError::expected("3-element array", content.kind())),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::BTreeMap<String, V> {
+    fn serialize_content(&self) -> Content {
+        Content::Map(self.iter().map(|(k, v)| (k.clone(), v.serialize_content())).collect())
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::BTreeMap<String, V> {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::deserialize_content(v)?)))
+                .collect(),
+            other => Err(DeError::expected("object", other.kind())),
+        }
+    }
+}
+
+impl<V: Serialize> Serialize for std::collections::HashMap<String, V> {
+    fn serialize_content(&self) -> Content {
+        // Sort for deterministic output.
+        let mut entries: Vec<(String, Content)> =
+            self.iter().map(|(k, v)| (k.clone(), v.serialize_content())).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Content::Map(entries)
+    }
+}
+
+impl<V: Deserialize> Deserialize for std::collections::HashMap<String, V> {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        match content {
+            Content::Map(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::deserialize_content(v)?)))
+                .collect(),
+            other => Err(DeError::expected("object", other.kind())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_roundtrips() {
+        for v in [0i64, -5, i64::MAX, i64::MIN] {
+            assert_eq!(i64::deserialize_content(&v.serialize_content()), Ok(v));
+        }
+        assert_eq!(u64::deserialize_content(&u64::MAX.serialize_content()), Ok(u64::MAX));
+        assert_eq!(f64::deserialize_content(&1.5f64.serialize_content()), Ok(1.5));
+        assert!(f64::deserialize_content(&f64::NAN.serialize_content()).unwrap().is_nan());
+        assert_eq!(
+            Option::<f64>::deserialize_content(&None::<f64>.serialize_content()),
+            Ok(None)
+        );
+    }
+
+    #[test]
+    fn container_roundtrips() {
+        let v = vec![(1usize, "a".to_string()), (2, "b".to_string())];
+        let c = v.serialize_content();
+        assert_eq!(Vec::<(usize, String)>::deserialize_content(&c), Ok(v));
+    }
+}

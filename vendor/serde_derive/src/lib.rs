@@ -1,0 +1,380 @@
+//! Offline vendored stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! item shapes the REIN-RS workspace actually derives — structs with named
+//! fields, and enums whose variants are unit or single-field newtypes —
+//! without `syn`/`quote` (unavailable offline): the input item is walked
+//! as raw [`proc_macro::TokenTree`]s and the impl is emitted as formatted
+//! source text parsed back into a `TokenStream`.
+//!
+//! Unsupported shapes (tuple structs, struct variants, generics) produce
+//! a `compile_error!` naming the limitation rather than silently-wrong
+//! code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A parsed derive target.
+enum Item {
+    /// Struct with named fields.
+    Struct { name: String, fields: Vec<String> },
+    /// Single-field tuple struct, serialized transparently as its inner value.
+    NewtypeStruct { name: String },
+    /// Enum of unit and single-field (newtype) variants.
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+struct Variant {
+    name: String,
+    newtype: bool,
+}
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item).parse().expect("generated Serialize impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item).parse().expect("generated Deserialize impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().expect("compile_error parses")
+}
+
+/// Walks the item's top-level tokens: skips attributes and visibility,
+/// then expects `struct`/`enum`, the type name, and the brace body.
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let mut kind: Option<&'static str> = None;
+    let mut name: Option<String> = None;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2; // `#` + the bracketed attribute group
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                // `pub(crate)` and friends carry a parenthesised group.
+                if matches!(&tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                kind = Some("struct");
+                i += 1;
+            }
+            TokenTree::Ident(id) if id.to_string() == "enum" => {
+                kind = Some("enum");
+                i += 1;
+            }
+            TokenTree::Ident(id) if kind.is_some() && name.is_none() => {
+                name = Some(id.to_string());
+                i += 1;
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' && name.is_some() => {
+                return Err(format!(
+                    "vendored serde_derive does not support generic type `{}`",
+                    name.unwrap()
+                ));
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace && name.is_some() => {
+                let name = name.unwrap();
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                return match kind {
+                    Some("struct") => Ok(Item::Struct { fields: parse_fields(&body)?, name }),
+                    Some("enum") => Ok(Item::Enum { variants: parse_variants(&body, &name)?, name }),
+                    _ => Err("expected struct or enum".to_string()),
+                };
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis && name.is_some() => {
+                let name = name.unwrap();
+                // Only single-field (newtype) tuple structs are supported;
+                // they serialize transparently as the inner value.
+                let mut angle_depth = 0i32;
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                for (j, t) in inner.iter().enumerate() {
+                    match t {
+                        TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                        TokenTree::Punct(p)
+                            if p.as_char() == ','
+                                && angle_depth == 0
+                                && j + 1 < inner.len() =>
+                        {
+                            return Err(format!(
+                                "vendored serde_derive: tuple struct `{name}` with multiple \
+                                 fields is not supported"
+                            ));
+                        }
+                        _ => {}
+                    }
+                }
+                return Ok(Item::NewtypeStruct { name });
+            }
+            _ => i += 1,
+        }
+    }
+    Err("vendored serde_derive: could not find a struct or enum body".to_string())
+}
+
+/// Extracts field names from a named-struct body, skipping attributes,
+/// visibility, and type tokens (angle-bracket depth tracked so commas
+/// inside generics don't split fields).
+fn parse_fields(body: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        // Skip per-field attributes (doc comments arrive as `#[doc = ..]`).
+        while i + 1 < body.len()
+            && matches!(&body[i], TokenTree::Punct(p) if p.as_char() == '#')
+        {
+            i += 2;
+        }
+        if i >= body.len() {
+            break;
+        }
+        if let TokenTree::Ident(id) = &body[i] {
+            if id.to_string() == "pub" {
+                i += 1;
+                if matches!(&body.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1;
+                }
+            }
+        }
+        let field = match &body[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected field name, found `{other}`")),
+        };
+        i += 1;
+        match &body.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                return Err(format!("expected `:` after field `{field}`, found {other:?}"))
+            }
+        }
+        // Skip the type until a top-level comma.
+        let mut angle_depth = 0i32;
+        while i < body.len() {
+            match &body[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(field);
+    }
+    Ok(fields)
+}
+
+/// Extracts variants from an enum body: `Name`, or `Name(SingleType)`.
+fn parse_variants(body: &[TokenTree], enum_name: &str) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < body.len() {
+        while i + 1 < body.len()
+            && matches!(&body[i], TokenTree::Punct(p) if p.as_char() == '#')
+        {
+            i += 2;
+        }
+        if i >= body.len() {
+            break;
+        }
+        let name = match &body[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => return Err(format!("expected variant name in {enum_name}, found `{other}`")),
+        };
+        i += 1;
+        let mut newtype = false;
+        match &body.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let mut angle_depth = 0i32;
+                for t in g.stream() {
+                    match &t {
+                        TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                        TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                            return Err(format!(
+                                "vendored serde_derive: tuple variant `{enum_name}::{name}` \
+                                 with multiple fields is not supported"
+                            ));
+                        }
+                        _ => {}
+                    }
+                }
+                newtype = true;
+                i += 1;
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                return Err(format!(
+                    "vendored serde_derive: struct variant `{enum_name}::{name}` is not supported"
+                ));
+            }
+            _ => {}
+        }
+        // Skip the trailing comma (and any discriminant — unsupported but
+        // none exist in this workspace).
+        while i < body.len() {
+            if matches!(&body[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, newtype });
+    }
+    Ok(variants)
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::serialize_content(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize_content(&self) -> ::serde::Content {{\n\
+                         ::serde::Content::Map(::std::vec![{}])\n\
+                     }}\n\
+                 }}",
+                entries.join(", ")
+            )
+        }
+        Item::NewtypeStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn serialize_content(&self) -> ::serde::Content {{\n\
+                     ::serde::Serialize::serialize_content(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    if v.newtype {
+                        format!(
+                            "{name}::{vn}(__payload) => ::serde::Content::Map(::std::vec![\
+                             (::std::string::String::from({vn:?}), \
+                             ::serde::Serialize::serialize_content(__payload))]),"
+                        )
+                    } else {
+                        format!(
+                            "{name}::{vn} => \
+                             ::serde::Content::Str(::std::string::String::from({vn:?})),"
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize_content(&self) -> ::serde::Content {{\n\
+                         match self {{ {} }}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::de_field(__map, {f:?}, {name:?})?,"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize_content(__content: &::serde::Content) \
+                         -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         let __map = __content.as_map().ok_or_else(|| \
+                             ::serde::DeError::expected(\"object\", {name:?}))?;\n\
+                         ::std::result::Result::Ok({name} {{ {} }})\n\
+                     }}\n\
+                 }}",
+                inits.join(" ")
+            )
+        }
+        Item::NewtypeStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+                 fn deserialize_content(__content: &::serde::Content) \
+                     -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                     ::std::result::Result::Ok({name}(\
+                         ::serde::Deserialize::deserialize_content(__content)?))\n\
+                 }}\n\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| !v.newtype)
+                .map(|v| {
+                    let vn = &v.name;
+                    format!("{vn:?} => ::std::result::Result::Ok({name}::{vn}),")
+                })
+                .collect();
+            let newtype_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| v.newtype)
+                .map(|v| {
+                    let vn = &v.name;
+                    format!(
+                        "{vn:?} => ::std::result::Result::Ok({name}::{vn}(\
+                         ::serde::Deserialize::deserialize_content(__v)?)),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize_content(__content: &::serde::Content) \
+                         -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match __content {{\n\
+                             ::serde::Content::Str(__s) => match __s.as_str() {{\n\
+                                 {}\n\
+                                 __other => ::std::result::Result::Err(::serde::DeError(\
+                                     ::std::format!(\"unknown variant `{{}}` of {name}\", __other))),\n\
+                             }},\n\
+                             ::serde::Content::Map(__m) if __m.len() == 1 => {{\n\
+                                 let (__k, __v) = &__m[0];\n\
+                                 match __k.as_str() {{\n\
+                                     {}\n\
+                                     __other => ::std::result::Result::Err(::serde::DeError(\
+                                         ::std::format!(\"unknown variant `{{}}` of {name}\", __other))),\n\
+                                 }}\n\
+                             }}\n\
+                             __other => ::std::result::Result::Err(\
+                                 ::serde::DeError::expected(\"enum variant\", __other.kind())),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                unit_arms.join("\n"),
+                newtype_arms.join("\n")
+            )
+        }
+    }
+}
