@@ -1,0 +1,31 @@
+//! # rein-audit
+//!
+//! A workspace-wide determinism & benchmark-integrity lint pass.
+//!
+//! REIN's results are only meaningful when two runs with the same seed
+//! are byte-identical: the paper's Wilcoxon A/B comparisons and the
+//! detector/repair rankings all assume exact reproducibility. This crate
+//! machine-checks the invariants that guarantee it, instead of trusting
+//! conventions:
+//!
+//! * **determinism** — no wall-clock reads outside the telemetry layer,
+//!   no `HashMap`/`HashSet` (iteration order varies across processes) in
+//!   result-producing code, no unseeded RNG;
+//! * **panic-hygiene** — every `unwrap()`/`expect()`/`panic!` in library
+//!   code either becomes `Result` propagation or carries a justified
+//!   `audit:allow(panic, reason)` annotation;
+//! * **telemetry coverage** — benchmark binaries mark their phases and
+//!   write run manifests; detector/repair modules open spans;
+//! * **output discipline** — reports and logs flow through the dedicated
+//!   emitters, never bare `println!` in library code.
+//!
+//! Run it with `cargo run -p rein-audit`; it prints a human report,
+//! writes machine-readable JSON to `artifacts/audit/report.json` and
+//! exits nonzero on violations (CI treats that as a failing step).
+
+pub mod lexer;
+pub mod report;
+pub mod rules;
+
+pub use report::{audit_workspace, collect_sources, Report, RuleSummary};
+pub use rules::{audit_source, classify, FileAudit, FileClass, Violation, RULES};

@@ -1,0 +1,87 @@
+//! `rein-audit` CLI: audits the workspace, prints the human report,
+//! writes `artifacts/audit/report.json` and exits nonzero on violations.
+//!
+//! Usage: `cargo run -p rein-audit [-- --root DIR --json-out FILE --quiet]`
+
+// This binary is the audit's report surface; printing is its job.
+#![allow(clippy::print_stdout)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use rein_audit::audit_workspace;
+
+struct Args {
+    root: PathBuf,
+    json_out: Option<PathBuf>,
+    quiet: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    // Default root: the workspace containing this crate
+    // (crates/audit/../..), so `cargo run -p rein-audit` works from any
+    // cwd inside the repo.
+    let default_root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let mut args = Args { root: default_root, json_out: None, quiet: false };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                args.root = PathBuf::from(it.next().ok_or("--root needs a directory argument")?);
+            }
+            "--json-out" => {
+                args.json_out =
+                    Some(PathBuf::from(it.next().ok_or("--json-out needs a file argument")?));
+            }
+            "--no-json" => args.json_out = Some(PathBuf::new()),
+            "--quiet" | "-q" => args.quiet = true,
+            other => return Err(format!("unknown argument: {other}")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("rein-audit: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match audit_workspace(&args.root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("rein-audit: failed to scan {}: {e}", args.root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if !args.quiet || !report.clean() {
+        print!("{}", report.render_text());
+    }
+    let json_out = args.json_out.unwrap_or_else(|| args.root.join("artifacts/audit/report.json"));
+    if json_out.as_os_str().is_empty() {
+        // --no-json
+    } else {
+        if let Some(dir) = json_out.parent() {
+            if let Err(e) = std::fs::create_dir_all(dir) {
+                eprintln!("rein-audit: cannot create {}: {e}", dir.display());
+                return ExitCode::from(2);
+            }
+        }
+        let mut json = report.to_json();
+        json.push('\n');
+        if let Err(e) = std::fs::write(&json_out, json) {
+            eprintln!("rein-audit: cannot write {}: {e}", json_out.display());
+            return ExitCode::from(2);
+        }
+        if !args.quiet {
+            println!("report written to {}", json_out.display());
+        }
+    }
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

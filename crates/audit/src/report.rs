@@ -1,0 +1,188 @@
+//! Workspace walking and report assembly.
+//!
+//! The walker visits every `.rs` file under `crates/`, `src/`, `tests/`
+//! and `examples/` (skipping `vendor/`, `target/` and the audit's own
+//! rule fixtures) in **sorted** order — the report must itself be
+//! byte-deterministic, so directory enumeration order cannot leak in.
+//! The report carries no timestamps for the same reason.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use serde::Serialize;
+
+use crate::rules::{audit_source, Violation, RULES};
+
+/// Directories (workspace-relative) the walker descends into.
+const SCAN_ROOTS: [&str; 4] = ["crates", "src", "tests", "examples"];
+
+/// Workspace-relative prefixes the walker never enters. The audit's rule
+/// fixtures are deliberate violations and must not fail the real run.
+const SKIP_PREFIXES: [&str; 3] = ["vendor", "target", "crates/audit/tests/fixtures"];
+
+/// Per-rule tallies for the report catalog.
+#[derive(Debug, Clone, Serialize)]
+pub struct RuleSummary {
+    pub id: &'static str,
+    pub description: &'static str,
+    pub violations: usize,
+}
+
+/// The machine-readable audit report written to
+/// `artifacts/audit/report.json`.
+#[derive(Debug, Serialize)]
+pub struct Report {
+    pub schema_version: u32,
+    pub tool: &'static str,
+    pub files_scanned: usize,
+    /// Would-be violations silenced by valid `audit:allow` annotations.
+    pub suppressed: usize,
+    pub rules: Vec<RuleSummary>,
+    /// Sorted by (path, line, rule).
+    pub violations: Vec<Violation>,
+}
+
+impl Report {
+    /// `true` when the workspace passes the audit.
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+
+    /// Serializes to pretty JSON (deterministic field order).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).unwrap_or_else(|e|
+            // audit:allow(panic, report serialization has no fallible fields; a failure is a bug in the vendored serializer)
+            panic!("report serializes: {e}"))
+    }
+
+    /// Renders the human-readable report.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "rein-audit: {} file(s) scanned, {} violation(s), {} suppressed\n",
+            self.files_scanned,
+            self.violations.len(),
+            self.suppressed
+        ));
+        let mut by_rule: BTreeMap<&str, Vec<&Violation>> = BTreeMap::new();
+        for v in &self.violations {
+            by_rule.entry(v.rule.as_str()).or_default().push(v);
+        }
+        for (rule, vs) in &by_rule {
+            out.push_str(&format!("\n[{rule}] {} violation(s)\n", vs.len()));
+            if let Some(info) = RULES.iter().find(|r| r.id == *rule) {
+                out.push_str(&format!("  {}\n", info.description));
+            }
+            for v in vs {
+                out.push_str(&format!("  {}:{}  {}\n", v.path, v.line, v.message));
+            }
+        }
+        if self.clean() {
+            out.push_str("workspace is clean.\n");
+        } else {
+            out.push_str(
+                "\nsuppress a finding with `// audit:allow(rule, reason)` on or \
+                 above the line; see DESIGN.md for the rule catalog.\n",
+            );
+        }
+        out
+    }
+}
+
+fn skipped(rel: &str) -> bool {
+    SKIP_PREFIXES.iter().any(|p| rel == *p || rel.starts_with(&format!("{p}/")))
+}
+
+/// Collects all auditable `.rs` files under `root`, workspace-relative,
+/// sorted.
+pub fn collect_sources(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    for scan in SCAN_ROOTS {
+        let dir = root.join(scan);
+        if dir.is_dir() {
+            walk(root, &dir, &mut out)?;
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn walk(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> =
+        fs::read_dir(dir)?.map(|e| e.map(|e| e.path())).collect::<io::Result<_>>()?;
+    entries.sort();
+    for path in entries {
+        let rel = path.strip_prefix(root).unwrap_or(&path).to_string_lossy().replace('\\', "/");
+        if skipped(&rel) {
+            continue;
+        }
+        if path.is_dir() {
+            walk(root, &path, out)?;
+        } else if rel.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Audits the whole workspace rooted at `root`.
+pub fn audit_workspace(root: &Path) -> io::Result<Report> {
+    let files = collect_sources(root)?;
+    let mut violations = Vec::new();
+    let mut suppressed = 0usize;
+    for path in &files {
+        let rel = path.strip_prefix(root).unwrap_or(path).to_string_lossy().replace('\\', "/");
+        let source = fs::read_to_string(path)?;
+        let audit = audit_source(&rel, &source);
+        violations.extend(audit.violations);
+        suppressed += audit.suppressed;
+    }
+    violations.sort();
+    let rules = RULES
+        .iter()
+        .map(|r| RuleSummary {
+            id: r.id,
+            description: r.description,
+            violations: violations.iter().filter(|v| v.rule == r.id).count(),
+        })
+        .collect();
+    Ok(Report {
+        schema_version: 1,
+        tool: "rein-audit",
+        files_scanned: files.len(),
+        suppressed,
+        rules,
+        violations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn skip_prefixes_cover_vendor_and_fixtures() {
+        assert!(skipped("vendor/rand/src/lib.rs"));
+        assert!(skipped("target/debug/x.rs"));
+        assert!(skipped("crates/audit/tests/fixtures/bad_rng.rs"));
+        assert!(!skipped("crates/audit/tests/rules.rs"));
+        assert!(!skipped("crates/core/src/lib.rs"));
+    }
+
+    #[test]
+    fn report_json_is_deterministic() {
+        let r = Report {
+            schema_version: 1,
+            tool: "rein-audit",
+            files_scanned: 2,
+            suppressed: 0,
+            rules: Vec::new(),
+            violations: Vec::new(),
+        };
+        assert_eq!(r.to_json(), r.to_json());
+        assert!(r.clean());
+        assert!(r.render_text().contains("workspace is clean"));
+    }
+}

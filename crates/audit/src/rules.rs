@@ -1,0 +1,455 @@
+//! The audit rule catalog and the per-file rule engine.
+//!
+//! Every rule is a named, individually-suppressible invariant. Line-level
+//! rules are suppressed with a `// audit:allow(rule, reason)` comment on
+//! the offending line or the line directly above it; file-level rules
+//! (and whole files) with `// audit:allow-file(rule, reason)` anywhere in
+//! the file. A reason is mandatory — an allow without one is itself a
+//! violation.
+
+use std::collections::BTreeSet;
+
+use serde::{Deserialize, Serialize};
+
+use crate::lexer::{count_token, has_token, lex, SourceLine};
+
+/// One confirmed rule violation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Violation {
+    /// Workspace-relative path (forward slashes).
+    pub path: String,
+    /// 1-based line number (`1` for file-level rules).
+    pub line: usize,
+    /// Rule identifier from [`RULES`].
+    pub rule: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// Static description of one rule, for the report catalog.
+#[derive(Debug, Clone, Serialize)]
+pub struct RuleInfo {
+    pub id: &'static str,
+    pub description: &'static str,
+}
+
+/// The audit rule catalog.
+pub const RULES: [RuleInfo; 7] = [
+    RuleInfo {
+        id: "wallclock",
+        description: "No Instant::now/SystemTime outside rein-telemetry and \
+                      rein-ml::instrument — wall-clock reads make runs \
+                      irreproducible and belong to the telemetry layer.",
+    },
+    RuleInfo {
+        id: "hash-iter",
+        description: "No HashMap/HashSet in result-producing code — their \
+                      iteration order varies across runs; use \
+                      BTreeMap/BTreeSet or sort before iterating.",
+    },
+    RuleInfo {
+        id: "unseeded-rng",
+        description: "No unseeded randomness (thread_rng, from_entropy, \
+                      rand::random) anywhere — every RNG must derive from an \
+                      explicit seed.",
+    },
+    RuleInfo {
+        id: "panic",
+        description: "unwrap()/expect()/panic! in library code must carry an \
+                      audit:allow(panic, reason) annotation or be replaced \
+                      with Result propagation.",
+    },
+    RuleInfo {
+        id: "telemetry-phases",
+        description: "Every benchmark binary must mark at least 3 phases and \
+                      write a RunManifest.",
+    },
+    RuleInfo {
+        id: "telemetry-span",
+        description: "Every detector/repair module must open a telemetry \
+                      span.",
+    },
+    RuleInfo {
+        id: "print",
+        description: "No bare println!/eprintln! outside the telemetry \
+                      emitter and bench result emission.",
+    },
+];
+
+/// Where wall-clock reads are legitimate: the telemetry layer itself and
+/// the ml instrumentation shim that reports fit/predict durations.
+const WALLCLOCK_ALLOWED: [&str; 2] = ["crates/telemetry/", "crates/ml/src/instrument.rs"];
+
+/// Where bare prints are legitimate: the telemetry emitter and the bench
+/// crate's report-emission helpers.
+const PRINT_ALLOWED: [&str; 2] = ["crates/telemetry/src/log.rs", "crates/bench/src/lib.rs"];
+
+/// How a file participates in rule scoping, derived from its path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileClass {
+    /// Under a `tests/`, `benches/` or `examples/` directory.
+    pub is_test_support: bool,
+    /// A binary root (`src/bin/*` or `src/main.rs`).
+    pub is_bin: bool,
+}
+
+/// Classifies a workspace-relative path.
+pub fn classify(path: &str) -> FileClass {
+    let is_test_support = path.starts_with("tests/")
+        || path.starts_with("benches/")
+        || path.starts_with("examples/")
+        || path.contains("/tests/")
+        || path.contains("/benches/")
+        || path.contains("/examples/");
+    let is_bin = path.contains("/src/bin/") || path.ends_with("/src/main.rs");
+    FileClass { is_test_support, is_bin }
+}
+
+fn starts_with_any(path: &str, prefixes: &[&str]) -> bool {
+    prefixes.iter().any(|p| path == *p || path.starts_with(p))
+}
+
+/// Extracts `audit:allow(rule, reason)` annotations from a comment.
+/// Returns the rules allowed on the annotated line; `malformed` collects
+/// annotations without a reason.
+fn parse_allows(comment: &str, marker: &str, malformed: &mut Vec<String>) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    let mut from = 0;
+    while let Some(pos) = comment[from..].find(marker) {
+        let after = from + pos + marker.len();
+        let rest = &comment[after..];
+        if let Some(open) = rest.strip_prefix('(') {
+            if let Some(close) = open.find(')') {
+                let inner = &open[..close];
+                let (rule, reason) = match inner.split_once(',') {
+                    Some((r, why)) => (r.trim(), why.trim()),
+                    None => (inner.trim(), ""),
+                };
+                if rule.is_empty() || reason.is_empty() {
+                    malformed.push(rule.to_string());
+                } else {
+                    out.insert(rule.to_string());
+                }
+            }
+        }
+        from = after;
+    }
+    out
+}
+
+/// Per-line test-region mask: `true` for lines inside `#[cfg(test)]` /
+/// `#[test]` items, tracked by brace depth.
+fn test_region_mask(lines: &[SourceLine]) -> Vec<bool> {
+    let mut mask = Vec::with_capacity(lines.len());
+    let mut depth: i64 = 0;
+    let mut pending = false;
+    let mut stack: Vec<i64> = Vec::new();
+    for line in lines {
+        if line.code.contains("#[cfg(test)]") || line.code.contains("#[test]") {
+            pending = true;
+        }
+        let mut in_test = !stack.is_empty();
+        for c in line.code.chars() {
+            match c {
+                '{' => {
+                    if pending {
+                        stack.push(depth);
+                        pending = false;
+                        in_test = true;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if stack.last() == Some(&depth) {
+                        stack.pop();
+                    }
+                }
+                // An attribute that decorated a braceless item
+                // (e.g. `#[cfg(test)] use …;`) is spent.
+                ';' if pending && stack.is_empty() => pending = false,
+                _ => {}
+            }
+        }
+        mask.push(in_test || !stack.is_empty());
+    }
+    mask
+}
+
+/// Result of auditing one file.
+#[derive(Debug, Default)]
+pub struct FileAudit {
+    pub violations: Vec<Violation>,
+    /// Number of would-be violations silenced by a valid `audit:allow`.
+    pub suppressed: usize,
+}
+
+/// Line-level checks: token → rule, with a scope predicate.
+struct LineRule {
+    rule: &'static str,
+    tokens: &'static [&'static str],
+    applies: fn(&str, FileClass) -> bool,
+}
+
+const LINE_RULES: [LineRule; 4] = [
+    LineRule {
+        rule: "wallclock",
+        tokens: &["Instant::now", "SystemTime"],
+        applies: |path, class| !class.is_test_support && !starts_with_any(path, &WALLCLOCK_ALLOWED),
+    },
+    LineRule {
+        rule: "hash-iter",
+        tokens: &["HashMap", "HashSet"],
+        applies: |_, class| !class.is_test_support,
+    },
+    LineRule {
+        rule: "unseeded-rng",
+        tokens: &["thread_rng", "from_entropy", "rand::random"],
+        applies: |_, _| true,
+    },
+    LineRule {
+        rule: "print",
+        tokens: &["println!", "eprintln!"],
+        applies: |path, class| {
+            !class.is_test_support && !class.is_bin && !starts_with_any(path, &PRINT_ALLOWED)
+        },
+    },
+];
+
+/// Tokens the panic-hygiene rule flags in library code.
+const PANIC_TOKENS: [&str; 4] = [".unwrap()", ".expect(", "panic!", "unreachable!"];
+
+/// Audits one source file given its workspace-relative `path` and text.
+pub fn audit_source(path: &str, source: &str) -> FileAudit {
+    let class = classify(path);
+    let lines = lex(source);
+    let tests = test_region_mask(&lines);
+    let mut out = FileAudit::default();
+    let mut malformed: Vec<String> = Vec::new();
+
+    // File-wide allows.
+    let mut file_allows: BTreeSet<String> = BTreeSet::new();
+    for line in &lines {
+        file_allows.extend(parse_allows(&line.comment, "audit:allow-file", &mut malformed));
+    }
+    for rule in &malformed {
+        out.violations.push(Violation {
+            path: path.to_string(),
+            line: 1,
+            rule: "annotation".into(),
+            message: format!(
+                "audit:allow for `{rule}` is missing a reason — write \
+                 audit:allow({rule}, why it is sound)",
+                rule = if rule.is_empty() { "<rule>" } else { rule }
+            ),
+        });
+    }
+    let file_allowed = |rule: &str| file_allows.contains(rule) || file_allows.contains("all");
+
+    // Line-level rules.
+    for (idx, line) in lines.iter().enumerate() {
+        if line.code.is_empty() {
+            continue;
+        }
+        let mut ignored = Vec::new();
+        let mut allows = parse_allows(&line.comment, "audit:allow", &mut ignored);
+        if idx > 0 {
+            allows.extend(parse_allows(&lines[idx - 1].comment, "audit:allow", &mut ignored));
+        }
+        let allowed =
+            |rule: &str| allows.contains(rule) || allows.contains("all") || file_allowed(rule);
+
+        for lr in &LINE_RULES {
+            if !(lr.applies)(path, class) {
+                continue;
+            }
+            for token in lr.tokens {
+                if has_token(&line.code, token) {
+                    if allowed(lr.rule) {
+                        out.suppressed += 1;
+                    } else {
+                        out.violations.push(Violation {
+                            path: path.to_string(),
+                            line: idx + 1,
+                            rule: lr.rule.into(),
+                            message: format!("`{token}` is forbidden here"),
+                        });
+                    }
+                    break; // one violation per rule per line
+                }
+            }
+        }
+
+        // Panic hygiene: library (non-bin, non-test) code only, and never
+        // inside #[cfg(test)] regions.
+        if !class.is_test_support && !class.is_bin && !tests[idx] {
+            for token in PANIC_TOKENS {
+                if has_token(&line.code, token) {
+                    if allowed("panic") {
+                        out.suppressed += 1;
+                    } else {
+                        out.violations.push(Violation {
+                            path: path.to_string(),
+                            line: idx + 1,
+                            rule: "panic".into(),
+                            message: format!(
+                                "`{token}` in library code needs \
+                                 audit:allow(panic, reason) or Result propagation"
+                            ),
+                        });
+                    }
+                    break;
+                }
+            }
+        }
+    }
+
+    // File-level rules.
+    if path.starts_with("crates/bench/src/bin/") {
+        let code: String = lines.iter().map(|l| l.code.as_str()).collect::<Vec<_>>().join("\n");
+        let phases = count_token(&code, "phase");
+        let manifests = has_token(&code, "write_run_manifest") || has_token(&code, "RunManifest");
+        if phases < 3 || !manifests {
+            if file_allowed("telemetry-phases") {
+                out.suppressed += 1;
+            } else {
+                out.violations.push(Violation {
+                    path: path.to_string(),
+                    line: 1,
+                    rule: "telemetry-phases".into(),
+                    message: format!(
+                        "benchmark binary marks {phases} phase(s) (need >= 3) \
+                         and {} a RunManifest",
+                        if manifests { "writes" } else { "does not write" }
+                    ),
+                });
+            }
+        }
+    }
+    let span_scoped = (path.starts_with("crates/detect/src/")
+        || path.starts_with("crates/repair/src/"))
+        && !path.ends_with("/lib.rs")
+        && !class.is_test_support;
+    if span_scoped {
+        let opens_span = lines.iter().any(|l| l.code.contains("span("));
+        if !opens_span {
+            if file_allowed("telemetry-span") {
+                out.suppressed += 1;
+            } else {
+                out.violations.push(Violation {
+                    path: path.to_string(),
+                    line: 1,
+                    rule: "telemetry-span".into(),
+                    message: "detector/repair module never opens a telemetry span".into(),
+                });
+            }
+        }
+    }
+
+    out.violations.sort();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_of(audit: &FileAudit) -> Vec<&str> {
+        audit.violations.iter().map(|v| v.rule.as_str()).collect()
+    }
+
+    #[test]
+    fn hash_iter_fires_and_suppresses() {
+        let bad = audit_source("crates/core/src/x.rs", "use std::collections::HashMap;\n");
+        assert_eq!(rules_of(&bad), ["hash-iter"]);
+        let ok = audit_source(
+            "crates/core/src/x.rs",
+            "// audit:allow(hash-iter, counting only, never iterated)\n\
+             use std::collections::HashMap;\n",
+        );
+        assert!(ok.violations.is_empty());
+        assert_eq!(ok.suppressed, 1);
+    }
+
+    #[test]
+    fn allow_without_reason_is_a_violation() {
+        let bad = audit_source(
+            "crates/detect/src/x.rs",
+            "let t = SystemTime::now(); // audit:allow-file(wallclock)\n",
+        );
+        assert!(rules_of(&bad).contains(&"annotation"));
+    }
+
+    #[test]
+    fn panic_rule_ignores_tests_and_bins() {
+        let lib = audit_source("crates/data/src/x.rs", "fn f() { x.unwrap(); }\n");
+        assert_eq!(rules_of(&lib), ["panic"]);
+        let tests = audit_source(
+            "crates/data/src/x.rs",
+            "#[cfg(test)]\nmod tests {\n fn f() { x.unwrap(); }\n}\n",
+        );
+        assert!(tests.violations.is_empty());
+        let bin = audit_source("crates/bench/src/bin/b.rs", "fn f() { x.unwrap(); }\n");
+        assert!(!rules_of(&bin).contains(&"panic"));
+    }
+
+    #[test]
+    fn wallclock_allowed_in_telemetry_only() {
+        let bad = audit_source("crates/core/src/x.rs", "let t = Instant::now();\n");
+        assert_eq!(rules_of(&bad), ["wallclock"]);
+        let ok = audit_source("crates/telemetry/src/span.rs", "let t = Instant::now();\n");
+        assert!(ok.violations.is_empty());
+        let ml = audit_source("crates/ml/src/instrument.rs", "let t = Instant::now();\n");
+        assert!(ml.violations.is_empty());
+    }
+
+    #[test]
+    fn strings_and_comments_do_not_fire() {
+        let ok = audit_source(
+            "crates/core/src/x.rs",
+            "// a HashMap would be wrong here\nlet s = \"thread_rng\";\n",
+        );
+        assert!(ok.violations.is_empty());
+    }
+
+    #[test]
+    fn bench_bin_phase_coverage() {
+        let bad = audit_source("crates/bench/src/bin/fig.rs", "fn main() { phase(\"a\"); }\n");
+        assert_eq!(rules_of(&bad), ["telemetry-phases"]);
+        let ok = audit_source(
+            "crates/bench/src/bin/fig.rs",
+            "fn main() { phase(\"a\"); phase(\"b\"); phase(\"c\"); \
+             write_run_manifest(\"fig\", 1, 0); }\n",
+        );
+        assert!(ok.violations.is_empty());
+    }
+
+    #[test]
+    fn detector_module_needs_span() {
+        let bad = audit_source("crates/detect/src/k.rs", "fn detect() {}\n");
+        assert_eq!(rules_of(&bad), ["telemetry-span"]);
+        let ok = audit_source(
+            "crates/detect/src/k.rs",
+            "fn detect() { let _s = rein_telemetry::span(\"detect:k\"); }\n",
+        );
+        assert!(ok.violations.is_empty());
+    }
+
+    #[test]
+    fn print_scope() {
+        let bad = audit_source("crates/core/src/x.rs", "println!(\"hi\");\n");
+        assert_eq!(rules_of(&bad), ["print"]);
+        for ok_path in ["crates/telemetry/src/log.rs", "crates/bench/src/lib.rs"] {
+            assert!(audit_source(ok_path, "println!(\"hi\");\n").violations.is_empty());
+        }
+        // Binaries may print: they are the report surface.
+        let bin = audit_source("crates/audit/src/main.rs", "println!(\"hi\");\n");
+        assert!(bin.violations.is_empty());
+    }
+
+    #[test]
+    fn unseeded_rng_fires_even_in_tests() {
+        let bad = audit_source("crates/core/tests/t.rs", "let mut r = thread_rng();\n");
+        assert_eq!(rules_of(&bad), ["unseeded-rng"]);
+    }
+}

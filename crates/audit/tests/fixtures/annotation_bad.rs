@@ -1,0 +1,7 @@
+//! Fixture: allows without a reason are themselves violations, and do not
+//! suppress anything.
+// audit:allow-file(panic)
+pub fn first(xs: &[u32]) -> u32 {
+    // audit:allow(panic)
+    *xs.first().unwrap()
+}

@@ -1,0 +1,10 @@
+//! Fixture: hash containers iterate in nondeterministic order.
+use std::collections::HashMap;
+
+pub fn counts(xs: &[u32]) -> Vec<(u32, usize)> {
+    let mut m: HashMap<u32, usize> = HashMap::new();
+    for &x in xs {
+        *m.entry(x).or_insert(0) += 1;
+    }
+    m.into_iter().collect()
+}

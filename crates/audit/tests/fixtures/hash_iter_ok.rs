@@ -1,0 +1,10 @@
+//! Fixture: ordered containers keep iteration deterministic.
+use std::collections::BTreeMap;
+
+pub fn counts(xs: &[u32]) -> Vec<(u32, usize)> {
+    let mut m: BTreeMap<u32, usize> = BTreeMap::new();
+    for &x in xs {
+        *m.entry(x).or_insert(0) += 1;
+    }
+    m.into_iter().collect()
+}

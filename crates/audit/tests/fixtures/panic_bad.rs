@@ -1,0 +1,4 @@
+//! Fixture: unannotated panic in library code.
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}

@@ -1,0 +1,14 @@
+//! Fixture: an annotated panic is suppressed; test-region panics are exempt.
+pub fn first(xs: &[u32]) -> u32 {
+    // audit:allow(panic, callers guarantee xs is non-empty)
+    *xs.first().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn first_of_one() {
+        assert_eq!(super::first(&[7]), 7);
+        Some(1).unwrap();
+    }
+}

@@ -1,0 +1,5 @@
+//! Fixture: benchmark binary with too few phases and no manifest.
+fn main() {
+    let _p = rein_bench::phase("generate");
+    println!("done");
+}

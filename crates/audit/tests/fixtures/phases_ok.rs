@@ -1,0 +1,13 @@
+//! Fixture: benchmark binary marking its phases and writing a manifest.
+fn main() {
+    {
+        let _p = rein_bench::phase("generate");
+    }
+    {
+        let _p = rein_bench::phase("detect");
+    }
+    {
+        let _p = rein_bench::phase("report");
+    }
+    rein_bench::write_run_manifest("fixture", 0, 0);
+}

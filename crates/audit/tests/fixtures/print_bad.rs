@@ -1,0 +1,4 @@
+//! Fixture: bare stdout in library code.
+pub fn report(v: f64) {
+    println!("value = {v}");
+}

@@ -1,0 +1,4 @@
+//! Fixture: the bench crate's emission helpers may print.
+pub fn report(v: f64) {
+    println!("value = {v}");
+}

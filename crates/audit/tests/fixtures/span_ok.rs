@@ -1,0 +1,5 @@
+//! Fixture: a detector module opening its span.
+pub fn detect(xs: &[f64]) -> Vec<bool> {
+    let _span = rein_telemetry::span("detect:fixture");
+    xs.iter().map(|x| x.is_nan()).collect()
+}

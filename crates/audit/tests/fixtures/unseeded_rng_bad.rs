@@ -1,0 +1,5 @@
+//! Fixture: entropy-seeded randomness breaks reproducibility.
+pub fn noise() -> f64 {
+    let mut rng = rand::thread_rng();
+    rand::Rng::gen(&mut rng)
+}

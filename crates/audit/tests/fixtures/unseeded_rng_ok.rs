@@ -1,0 +1,7 @@
+//! Fixture: every RNG derives from an explicit seed.
+use rand::SeedableRng;
+
+pub fn noise(seed: u64) -> f64 {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    rand::Rng::gen(&mut rng)
+}

@@ -1,0 +1,5 @@
+//! Fixture: wall-clock read in a result-producing crate.
+pub fn elapsed_ms() -> u128 {
+    let start = std::time::Instant::now();
+    start.elapsed().as_millis()
+}

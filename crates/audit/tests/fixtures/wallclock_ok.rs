@@ -1,0 +1,5 @@
+//! Fixture: the same wall-clock read is legitimate in the telemetry layer.
+pub fn elapsed_ms() -> u128 {
+    let start = std::time::Instant::now();
+    start.elapsed().as_millis()
+}

@@ -1,0 +1,15 @@
+//! The audit's own acceptance test: the workspace it ships in must pass it.
+
+use std::path::Path;
+
+#[test]
+fn workspace_audit_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = rein_audit::audit_workspace(&root).expect("walk workspace sources");
+    assert!(
+        report.violations.is_empty(),
+        "workspace must be audit-clean; run `cargo run -p rein-audit` for the report:\n{}",
+        report.render_text()
+    );
+    assert!(report.files_scanned > 100, "walker found only {} files", report.files_scanned);
+}

@@ -4,6 +4,9 @@
 //! accuracy; this harness sweeps the label budget on the Beers dataset and
 //! reports each method's F1 and the labels it actually consumed.
 
+// Benchmark bins emit their report tables on stdout by design.
+#![allow(clippy::print_stdout)]
+
 use rein_bench::{dataset, f, header, phase, write_run_manifest};
 use rein_datasets::DatasetId;
 use rein_detect::{DetectContext, DetectorKind, KnowledgeBase, Oracle};

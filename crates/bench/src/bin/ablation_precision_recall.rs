@@ -7,6 +7,9 @@
 //! harness synthesises detections at controlled precision/recall operating
 //! points and measures the resulting repair RMSE under two repairers.
 
+// Benchmark bins emit their report tables on stdout by design.
+#![allow(clippy::print_stdout)]
+
 use rand::prelude::*;
 use rand::rngs::StdRng;
 use rein_bench::{dataset, f, header, phase, write_run_manifest};

@@ -6,6 +6,9 @@
 //! them, and hands the rule-based detectors progressively larger rule
 //! subsets.
 
+// Benchmark bins emit their report tables on stdout by design.
+#![allow(clippy::print_stdout)]
+
 use rand::prelude::*;
 use rand::rngs::StdRng;
 use rein_bench::{f, header, phase, write_run_manifest};

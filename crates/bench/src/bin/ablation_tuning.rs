@@ -6,6 +6,9 @@
 //! gradient-boosting and k-NN hyperparameters, scored by holdout accuracy
 //! on the Beers classification task.
 
+// Benchmark bins emit their report tables on stdout by design.
+#![allow(clippy::print_stdout)]
+
 use rein_bench::{dataset, f, header, phase, write_run_manifest};
 use rein_datasets::DatasetId;
 use rein_ml::encode::{select_matrix_rows, Encoder, LabelMap};

@@ -4,6 +4,9 @@
 //!
 //! Usage: `export_versions <dataset> [out_dir]` (default `./rein_repo`).
 
+// Benchmark bins emit their report tables on stdout by design.
+#![allow(clippy::print_stdout)]
+
 use rein_bench::{dataset, phase, write_run_manifest};
 use rein_core::{Controller, Repository, VersionKey};
 use rein_datasets::DatasetId;

@@ -9,6 +9,9 @@
 //! Usage: `fig2_detection [dataset ...]` (default: the nine datasets the
 //! figure covers).
 
+// Benchmark bins emit their report tables on stdout by design.
+#![allow(clippy::print_stdout)]
+
 use rein_bench::{dataset, f, header, phase, secs, write_run_manifest};
 use rein_core::Controller;
 use rein_datasets::DatasetId;

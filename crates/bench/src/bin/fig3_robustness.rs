@@ -6,6 +6,9 @@
 //! (c) F1 while the *outlier degree* sweeps on Smart Factory at a fixed
 //! 30% error rate.
 
+// Benchmark bins emit their report tables on stdout by design.
+#![allow(clippy::print_stdout)]
+
 use rein_bench::{dataset, f, header, phase, write_run_manifest};
 use rein_core::{DetectorHarness, VersionTable};
 use rein_data::diff::diff_mask;

@@ -4,6 +4,9 @@
 //! dataset and reports F1 and runtime per fraction — the experiment behind
 //! the paper's "ML-based detectors do not scale past ~50k rows" finding.
 
+// Benchmark bins emit their report tables on stdout by design.
+#![allow(clippy::print_stdout)]
+
 use rein_bench::{dataset_at, f, header, phase, scale, write_run_manifest};
 use rein_core::DetectorHarness;
 use rein_datasets::DatasetId;

@@ -6,6 +6,9 @@
 //! (the bubble plot of the paper, with bubbles above F1 0.6 highlighted)
 //! and the repairers' runtimes.
 
+// Benchmark bins emit their report tables on stdout by design.
+#![allow(clippy::print_stdout)]
+
 use rein_bench::{dataset, f, header, phase, write_run_manifest};
 use rein_core::{Controller, DetectorRun};
 use rein_datasets::DatasetId;

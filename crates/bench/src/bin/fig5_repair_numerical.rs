@@ -6,6 +6,9 @@
 //! erroneous cells, against the dirty version's RMSE (the red dashed
 //! baseline — bars above it mean the "repair" made things worse).
 
+// Benchmark bins emit their report tables on stdout by design.
+#![allow(clippy::print_stdout)]
+
 use rein_bench::{dataset, f, header, phase, write_run_manifest};
 use rein_core::{Controller, DetectorRun};
 use rein_datasets::DatasetId;

@@ -6,6 +6,9 @@
 //! the ground truth) and S5 (the method's own output model tested on
 //! dirty data).
 
+// Benchmark bins emit their report tables on stdout by design.
+#![allow(clippy::print_stdout)]
+
 use rein_bench::{dataset, f, header, phase, repeats, write_run_manifest};
 use rein_core::{eval_classifier, eval_pipeline_s5, run_repair, Scenario, VersionTable};
 use rein_data::rng::derive_seed;

@@ -4,6 +4,9 @@
 //! the Wilcoxon A/B markers between S1 and S4 and the S2-vs-S3
 //! serve-clean experiment (Figures 7n/7o).
 
+// Benchmark bins emit their report tables on stdout by design.
+#![allow(clippy::print_stdout)]
+
 use rein_bench::{dataset, f, header, phase, repeats, write_run_manifest};
 use rein_core::{
     eval_classifier, eval_clusterer, eval_regressor, run_repair, CleaningStrategy, Controller,

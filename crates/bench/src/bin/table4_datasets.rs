@@ -4,6 +4,9 @@
 //! rows, columns, numeric/categorical split, realised error rate, error
 //! types, domain and ML task — the columns of the paper's Table 4.
 
+// Benchmark bins emit their report tables on stdout by design.
+#![allow(clippy::print_stdout)]
+
 use rein_bench::{dataset, f, header, phase, write_run_manifest};
 use rein_datasets::DatasetId;
 

@@ -119,11 +119,13 @@ pub fn run_detectors(
 }
 
 /// Section header in the emitted reports.
+#[allow(clippy::print_stdout)] // the one sanctioned stdout emitter for benchmark reports
 pub fn header(title: &str) {
     println!("\n=== {title} ===");
 }
 
 /// Prints a row of fixed-width cells.
+#[allow(clippy::print_stdout)] // the one sanctioned stdout emitter for benchmark reports
 pub fn row(cells: &[String]) {
     let line: Vec<String> = cells.iter().map(|c| format!("{c:>12}")).collect();
     println!("{}", line.join(" "));

@@ -36,6 +36,7 @@ impl CmpOp {
                     CmpOp::Leq => x <= y,
                     CmpOp::Gt => x > y,
                     CmpOp::Geq => x >= y,
+                    // audit:allow(panic, Eq/Neq are handled in the outer match; only order ops reach here)
                     _ => unreachable!(),
                 },
                 // Non-numeric operands never satisfy an order predicate.
@@ -214,7 +215,7 @@ impl DenialConstraint {
 
         match block_col {
             Some(bc) => {
-                let mut blocks: std::collections::HashMap<String, Vec<usize>> = Default::default();
+                let mut blocks: std::collections::BTreeMap<String, Vec<usize>> = Default::default();
                 for (r, row) in rows.iter().enumerate() {
                     if !row[bc].is_null() {
                         blocks.entry(row[bc].as_key().into_owned()).or_default().push(r);

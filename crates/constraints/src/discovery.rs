@@ -8,7 +8,7 @@
 //! rejected because they induce vacuous FDs that are useless as cleaning
 //! signals.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rein_data::Table;
 
@@ -40,7 +40,7 @@ impl Default for DiscoveryConfig {
 /// For each LHS group, all rows except those with the group's most frequent
 /// RHS value must be removed. Rows with NULL in LHS or RHS are skipped.
 pub fn g3_error(table: &Table, lhs: &[usize], rhs: usize) -> f64 {
-    let mut groups: HashMap<String, HashMap<String, usize>> = HashMap::new();
+    let mut groups: BTreeMap<String, BTreeMap<String, usize>> = BTreeMap::new();
     let mut considered = 0usize;
     'rows: for r in 0..table.n_rows() {
         let rv = table.cell(r, rhs);
@@ -67,7 +67,7 @@ pub fn g3_error(table: &Table, lhs: &[usize], rhs: usize) -> f64 {
 }
 
 fn distinct_fraction(table: &Table, cols: &[usize]) -> (f64, f64) {
-    let mut groups: HashMap<String, usize> = HashMap::new();
+    let mut groups: BTreeMap<String, usize> = BTreeMap::new();
     let mut n = 0usize;
     'rows: for r in 0..table.n_rows() {
         let mut key = String::new();

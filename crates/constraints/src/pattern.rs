@@ -5,13 +5,13 @@
 //! `"10115"` has shape `D5`, `"A-12"` has shape `U-D2`. Columns usually
 //! have one dominant shape; cells deviating from it are pattern violations.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rein_data::{Table, Value};
 use serde::{Deserialize, Serialize};
 
 /// A run-length encoded character-class pattern.
-#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ValuePattern(String);
 
 impl ValuePattern {
@@ -81,7 +81,7 @@ pub struct PatternProfile {
 impl PatternProfile {
     /// Profiles column `col` of a table (nulls excluded).
     pub fn of_column(table: &Table, col: usize) -> Self {
-        let mut map: HashMap<ValuePattern, usize> = HashMap::new();
+        let mut map: BTreeMap<ValuePattern, usize> = BTreeMap::new();
         let mut total = 0usize;
         for v in table.column(col) {
             if v.is_null() {

@@ -5,13 +5,13 @@
 //! CSV under a root directory, which is all the original uses its
 //! database for.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::path::PathBuf;
 
 use rein_data::{csv, Table};
 
 /// Key of a stored data version.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum VersionKey {
     /// The clean ground truth.
     GroundTruth,
@@ -41,7 +41,7 @@ impl VersionKey {
 /// In-memory (optionally file-backed) repository of dataset versions.
 #[derive(Debug, Default)]
 pub struct Repository {
-    versions: HashMap<(String, VersionKey), Table>,
+    versions: BTreeMap<(String, VersionKey), Table>,
     root: Option<PathBuf>,
 }
 
@@ -55,7 +55,7 @@ impl Repository {
     pub fn with_root(root: impl Into<PathBuf>) -> std::io::Result<Self> {
         let root = root.into();
         std::fs::create_dir_all(&root)?;
-        Ok(Self { versions: HashMap::new(), root: Some(root) })
+        Ok(Self { versions: BTreeMap::new(), root: Some(root) })
     }
 
     /// Stores a version (overwrites an existing one).

@@ -144,7 +144,7 @@ impl Table {
     /// Distinct values of column `col` with their frequencies, most frequent
     /// first (ties broken by value order for determinism). Nulls excluded.
     pub fn value_counts(&self, col: usize) -> Vec<(Value, usize)> {
-        let mut map: std::collections::HashMap<&Value, usize> = std::collections::HashMap::new();
+        let mut map: std::collections::BTreeMap<&Value, usize> = std::collections::BTreeMap::new();
         for v in &self.columns[col] {
             if !v.is_null() {
                 *map.entry(v).or_insert(0) += 1;
@@ -177,6 +177,7 @@ impl Table {
         if counts.iter().all(|&c| c == 0) {
             return self.schema.column(col).ctype;
         }
+        // audit:allow(panic, the range 0..4 is never empty)
         let best = (0..4).max_by_key(|&i| counts[i]).unwrap();
         [ColumnType::Int, ColumnType::Float, ColumnType::Str, ColumnType::Bool][best]
     }

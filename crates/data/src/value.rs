@@ -153,6 +153,23 @@ impl Value {
     }
 }
 
+/// `Ord` delegates to [`Value::total_cmp`], making `Value` usable as a
+/// `BTreeMap`/`BTreeSet` key — the workspace's determinism rules forbid
+/// hash-ordered containers in result-producing code. Consistent with
+/// `Eq`: cross-variant numeric equality (`Int(3) == Float(3.0)`) compares
+/// `Equal` through the same f64 view.
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.total_cmp(other)
+    }
+}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
 impl PartialEq for Value {
     fn eq(&self, other: &Self) -> bool {
         use Value::*;

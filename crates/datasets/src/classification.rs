@@ -201,22 +201,24 @@ pub fn adult(p: &Params) -> GeneratedDataset {
         cols[14].push(Value::str(income));
     }
     let mut it = cols.into_iter();
+    // audit:allow(panic, the loop above filled exactly 15 columns)
+    let mut col = move || it.next().expect("15 columns");
     let clean = TableBuilder::new()
-        .column("age", ColumnType::Int, ColumnRole::Feature, it.next().unwrap())
-        .column("workclass", ColumnType::Str, ColumnRole::Feature, it.next().unwrap())
-        .column("fnlwgt", ColumnType::Float, ColumnRole::Feature, it.next().unwrap())
-        .column("education", ColumnType::Str, ColumnRole::Feature, it.next().unwrap())
-        .column("education_num", ColumnType::Int, ColumnRole::Feature, it.next().unwrap())
-        .column("marital_status", ColumnType::Str, ColumnRole::Feature, it.next().unwrap())
-        .column("occupation", ColumnType::Str, ColumnRole::Feature, it.next().unwrap())
-        .column("relationship", ColumnType::Str, ColumnRole::Feature, it.next().unwrap())
-        .column("race", ColumnType::Str, ColumnRole::Feature, it.next().unwrap())
-        .column("sex", ColumnType::Str, ColumnRole::Feature, it.next().unwrap())
-        .column("capital_gain", ColumnType::Float, ColumnRole::Feature, it.next().unwrap())
-        .column("capital_loss", ColumnType::Float, ColumnRole::Feature, it.next().unwrap())
-        .column("hours_per_week", ColumnType::Int, ColumnRole::Feature, it.next().unwrap())
-        .column("native_country", ColumnType::Str, ColumnRole::Feature, it.next().unwrap())
-        .column("income", ColumnType::Str, ColumnRole::Label, it.next().unwrap())
+        .column("age", ColumnType::Int, ColumnRole::Feature, col())
+        .column("workclass", ColumnType::Str, ColumnRole::Feature, col())
+        .column("fnlwgt", ColumnType::Float, ColumnRole::Feature, col())
+        .column("education", ColumnType::Str, ColumnRole::Feature, col())
+        .column("education_num", ColumnType::Int, ColumnRole::Feature, col())
+        .column("marital_status", ColumnType::Str, ColumnRole::Feature, col())
+        .column("occupation", ColumnType::Str, ColumnRole::Feature, col())
+        .column("relationship", ColumnType::Str, ColumnRole::Feature, col())
+        .column("race", ColumnType::Str, ColumnRole::Feature, col())
+        .column("sex", ColumnType::Str, ColumnRole::Feature, col())
+        .column("capital_gain", ColumnType::Float, ColumnRole::Feature, col())
+        .column("capital_loss", ColumnType::Float, ColumnRole::Feature, col())
+        .column("hours_per_week", ColumnType::Int, ColumnRole::Feature, col())
+        .column("native_country", ColumnType::Str, ColumnRole::Feature, col())
+        .column("income", ColumnType::Str, ColumnRole::Label, col())
         .build();
 
     let fds = vec![FunctionalDependency::new([3], 4)];

@@ -50,6 +50,7 @@ impl Detector for CleanLab {
     }
 
     fn detect(&self, ctx: &DetectContext<'_>) -> CellMask {
+        let _span = rein_telemetry::span("detect:cleanlab");
         let t = ctx.dirty;
         let mut mask = CellMask::new(t.n_rows(), t.n_cols());
         let Some(label_col) = ctx.label_col else { return mask };

@@ -44,7 +44,7 @@ impl Oracle {
 #[derive(Debug, Clone, Default)]
 pub struct KnowledgeBase {
     /// `(column, valid values)` for categorical columns.
-    pub domains: Vec<(usize, std::collections::HashSet<String>)>,
+    pub domains: Vec<(usize, std::collections::BTreeSet<String>)>,
     /// `(column, lo, hi)` plausible ranges for numeric columns.
     pub ranges: Vec<(usize, f64, f64)>,
 }
@@ -54,6 +54,7 @@ impl KnowledgeBase {
     /// the observed value sets; numeric ranges are the observed min/max
     /// stretched by 10%.
     pub fn from_reference(table: &Table) -> Self {
+        let _span = rein_telemetry::span("detect:context:build_kb");
         let mut kb = KnowledgeBase::default();
         for c in 0..table.n_cols() {
             if table.schema().column(c).ctype.is_numeric() {
@@ -66,7 +67,7 @@ impl KnowledgeBase {
                 let pad = (hi - lo).abs().max(1.0) * 0.1;
                 kb.ranges.push((c, lo - pad, hi + pad));
             } else {
-                let values: std::collections::HashSet<String> = table
+                let values: std::collections::BTreeSet<String> = table
                     .column(c)
                     .iter()
                     .filter(|v| !v.is_null())

@@ -154,6 +154,7 @@ impl Detector for DBoost {
     }
 
     fn detect(&self, ctx: &DetectContext<'_>) -> CellMask {
+        let _span = rein_telemetry::span("detect:dboost");
         let t = ctx.dirty;
         let mut mask = CellMask::new(t.n_rows(), t.n_cols());
         for col in ctx.numeric_columns() {
@@ -192,7 +193,7 @@ impl Detector for DBoost {
             if total < 20 || counts.len() < 2 {
                 continue;
             }
-            let rare: std::collections::HashSet<String> = counts
+            let rare: std::collections::BTreeSet<String> = counts
                 .iter()
                 .filter(|(_, n)| (*n as f64) < total as f64 * 0.005)
                 .map(|(v, _)| v.as_key().into_owned())

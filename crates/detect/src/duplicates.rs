@@ -3,7 +3,7 @@
 //! Gaussian mixture separating matches from unmatches with **zero**
 //! labelled examples.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rein_constraints::pattern::fingerprint;
 use rein_data::{CellMask, Table};
@@ -32,12 +32,13 @@ impl Detector for KeyCollision {
     }
 
     fn detect(&self, ctx: &DetectContext<'_>) -> CellMask {
+        let _span = rein_telemetry::span("detect:duplicates");
         let t = ctx.dirty;
         let mut mask = CellMask::new(t.n_rows(), t.n_cols());
         if ctx.key_columns.is_empty() {
             return mask;
         }
-        let mut groups: HashMap<String, Vec<usize>> = HashMap::new();
+        let mut groups: BTreeMap<String, Vec<usize>> = BTreeMap::new();
         for r in 0..t.n_rows() {
             let mut key = String::new();
             for &c in ctx.key_columns {
@@ -56,8 +57,8 @@ impl Detector for KeyCollision {
 fn token_jaccard(a: &str, b: &str) -> f64 {
     let la = a.to_lowercase();
     let lb = b.to_lowercase();
-    let ta: std::collections::HashSet<&str> = la.split_whitespace().collect();
-    let tb: std::collections::HashSet<&str> = lb.split_whitespace().collect();
+    let ta: std::collections::BTreeSet<&str> = la.split_whitespace().collect();
+    let tb: std::collections::BTreeSet<&str> = lb.split_whitespace().collect();
     if ta.is_empty() && tb.is_empty() {
         return 1.0;
     }
@@ -67,7 +68,7 @@ fn token_jaccard(a: &str, b: &str) -> f64 {
 
 /// Normalised character trigram overlap (robust to typos).
 fn trigram_sim(a: &str, b: &str) -> f64 {
-    let grams = |s: &str| -> std::collections::HashSet<String> {
+    let grams = |s: &str| -> std::collections::BTreeSet<String> {
         let lower = s.to_lowercase();
         let cs: Vec<char> = lower.chars().collect();
         if cs.len() < 3 {
@@ -141,6 +142,7 @@ impl Detector for ZeroEr {
     }
 
     fn detect(&self, ctx: &DetectContext<'_>) -> CellMask {
+        let _span = rein_telemetry::span("detect:duplicates");
         let t = ctx.dirty;
         let mut mask = CellMask::new(t.n_rows(), t.n_cols());
         if t.n_rows() < 4 {
@@ -149,7 +151,7 @@ impl Detector for ZeroEr {
         let bc = self.block_column(ctx);
 
         // Blocking on the first two fingerprint tokens.
-        let mut blocks: HashMap<String, Vec<usize>> = HashMap::new();
+        let mut blocks: BTreeMap<String, Vec<usize>> = BTreeMap::new();
         for r in 0..t.n_rows() {
             let fp = fingerprint(&t.cell(r, bc).to_string());
             let key: String = fp.split(' ').take(2).collect::<Vec<_>>().join(" ");
@@ -235,7 +237,7 @@ impl Detector for ZeroEr {
         if !any_match {
             return mask;
         }
-        let mut groups: HashMap<usize, Vec<usize>> = HashMap::new();
+        let mut groups: BTreeMap<usize, Vec<usize>> = BTreeMap::new();
         for r in 0..t.n_rows() {
             let root = find(&mut parent, r);
             groups.entry(root).or_default().push(r);

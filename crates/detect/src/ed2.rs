@@ -33,6 +33,7 @@ impl Detector for Ed2 {
     }
 
     fn detect(&self, ctx: &DetectContext<'_>) -> CellMask {
+        let _span = rein_telemetry::span("detect:ed2");
         let t = ctx.dirty;
         let mut mask = CellMask::new(t.n_rows(), t.n_cols());
         let Some(oracle) = ctx.oracle else { return mask };

@@ -59,6 +59,7 @@ impl Detector for MinK {
     }
 
     fn detect(&self, ctx: &DetectContext<'_>) -> CellMask {
+        let _span = rein_telemetry::span("detect:ensemble");
         let t = ctx.dirty;
         let mut votes = vec![0u16; t.n_rows() * t.n_cols()];
         for d in &self.base {
@@ -105,6 +106,7 @@ impl Detector for MaxEntropy {
     }
 
     fn detect(&self, ctx: &DetectContext<'_>) -> CellMask {
+        let _span = rein_telemetry::span("detect:ensemble");
         let t = ctx.dirty;
         // Precompute every detector's output (the original runs detectors
         // lazily; at our scale precomputation matches the semantics and the
@@ -125,6 +127,7 @@ impl Detector for MaxEntropy {
                 .enumerate()
                 .map(|(pos, (_, m))| (pos, m.difference(&union).count()))
                 .max_by_key(|&(_, gain)| gain)
+                // audit:allow(panic, outputs checked non-empty by the loop condition)
                 .expect("non-empty");
             let (_, mask) = outputs.swap_remove(best_pos);
             let total = mask.count().max(1);

@@ -32,6 +32,7 @@ impl Detector for Fahes {
     }
 
     fn detect(&self, ctx: &DetectContext<'_>) -> CellMask {
+        let _span = rein_telemetry::span("detect:fahes");
         let t = ctx.dirty;
         let mut mask = CellMask::new(t.n_rows(), t.n_cols());
 
@@ -57,7 +58,7 @@ impl Detector for Fahes {
             let q95 = descriptive::quantile(&xs, 0.95);
             let iqr = descriptive::iqr(&xs).max(1e-9);
             // Count exact repetitions.
-            let mut counts: std::collections::HashMap<u64, (f64, usize)> = Default::default();
+            let mut counts: std::collections::BTreeMap<u64, (f64, usize)> = Default::default();
             for &x in &xs {
                 let e = counts.entry(x.to_bits()).or_insert((x, 0));
                 e.1 += 1;

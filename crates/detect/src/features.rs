@@ -1,7 +1,7 @@
 //! Shared per-cell feature extraction for the ML-supported detectors
 //! (metadata-driven, RAHA, ED2, Picket).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rein_constraints::pattern::{value_pattern, ValuePattern};
 use rein_data::Table;
@@ -16,8 +16,8 @@ pub const N_CONTENT_FEATURES: usize = 7;
 /// pattern frequency, normalised length, |z|-score, null flag, type
 /// mismatch flag and row null fraction.
 pub struct CellFeaturizer {
-    value_freq: Vec<HashMap<String, f64>>,
-    pattern_freq: Vec<HashMap<ValuePattern, f64>>,
+    value_freq: Vec<BTreeMap<String, f64>>,
+    pattern_freq: Vec<BTreeMap<ValuePattern, f64>>,
     col_stats: Vec<Option<(f64, f64)>>,
     majority_numeric: Vec<bool>,
     row_null_frac: Vec<f64>,
@@ -27,6 +27,7 @@ pub struct CellFeaturizer {
 impl CellFeaturizer {
     /// Profiles a table.
     pub fn fit(t: &Table) -> Self {
+        let _span = rein_telemetry::span("detect:features:fit");
         let n = t.n_rows();
         let mut value_freq = Vec::with_capacity(t.n_cols());
         let mut pattern_freq = Vec::with_capacity(t.n_cols());
@@ -34,8 +35,8 @@ impl CellFeaturizer {
         let mut majority_numeric = Vec::with_capacity(t.n_cols());
         let mut max_len = 1.0f64;
         for c in 0..t.n_cols() {
-            let mut vf: HashMap<String, f64> = HashMap::new();
-            let mut pf: HashMap<ValuePattern, f64> = HashMap::new();
+            let mut vf: BTreeMap<String, f64> = BTreeMap::new();
+            let mut pf: BTreeMap<ValuePattern, f64> = BTreeMap::new();
             for v in t.column(c) {
                 *vf.entry(v.as_key().into_owned()).or_insert(0.0) += 1.0;
                 *pf.entry(value_pattern(v)).or_insert(0.0) += 1.0;

@@ -19,6 +19,7 @@ impl Detector for HoloCleanDetect {
     }
 
     fn detect(&self, ctx: &DetectContext<'_>) -> CellMask {
+        let _span = rein_telemetry::span("detect:holoclean");
         let t = ctx.dirty;
         let mut mask = CellMask::new(t.n_rows(), t.n_cols());
         // FDs ground to binary DCs, but HoloClean's statistical model prunes

@@ -144,6 +144,7 @@ impl Detector for IsolationForest {
     }
 
     fn detect(&self, ctx: &DetectContext<'_>) -> CellMask {
+        let _span = rein_telemetry::span("detect:isolation_forest");
         let t = ctx.dirty;
         let numeric = ctx.numeric_columns();
         let mut mask = CellMask::new(t.n_rows(), t.n_cols());

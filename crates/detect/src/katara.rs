@@ -28,6 +28,7 @@ impl Detector for Katara {
     }
 
     fn detect(&self, ctx: &DetectContext<'_>) -> CellMask {
+        let _span = rein_telemetry::span("detect:katara");
         let t = ctx.dirty;
         let mut mask = CellMask::new(t.n_rows(), t.n_cols());
         let Some(kb) = ctx.kb else { return mask };

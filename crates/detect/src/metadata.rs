@@ -31,6 +31,7 @@ impl Detector for MetadataDriven {
     }
 
     fn detect(&self, ctx: &DetectContext<'_>) -> CellMask {
+        let _span = rein_telemetry::span("detect:metadata");
         let t = ctx.dirty;
         let empty = CellMask::new(t.n_rows(), t.n_cols());
         let Some(oracle) = ctx.oracle else { return empty };

@@ -3,7 +3,7 @@
 //! dominant (canonical) form are flagged — the programmatic equivalent of
 //! OpenRefine's "cluster and edit" facet.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rein_constraints::pattern::fingerprint;
 use rein_data::{CellMask, Value};
@@ -20,11 +20,12 @@ impl Detector for OpenRefine {
     }
 
     fn detect(&self, ctx: &DetectContext<'_>) -> CellMask {
+        let _span = rein_telemetry::span("detect:openrefine");
         let t = ctx.dirty;
         let mut mask = CellMask::new(t.n_rows(), t.n_cols());
         for c in ctx.categorical_columns() {
             // fingerprint -> (spelling -> count)
-            let mut clusters: HashMap<String, HashMap<&str, usize>> = HashMap::new();
+            let mut clusters: BTreeMap<String, BTreeMap<&str, usize>> = BTreeMap::new();
             for v in t.column(c) {
                 if let Value::Str(s) = v {
                     *clusters.entry(fingerprint(s)).or_default().entry(s.as_str()).or_insert(0) +=
@@ -32,7 +33,7 @@ impl Detector for OpenRefine {
                 }
             }
             // Canonical spelling per cluster = most frequent variant.
-            let canonical: HashMap<String, String> = clusters
+            let canonical: BTreeMap<String, String> = clusters
                 .iter()
                 .filter(|(_, variants)| variants.len() > 1)
                 .map(|(fp, variants)| {
@@ -63,8 +64,8 @@ impl Detector for OpenRefine {
 
 /// The canonical spelling map OpenRefine would apply — exposed for the
 /// repair stage in `rein-repair`.
-pub fn canonical_map(t: &rein_data::Table, col: usize) -> HashMap<String, String> {
-    let mut clusters: HashMap<String, HashMap<&str, usize>> = HashMap::new();
+pub fn canonical_map(t: &rein_data::Table, col: usize) -> BTreeMap<String, String> {
+    let mut clusters: BTreeMap<String, BTreeMap<&str, usize>> = BTreeMap::new();
     for v in t.column(col) {
         if let Value::Str(s) = v {
             *clusters.entry(fingerprint(s)).or_default().entry(s.as_str()).or_insert(0) += 1;

@@ -35,6 +35,7 @@ impl Detector for Picket {
     }
 
     fn detect(&self, ctx: &DetectContext<'_>) -> CellMask {
+        let _span = rein_telemetry::span("detect:picket");
         let t = ctx.dirty;
         let mut mask = CellMask::new(t.n_rows(), t.n_cols());
         if t.n_rows() < 20 || t.n_cols() < 2 {

@@ -89,7 +89,7 @@ fn column_strategy_verdicts(t: &Table, col: usize, fds: &[fd::FunctionalDependen
     let counts = t.value_counts(col);
     let total: usize = counts.iter().map(|(_, c)| c).sum();
     for share in [0.002, 0.01] {
-        let rare: std::collections::HashSet<String> = counts
+        let rare: std::collections::BTreeSet<String> = counts
             .iter()
             .filter(|(_, c)| (*c as f64) < total.max(1) as f64 * share)
             .map(|(v, _)| v.as_key().into_owned())
@@ -131,6 +131,7 @@ impl Detector for Raha {
     }
 
     fn detect(&self, ctx: &DetectContext<'_>) -> CellMask {
+        let _span = rein_telemetry::span("detect:raha");
         let t = ctx.dirty;
         let mut mask = CellMask::new(t.n_rows(), t.n_cols());
         let Some(oracle) = ctx.oracle else { return mask };
@@ -139,7 +140,7 @@ impl Detector for Raha {
         for col in 0..t.n_cols() {
             let verdicts = column_strategy_verdicts(t, col, ctx.fds);
             // Group cells by identical strategy signatures.
-            let mut groups: std::collections::HashMap<u64, Vec<usize>> = Default::default();
+            let mut groups: std::collections::BTreeMap<u64, Vec<usize>> = Default::default();
             for (r, &v) in verdicts.iter().enumerate() {
                 groups.entry(v).or_default().push(r);
             }
@@ -150,6 +151,7 @@ impl Detector for Raha {
             let budget = self.labels_per_column.max(2);
             let mut labelled: Vec<(u64, bool)> = Vec::new();
             for (sig, rows) in groups.iter().take(budget) {
+                // audit:allow(panic, signature groups are built from at least one row each)
                 let &probe = rows.choose(&mut rng).expect("non-empty group");
                 let dirty = oracle.is_dirty(CellRef::new(probe, col));
                 labelled.push((*sig, dirty));

@@ -17,6 +17,7 @@ impl Detector for MvDetector {
     }
 
     fn detect(&self, ctx: &DetectContext<'_>) -> CellMask {
+        let _span = rein_telemetry::span("detect:simple");
         let t = ctx.dirty;
         let mut mask = CellMask::new(t.n_rows(), t.n_cols());
         for c in 0..t.n_cols() {
@@ -55,6 +56,7 @@ impl Detector for SdDetector {
     }
 
     fn detect(&self, ctx: &DetectContext<'_>) -> CellMask {
+        let _span = rein_telemetry::span("detect:simple");
         let t = ctx.dirty;
         let mut mask = CellMask::new(t.n_rows(), t.n_cols());
         for c in ctx.numeric_columns() {
@@ -96,6 +98,7 @@ impl Detector for IqrDetector {
     }
 
     fn detect(&self, ctx: &DetectContext<'_>) -> CellMask {
+        let _span = rein_telemetry::span("detect:simple");
         let t = ctx.dirty;
         let mut mask = CellMask::new(t.n_rows(), t.n_cols());
         for c in ctx.numeric_columns() {

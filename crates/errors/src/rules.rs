@@ -28,7 +28,7 @@ pub fn inject_fd_violations(
     let mut mask = CellMask::new(table.n_rows(), table.n_cols());
 
     // Group rows by LHS key.
-    let mut groups: std::collections::HashMap<String, Vec<usize>> = Default::default();
+    let mut groups: std::collections::BTreeMap<String, Vec<usize>> = Default::default();
     'rows: for r in 0..table.n_rows() {
         let mut key = String::new();
         for &c in &fd.lhs {

@@ -8,7 +8,7 @@
 //! the all-zero vector). Fitting happens on training data only; the same
 //! transform is then applied to any compatible table.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rein_data::{Table, Value};
 
@@ -110,7 +110,7 @@ impl Encoder {
 #[derive(Debug, Clone, Default)]
 pub struct LabelMap {
     classes: Vec<String>,
-    index: HashMap<String, usize>,
+    index: BTreeMap<String, usize>,
 }
 
 impl LabelMap {

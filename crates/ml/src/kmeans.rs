@@ -119,7 +119,7 @@ mod tests {
         let mut purity = 0usize;
         for class in 0..3 {
             let members: Vec<usize> = (0..truth.len()).filter(|&i| truth[i] == class).collect();
-            let mut counts = std::collections::HashMap::new();
+            let mut counts = std::collections::BTreeMap::new();
             for &m in &members {
                 *counts.entry(labels[m]).or_insert(0usize) += 1;
             }

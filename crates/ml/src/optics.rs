@@ -167,7 +167,7 @@ mod tests {
                 .map(|i| labels[i])
                 .collect();
             assert!(!ids.is_empty());
-            let mut counts = std::collections::HashMap::new();
+            let mut counts = std::collections::BTreeMap::new();
             for id in &ids {
                 *counts.entry(*id).or_insert(0usize) += 1;
             }
@@ -176,7 +176,7 @@ mod tests {
         }
         // The two blobs do not share their dominant cluster.
         let dom = |class: usize| -> usize {
-            let mut counts = std::collections::HashMap::new();
+            let mut counts = std::collections::BTreeMap::new();
             for i in 0..truth.len() {
                 if truth[i] == class && labels[i] != NOISE_LABEL {
                     *counts.entry(labels[i]).or_insert(0usize) += 1;

@@ -8,7 +8,7 @@
 //! simulated from the ground truth, standing in for Wikipedia revision
 //! data).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rand::prelude::*;
 use rand::rngs::StdRng;
@@ -31,7 +31,7 @@ impl Default for Baran {
 
 /// Character-trigram similarity (the value model's transformation proxy).
 fn trigram_sim(a: &str, b: &str) -> f64 {
-    let grams = |s: &str| -> std::collections::HashSet<String> {
+    let grams = |s: &str| -> std::collections::BTreeSet<String> {
         let lower = s.to_lowercase();
         let cs: Vec<char> = lower.chars().collect();
         if cs.len() < 3 {
@@ -53,13 +53,13 @@ struct ColumnModels {
     /// Candidate domain: trusted values with relative frequencies.
     domain: Vec<(Value, f64)>,
     /// vicinity: (other_col, other_value_key) -> value votes.
-    vicinity: HashMap<(usize, String), HashMap<String, f64>>,
+    vicinity: BTreeMap<(usize, String), BTreeMap<String, f64>>,
 }
 
 fn build_models(t: &Table, det: &CellMask, col: usize) -> ColumnModels {
     let trusted_rows: Vec<usize> =
         (0..t.n_rows()).filter(|&r| !det.get(r, col) && !t.cell(r, col).is_null()).collect();
-    let mut counts: HashMap<String, (Value, usize)> = HashMap::new();
+    let mut counts: BTreeMap<String, (Value, usize)> = BTreeMap::new();
     for &r in &trusted_rows {
         let v = t.cell(r, col);
         counts.entry(v.as_key().into_owned()).or_insert((v.clone(), 0)).1 += 1;
@@ -70,7 +70,7 @@ fn build_models(t: &Table, det: &CellMask, col: usize) -> ColumnModels {
     domain.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.total_cmp(&b.0)));
     domain.truncate(64);
 
-    let mut vicinity: HashMap<(usize, String), HashMap<String, f64>> = HashMap::new();
+    let mut vicinity: BTreeMap<(usize, String), BTreeMap<String, f64>> = BTreeMap::new();
     for other in 0..t.n_cols() {
         if other == col {
             continue;
@@ -138,12 +138,13 @@ impl Repairer for Baran {
     }
 
     fn repair(&self, ctx: &RepairContext<'_>) -> RepairOutcome {
+        let _span = rein_telemetry::span("repair:baran");
         let t = ctx.dirty;
         let det = ctx.detections;
         let mut table = t.clone();
         let mut repaired = CellMask::new(t.n_rows(), t.n_cols());
 
-        let per_column_models: HashMap<usize, ColumnModels> = (0..t.n_cols())
+        let per_column_models: BTreeMap<usize, ColumnModels> = (0..t.n_cols())
             .filter(|&c| det.count_col(c) > 0)
             .map(|c| (c, build_models(t, det, c)))
             .collect();

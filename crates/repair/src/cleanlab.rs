@@ -19,6 +19,7 @@ impl Repairer for CleanLabRepair {
     }
 
     fn repair(&self, ctx: &RepairContext<'_>) -> RepairOutcome {
+        let _span = rein_telemetry::span("repair:cleanlab");
         let t = ctx.dirty;
         let det = ctx.detections;
         let mut table = t.clone();

@@ -64,6 +64,7 @@ pub struct TrainedPipeline {
 impl TrainedPipeline {
     /// Predicts class ids for every row of `table`.
     pub fn predict(&self, table: &Table) -> Vec<usize> {
+        let _span = rein_telemetry::span("repair:context:predict");
         let x = self.encoder.transform(table);
         self.model.predict(&x)
     }

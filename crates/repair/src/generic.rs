@@ -19,6 +19,7 @@ impl Repairer for GroundTruthRepair {
     }
 
     fn repair(&self, ctx: &RepairContext<'_>) -> RepairOutcome {
+        let _span = rein_telemetry::span("repair:generic");
         let Some(clean) = ctx.clean else {
             return RepairOutcome::repaired(
                 ctx.dirty.clone(),
@@ -60,6 +61,7 @@ impl Repairer for DeleteRows {
     }
 
     fn repair(&self, ctx: &RepairContext<'_>) -> RepairOutcome {
+        let _span = rein_telemetry::span("repair:generic");
         let dirty = ctx.dirty;
         let keep: Vec<usize> = (0..dirty.n_rows())
             .filter(|&r| !(0..dirty.n_cols()).any(|c| ctx.detections.get(r, c)))
@@ -116,6 +118,7 @@ impl Repairer for StandardImpute {
     }
 
     fn repair(&self, ctx: &RepairContext<'_>) -> RepairOutcome {
+        let _span = rein_telemetry::span("repair:generic");
         let dirty = ctx.dirty;
         let mut table = dirty.clone();
         let mut repaired = CellMask::new(dirty.n_rows(), dirty.n_cols());
@@ -138,7 +141,7 @@ impl Repairer for StandardImpute {
                     NumericStat::Median => Value::float(descriptive::median(&trusted)),
                     NumericStat::Mode => {
                         // Mode over exact values.
-                        let mut counts: std::collections::HashMap<u64, (f64, usize)> =
+                        let mut counts: std::collections::BTreeMap<u64, (f64, usize)> =
                             Default::default();
                         for &x in &trusted {
                             counts.entry(x.to_bits()).or_insert((x, 0)).1 += 1;
@@ -153,7 +156,7 @@ impl Repairer for StandardImpute {
                 }
             } else {
                 // Mode over trusted categorical values.
-                let mut counts: std::collections::HashMap<String, usize> = Default::default();
+                let mut counts: std::collections::BTreeMap<String, usize> = Default::default();
                 for r in 0..dirty.n_rows() {
                     if !ctx.detections.get(r, c) && !dirty.cell(r, c).is_null() {
                         *counts.entry(dirty.cell(r, c).as_key().into_owned()).or_insert(0) += 1;

@@ -185,6 +185,7 @@ impl Repairer for MlImputer {
     }
 
     fn repair(&self, ctx: &RepairContext<'_>) -> RepairOutcome {
+        let _span = rein_telemetry::span("repair:imputers");
         let dirty = ctx.dirty;
         let det = ctx.detections;
         // Working copy: detected cells nulled then warm-started via the
@@ -197,6 +198,7 @@ impl Repairer for MlImputer {
             .repair(&RepairContext { dirty: &working, ..RepairContext::new(&working, det) });
         let mut working = match warm {
             RepairOutcome::Repaired { table, .. } => table,
+            // audit:allow(panic, StandardImpute always returns Repaired)
             _ => unreachable!(),
         };
 

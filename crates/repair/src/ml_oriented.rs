@@ -61,7 +61,9 @@ impl Repairer for ActiveClean {
     }
 
     fn repair(&self, ctx: &RepairContext<'_>) -> RepairOutcome {
+        let _span = rein_telemetry::span("repair:ml_oriented");
         let t = ctx.dirty;
+        // audit:allow(panic, documented precondition: ActiveClean only runs on labelled datasets)
         let label_col = ctx.label_col.expect("ActiveClean requires a label column");
         let feats = feature_cols(t, label_col);
         let labels = LabelMap::fit([t], label_col);
@@ -183,7 +185,9 @@ impl Repairer for BoostClean {
     }
 
     fn repair(&self, ctx: &RepairContext<'_>) -> RepairOutcome {
+        let _span = rein_telemetry::span("repair:ml_oriented");
         let t = ctx.dirty;
+        // audit:allow(panic, documented precondition: BoostClean only runs on labelled datasets)
         let label_col = ctx.label_col.expect("BoostClean requires a label column");
         let feats = feature_cols(t, label_col);
         let labels = LabelMap::fit([t], label_col);
@@ -262,6 +266,7 @@ impl Repairer for BoostClean {
                     best = Some((tree, err, preds));
                 }
             }
+            // audit:allow(panic, the candidate loop always runs at least once)
             let (tree, err, preds) = best.expect("candidates non-empty");
             let err = err.clamp(1e-10, 1.0);
             if err >= 1.0 - 1.0 / k {
@@ -313,7 +318,9 @@ impl Repairer for CpClean {
     }
 
     fn repair(&self, ctx: &RepairContext<'_>) -> RepairOutcome {
+        let _span = rein_telemetry::span("repair:ml_oriented");
         let t = ctx.dirty;
+        // audit:allow(panic, documented precondition: CPClean only runs on labelled datasets)
         let label_col = ctx.label_col.expect("CPClean requires a label column");
         let feats = feature_cols(t, label_col);
         let labels = LabelMap::fit([t], label_col);
@@ -332,7 +339,7 @@ impl Repairer for CpClean {
                 // among their k nearest training rows?
                 let enc = Encoder::fit(&working, &feats);
                 let x = enc.transform(&working);
-                let mut influence: std::collections::HashMap<usize, usize> = Default::default();
+                let mut influence: std::collections::BTreeMap<usize, usize> = Default::default();
                 for &v in &split.test {
                     let mut dists: Vec<(f64, usize)> = split
                         .train

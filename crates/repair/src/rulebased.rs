@@ -1,7 +1,7 @@
 //! Rule/cluster-driven repairers: HoloClean's repair stage and the
 //! OpenRefine canonicalisation transform.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use rein_data::{CellMask, Table, Value};
 
@@ -25,8 +25,8 @@ impl HoloCleanRepair {
         detections: &CellMask,
         row: usize,
         col: usize,
-    ) -> HashMap<String, f64> {
-        let mut votes: HashMap<String, f64> = HashMap::new();
+    ) -> BTreeMap<String, f64> {
+        let mut votes: BTreeMap<String, f64> = BTreeMap::new();
         for other in 0..t.n_cols() {
             if other == col || detections.get(row, other) {
                 continue;
@@ -35,7 +35,7 @@ impl HoloCleanRepair {
             if anchor.is_null() {
                 continue;
             }
-            let mut local: HashMap<String, usize> = HashMap::new();
+            let mut local: BTreeMap<String, usize> = BTreeMap::new();
             let mut group = 0usize;
             for r in 0..t.n_rows() {
                 if r == row || detections.get(r, col) {
@@ -69,6 +69,7 @@ impl Repairer for HoloCleanRepair {
     }
 
     fn repair(&self, ctx: &RepairContext<'_>) -> RepairOutcome {
+        let _span = rein_telemetry::span("repair:rulebased");
         let dirty = ctx.dirty;
         let det = ctx.detections;
         let mut table = dirty.clone();
@@ -83,7 +84,7 @@ impl Repairer for HoloCleanRepair {
         // suspect rank below trusted ones.
         // (column, value, (lhs_trusted, support, support_ratio)) per row.
         type RowCandidates = Vec<(usize, Value, (bool, usize, f64))>;
-        let mut per_row: HashMap<usize, RowCandidates> = HashMap::new();
+        let mut per_row: BTreeMap<usize, RowCandidates> = BTreeMap::new();
         for f in ctx.fds {
             for cand in rein_constraints::fd::repair_candidates_with_support(dirty, f) {
                 if !det.get(cand.row, f.rhs) {
@@ -106,6 +107,7 @@ impl Repairer for HoloCleanRepair {
                     .then(b.2 .2.total_cmp(&a.2 .2))
                     .then(a.0.cmp(&b.0))
             });
+            // audit:allow(panic, cands checked non-empty above)
             let (col, value, _) = cands.into_iter().next().expect("non-empty");
             table.set_cell(row, col, value);
             repaired.set(row, col, true);
@@ -115,7 +117,7 @@ impl Repairer for HoloCleanRepair {
         // from pass 1 resolve violations, so stale candidates (derived from
         // now-fixed determinants) vanish — the sequential counterpart of
         // HoloClean's joint inference over the factor graph.
-        let mut fd_candidates: HashMap<(usize, usize), Value> = HashMap::new();
+        let mut fd_candidates: BTreeMap<(usize, usize), Value> = BTreeMap::new();
         for f in ctx.fds {
             for (row, value) in rein_constraints::fd::repair_candidates(&table, f) {
                 fd_candidates.insert((row, f.rhs), value);
@@ -175,6 +177,7 @@ impl Repairer for OpenRefineRepair {
     }
 
     fn repair(&self, ctx: &RepairContext<'_>) -> RepairOutcome {
+        let _span = rein_telemetry::span("repair:rulebased");
         let dirty = ctx.dirty;
         let det = ctx.detections;
         let mut table = dirty.clone();

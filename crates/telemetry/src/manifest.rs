@@ -71,6 +71,7 @@ impl RunManifest {
 
     /// Serializes to pretty JSON.
     pub fn to_json(&self) -> String {
+        // audit:allow(panic, serializing plain owned data cannot fail)
         serde_json::to_string_pretty(self).expect("manifest serializes")
     }
 

@@ -6,6 +6,9 @@
 //!
 //! Run with: `cargo run --example automl_cleaning`
 
+// Examples narrate their results on stdout by design.
+#![allow(clippy::print_stdout)]
+
 use rein::core::{run_repair, DetectorHarness};
 use rein::datasets::{DatasetId, Params};
 use rein::detect::DetectorKind;

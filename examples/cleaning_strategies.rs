@@ -6,6 +6,9 @@
 //!
 //! Run with: `cargo run --example cleaning_strategies`
 
+// Examples narrate their results on stdout by design.
+#![allow(clippy::print_stdout)]
+
 use rein::core::{
     eval_regressor, run_repair, CleaningStrategy, Controller, Scenario, VersionTable,
 };

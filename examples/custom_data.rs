@@ -5,6 +5,9 @@
 //!
 //! Run with: `cargo run --example custom_data`
 
+// Examples narrate their results on stdout by design.
+#![allow(clippy::print_stdout)]
+
 use rein::constraints::{discover_fds, DiscoveryConfig};
 use rein::data::{csv, diff::diff_mask};
 use rein::detect::{DetectContext, DetectorKind};

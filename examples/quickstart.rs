@@ -3,6 +3,9 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
+// Examples narrate their results on stdout by design.
+#![allow(clippy::print_stdout)]
+
 use rein::core::{eval_classifier, run_repair, DetectorHarness, Scenario, VersionTable};
 use rein::datasets::{DatasetId, Params};
 use rein::detect::DetectorKind;

@@ -9,6 +9,9 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> cargo run -p rein-audit (determinism & integrity audit)"
+cargo run -q -p rein-audit
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

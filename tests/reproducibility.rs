@@ -68,3 +68,23 @@ fn model_evaluation_is_deterministic() {
     let b = eval_classifier(Scenario::S1, &ds, &version, ClassifierKind::RandomForest, 3, 11);
     assert_eq!(a, b);
 }
+
+/// The double-run invariant the audit's determinism rules protect: a full
+/// seeded detect-then-repair pass, executed twice from scratch, must
+/// produce *byte-identical* artefacts — the serialized forms that would
+/// land on disk, not merely `Eq`-equal values. Any hash-order or wall-clock
+/// leak in the pipeline shows up here as a byte diff.
+#[test]
+fn seeded_detect_repair_double_run_is_byte_identical() {
+    use rein::data::csv;
+    let render = || {
+        let ds = DatasetId::Beers.generate(&Params::scaled(0.1, 11));
+        let harness = DetectorHarness::new(&ds, 60, 42);
+        let mask = harness.run(&ds, DetectorKind::Raha).mask;
+        let cells: Vec<String> = mask.iter().map(|c| format!("{}:{}", c.row, c.col)).collect();
+        let repaired =
+            run_repair(&ds, &mask, RepairKind::Baran, 7).version.expect("generic repair").table;
+        format!("mask {}\n{}", cells.join(","), csv::write_str(&repaired))
+    };
+    assert_eq!(render(), render());
+}
