@@ -23,9 +23,15 @@
 //! writes machine-readable JSON to `artifacts/audit/report.json` and
 //! exits nonzero on violations (CI treats that as a failing step).
 
+pub mod callgraph;
 pub mod lexer;
+pub mod parser;
 pub mod report;
 pub mod rules;
+pub mod sarif;
+pub mod semantic;
 
 pub use report::{audit_workspace, collect_sources, Report, RuleSummary};
-pub use rules::{audit_source, classify, FileAudit, FileClass, Violation, RULES};
+pub use rules::{audit_source, classify, AllowTable, FileAudit, FileClass, Violation, RULES};
+pub use sarif::to_sarif;
+pub use semantic::{analyze, SemanticOutcome, WorkspaceModel};

@@ -14,6 +14,7 @@ use std::path::{Path, PathBuf};
 use serde::Serialize;
 
 use crate::rules::{audit_source, Violation, RULES};
+use crate::semantic::{analyze, WorkspaceModel};
 
 /// Directories (workspace-relative) the walker descends into.
 const SCAN_ROOTS: [&str; 4] = ["crates", "src", "tests", "examples"];
@@ -48,6 +49,17 @@ impl Report {
     /// `true` when the workspace passes the audit.
     pub fn clean(&self) -> bool {
         self.violations.is_empty()
+    }
+
+    /// Restricts the report to the given rule ids (`--only`): the rule
+    /// catalog and the violation list are filtered; file/suppression
+    /// tallies stay untouched.
+    pub fn retain_rules(&mut self, only: &[String]) {
+        if only.is_empty() {
+            return;
+        }
+        self.rules.retain(|r| only.iter().any(|o| o == r.id));
+        self.violations.retain(|v| only.iter().any(|o| *o == v.rule));
     }
 
     /// Serializes to pretty JSON (deterministic field order).
@@ -127,19 +139,36 @@ fn walk(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
     Ok(())
 }
 
-/// Audits the whole workspace rooted at `root`.
+/// Audits the whole workspace rooted at `root`: the per-file token
+/// rules plus the semantic pass over the parsed call graph.
 pub fn audit_workspace(root: &Path) -> io::Result<Report> {
     let files = collect_sources(root)?;
-    let mut violations = Vec::new();
-    let mut suppressed = 0usize;
+    let mut sources: Vec<(String, String)> = Vec::with_capacity(files.len());
     for path in &files {
         let rel = path.strip_prefix(root).unwrap_or(path).to_string_lossy().replace('\\', "/");
         let source = fs::read_to_string(path)?;
-        let audit = audit_source(&rel, &source);
+        sources.push((rel, source));
+    }
+    Ok(audit_sources(sources))
+}
+
+/// Audits an in-memory workspace of `(workspace-relative path, source)`
+/// pairs. Exposed so the fixture tests can assemble synthetic
+/// multi-file workspaces.
+pub fn audit_sources(sources: Vec<(String, String)>) -> Report {
+    let mut violations = Vec::new();
+    let mut suppressed = 0usize;
+    for (rel, source) in &sources {
+        let audit = audit_source(rel, source);
         violations.extend(audit.violations);
         suppressed += audit.suppressed;
     }
+    let model = WorkspaceModel::build(&sources);
+    let semantic = analyze(&model);
+    violations.extend(semantic.violations);
+    suppressed += semantic.suppressed;
     violations.sort();
+    violations.dedup();
     let rules = RULES
         .iter()
         .map(|r| RuleSummary {
@@ -148,14 +177,14 @@ pub fn audit_workspace(root: &Path) -> io::Result<Report> {
             violations: violations.iter().filter(|v| v.rule == r.id).count(),
         })
         .collect();
-    Ok(Report {
-        schema_version: 1,
+    Report {
+        schema_version: 2,
         tool: "rein-audit",
-        files_scanned: files.len(),
+        files_scanned: sources.len(),
         suppressed,
         rules,
         violations,
-    })
+    }
 }
 
 #[cfg(test)]

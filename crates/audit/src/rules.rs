@@ -34,7 +34,7 @@ pub struct RuleInfo {
 }
 
 /// The audit rule catalog.
-pub const RULES: [RuleInfo; 7] = [
+pub const RULES: [RuleInfo; 12] = [
     RuleInfo {
         id: "wallclock",
         description: "No Instant::now/SystemTime outside rein-telemetry and \
@@ -73,6 +73,41 @@ pub const RULES: [RuleInfo; 7] = [
         id: "print",
         description: "No bare println!/eprintln! outside the telemetry \
                       emitter and bench result emission.",
+    },
+    RuleInfo {
+        id: "seed-provenance",
+        description: "Every RNG construction in library code must trace \
+                      its seed to a function parameter (interprocedurally), \
+                      never a literal or re-derived constant; only tests, \
+                      benches and binaries may supply concrete seeds.",
+    },
+    RuleInfo {
+        id: "split-leakage",
+        description: "Functions in rein-detect/rein-repair/rein-ml that \
+                      receive a train/test split must not pass the test \
+                      partition into fit-like callees (fit/fit_*/train_*).",
+    },
+    RuleInfo {
+        id: "toolbox-parity",
+        description: "Every module declared in crates/detect and \
+                      crates/repair is registered through its crate's \
+                      lib.rs, wired into rein-core::toolbox, and reachable \
+                      from at least one bench binary and one test — the \
+                      implementation stays honest against the paper's \
+                      19x19 grid.",
+    },
+    RuleInfo {
+        id: "panic-reachability",
+        description: "No public library API may transitively reach an \
+                      unannotated panic site through the call graph \
+                      (supersedes the per-site `panic` rule for API \
+                      surfaces).",
+    },
+    RuleInfo {
+        id: "result-discard",
+        description: "`let _ =` must not discard a Result returned by a \
+                      first-party call outside tests — handle it or match \
+                      on it explicitly.",
     },
 ];
 
@@ -135,6 +170,51 @@ fn parse_allows(comment: &str, marker: &str, malformed: &mut Vec<String>) -> BTr
         from = after;
     }
     out
+}
+
+/// Per-file suppression lookup for the semantic rules: the effective
+/// `audit:allow` set of every line (own comment plus the line directly
+/// above) and the file-wide `audit:allow-file` set. Malformed allows are
+/// ignored here — [`audit_source`] already reports them as `annotation`
+/// violations.
+#[derive(Debug, Default)]
+pub struct AllowTable {
+    line_allows: Vec<BTreeSet<String>>,
+    file_allows: BTreeSet<String>,
+}
+
+impl AllowTable {
+    /// Builds the table from the file's source text.
+    pub fn build(source: &str) -> AllowTable {
+        let lines = lex(source);
+        let mut ignored = Vec::new();
+        let own: Vec<BTreeSet<String>> =
+            lines.iter().map(|l| parse_allows(&l.comment, "audit:allow", &mut ignored)).collect();
+        let mut t = AllowTable::default();
+        for line in &lines {
+            t.file_allows.extend(parse_allows(&line.comment, "audit:allow-file", &mut ignored));
+        }
+        t.line_allows = (0..own.len())
+            .map(|i| {
+                let mut s = own[i].clone();
+                if i > 0 {
+                    s.extend(own[i - 1].iter().cloned());
+                }
+                s
+            })
+            .collect();
+        t
+    }
+
+    /// Whether `rule` is suppressed at 1-based `line`.
+    pub fn allows(&self, line: usize, rule: &str) -> bool {
+        if self.file_allows.contains(rule) || self.file_allows.contains("all") {
+            return true;
+        }
+        line.checked_sub(1)
+            .and_then(|i| self.line_allows.get(i))
+            .is_some_and(|s| s.contains(rule) || s.contains("all"))
+    }
 }
 
 /// Per-line test-region mask: `true` for lines inside `#[cfg(test)]` /

@@ -1,0 +1,142 @@
+//! SARIF 2.1.0 export of the audit report, so CI can surface findings
+//! as code-scanning annotations.
+//!
+//! The vendored serializer has no field-renaming support, and SARIF
+//! needs keys like `$schema` and `ruleId`, so the document is built as
+//! an explicit [`serde_json::Value`] tree. Key order is fixed by
+//! construction, which keeps the output byte-stable across runs.
+
+use serde::Serialize;
+use serde_json::Value;
+
+use crate::report::Report;
+
+/// The vendored serializer takes `impl Serialize`, and `Value` is the
+/// serializer's own content type — this wrapper hands it back as-is.
+struct Doc(Value);
+
+impl Serialize for Doc {
+    fn serialize_content(&self) -> Value {
+        self.0.clone()
+    }
+}
+
+const SCHEMA: &str =
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json";
+
+fn s(v: &str) -> Value {
+    Value::Str(v.to_string())
+}
+
+fn map(entries: Vec<(&str, Value)>) -> Value {
+    Value::Map(entries.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+/// Renders the report as a SARIF 2.1.0 document (pretty-printed, with a
+/// trailing newline; byte-identical for identical reports).
+pub fn to_sarif(report: &Report) -> String {
+    let rules: Vec<Value> = report
+        .rules
+        .iter()
+        .map(|r| {
+            map(vec![("id", s(r.id)), ("shortDescription", map(vec![("text", s(r.description))]))])
+        })
+        .collect();
+    let results: Vec<Value> = report
+        .violations
+        .iter()
+        .map(|v| {
+            map(vec![
+                ("ruleId", s(&v.rule)),
+                ("level", s("error")),
+                ("message", map(vec![("text", s(&v.message))])),
+                (
+                    "locations",
+                    Value::Seq(vec![map(vec![(
+                        "physicalLocation",
+                        map(vec![
+                            ("artifactLocation", map(vec![("uri", s(&v.path))])),
+                            ("region", map(vec![("startLine", Value::U64(v.line.max(1) as u64))])),
+                        ]),
+                    )])]),
+                ),
+            ])
+        })
+        .collect();
+    let doc = map(vec![
+        ("$schema", s(SCHEMA)),
+        ("version", s("2.1.0")),
+        (
+            "runs",
+            Value::Seq(vec![map(vec![
+                (
+                    "tool",
+                    map(vec![(
+                        "driver",
+                        map(vec![("name", s(report.tool)), ("rules", Value::Seq(rules))]),
+                    )]),
+                ),
+                ("results", Value::Seq(results)),
+            ])]),
+        ),
+    ]);
+    let mut out = serde_json::to_string_pretty(&Doc(doc)).unwrap_or_else(|e|
+        // audit:allow(panic, the SARIF tree contains only strings and integers; serialization cannot fail)
+        panic!("sarif serializes: {e}"));
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::RuleSummary;
+    use crate::rules::Violation;
+
+    fn sample() -> Report {
+        Report {
+            schema_version: 2,
+            tool: "rein-audit",
+            files_scanned: 3,
+            suppressed: 1,
+            rules: vec![RuleSummary { id: "panic", description: "no panics", violations: 1 }],
+            violations: vec![Violation {
+                path: "crates/core/src/x.rs".into(),
+                line: 7,
+                rule: "panic".into(),
+                message: "`.unwrap()` in library code".into(),
+            }],
+        }
+    }
+
+    #[test]
+    fn sarif_has_required_keys() {
+        let doc = to_sarif(&sample());
+        for key in ["\"$schema\"", "\"2.1.0\"", "\"ruleId\"", "\"startLine\"", "\"rein-audit\""] {
+            assert!(doc.contains(key), "missing {key} in:\n{doc}");
+        }
+    }
+
+    #[test]
+    fn sarif_is_byte_stable() {
+        assert_eq!(to_sarif(&sample()), to_sarif(&sample()));
+    }
+
+    #[test]
+    fn sarif_parses_back() {
+        struct Raw(Value);
+        impl serde::Deserialize for Raw {
+            fn deserialize_content(content: &Value) -> Result<Self, serde::DeError> {
+                Ok(Raw(content.clone()))
+            }
+        }
+        let doc = to_sarif(&sample());
+        let Raw(v) = serde_json::from_str(&doc).expect("valid JSON");
+        match v {
+            Value::Map(entries) => {
+                assert!(entries.iter().any(|(k, _)| k == "runs"));
+            }
+            other => panic!("expected object, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,9 @@
+//! Negative fixture: a first-party Result silently discarded.
+
+fn persist(path: &str, payload: &str) -> Result<(), String> {
+    std::fs::write(path, payload).map_err(|e| e.to_string())
+}
+
+pub fn flush(path: &str, payload: &str) {
+    let _ = persist(path, payload);
+}

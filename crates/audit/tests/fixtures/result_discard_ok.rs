@@ -1,0 +1,19 @@
+//! Positive fixture: Results are handled, and discarding a non-Result
+//! is allowed.
+
+fn persist(path: &str, payload: &str) -> Result<(), String> {
+    std::fs::write(path, payload).map_err(|e| e.to_string())
+}
+
+fn tidy(path: &str) -> usize {
+    path.len()
+}
+
+pub fn flush(path: &str, payload: &str) -> Result<(), String> {
+    persist(path, payload)
+}
+
+pub fn cleanup(path: &str) {
+    // Discarding a plain value is fine — only Results are guarded.
+    let _ = tidy(path);
+}

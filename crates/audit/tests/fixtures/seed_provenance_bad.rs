@@ -1,0 +1,25 @@
+//! Negative fixture: RNG seeds that do not trace to a parameter.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Direct violation: the seed is a literal inside library code.
+pub fn shuffle_order(n: usize) -> Vec<usize> {
+    let mut rng = StdRng::seed_from_u64(42);
+    let mut order: Vec<usize> = (0..n).collect();
+    order.rotate_left(rng.gen_range(0..n.max(1)));
+    order
+}
+
+/// This helper is fine on its own: the seed flows from its parameter,
+/// which makes `seed` a seed-sink position for callers.
+fn make_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// Interprocedural violation: a literal flows into `make_rng`'s
+/// seed-sink parameter.
+pub fn resample(n: usize) -> Vec<usize> {
+    let mut rng = make_rng(7);
+    (0..n).map(|_| rng.gen_range(0..n.max(1))).collect()
+}

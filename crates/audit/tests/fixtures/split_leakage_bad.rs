@@ -1,0 +1,24 @@
+//! Negative fixture: the held-out split flows into a fit-like callee.
+
+use crate::linalg::Matrix;
+use crate::model::Classifier;
+
+/// Leak: the model is (re)fit on the test partition before scoring.
+pub fn evaluate(
+    model: &mut dyn Classifier,
+    x_train: &Matrix,
+    y_train: &[usize],
+    x_test: &Matrix,
+    y_test: &[usize],
+) -> f64 {
+    model.fit(x_train, y_train, 2);
+    model.fit(x_test, y_test, 2);
+    let preds = model.predict(x_test);
+    preds.iter().zip(y_test).filter(|(p, t)| p == t).count() as f64 / y_test.len() as f64
+}
+
+/// Leak through a rebinding: `holdout` derives from `xte`.
+pub fn tune(model: &mut dyn Classifier, xte: &Matrix, yte: &[usize]) {
+    let holdout = xte;
+    model.fit(holdout, yte, 2);
+}

@@ -1,0 +1,23 @@
+//! Positive fixture: fit on train, predict on test — no leakage.
+
+use crate::linalg::Matrix;
+use crate::model::Classifier;
+
+pub fn evaluate(
+    model: &mut dyn Classifier,
+    x_train: &Matrix,
+    y_train: &[usize],
+    x_test: &Matrix,
+    y_test: &[usize],
+) -> f64 {
+    model.fit(x_train, y_train, 2);
+    let preds = model.predict(x_test);
+    preds.iter().zip(y_test).filter(|(p, t)| p == t).count() as f64 / y_test.len() as f64
+}
+
+/// `train_test_split` mentions the test split by name but does not
+/// learn from it — the rule must not flag split construction.
+pub fn prepare(x: &Matrix, y: &[usize], seed: u64) -> (Matrix, Matrix) {
+    let (x_train, x_test) = crate::split::train_test_split(x, y, 0.2, seed);
+    (x_train, x_test)
+}

@@ -1,0 +1,9 @@
+//! Bench binary stub that exercises the registered detector.
+
+use rein_detect::good;
+
+fn main() {
+    let d = good::Detector::new();
+    let flags = d.detect(&[0.1, 0.9]);
+    drop(flags);
+}

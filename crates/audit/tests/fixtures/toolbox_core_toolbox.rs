@@ -1,0 +1,8 @@
+//! Core toolbox stub: enumerates both registries.
+
+use crate::detect::DetectorKind;
+use crate::repair::RepairKind;
+
+pub fn grid() -> Vec<(DetectorKind, RepairKind)> {
+    Vec::new()
+}

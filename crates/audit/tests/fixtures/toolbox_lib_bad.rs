@@ -1,0 +1,12 @@
+//! Negative toolbox fixture: `orphan` is declared but never referenced
+//! by the registry, a bench binary or a test.
+
+pub mod good;
+pub mod orphan;
+
+use crate::good::Detector;
+
+/// The registry wires `good` in; `orphan` is left dangling.
+pub fn default_detector() -> Detector {
+    good::Detector::new()
+}

@@ -1,0 +1,9 @@
+//! Positive toolbox fixture: every declared module is registered.
+
+pub mod good;
+
+use crate::good::Detector;
+
+pub fn default_detector() -> Detector {
+    good::Detector::new()
+}

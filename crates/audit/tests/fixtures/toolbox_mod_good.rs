@@ -1,0 +1,15 @@
+//! A detector module that is registered, benched and tested.
+
+pub struct Detector {
+    pub threshold: f64,
+}
+
+impl Detector {
+    pub fn new() -> Detector {
+        Detector { threshold: 0.5 }
+    }
+
+    pub fn detect(&self, values: &[f64]) -> Vec<bool> {
+        values.iter().map(|v| *v > self.threshold).collect()
+    }
+}

@@ -1,0 +1,9 @@
+//! Integration-test stub that exercises the registered detector.
+
+use rein_detect::good;
+
+#[test]
+fn detector_flags_outliers() {
+    let d = good::Detector::new();
+    assert_eq!(d.detect(&[0.1, 0.9]), vec![false, true]);
+}

@@ -1,15 +1,63 @@
-//! The audit's own acceptance test: the workspace it ships in must pass it.
+//! The audit's own acceptance test: the workspace it ships in must pass
+//! it, the semantic rules must actually run over it, and the outputs
+//! must be byte-deterministic.
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
 
 #[test]
 fn workspace_audit_is_clean() {
-    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
-    let report = rein_audit::audit_workspace(&root).expect("walk workspace sources");
+    let report = rein_audit::audit_workspace(&workspace_root()).expect("walk workspace sources");
     assert!(
         report.violations.is_empty(),
         "workspace must be audit-clean; run `cargo run -p rein-audit` for the report:\n{}",
         report.render_text()
     );
     assert!(report.files_scanned > 100, "walker found only {} files", report.files_scanned);
+}
+
+#[test]
+fn semantic_rules_are_in_the_catalog() {
+    let report = rein_audit::audit_workspace(&workspace_root()).expect("walk workspace sources");
+    for rule in [
+        "seed-provenance",
+        "split-leakage",
+        "toolbox-parity",
+        "panic-reachability",
+        "result-discard",
+    ] {
+        assert!(
+            report.rules.iter().any(|r| r.id == rule),
+            "semantic rule `{rule}` missing from the report catalog"
+        );
+    }
+}
+
+#[test]
+fn report_and_sarif_are_byte_identical_across_runs() {
+    let root = workspace_root();
+    let first = rein_audit::audit_workspace(&root).expect("first run");
+    let second = rein_audit::audit_workspace(&root).expect("second run");
+    assert_eq!(first.to_json(), second.to_json(), "report JSON must be byte-stable");
+    assert_eq!(
+        rein_audit::to_sarif(&first),
+        rein_audit::to_sarif(&second),
+        "SARIF must be byte-stable"
+    );
+}
+
+#[test]
+fn report_paths_are_repo_relative_and_sorted() {
+    let report = rein_audit::audit_workspace(&workspace_root()).expect("walk workspace sources");
+    let json = report.to_json();
+    assert!(
+        !json.contains("/root/") && !json.contains("\\\\"),
+        "report must not embed absolute or platform-specific paths"
+    );
+    let mut sorted = report.violations.clone();
+    sorted.sort();
+    assert_eq!(report.violations, sorted, "violations must be sorted");
 }

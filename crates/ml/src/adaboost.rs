@@ -3,7 +3,7 @@
 
 use rand::prelude::*;
 use rand::rngs::StdRng;
-use rein_data::rng::weighted_index;
+use rein_data::rng::{derive_seed, weighted_index};
 
 use crate::encode::select_matrix_rows;
 use crate::linalg::Matrix;
@@ -18,14 +18,16 @@ fn stump_params() -> TreeParams {
 pub struct AdaBoostClassifier {
     /// Boosting rounds.
     pub n_rounds: usize,
+    seed: u64,
     learners: Vec<(DecisionTreeClassifier, f64)>,
     n_classes: usize,
 }
 
 impl AdaBoostClassifier {
-    /// Builds an AdaBoost classifier.
-    pub fn new(n_rounds: usize) -> Self {
-        Self { n_rounds, learners: Vec::new(), n_classes: 0 }
+    /// Builds an AdaBoost classifier; `seed` drives the per-round
+    /// weighted resampling.
+    pub fn new(n_rounds: usize, seed: u64) -> Self {
+        Self { n_rounds, seed, learners: Vec::new(), n_classes: 0 }
     }
 }
 
@@ -45,7 +47,7 @@ impl Classifier for AdaBoostClassifier {
             let mut stump = DecisionTreeClassifier::new(params);
             // Weighted fit by weighted resampling (keeps the tree code
             // weight-free); deterministic per round.
-            let mut rng = StdRng::seed_from_u64(round as u64 * 7919 + 13);
+            let mut rng = StdRng::seed_from_u64(derive_seed(self.seed, round as u64));
             let sample: Vec<usize> = (0..n).map(|_| weighted_index(&mut rng, &weights)).collect();
             let xs = select_matrix_rows(x, &sample);
             let ys: Vec<usize> = sample.iter().map(|&i| y[i]).collect();
@@ -186,7 +188,7 @@ mod tests {
     #[test]
     fn boosting_learns_blobs() {
         let (x, y) = blob_classification(150, 3, 91);
-        let mut m = AdaBoostClassifier::new(40);
+        let mut m = AdaBoostClassifier::new(40, 7);
         let acc = train_test_accuracy(&mut m, &x, &y, 3);
         assert!(acc > 0.85, "accuracy {acc}");
     }
@@ -205,7 +207,7 @@ mod tests {
             ys.push(usize::from(v > 0.33 && v < 0.66));
         }
         let x = Matrix::from_rows(&rows);
-        let mut boost = AdaBoostClassifier::new(60);
+        let mut boost = AdaBoostClassifier::new(60, 7);
         boost.fit(&x, &ys, 2);
         let boost_acc = crate::metrics::accuracy(&ys, &boost.predict(&x));
         let mut stump = DecisionTreeClassifier::new(stump_params());
@@ -225,7 +227,7 @@ mod tests {
 
     #[test]
     fn empty_fit_safe() {
-        let mut m = AdaBoostClassifier::new(10);
+        let mut m = AdaBoostClassifier::new(10, 7);
         m.fit(&Matrix::zeros(0, 2), &[], 2);
         assert_eq!(m.predict(&Matrix::zeros(2, 2)), vec![0, 0]);
     }

@@ -126,7 +126,7 @@ impl ClassifierKind {
                 Box::new(sgd::SgdClassifier::new(sgd::SgdParams::default(), seed))
             }
             ClassifierKind::Knn => Box::new(knn::KnnClassifier::new(5)),
-            ClassifierKind::AdaBoost => Box::new(adaboost::AdaBoostClassifier::new(50)),
+            ClassifierKind::AdaBoost => Box::new(adaboost::AdaBoostClassifier::new(50, seed)),
             ClassifierKind::GaussianNb => Box::new(naive_bayes::GaussianNb::default()),
             ClassifierKind::MultinomialNb => Box::new(naive_bayes::MultinomialNb::default()),
             ClassifierKind::XgBoost => {

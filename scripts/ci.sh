@@ -9,8 +9,8 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
-echo "==> cargo run -p rein-audit (determinism & integrity audit)"
-cargo run -q -p rein-audit
+echo "==> cargo run -p rein-audit (determinism & integrity audit, semantic rules + SARIF)"
+cargo run -q -p rein-audit -- --quiet --sarif artifacts/audit/report.sarif
 
 echo "==> cargo fmt --check"
 cargo fmt --check
