@@ -32,6 +32,8 @@ pub mod sarif;
 pub mod semantic;
 
 pub use report::{audit_workspace, collect_sources, Report, RuleSummary};
-pub use rules::{audit_source, classify, AllowTable, FileAudit, FileClass, Violation, RULES};
+pub use rules::{
+    audit_source, classify, wallclock_allowlist, AllowTable, FileAudit, FileClass, Violation, RULES,
+};
 pub use sarif::to_sarif;
 pub use semantic::{analyze, SemanticOutcome, WorkspaceModel};

@@ -1,0 +1,6 @@
+//! Fixture: timing through the sanctioned perf module — no raw
+//! wall-clock token, legal anywhere.
+pub fn timed_ms() -> f64 {
+    let sw = rein_telemetry::perf::Stopwatch::start();
+    sw.elapsed_ms()
+}

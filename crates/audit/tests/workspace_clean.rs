@@ -50,6 +50,44 @@ fn report_and_sarif_are_byte_identical_across_runs() {
 }
 
 #[test]
+fn wallclock_carveout_is_exactly_the_perf_module() {
+    // The allowlist itself must stay a single file: widening it is an
+    // explicit, reviewed change to this assertion, never a side effect.
+    assert_eq!(
+        rein_audit::wallclock_allowlist(),
+        ["crates/telemetry/src/perf.rs"],
+        "the wallclock carve-out must cover rein-telemetry::perf and nothing else"
+    );
+
+    // And the workspace must actually honour it: sweep every auditable
+    // source for raw wall-clock tokens. Test-support files are exempt
+    // from the rule (they may time assertions), everything else must
+    // route through perf::now / perf::Stopwatch.
+    let root = workspace_root();
+    let sources = rein_audit::collect_sources(&root).expect("walk workspace sources");
+    let mut offenders = Vec::new();
+    for path in sources {
+        let rel = path.strip_prefix(&root).unwrap_or(&path).to_string_lossy().replace('\\', "/");
+        if rel == "crates/telemetry/src/perf.rs" || rein_audit::classify(&rel).is_test_support {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).expect("read source");
+        for line in rein_audit::lexer::lex(&text) {
+            for token in ["Instant::now", "SystemTime"] {
+                if rein_audit::lexer::has_token(&line.code, token) {
+                    offenders.push(format!("{rel}: `{token}`"));
+                }
+            }
+        }
+    }
+    assert!(
+        offenders.is_empty(),
+        "raw wall-clock reads outside rein-telemetry::perf:\n{}",
+        offenders.join("\n")
+    );
+}
+
+#[test]
 fn report_paths_are_repo_relative_and_sorted() {
     let report = rein_audit::audit_workspace(&workspace_root()).expect("walk workspace sources");
     let json = report.to_json();

@@ -10,6 +10,8 @@
 //! sizes, so a laptop run finishes in minutes while `REIN_SCALE=1` runs
 //! the full-size study.
 
+pub mod perf;
+
 use rein_core::{DetectorHarness, DetectorRun};
 use rein_datasets::{DatasetId, GeneratedDataset, Params};
 use rein_detect::DetectorKind;
@@ -21,47 +23,60 @@ pub const DEFAULT_SCALE: f64 = 0.05;
 /// Default for `REIN_REPEATS` (the paper uses 10).
 pub const DEFAULT_REPEATS: usize = 3;
 
+/// Default repeats for the perf suite when `REIN_REPEATS` is unset. The
+/// regression gate runs a paired Wilcoxon over the repeat timings and
+/// the exact test cannot reach p < 0.05 with fewer than 6 pairs, so the
+/// perf default is higher than [`DEFAULT_REPEATS`].
+pub const DEFAULT_PERF_REPEATS: usize = 7;
+
+/// Terminates the process over an unusable environment override. A
+/// typo'd `REIN_SCALE=0.5x` silently running the full-size study (or a
+/// tiny one) produces misleading artefacts, so a value that is set but
+/// unparsable is a hard error, never a silent default.
+fn reject_env(var: &str, raw: &str, want: &str) -> ! {
+    eprintln!("error: {var}={raw:?} is invalid: want {want} (unset it to use the default)");
+    std::process::exit(2);
+}
+
 /// Reads the global scale factor (`REIN_SCALE`, default
-/// [`DEFAULT_SCALE`]). A value that is not a positive finite number is
-/// rejected with a telemetry warning naming it and the default used.
-/// Parsed once per process — the bins call this in every loop iteration
-/// and a bad value should warn once, not per dataset.
+/// [`DEFAULT_SCALE`]). A value that is set but not a positive finite
+/// number terminates the process with a clear message — see
+/// [`reject_env`]. Parsed once per process — the bins call this in
+/// every loop iteration.
 pub fn scale() -> f64 {
     static SCALE: std::sync::OnceLock<f64> = std::sync::OnceLock::new();
     *SCALE.get_or_init(|| match std::env::var("REIN_SCALE") {
         Err(_) => DEFAULT_SCALE,
         Ok(raw) => match raw.parse::<f64>() {
             Ok(s) if s > 0.0 && s.is_finite() => s,
-            _ => {
-                rein_telemetry::info!(
-                    "REIN_SCALE={raw:?} rejected (want a positive finite number); \
-                     using default {DEFAULT_SCALE}"
-                );
-                DEFAULT_SCALE
-            }
+            _ => reject_env("REIN_SCALE", &raw, "a positive finite number"),
         },
     })
 }
 
 /// Reads the repeat count for stochastic experiments (`REIN_REPEATS`,
-/// default [`DEFAULT_REPEATS`]). A value that is not a positive integer
-/// is rejected with a telemetry warning naming it and the default used.
-/// Parsed once per process, like [`scale`].
+/// default [`DEFAULT_REPEATS`]). A value that is set but not a positive
+/// integer terminates the process with a clear message — see
+/// [`reject_env`]. Parsed once per process, like [`scale`].
 pub fn repeats() -> usize {
     static REPEATS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
     *REPEATS.get_or_init(|| match std::env::var("REIN_REPEATS") {
         Err(_) => DEFAULT_REPEATS,
         Ok(raw) => match raw.parse::<usize>() {
             Ok(r) if r > 0 => r,
-            _ => {
-                rein_telemetry::info!(
-                    "REIN_REPEATS={raw:?} rejected (want a positive integer); \
-                     using default {DEFAULT_REPEATS}"
-                );
-                DEFAULT_REPEATS
-            }
+            _ => reject_env("REIN_REPEATS", &raw, "a positive integer"),
         },
     })
+}
+
+/// Repeat count for the perf suite: `REIN_REPEATS` when set (validated
+/// like [`repeats`]), otherwise [`DEFAULT_PERF_REPEATS`].
+pub fn perf_repeats() -> usize {
+    if std::env::var_os("REIN_REPEATS").is_some() {
+        repeats()
+    } else {
+        DEFAULT_PERF_REPEATS
+    }
 }
 
 /// Opens a top-level phase span (named `phase:<name>`) for a section of
@@ -77,9 +92,11 @@ const STANDARD_COUNTERS: [&str; 5] =
     ["cells_scanned", "detector_invocations", "model_fits", "repair_applications", "rng_draws"];
 
 /// Collects the run's telemetry into a manifest for `binary` and writes
-/// it to `artifacts/telemetry/<binary>-<seed>.json`. Failures are
-/// reported as telemetry events, not panics — a missing manifest must
-/// not fail a benchmark run that already printed its report.
+/// it to `artifacts/telemetry/<binary>-<seed>.json`, printing the path
+/// it wrote so every benchmark run names its artefacts. Failures are
+/// reported on stderr, not panics — a missing manifest must not fail a
+/// benchmark run that already printed its report.
+#[allow(clippy::print_stdout)] // the artifact-path announcement is part of the report surface
 pub fn write_run_manifest(binary: &str, seed: u64, label_budget: u64) {
     for name in STANDARD_COUNTERS {
         rein_telemetry::counter(name);
@@ -87,13 +104,16 @@ pub fn write_run_manifest(binary: &str, seed: u64, label_budget: u64) {
     let config = RunConfig { scale: scale(), repeats: repeats() as u32, seed, label_budget };
     let manifest = RunManifest::collect(binary, config);
     match manifest.write() {
-        Ok(path) => rein_telemetry::info!(
-            "{} spans, {} counters -> {}",
-            manifest.spans.len(),
-            manifest.counters.len(),
-            path.display()
-        ),
-        Err(e) => rein_telemetry::info!("failed to write run manifest for {binary}: {e}"),
+        Ok(path) => {
+            rein_telemetry::info!(
+                "{} spans, {} counters -> {}",
+                manifest.spans.len(),
+                manifest.counters.len(),
+                path.display()
+            );
+            println!("telemetry manifest: {}", path.display());
+        }
+        Err(e) => eprintln!("warning: failed to write run manifest for {binary}: {e}"),
     }
 }
 

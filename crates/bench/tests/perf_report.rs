@@ -1,0 +1,39 @@
+//! Integration tests for the perf harness: report determinism and the
+//! regression gate.
+
+use rein_bench::perf::{comparator_self_test, compare_reports, CompareConfig, Verdict};
+
+/// Two same-seed, same-scale suite runs must be byte-identical after
+/// [`rein_bench::perf::BenchReport::normalized`] blanks the explicitly
+/// volatile timing/allocation fields: same benchmark ids, cell counts,
+/// repeat-vector lengths, span paths and span counts.
+///
+/// Both runs live in one test so the global span collector is not
+/// drained concurrently (this is the only test in the binary touching
+/// spans).
+#[test]
+fn same_seed_runs_are_byte_identical_modulo_timing() {
+    let a = rein_bench::perf::run_perf_suite("test", 0.01, 2, 90);
+    let b = rein_bench::perf::run_perf_suite("test", 0.01, 2, 90);
+    assert_eq!(
+        a.normalized().to_json(),
+        b.normalized().to_json(),
+        "normalized perf reports of same-seed runs must match byte-for-byte"
+    );
+    // The volatile fields really were populated before normalization.
+    assert!(a.benchmarks.iter().all(|bench| bench.timing.median_ms > 0.0));
+    assert!(a.benchmarks.iter().all(|bench| !bench.span_profile.is_empty()));
+    // And a run compared against itself never regresses.
+    let cmp = compare_reports(&a, &a, &CompareConfig::default());
+    assert_eq!(cmp.regressions, 0);
+    assert!(cmp.comparisons.iter().all(|c| c.verdict == Verdict::Unchanged));
+}
+
+/// The gate's own proof: identical reports compare clean and an injected
+/// 2× slowdown is flagged at p < 0.05 — the same check `bench_compare
+/// --self-test` runs.
+#[test]
+fn comparator_self_test_detects_injected_slowdown() {
+    let summary = comparator_self_test().expect("comparator self-test must pass");
+    assert!(summary.contains("p ="), "summary should report the p-value: {summary}");
+}

@@ -4,11 +4,12 @@
 //! friends wrap every model they hand out, so each `fit`/`predict` call
 //! anywhere in the pipeline lands in the global metrics registry:
 //! counters `model_fits` / `model_predictions`, histograms `model_fit` /
-//! `model_predict`. Wrappers add two atomic updates and one `Instant`
-//! read per call — noise next to any actual model fit.
+//! `model_predict`. Wrappers add two atomic updates and one stopwatch
+//! read per call — noise next to any actual model fit. Timing goes
+//! through [`rein_telemetry::perf::Stopwatch`], the audit-sanctioned
+//! wall-clock source, so this file needs no wallclock carve-out.
 
-use std::time::Instant;
-
+use rein_telemetry::perf::Stopwatch;
 use rein_telemetry::{counter, histogram};
 
 use crate::linalg::Matrix;
@@ -28,7 +29,7 @@ impl InstrumentedClassifier {
 
 impl Classifier for InstrumentedClassifier {
     fn fit(&mut self, x: &Matrix, y: &[usize], n_classes: usize) {
-        let start = Instant::now();
+        let start = Stopwatch::start();
         self.inner.fit(x, y, n_classes);
         histogram("model_fit").record(start.elapsed());
         counter("model_fits").incr();
@@ -36,7 +37,7 @@ impl Classifier for InstrumentedClassifier {
     }
 
     fn predict(&self, x: &Matrix) -> Vec<usize> {
-        let start = Instant::now();
+        let start = Stopwatch::start();
         let out = self.inner.predict(x);
         histogram("model_predict").record(start.elapsed());
         counter("model_predictions").add(x.rows() as u64);
@@ -44,7 +45,7 @@ impl Classifier for InstrumentedClassifier {
     }
 
     fn predict_proba(&self, x: &Matrix, n_classes: usize) -> Matrix {
-        let start = Instant::now();
+        let start = Stopwatch::start();
         let out = self.inner.predict_proba(x, n_classes);
         histogram("model_predict").record(start.elapsed());
         counter("model_predictions").add(x.rows() as u64);
@@ -66,7 +67,7 @@ impl InstrumentedRegressor {
 
 impl Regressor for InstrumentedRegressor {
     fn fit(&mut self, x: &Matrix, y: &[f64]) {
-        let start = Instant::now();
+        let start = Stopwatch::start();
         self.inner.fit(x, y);
         histogram("model_fit").record(start.elapsed());
         counter("model_fits").incr();
@@ -74,7 +75,7 @@ impl Regressor for InstrumentedRegressor {
     }
 
     fn predict(&self, x: &Matrix) -> Vec<f64> {
-        let start = Instant::now();
+        let start = Stopwatch::start();
         let out = self.inner.predict(x);
         histogram("model_predict").record(start.elapsed());
         counter("model_predictions").add(x.rows() as u64);
@@ -96,7 +97,7 @@ impl InstrumentedClusterer {
 
 impl Clusterer for InstrumentedClusterer {
     fn fit_predict(&mut self, x: &Matrix) -> Vec<usize> {
-        let start = Instant::now();
+        let start = Stopwatch::start();
         let out = self.inner.fit_predict(x);
         histogram("model_fit").record(start.elapsed());
         counter("model_fits").incr();

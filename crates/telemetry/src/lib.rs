@@ -19,6 +19,10 @@
 //!   the run configuration, every finished span, and all metric values,
 //!   written to `artifacts/telemetry/<binary>-<seed>.json` by each
 //!   benchmark binary.
+//! * **Performance primitives** ([`perf`]) — the single audit-sanctioned
+//!   wall-clock source ([`perf::now`], [`perf::Stopwatch`]), an optional
+//!   counting global allocator, and the span-tree profiler
+//!   ([`perf::span_profile`]) behind the `BENCH_*.json` baselines.
 //!
 //! Typical binary skeleton:
 //!
@@ -41,6 +45,7 @@
 mod log;
 mod manifest;
 mod metrics;
+pub mod perf;
 mod span;
 
 pub use log::{emit, enabled, level, set_level, Level};

@@ -55,10 +55,11 @@ pub struct SpanRecord {
 
 static NEXT_ID: AtomicU64 = AtomicU64::new(1);
 
-/// Process start reference for `start_ms` offsets.
+/// Process start reference for `start_ms` offsets. Reads the clock
+/// through [`crate::perf::now`] — the one sanctioned wall-clock source.
 fn epoch() -> Instant {
     static EPOCH: OnceLock<Instant> = OnceLock::new();
-    *EPOCH.get_or_init(Instant::now)
+    *EPOCH.get_or_init(crate::perf::now)
 }
 
 fn finished() -> &'static Mutex<Vec<SpanRecord>> {
@@ -107,7 +108,7 @@ pub fn span_under(name: impl Into<String>, parent: Option<SpanCtx>) -> Span {
     if enabled(Level::Debug) {
         emit(Level::Debug, &format!("{}+ open {name} depth={depth}", Indent(depth)));
     }
-    Span { name, id, parent_id, depth, start_ms, start: Instant::now(), closed: false }
+    Span { name, id, parent_id, depth, start_ms, start: crate::perf::now(), closed: false }
 }
 
 /// Depth-proportional indentation for debug span events.

@@ -9,8 +9,8 @@ use std::time::Duration;
 
 use rayon::prelude::*;
 use rein_telemetry::{
-    counter, current, histogram, span, span_under, HistogramSummary, RunConfig, RunManifest,
-    SpanRecord,
+    counter, counters_snapshot, current, histogram, span, span_under, HistogramSummary, RunConfig,
+    RunManifest, SpanRecord,
 };
 
 fn spans_named(prefix: &str) -> Vec<SpanRecord> {
@@ -201,4 +201,53 @@ fn collected_manifest_sees_global_state() {
     assert_eq!(back.binary, "collecttest");
     assert_eq!(back.config, m.config);
     assert_eq!(back.counters, m.counters);
+}
+
+#[test]
+fn registry_snapshot_matches_serial_sum_under_contention() {
+    // Hammer one shared counter, a per-worker counter family, and one
+    // shared histogram from rayon workers simultaneously; the merged
+    // global snapshot must equal what a serial run would produce.
+    const WORKERS: u64 = 32;
+    const OPS: u64 = 1_000;
+    let shared_before = counter("hammertest_shared").get();
+    let hist_before = histogram("hammertest_hist").summary();
+
+    (0..WORKERS).collect::<Vec<_>>().par_iter().for_each(|&w| {
+        let shared = counter("hammertest_shared");
+        let own = counter(&format!("hammertest_worker_{w}"));
+        let hist = histogram("hammertest_hist");
+        for i in 0..OPS {
+            shared.add(w + 1);
+            own.incr();
+            if i % 100 == 0 {
+                hist.record(Duration::from_micros(w + 1));
+            }
+        }
+    });
+
+    // Serial expectation: sum over workers of OPS * (w + 1).
+    let expected_shared: u64 = (0..WORKERS).map(|w| OPS * (w + 1)).sum();
+    assert_eq!(
+        counter("hammertest_shared").get() - shared_before,
+        expected_shared,
+        "shared counter must merge without losing increments"
+    );
+    let snap = counters_snapshot();
+    for w in 0..WORKERS {
+        assert_eq!(
+            snap.get(&format!("hammertest_worker_{w}")).copied(),
+            Some(OPS),
+            "per-worker counter {w} must appear in the snapshot with its full count"
+        );
+    }
+    let hist_after = histogram("hammertest_hist").summary();
+    let recorded = WORKERS * (OPS / 100);
+    assert_eq!(
+        hist_after.count - hist_before.count,
+        recorded,
+        "histogram must record every observation across threads"
+    );
+    // The slowest observation (WORKERS microseconds) survives the merge.
+    assert!(hist_after.max_ms >= WORKERS as f64 / 1000.0 - 1e-9, "max {}", hist_after.max_ms);
 }

@@ -12,6 +12,16 @@ cargo test -q
 echo "==> cargo run -p rein-audit (determinism & integrity audit, semantic rules + SARIF)"
 cargo run -q -p rein-audit -- --quiet --sarif artifacts/audit/report.sarif
 
+echo "==> perf smoke (comparator self-test + small-scale suite vs committed baseline, report-only)"
+cargo run -q --release -p rein-bench --bin bench_compare -- --self-test
+REIN_SCALE=0.01 cargo run -q --release -p rein-bench --bin perf_baseline -- \
+  --out artifacts/perf/BENCH_ci.json
+# Report-only: shared CI runners are too noisy to gate merges on wall
+# clock, and the committed baseline was recorded on different hardware
+# at a different scale. The table in the log is the signal.
+cargo run -q --release -p rein-bench --bin bench_compare -- \
+  BENCH_0.json artifacts/perf/BENCH_ci.json --report-only
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
