@@ -34,7 +34,7 @@ pub struct RuleInfo {
 }
 
 /// The audit rule catalog.
-pub const RULES: [RuleInfo; 12] = [
+pub const RULES: [RuleInfo; 13] = [
     RuleInfo {
         id: "wallclock",
         description: "No Instant::now/SystemTime outside \
@@ -109,6 +109,16 @@ pub const RULES: [RuleInfo; 12] = [
         description: "`let _ =` must not discard a Result returned by a \
                       first-party call outside tests — handle it or match \
                       on it explicitly.",
+    },
+    RuleInfo {
+        id: "guard-coverage",
+        description: "Every toolbox dispatch (`.detect(` / `.repair(`) in \
+                      rein-core and the bench binaries must run under \
+                      rein-guard supervision: the file either calls \
+                      rein_guard::run itself or goes through the guarded \
+                      wrappers (DetectorHarness::run, run_repair*, \
+                      detect_with_context) — an unguarded dispatch lets one \
+                      crashing strategy abort the whole grid.",
     },
 ];
 
@@ -398,7 +408,9 @@ pub fn audit_source(path: &str, source: &str) -> FileAudit {
     if path.starts_with("crates/bench/src/bin/") {
         let code: String = lines.iter().map(|l| l.code.as_str()).collect::<Vec<_>>().join("\n");
         let phases = count_token(&code, "phase");
-        let manifests = has_token(&code, "write_run_manifest") || has_token(&code, "RunManifest");
+        let manifests = has_token(&code, "write_run_manifest")
+            || has_token(&code, "RunManifest")
+            || has_token(&code, "conclude");
         if phases < 3 || !manifests {
             if file_allowed("telemetry-phases") {
                 out.suppressed += 1;
@@ -416,6 +428,44 @@ pub fn audit_source(path: &str, source: &str) -> FileAudit {
             }
         }
     }
+    // Guard coverage: every toolbox dispatch in rein-core and the bench
+    // crate must run under rein-guard supervision. Files that call
+    // rein_guard::run are the sanctioned dispatchers; everywhere else a
+    // direct `.detect(`/`.repair(` call bypasses panic isolation and
+    // deadline budgets, so one crashing strategy would abort the grid.
+    let guard_scoped = (path.starts_with("crates/core/src/")
+        || path.starts_with("crates/bench/src/"))
+        && !class.is_test_support;
+    if guard_scoped {
+        let code: String = lines.iter().map(|l| l.code.as_str()).collect::<Vec<_>>().join("\n");
+        if !has_token(&code, "rein_guard::run") {
+            for (idx, line) in lines.iter().enumerate() {
+                if tests[idx] {
+                    continue;
+                }
+                for token in [".detect(", ".repair("] {
+                    if has_token(&line.code, token) {
+                        if file_allowed("guard-coverage") {
+                            out.suppressed += 1;
+                        } else {
+                            out.violations.push(Violation {
+                                path: path.to_string(),
+                                line: idx + 1,
+                                rule: "guard-coverage".into(),
+                                message: format!(
+                                    "`{token}` dispatch outside rein_guard::run — route \
+                                     it through DetectorHarness::run, run_repair_guarded \
+                                     or detect_with_context"
+                                ),
+                            });
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
     let span_scoped = (path.starts_with("crates/detect/src/")
         || path.starts_with("crates/repair/src/"))
         && !path.ends_with("/lib.rs")

@@ -112,6 +112,21 @@ fn print_rule() {
 }
 
 #[test]
+fn guard_coverage_rule() {
+    assert_fires("guard_coverage_bad.rs", "crates/core/src/fixture.rs", "guard-coverage");
+    assert_fires("guard_coverage_bad.rs", "crates/bench/src/fixture.rs", "guard-coverage");
+    // A file that calls rein_guard::run is the sanctioned dispatcher.
+    assert_clean("guard_coverage_ok.rs", "crates/core/src/fixture.rs");
+    // Outside rein-core and rein-bench the rule does not apply (the
+    // detect/repair crates invoke their own kernels freely), and test
+    // support paths are exempt everywhere.
+    let out = audit_fixture("guard_coverage_bad.rs", "crates/detect/src/fixture.rs");
+    assert!(!rules_of(&out).contains(&"guard-coverage"), "got {:?}", out.violations);
+    let out = audit_fixture("guard_coverage_bad.rs", "crates/core/tests/fixture.rs");
+    assert!(!rules_of(&out).contains(&"guard-coverage"), "got {:?}", out.violations);
+}
+
+#[test]
 fn comments_and_strings_do_not_fire() {
     assert_clean("lexer_ok.rs", "crates/core/src/fixture.rs");
 }

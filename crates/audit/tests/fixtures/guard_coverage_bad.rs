@@ -1,0 +1,9 @@
+//! Negative fixture: a toolbox dispatch outside rein_guard::run.
+
+pub fn dispatch(detector: &dyn Detector, ctx: &Ctx) -> Mask {
+    detector.detect(ctx)
+}
+
+pub fn apply(repairer: &dyn Repairer, ctx: &Ctx) -> Outcome {
+    repairer.repair(ctx)
+}

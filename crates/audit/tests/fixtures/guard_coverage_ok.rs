@@ -1,0 +1,12 @@
+//! Positive fixture: the dispatch site is itself a guard dispatcher.
+
+pub fn dispatch(detector: &dyn Detector, ctx: &Ctx, spec: &GuardSpec, policy: &Policy) -> Mask {
+    let report = rein_guard::run(
+        spec,
+        policy,
+        |_seed| detector.detect(ctx),
+        |_mask| Ok(()),
+        |_mask| {},
+    );
+    report.outcome.unwrap_or_default()
+}

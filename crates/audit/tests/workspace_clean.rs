@@ -28,6 +28,7 @@ fn semantic_rules_are_in_the_catalog() {
         "toolbox-parity",
         "panic-reachability",
         "result-discard",
+        "guard-coverage",
     ] {
         assert!(
             report.rules.iter().any(|r| r.id == rule),

@@ -7,7 +7,7 @@
 // Benchmark bins emit their report tables on stdout by design.
 #![allow(clippy::print_stdout)]
 
-use rein_bench::{dataset, f, header, phase, write_run_manifest};
+use rein_bench::{conclude, dataset, f, header, phase};
 use rein_datasets::DatasetId;
 use rein_detect::{DetectContext, DetectorKind, KnowledgeBase, Oracle};
 use rein_stats::evaluate_detection;
@@ -20,6 +20,7 @@ fn main() {
     println!("{:<18} {}", "detector", budgets.map(|b| format!("{b:>8}")).join(""));
     let kb = KnowledgeBase::from_reference(&ds.clean);
     drop(setup);
+    let policy = rein_bench::guard_policy();
     let sweep = phase("sweep");
     for kind in [DetectorKind::Raha, DetectorKind::Ed2, DetectorKind::MetadataDriven] {
         print!("{:<18}", kind.name());
@@ -36,7 +37,10 @@ fn main() {
                 labeling_budget: budget,
                 seed: 5,
             };
-            let q = evaluate_detection(&kind.build().detect(&ctx), &ds.mask);
+            let (outcome, _) = rein_core::detect_with_context(kind, &ctx, &ds.info.name, &policy);
+            let mask = outcome
+                .unwrap_or_else(|_| rein_data::CellMask::new(ds.dirty.n_rows(), ds.dirty.n_cols()));
+            let q = evaluate_detection(&mask, &ds.mask);
             print!("{:>8}", f(q.f1));
         }
         println!();
@@ -47,5 +51,5 @@ fn main() {
     println!("active learning and the metadata-driven classifier consume the");
     println!("global budget directly.)");
     drop(report);
-    write_run_manifest("ablation_budget", 13, 400);
+    conclude("ablation_budget", 13, 400);
 }

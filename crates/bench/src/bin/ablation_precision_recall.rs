@@ -12,7 +12,7 @@
 
 use rand::prelude::*;
 use rand::rngs::StdRng;
-use rein_bench::{dataset, f, header, phase, write_run_manifest};
+use rein_bench::{conclude, dataset, f, header, phase};
 use rein_core::run_repair;
 use rein_data::CellMask;
 use rein_datasets::{DatasetId, GeneratedDataset};
@@ -79,5 +79,5 @@ fn main() {
     println!("to their true values anyway); under imperfect repairers low");
     println!("precision adds new damage to clean cells.");
     drop(report);
-    write_run_manifest("ablation_precision_recall", 17, 0);
+    conclude("ablation_precision_recall", 17, 0);
 }

@@ -11,7 +11,7 @@
 
 use rand::prelude::*;
 use rand::rngs::StdRng;
-use rein_bench::{f, header, phase, write_run_manifest};
+use rein_bench::{conclude, f, header, phase};
 use rein_constraints::fd::FunctionalDependency;
 use rein_data::diff::diff_mask;
 use rein_data::{ColumnMeta, ColumnRole, ColumnType, Schema, Table, Value};
@@ -60,17 +60,23 @@ fn main() {
     header("Ablation — rule-based detection F1 vs number of provided rules");
     println!("(planted FDs: {n_fds}, all violated; detectors see the first k rules)");
     println!("{:<12} {:>10} {:>10}", "k rules", "holoclean", "nadeef");
+    let policy = rein_bench::guard_policy();
     let sweep = phase("sweep");
     for k in [1, 3, 5, 7, 10, 13, 16] {
         let subset = &fds[..k.min(fds.len())];
         let ctx = DetectContext { fds: subset, ..DetectContext::bare(&dirty.dirty) };
-        let holo = evaluate_detection(&DetectorKind::HoloClean.build().detect(&ctx), &actual);
-        let nadeef = evaluate_detection(&DetectorKind::Nadeef.build().detect(&ctx), &actual);
+        let empty = || rein_data::CellMask::new(dirty.dirty.n_rows(), dirty.dirty.n_cols());
+        let (holo_mask, _) =
+            rein_core::detect_with_context(DetectorKind::HoloClean, &ctx, "synthetic", &policy);
+        let holo = evaluate_detection(&holo_mask.unwrap_or_else(|_| empty()), &actual);
+        let (nadeef_mask, _) =
+            rein_core::detect_with_context(DetectorKind::Nadeef, &ctx, "synthetic", &policy);
+        let nadeef = evaluate_detection(&nadeef_mask.unwrap_or_else(|_| empty()), &actual);
         println!("{:<12} {:>10} {:>10}", k, f(holo.f1), f(nadeef.f1));
     }
     drop(sweep);
     let report = phase("report");
     println!("\nF1 grows with the rule budget — the paper's HoloClean 17→7 rule finding.");
     drop(report);
-    write_run_manifest("ablation_rules", 3, 0);
+    conclude("ablation_rules", 3, 0);
 }

@@ -9,7 +9,7 @@
 // Benchmark bins emit their report tables on stdout by design.
 #![allow(clippy::print_stdout)]
 
-use rein_bench::{dataset, f, header, phase, write_run_manifest};
+use rein_bench::{conclude, dataset, f, header, phase};
 use rein_datasets::DatasetId;
 use rein_ml::encode::{select_matrix_rows, Encoder, LabelMap};
 use rein_ml::gbt::{GbtParams, GradientBoostedClassifier};
@@ -86,5 +86,5 @@ fn main() {
     );
     drop(tune_knn);
     println!("\n(search: 60% uniform exploration, then refinement around the incumbent)");
-    write_run_manifest("ablation_tuning", 31, 0);
+    conclude("ablation_tuning", 31, 0);
 }

@@ -1,0 +1,173 @@
+//! Chaos smoke test: runs a full S1 detection + repair grid twice — once
+//! fault-free, once under seeded fault injection — and asserts that
+//!
+//! 1. exactly the injected cells degrade (each with a structured
+//!    failure of the expected cause), and
+//! 2. every non-injected cell's output is byte-identical between the
+//!    two runs (serialized masks and repaired versions compared as
+//!    strings).
+//!
+//! The injection spec comes from `REIN_CHAOS` when set, otherwise the
+//! built-in default targets one detector (panic) and one repair cell
+//! (budget stall). Exit codes: `3` (the standard degraded-run exit from
+//! [`rein_bench::conclude`]) on success — the chaos run *did* degrade
+//! cells, and the manifest records them; `4` when a non-injected cell
+//! diverged; `5` when the failure set differs from the injection spec;
+//! `2` for a bad environment.
+
+// Benchmark bins emit their report tables on stdout by design.
+#![allow(clippy::print_stdout)]
+
+use std::collections::BTreeMap;
+
+use rein_bench::{conclude, dataset, header, phase};
+use rein_core::{ChaosSpec, Controller, GuardPolicy};
+use rein_datasets::{DatasetId, GeneratedDataset};
+
+/// One detector panics; one (detector, repairer) cell stalls.
+const DEFAULT_SPEC: &str = "detect:raha=panic,repair:impute_mean_mode#max_entropy=stall";
+
+/// Serializes every grid cell's output: detector masks and repaired
+/// versions, keyed by cell coordinates.
+fn run_grid(ctrl: &Controller, ds: &GeneratedDataset) -> BTreeMap<String, String> {
+    let mut cells = BTreeMap::new();
+    let detections = ctrl.run_detection(ds);
+    for det in &detections {
+        let key = format!("detect:{}", det.kind.name());
+        let bytes = serde_json::to_string(&det.mask).expect("mask serializes");
+        cells.insert(key, bytes);
+        let repairs = ctrl.run_repairs(ds, det);
+        for rep in &repairs {
+            let key = format!("repair:{}#{}", rep.kind.name(), det.kind.name());
+            let bytes = match (&rep.version, &rep.repaired_cells) {
+                (Some(v), Some(m)) => format!(
+                    "{}\n{}\n{:?}",
+                    rein_data::csv::write_str(&v.table),
+                    serde_json::to_string(m).expect("mask serializes"),
+                    v.row_map
+                ),
+                _ => format!("pipeline:{}", rep.pipeline.is_some()),
+            };
+            cells.insert(key, bytes);
+        }
+    }
+    cells
+}
+
+fn main() {
+    let setup = phase("setup");
+    let spec_text = std::env::var("REIN_CHAOS").unwrap_or_else(|_| DEFAULT_SPEC.to_string());
+    let chaos = match ChaosSpec::parse(&spec_text) {
+        Ok(c) if !c.is_empty() => c,
+        Ok(_) => {
+            eprintln!("error: chaos smoke needs at least one injection rule");
+            std::process::exit(2);
+        }
+        Err(e) => {
+            eprintln!("error: REIN_CHAOS={spec_text:?} is invalid: {e}");
+            std::process::exit(2);
+        }
+    };
+    let ds = dataset(DatasetId::BreastCancer, 29);
+    drop(setup);
+
+    header("Chaos smoke — S1 grid under fault injection");
+    println!("dataset: {} ({} rows)", ds.info.name, ds.dirty.n_rows());
+    println!("spec:    {spec_text}");
+
+    let baseline_phase = phase("baseline");
+    let clean_ctrl = Controller { label_budget: 50, seed: 29, ..Controller::default() };
+    let baseline = run_grid(&clean_ctrl, &ds);
+    drop(baseline_phase);
+    let baseline_failures = rein_telemetry::failures_snapshot();
+    if !baseline_failures.is_empty() {
+        eprintln!("error: fault-free run degraded {} cell(s)", baseline_failures.len());
+        std::process::exit(5);
+    }
+
+    let chaos_phase = phase("chaos");
+    let chaos_ctrl =
+        Controller { label_budget: 50, seed: 29, policy: GuardPolicy::with_chaos(chaos.clone()) };
+    let injected = run_grid(&chaos_ctrl, &ds);
+    drop(chaos_phase);
+
+    let verify = phase("verify");
+    // Every injected rule must have produced at least one failure, and
+    // every failure must trace back to an injected rule.
+    let failures = rein_telemetry::failures_snapshot();
+    println!("\n{} failure record(s):", failures.len());
+    for f in &failures {
+        println!(
+            "  {}:{}@{}#{} -> {} (attempts {})",
+            f.phase, f.strategy, f.dataset, f.scope, f.cause, f.attempts
+        );
+    }
+    if failures.len() != chaos.len() {
+        eprintln!(
+            "error: {} injection rule(s) but {} failure record(s)",
+            chaos.len(),
+            failures.len()
+        );
+        std::process::exit(5);
+    }
+    for f in &failures {
+        let covered =
+            chaos.rules().iter().any(|r| r.phase.name() == f.phase && r.strategy == f.strategy);
+        if !covered {
+            eprintln!(
+                "error: failure {}:{} does not match any injection rule",
+                f.phase, f.strategy
+            );
+            std::process::exit(5);
+        }
+    }
+
+    // Non-injected cells must match the fault-free run byte-for-byte.
+    let failed_keys: Vec<String> = failures
+        .iter()
+        .map(|f| {
+            if f.scope.is_empty() {
+                format!("{}:{}", f.phase, f.strategy)
+            } else {
+                format!("{}:{}#{}", f.phase, f.strategy, f.scope)
+            }
+        })
+        .collect();
+    // A degraded detector also changes every repair cell it feeds.
+    let affected = |key: &str| {
+        failed_keys.iter().any(|fk| {
+            key == fk
+                || (fk.starts_with("detect:")
+                    && key.starts_with("repair:")
+                    && key.ends_with(&format!("#{}", &fk["detect:".len()..])))
+        })
+    };
+    let mut checked = 0usize;
+    let mut diverged = 0usize;
+    for (key, bytes) in &baseline {
+        if affected(key) {
+            continue;
+        }
+        checked += 1;
+        match injected.get(key) {
+            Some(other) if other == bytes => {}
+            Some(_) => {
+                eprintln!("error: non-injected cell {key} diverged under chaos");
+                diverged += 1;
+            }
+            None => {
+                eprintln!("error: cell {key} missing from the chaos run");
+                diverged += 1;
+            }
+        }
+    }
+    drop(verify);
+    println!(
+        "\n{checked} non-injected cell(s) byte-identical; {} degraded as injected",
+        failures.len()
+    );
+    if diverged > 0 {
+        std::process::exit(4);
+    }
+    conclude("chaos_smoke", 29, 50);
+}

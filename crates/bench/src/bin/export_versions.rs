@@ -7,8 +7,8 @@
 // Benchmark bins emit their report tables on stdout by design.
 #![allow(clippy::print_stdout)]
 
-use rein_bench::{dataset, phase, write_run_manifest};
-use rein_core::{Controller, Repository, VersionKey};
+use rein_bench::{conclude, dataset, phase};
+use rein_core::{Repository, VersionKey};
 use rein_datasets::DatasetId;
 
 fn main() {
@@ -23,7 +23,7 @@ fn main() {
     repo.store(&ds.info.name, VersionKey::Dirty, ds.dirty.clone()).unwrap();
     drop(setup);
 
-    let ctrl = Controller { label_budget: 100, seed: 3 };
+    let ctrl = rein_bench::controller(100, 3);
     let detect = phase("detect");
     let mut detections = ctrl.run_detection(&ds);
     drop(detect);
@@ -49,5 +49,5 @@ fn main() {
     for key in repo.versions_of(&ds.info.name) {
         println!("  {key:?}");
     }
-    write_run_manifest("export_versions", ctrl.seed, ctrl.label_budget as u64);
+    conclude("export_versions", ctrl.seed, ctrl.label_budget as u64);
 }

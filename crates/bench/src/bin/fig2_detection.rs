@@ -12,8 +12,7 @@
 // Benchmark bins emit their report tables on stdout by design.
 #![allow(clippy::print_stdout)]
 
-use rein_bench::{dataset, f, header, phase, secs, write_run_manifest};
-use rein_core::Controller;
+use rein_bench::{conclude, dataset, f, header, phase, secs};
 use rein_datasets::DatasetId;
 use rein_stats::iou::iou_matrix;
 
@@ -46,7 +45,7 @@ fn main() {
     };
     drop(setup);
 
-    let ctrl = Controller { label_budget: 100, seed: 11 };
+    let ctrl = rein_bench::controller(100, 11);
     for (i, id) in ids.iter().enumerate() {
         let generate = phase("generate");
         let ds = dataset(*id, 200 + i as u64);
@@ -60,8 +59,17 @@ fn main() {
         let mut runs = ctrl.run_detection(&ds);
         drop(detect);
         let _report = phase("report");
+        // Degraded cells are excluded from the accuracy table (an empty
+        // mask would just read as zero recall) and flagged explicitly.
+        let degraded: Vec<String> = runs
+            .iter()
+            .filter_map(|r| r.failure.as_ref().map(|f| format!("{} ({})", r.kind.name(), f.cause)))
+            .collect();
+        for line in &degraded {
+            println!("  DEGRADED {line}");
+        }
         // The paper excludes detectors that found nothing.
-        runs.retain(|r| r.quality.detected() > 0);
+        runs.retain(|r| r.quality.detected() > 0 && r.failure.is_none());
         runs.sort_by(|a, b| b.quality.f1.total_cmp(&a.quality.f1));
 
         println!(
@@ -110,5 +118,5 @@ fn main() {
         }
     }
 
-    write_run_manifest("fig2_detection", ctrl.seed, ctrl.label_budget as u64);
+    conclude("fig2_detection", ctrl.seed, ctrl.label_budget as u64);
 }

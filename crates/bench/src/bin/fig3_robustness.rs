@@ -9,7 +9,7 @@
 // Benchmark bins emit their report tables on stdout by design.
 #![allow(clippy::print_stdout)]
 
-use rein_bench::{dataset, f, header, phase, write_run_manifest};
+use rein_bench::{conclude, dataset, f, header, phase};
 use rein_core::{DetectorHarness, VersionTable};
 use rein_data::diff::diff_mask;
 use rein_datasets::{DatasetId, GeneratedDataset};
@@ -133,11 +133,10 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--outlier-degree") {
         sweep_outlier_degree(7);
-        write_run_manifest("fig3_robustness", 7, 100);
-        return;
+        conclude("fig3_robustness", 7, 100);
     }
     sweep_error_rate(DatasetId::Adult, 3);
     sweep_error_rate(DatasetId::Power, 5);
     sweep_outlier_degree(7);
-    write_run_manifest("fig3_robustness", 7, 100);
+    conclude("fig3_robustness", 7, 100);
 }

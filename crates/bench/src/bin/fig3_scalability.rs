@@ -7,7 +7,7 @@
 // Benchmark bins emit their report tables on stdout by design.
 #![allow(clippy::print_stdout)]
 
-use rein_bench::{dataset_at, f, header, phase, scale, write_run_manifest};
+use rein_bench::{conclude, dataset_at, f, header, phase, scale};
 use rein_core::DetectorHarness;
 use rein_datasets::DatasetId;
 use rein_detect::DetectorKind;
@@ -73,5 +73,5 @@ fn main() {
         }
         println!();
     }
-    write_run_manifest("fig3_scalability", 9, 100);
+    conclude("fig3_scalability", 9, 100);
 }

@@ -9,8 +9,8 @@
 // Benchmark bins emit their report tables on stdout by design.
 #![allow(clippy::print_stdout)]
 
-use rein_bench::{dataset, f, header, phase, write_run_manifest};
-use rein_core::{Controller, DetectorRun};
+use rein_bench::{conclude, dataset, f, header, phase};
+use rein_core::DetectorRun;
 use rein_datasets::DatasetId;
 use rein_repair::RepairKind;
 
@@ -18,7 +18,7 @@ fn run_dataset(id: DatasetId, seed: u64) {
     let generate = phase("generate");
     let ds = dataset(id, seed);
     drop(generate);
-    let ctrl = Controller { label_budget: 100, seed };
+    let ctrl = rein_bench::controller(100, seed);
     header(&format!("Figure 5 — numerical repair RMSE ({})", ds.info.name));
 
     let detect = phase("detect");
@@ -38,6 +38,10 @@ fn run_dataset(id: DatasetId, seed: u64) {
         let runs = ctrl.run_repairs(&ds, det);
         let records = ctrl.repair_records(&ds, det.kind, &runs);
         for rec in &records {
+            if let Some(cause) = &rec.failure {
+                println!("  DEGRADED {}+{} ({cause})", rec.detector, rec.repairer);
+                continue;
+            }
             let (Some(rmse), Some(dirty)) = (rec.rmse, rec.dirty_rmse) else { continue };
             if rec.repairer == RepairKind::Delete.name() {
                 continue;
@@ -70,5 +74,5 @@ fn main() {
     run_dataset(DatasetId::BreastCancer, 62);
     run_dataset(DatasetId::Bikes, 63);
     run_dataset(DatasetId::Water, 64);
-    write_run_manifest("fig5_repair_numerical", 61, 100);
+    conclude("fig5_repair_numerical", 61, 100);
 }

@@ -9,7 +9,7 @@
 // Benchmark bins emit their report tables on stdout by design.
 #![allow(clippy::print_stdout)]
 
-use rein_bench::{dataset, f, header, phase, repeats, write_run_manifest};
+use rein_bench::{conclude, dataset, f, header, phase, repeats};
 use rein_core::{eval_classifier, eval_pipeline_s5, run_repair, Scenario, VersionTable};
 use rein_data::rng::derive_seed;
 use rein_datasets::DatasetId;
@@ -55,5 +55,5 @@ fn run_dataset(id: DatasetId, seed: u64) {
 fn main() {
     run_dataset(DatasetId::Adult, 71);
     run_dataset(DatasetId::BreastCancer, 72);
-    write_run_manifest("fig6_ml_oriented", 71, 0);
+    conclude("fig6_ml_oriented", 71, 0);
 }

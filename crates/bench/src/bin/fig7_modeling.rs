@@ -7,10 +7,10 @@
 // Benchmark bins emit their report tables on stdout by design.
 #![allow(clippy::print_stdout)]
 
-use rein_bench::{dataset, f, header, phase, repeats, write_run_manifest};
+use rein_bench::{conclude, dataset, f, header, phase, repeats};
 use rein_core::{
-    eval_classifier, eval_clusterer, eval_regressor, run_repair, CleaningStrategy, Controller,
-    Scenario, VersionTable,
+    eval_classifier, eval_clusterer, eval_regressor, run_repair, CleaningStrategy, Scenario,
+    VersionTable,
 };
 use rein_data::rng::derive_seed;
 use rein_datasets::{DatasetId, GeneratedDataset};
@@ -34,7 +34,7 @@ fn versions(
     detectors: &[DetectorKind],
     seed: u64,
 ) -> Vec<(String, VersionTable)> {
-    let ctrl = Controller { label_budget: 100, seed };
+    let ctrl = rein_bench::controller(100, seed);
     let mut out = vec![("D0".to_string(), VersionTable::identity(ds.dirty.clone()))];
     for &det_kind in detectors {
         let harness = rein_core::DetectorHarness::new(ds, 100, seed);
@@ -199,5 +199,5 @@ fn main() {
     let p = phase("clustering:power");
     clustering(DatasetId::Power, &[DetectorKind::MaxEntropy], &clu_models, 87);
     drop(p);
-    write_run_manifest("fig7_modeling", 81, 100);
+    conclude("fig7_modeling", 81, 100);
 }

@@ -79,5 +79,5 @@ fn main() {
     println!("perf report: {}", path.display());
     drop(emit);
 
-    rein_bench::write_run_manifest("perf_baseline", SUITE_SEED, 0);
+    rein_bench::conclude("perf_baseline", SUITE_SEED, 0);
 }

@@ -7,7 +7,7 @@
 // Benchmark bins emit their report tables on stdout by design.
 #![allow(clippy::print_stdout)]
 
-use rein_bench::{dataset, f, header, phase, write_run_manifest};
+use rein_bench::{conclude, dataset, f, header, phase};
 use rein_datasets::DatasetId;
 
 fn main() {
@@ -42,5 +42,5 @@ fn main() {
         rein_bench::scale()
     );
     drop(report);
-    write_run_manifest("table4_datasets", 100, 0);
+    conclude("table4_datasets", 100, 0);
 }

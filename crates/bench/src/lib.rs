@@ -12,7 +12,7 @@
 
 pub mod perf;
 
-use rein_core::{DetectorHarness, DetectorRun};
+use rein_core::{DetectorHarness, DetectorRun, GuardPolicy};
 use rein_datasets::{DatasetId, GeneratedDataset, Params};
 use rein_detect::DetectorKind;
 pub use rein_telemetry::{RunConfig, RunManifest, Span};
@@ -117,6 +117,54 @@ pub fn write_run_manifest(binary: &str, seed: u64, label_budget: u64) {
     }
 }
 
+/// Exit code for a run that completed but degraded at least one grid
+/// cell (distinct from `2` = bad environment and `1` = crash).
+pub const FAILURE_EXIT: i32 = 3;
+
+/// The supervision policy for bench binaries: chaos injection from the
+/// `REIN_CHAOS` environment variable (empty when unset), default
+/// retries and budgets. A set-but-unparsable spec is rejected like any
+/// other bad environment override.
+pub fn guard_policy() -> GuardPolicy {
+    match rein_core::ChaosSpec::from_env() {
+        Ok(chaos) => GuardPolicy::with_chaos(chaos),
+        Err(e) => reject_env(
+            "REIN_CHAOS",
+            &std::env::var("REIN_CHAOS").unwrap_or_default(),
+            &format!("a chaos spec like detect:raha=panic ({e})"),
+        ),
+    }
+}
+
+/// A controller wired with the environment's chaos policy and the given
+/// seed/budget — the standard way bench binaries obtain one.
+pub fn controller(label_budget: usize, seed: u64) -> rein_core::Controller {
+    rein_core::Controller { label_budget, seed, policy: guard_policy() }
+}
+
+/// Finishes a benchmark binary: writes the run manifest and exits with
+/// [`FAILURE_EXIT`] when any guarded strategy degraded during the run
+/// (the manifest's `failures` array holds the details), `0` otherwise.
+/// Binaries call this instead of returning from `main` so partial
+/// results are always accompanied by an honest exit status.
+#[allow(clippy::print_stdout)] // the failure summary is part of the report surface
+pub fn conclude(binary: &str, seed: u64, label_budget: u64) -> ! {
+    write_run_manifest(binary, seed, label_budget);
+    let failures = rein_telemetry::failures_snapshot();
+    if failures.is_empty() {
+        std::process::exit(0);
+    }
+    println!("\n{} strategy failure(s) degraded this run:", failures.len());
+    for f in &failures {
+        let scope = if f.scope.is_empty() { String::new() } else { format!("#{}", f.scope) };
+        println!(
+            "  {}:{}@{}{}: {} (attempts {})",
+            f.phase, f.strategy, f.dataset, scope, f.cause, f.attempts
+        );
+    }
+    std::process::exit(FAILURE_EXIT);
+}
+
 /// Generates a dataset at the global scale.
 pub fn dataset(id: DatasetId, seed: u64) -> GeneratedDataset {
     id.generate(&Params::scaled(scale(), seed))
@@ -128,13 +176,15 @@ pub fn dataset_at(id: DatasetId, size_factor: f64, seed: u64) -> GeneratedDatase
 }
 
 /// Runs a list of detectors on a dataset (planned signals supplied).
+/// Each detector runs guarded under the chaos policy from the
+/// environment ([`guard_policy`]).
 pub fn run_detectors(
     ds: &GeneratedDataset,
     kinds: &[DetectorKind],
     budget: usize,
     seed: u64,
 ) -> Vec<DetectorRun> {
-    let harness = DetectorHarness::new(ds, budget, seed);
+    let harness = DetectorHarness::new(ds, budget, seed).with_policy(guard_policy());
     kinds.iter().map(|&k| harness.run(ds, k)).collect()
 }
 

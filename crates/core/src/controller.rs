@@ -6,11 +6,12 @@ use rayon::prelude::*;
 use rein_data::rng::derive_seed;
 use rein_datasets::GeneratedDataset;
 use rein_detect::DetectorKind;
+use rein_guard::GuardPolicy;
 use rein_repair::{RepairCategory, RepairKind};
 
 use crate::evaluate::{
-    repair_quality_categorical, repair_quality_numerical, run_repair, DetectorHarness, DetectorRun,
-    RepairRun,
+    repair_quality_categorical, repair_quality_numerical, run_repair_guarded, DetectorHarness,
+    DetectorRun, RepairRun,
 };
 use crate::experiment::{DetectionRecord, RepairRecord};
 use crate::toolbox::{applicable_detectors, applicable_repairers, AvailableSignals};
@@ -40,11 +41,18 @@ pub struct Controller {
     pub label_budget: usize,
     /// Master seed.
     pub seed: u64,
+    /// Supervision policy for every toolbox dispatch (chaos injection,
+    /// retries, budget override).
+    pub policy: GuardPolicy,
 }
 
 impl Default for Controller {
     fn default() -> Self {
-        Self { label_budget: crate::evaluate::DEFAULT_LABEL_BUDGET, seed: 0 }
+        Self {
+            label_budget: crate::evaluate::DEFAULT_LABEL_BUDGET,
+            seed: 0,
+            policy: GuardPolicy::default(),
+        }
     }
 }
 
@@ -99,7 +107,8 @@ impl Controller {
                     ds,
                     self.label_budget,
                     derive_seed(self.seed, kind.index_letter() as u64),
-                );
+                )
+                .with_policy(self.policy.clone());
                 harness.run(ds, kind)
             })
             .collect()
@@ -117,7 +126,14 @@ impl Controller {
             .par_iter()
             .map(|&kind| {
                 let _worker = rein_telemetry::span_under("controller:repair-one", parent);
-                run_repair(ds, &detection.mask, kind, derive_seed(self.seed, kind.index() as u64))
+                run_repair_guarded(
+                    ds,
+                    &detection.mask,
+                    kind,
+                    derive_seed(self.seed, kind.index() as u64),
+                    detection.kind.name(),
+                    &self.policy,
+                )
             })
             .collect()
     }
@@ -139,6 +155,7 @@ impl Controller {
                 recall: run.quality.recall,
                 f1: run.quality.f1,
                 runtime_ms: run.runtime.as_secs_f64() * 1e3,
+                failure: run.failure.as_ref().map(|f| f.cause.to_string()),
             })
             .collect()
     }
@@ -164,6 +181,7 @@ impl Controller {
                     rmse: num.map(|(r, _)| r.rmse).filter(|v| v.is_finite()),
                     dirty_rmse: num.map(|(_, d)| d.rmse).filter(|v| v.is_finite()),
                     runtime_ms: run.runtime.as_secs_f64() * 1e3,
+                    failure: run.failure.as_ref().map(|f| f.cause.to_string()),
                 }
             })
             .collect()
@@ -201,7 +219,7 @@ mod tests {
     #[test]
     fn detection_phase_produces_records() {
         let ds = DatasetId::BreastCancer.generate(&Params::scaled(0.4, 3));
-        let ctrl = Controller { label_budget: 40, seed: 1 };
+        let ctrl = Controller { label_budget: 40, seed: 1, ..Controller::default() };
         let runs = ctrl.run_detection(&ds);
         assert!(!runs.is_empty());
         let records = ctrl.detection_records(&ds, &runs);
@@ -213,7 +231,7 @@ mod tests {
     #[test]
     fn repair_phase_covers_generic_and_ml_methods() {
         let ds = DatasetId::BreastCancer.generate(&Params::scaled(0.3, 4));
-        let ctrl = Controller { label_budget: 30, seed: 2 };
+        let ctrl = Controller { label_budget: 30, seed: 2, ..Controller::default() };
         let harness = DetectorHarness::new(&ds, 30, 1);
         let det = harness.run(&ds, DetectorKind::MaxEntropy);
         let runs = ctrl.run_repairs(&ds, &det);

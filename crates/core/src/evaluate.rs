@@ -8,6 +8,7 @@ use rein_data::rng::derive_seed;
 use rein_data::{CellMask, Table};
 use rein_datasets::GeneratedDataset;
 use rein_detect::{DetectContext, DetectorKind, KnowledgeBase, Oracle};
+use rein_guard::{GuardPolicy, GuardSpec, Phase, StrategyFailure};
 use rein_ml::encode::{select_matrix_rows, Encoder, LabelMap};
 use rein_ml::model::{ClassifierKind, ClustererKind, RegressorKind};
 use rein_repair::{RepairContext, RepairKind, RepairOutcome, TrainedPipeline};
@@ -26,11 +27,13 @@ pub struct DetectorHarness {
     label_col: Option<usize>,
     budget: usize,
     seed: u64,
+    policy: GuardPolicy,
 }
 
 impl DetectorHarness {
     /// Builds the harness for a dataset: KB simulated from the ground
-    /// truth, oracle backed by the exact error mask.
+    /// truth, oracle backed by the exact error mask. Supervision uses the
+    /// default [`GuardPolicy`]; see [`DetectorHarness::with_policy`].
     pub fn new(ds: &GeneratedDataset, budget: usize, seed: u64) -> Self {
         Self {
             kb: KnowledgeBase::from_reference(&ds.clean),
@@ -38,11 +41,25 @@ impl DetectorHarness {
             label_col: ds.clean.schema().label_index(),
             budget,
             seed,
+            policy: GuardPolicy::default(),
         }
+    }
+
+    /// Replaces the supervision policy (chaos injection, retry and
+    /// budget knobs).
+    pub fn with_policy(mut self, policy: GuardPolicy) -> Self {
+        self.policy = policy;
+        self
     }
 
     /// The detect context over a dataset's dirty table.
     pub fn context<'a>(&'a self, ds: &'a GeneratedDataset) -> DetectContext<'a> {
+        self.context_seeded(ds, self.seed)
+    }
+
+    /// The detect context with an explicit seed (guarded retries derive
+    /// fresh seeds per attempt).
+    fn context_seeded<'a>(&'a self, ds: &'a GeneratedDataset, seed: u64) -> DetectContext<'a> {
         DetectContext {
             dirty: &ds.dirty,
             fds: &ds.fds,
@@ -52,38 +69,131 @@ impl DetectorHarness {
             oracle: Some(&self.oracle),
             label_col: self.label_col,
             labeling_budget: self.budget,
-            seed: self.seed,
+            seed,
         }
     }
 
-    /// Runs one detector, returning its mask, quality and runtime. The
-    /// detection is wrapped in a telemetry span named after the detector;
-    /// the reported runtime is that span's duration.
+    /// Runs one detector under guard, returning its mask, quality and
+    /// runtime. The detection runs inside `rein_guard::run`: a panicking
+    /// or budget-exhausted detector degrades to an empty mask with a
+    /// populated [`DetectorRun::failure`] instead of aborting the run.
+    /// The guard opens the `detect:<name>` telemetry span; the reported
+    /// runtime is that span's duration.
     pub fn run(&self, ds: &GeneratedDataset, kind: DetectorKind) -> DetectorRun {
-        let ctx = self.context(ds);
-        let detector = kind.build();
-        let span = rein_telemetry::span(format!("detect:{}", kind.name()));
-        let mask = detector.detect(&ctx);
-        let runtime = span.finish();
+        let rows = ds.dirty.n_rows();
+        let cols = ds.dirty.n_cols();
+        let spec = GuardSpec {
+            phase: Phase::Detect,
+            strategy: kind.name(),
+            dataset: &ds.info.name,
+            scope: "",
+            cells: (rows * cols) as u64,
+            seed: self.seed,
+        };
+        let report = rein_guard::run(
+            &spec,
+            &self.policy,
+            |attempt_seed| {
+                let ctx = self.context_seeded(ds, attempt_seed);
+                kind.build().detect(&ctx)
+            },
+            |mask| {
+                if mask.rows() == rows && mask.cols() == cols {
+                    Ok(())
+                } else {
+                    Err(format!(
+                        "mask shape {}x{} does not match table {rows}x{cols}",
+                        mask.rows(),
+                        mask.cols()
+                    ))
+                }
+            },
+            |mask| *mask = CellMask::new(0, 0),
+        );
         rein_telemetry::counter("detector_invocations").incr();
-        rein_telemetry::counter("cells_scanned")
-            .add((ds.dirty.n_rows() * ds.dirty.n_cols()) as u64);
-        rein_telemetry::histogram("detector_runtime").record(runtime);
-        let quality = evaluate_detection(&mask, &ds.mask);
-        DetectorRun { kind, mask, quality, runtime }
+        rein_telemetry::counter("cells_scanned").add((rows * cols) as u64);
+        rein_telemetry::histogram("detector_runtime").record(report.elapsed);
+        match report.outcome {
+            Ok(mask) => {
+                let quality = evaluate_detection(&mask, &ds.mask);
+                DetectorRun { kind, mask, quality, runtime: report.elapsed, failure: None }
+            }
+            Err(failure) => {
+                // Degrade to "detected nothing": the cell stays in the
+                // grid with zero recall rather than silently vanishing.
+                let mask = CellMask::new(rows, cols);
+                let quality = evaluate_detection(&mask, &ds.mask);
+                DetectorRun { kind, mask, quality, runtime: report.elapsed, failure: Some(failure) }
+            }
+        }
     }
+}
+
+/// Runs one detector under guard over an explicitly-built context (the
+/// ablation binaries construct bespoke contexts instead of using the
+/// harness). Returns the mask or the structured failure, plus the
+/// guarded runtime.
+pub fn detect_with_context(
+    kind: DetectorKind,
+    ctx: &DetectContext<'_>,
+    dataset: &str,
+    policy: &GuardPolicy,
+) -> (Result<CellMask, StrategyFailure>, Duration) {
+    let rows = ctx.dirty.n_rows();
+    let cols = ctx.dirty.n_cols();
+    let spec = GuardSpec {
+        phase: Phase::Detect,
+        strategy: kind.name(),
+        dataset,
+        scope: "",
+        cells: (rows * cols) as u64,
+        seed: ctx.seed,
+    };
+    let report = rein_guard::run(
+        &spec,
+        policy,
+        |attempt_seed| {
+            let attempt_ctx = DetectContext {
+                dirty: ctx.dirty,
+                fds: ctx.fds,
+                dcs: ctx.dcs,
+                kb: ctx.kb,
+                key_columns: ctx.key_columns,
+                oracle: ctx.oracle,
+                label_col: ctx.label_col,
+                labeling_budget: ctx.labeling_budget,
+                seed: attempt_seed,
+            };
+            kind.build().detect(&attempt_ctx)
+        },
+        |mask| {
+            if mask.rows() == rows && mask.cols() == cols {
+                Ok(())
+            } else {
+                Err(format!(
+                    "mask shape {}x{} does not match table {rows}x{cols}",
+                    mask.rows(),
+                    mask.cols()
+                ))
+            }
+        },
+        |mask| *mask = CellMask::new(0, 0),
+    );
+    (report.outcome, report.elapsed)
 }
 
 /// One detector execution.
 pub struct DetectorRun {
     /// Which detector ran.
     pub kind: DetectorKind,
-    /// Its detection mask.
+    /// Its detection mask (empty when the detector degraded).
     pub mask: CellMask,
     /// Cell-level quality vs the ground truth.
     pub quality: DetectionQuality,
     /// Wall-clock runtime.
     pub runtime: Duration,
+    /// The structured failure when the detector degraded under guard.
+    pub failure: Option<StrategyFailure>,
 }
 
 /// A data version aligned to the clean-row space: `row_map[i]` is the
@@ -117,32 +227,90 @@ pub struct RepairRun {
     pub pipeline: Option<TrainedPipeline>,
     /// Wall-clock runtime.
     pub runtime: Duration,
+    /// The structured failure when the repairer degraded under guard.
+    pub failure: Option<StrategyFailure>,
 }
 
-/// Runs one repairer on the detections of a detector.
+/// Runs one repairer on the detections of a detector with the default
+/// supervision policy.
 pub fn run_repair(
     ds: &GeneratedDataset,
     detections: &CellMask,
     kind: RepairKind,
     seed: u64,
 ) -> RepairRun {
-    let ctx = RepairContext {
-        dirty: &ds.dirty,
-        detections,
-        clean: Some(&ds.clean),
-        fds: &ds.fds,
-        label_col: ds.clean.schema().label_index(),
-        label_budget: 50,
+    run_repair_guarded(ds, detections, kind, seed, "", &GuardPolicy::default())
+}
+
+/// Runs one repairer under guard. `detector_scope` names the detector
+/// whose mask feeds this repair so chaos rules (and failure records) can
+/// target a single grid cell; pass `""` outside the grid. A panicking or
+/// budget-exhausted repairer degrades to a no-op version (the dirty
+/// table, identity row map, zero repaired cells) with a populated
+/// [`RepairRun::failure`].
+pub fn run_repair_guarded(
+    ds: &GeneratedDataset,
+    detections: &CellMask,
+    kind: RepairKind,
+    seed: u64,
+    detector_scope: &str,
+    policy: &GuardPolicy,
+) -> RepairRun {
+    let spec = GuardSpec {
+        phase: Phase::Repair,
+        strategy: kind.name(),
+        dataset: &ds.info.name,
+        scope: detector_scope,
+        cells: detections.count() as u64,
         seed,
     };
-    let repairer = kind.build();
-    let span = rein_telemetry::span(format!("repair:{}", kind.name()));
-    let outcome = repairer.repair(&ctx);
-    let runtime = span.finish();
+    let report = rein_guard::run(
+        &spec,
+        policy,
+        |attempt_seed| {
+            let ctx = RepairContext {
+                dirty: &ds.dirty,
+                detections,
+                clean: Some(&ds.clean),
+                fds: &ds.fds,
+                label_col: ds.clean.schema().label_index(),
+                label_budget: 50,
+                seed: attempt_seed,
+            };
+            kind.build().repair(&ctx)
+        },
+        |outcome| match outcome {
+            RepairOutcome::Repaired { table, row_map, .. } => {
+                if table.n_rows() != row_map.len() {
+                    Err(format!(
+                        "row map length {} does not match repaired table rows {}",
+                        row_map.len(),
+                        table.n_rows()
+                    ))
+                } else if table.n_cols() != ds.dirty.n_cols() {
+                    Err(format!(
+                        "repaired table has {} columns, dirty table has {}",
+                        table.n_cols(),
+                        ds.dirty.n_cols()
+                    ))
+                } else {
+                    Ok(())
+                }
+            }
+            RepairOutcome::Model(_) => Ok(()),
+        },
+        |outcome| {
+            if let RepairOutcome::Repaired { row_map, .. } = outcome {
+                // Shear the row map so the validator rejects the output.
+                row_map.clear();
+            }
+        },
+    );
     rein_telemetry::counter("repair_applications").incr();
-    rein_telemetry::histogram("repair_runtime").record(runtime);
-    match outcome {
-        RepairOutcome::Repaired { table, repaired_cells, row_map } => {
+    rein_telemetry::histogram("repair_runtime").record(report.elapsed);
+    let runtime = report.elapsed;
+    match report.outcome {
+        Ok(RepairOutcome::Repaired { table, repaired_cells, row_map }) => {
             rein_telemetry::counter("cells_repaired").add(repaired_cells.count() as u64);
             RepairRun {
                 kind,
@@ -150,10 +318,30 @@ pub fn run_repair(
                 repaired_cells: Some(repaired_cells),
                 pipeline: None,
                 runtime,
+                failure: None,
             }
         }
-        RepairOutcome::Model(p) => {
-            RepairRun { kind, version: None, repaired_cells: None, pipeline: Some(p), runtime }
+        Ok(RepairOutcome::Model(p)) => RepairRun {
+            kind,
+            version: None,
+            repaired_cells: None,
+            pipeline: Some(p),
+            runtime,
+            failure: None,
+        },
+        Err(failure) => {
+            // Degrade to "repaired nothing": the version is the dirty
+            // table unchanged so downstream evaluation still runs.
+            let rows = ds.dirty.n_rows();
+            let cols = ds.dirty.n_cols();
+            RepairRun {
+                kind,
+                version: Some(VersionTable::identity(ds.dirty.clone())),
+                repaired_cells: Some(CellMask::new(rows, cols)),
+                pipeline: None,
+                runtime,
+                failure: Some(failure),
+            }
         }
     }
 }
@@ -284,6 +472,47 @@ pub fn eval_classifier(
         .collect()
 }
 
+/// [`eval_classifier`] under guard: a panicking or budget-exhausted
+/// model degrades to all-NaN scores (excluded from summaries) with the
+/// structured failure returned alongside.
+#[allow(clippy::too_many_arguments)]
+pub fn eval_classifier_guarded(
+    scenario: Scenario,
+    ds: &GeneratedDataset,
+    version: &VersionTable,
+    kind: ClassifierKind,
+    repeats: usize,
+    base_seed: u64,
+    policy: &GuardPolicy,
+) -> (Vec<f64>, Option<StrategyFailure>) {
+    let spec = GuardSpec {
+        phase: Phase::Model,
+        strategy: kind.name(),
+        dataset: &ds.info.name,
+        scope: scenario.name(),
+        cells: (version.table.n_rows() * version.table.n_cols()) as u64,
+        seed: base_seed,
+    };
+    let report = rein_guard::run(
+        &spec,
+        policy,
+        // audit:allow(seed-provenance, the closure seed is the guard's per-attempt derivation of the base_seed parameter)
+        |seed| eval_classifier(scenario, ds, version, kind, repeats, seed),
+        |scores| {
+            if scores.len() == repeats {
+                Ok(())
+            } else {
+                Err(format!("{} scores for {repeats} repeats", scores.len()))
+            }
+        },
+        |scores| scores.clear(),
+    );
+    match report.outcome {
+        Ok(scores) => (scores, None),
+        Err(failure) => (vec![f64::NAN; repeats], Some(failure)),
+    }
+}
+
 /// Test RMSE of a regressor over `repeats` splits in the given scenario.
 pub fn eval_regressor(
     scenario: Scenario,
@@ -313,6 +542,45 @@ pub fn eval_regressor(
             rein_ml::rmse(&te_y, &model.predict(&xte))
         })
         .collect()
+}
+
+/// [`eval_regressor`] under guard; see [`eval_classifier_guarded`].
+#[allow(clippy::too_many_arguments)]
+pub fn eval_regressor_guarded(
+    scenario: Scenario,
+    ds: &GeneratedDataset,
+    version: &VersionTable,
+    kind: RegressorKind,
+    repeats: usize,
+    base_seed: u64,
+    policy: &GuardPolicy,
+) -> (Vec<f64>, Option<StrategyFailure>) {
+    let spec = GuardSpec {
+        phase: Phase::Model,
+        strategy: kind.name(),
+        dataset: &ds.info.name,
+        scope: scenario.name(),
+        cells: (version.table.n_rows() * version.table.n_cols()) as u64,
+        seed: base_seed,
+    };
+    let report = rein_guard::run(
+        &spec,
+        policy,
+        // audit:allow(seed-provenance, the closure seed is the guard's per-attempt derivation of the base_seed parameter)
+        |seed| eval_regressor(scenario, ds, version, kind, repeats, seed),
+        |scores| {
+            if scores.len() == repeats {
+                Ok(())
+            } else {
+                Err(format!("{} scores for {repeats} repeats", scores.len()))
+            }
+        },
+        |scores| scores.clear(),
+    );
+    match report.outcome {
+        Ok(scores) => (scores, None),
+        Err(failure) => (vec![f64::NAN; repeats], Some(failure)),
+    }
 }
 
 /// Silhouette score of a clusterer on a data version. Methods requiring

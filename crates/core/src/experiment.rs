@@ -23,6 +23,10 @@ pub struct DetectionRecord {
     pub f1: f64,
     /// Runtime in milliseconds.
     pub runtime_ms: f64,
+    /// Failure cause when the detector degraded under guard (the cell's
+    /// mask is empty and its quality reflects zero recall).
+    #[serde(default)]
+    pub failure: Option<String>,
 }
 
 /// One (detector, repairer) execution (Figures 4 and 5 rows).
@@ -46,6 +50,10 @@ pub struct RepairRecord {
     pub dirty_rmse: Option<f64>,
     /// Runtime in milliseconds.
     pub runtime_ms: f64,
+    /// Failure cause when the repairer degraded under guard (the version
+    /// is the dirty table unchanged).
+    #[serde(default)]
+    pub failure: Option<String>,
 }
 
 /// One (model, scenario, data version) evaluation (Figure 7 rows).
@@ -176,9 +184,15 @@ mod tests {
             recall: 0.66,
             f1: 0.72,
             runtime_ms: 1.5,
+            failure: Some("panic: boom".into()),
         };
         let json = serde_json::to_string(&r).unwrap();
         let back: DetectionRecord = serde_json::from_str(&json).unwrap();
         assert_eq!(back.detector, "sd");
+        assert_eq!(back.failure.as_deref(), Some("panic: boom"));
+        // Pre-guard records carry no `failure` key; the field defaults.
+        let legacy = json.replace("\"failure\"", "\"failure_legacy\"");
+        let back: DetectionRecord = serde_json::from_str(&legacy).unwrap();
+        assert!(back.failure.is_none());
     }
 }

@@ -17,10 +17,14 @@ pub mod toolbox;
 
 pub use controller::{CleaningStrategy, Controller, Plan};
 pub use evaluate::{
-    eval_classifier, eval_clusterer, eval_pipeline_s5, eval_regressor, run_repair, scenario_split,
-    DetectorHarness, DetectorRun, RepairRun, VersionTable,
+    detect_with_context, eval_classifier, eval_classifier_guarded, eval_clusterer,
+    eval_pipeline_s5, eval_regressor, eval_regressor_guarded, run_repair, run_repair_guarded,
+    scenario_split, DetectorHarness, DetectorRun, RepairRun, VersionTable,
 };
 pub use experiment::{ab_test, AbTestRecord, DetectionRecord, ModelRecord, RepairRecord};
+pub use rein_guard::{
+    ChaosMode, ChaosRule, ChaosSpec, FailureCause, GuardPolicy, Phase, StrategyFailure,
+};
 pub use repository::{Repository, VersionKey};
 pub use scenario::{Scenario, VersionRole};
 pub use toolbox::{applicable_detectors, applicable_repairers, AvailableSignals};

@@ -59,11 +59,22 @@ impl Repository {
     }
 
     /// Stores a version (overwrites an existing one).
+    ///
+    /// On-disk persistence is atomic: the CSV is written to a temp file in
+    /// the same directory and renamed over the target, so a crash mid-write
+    /// leaves either the old version or the new one — never a torn file.
     pub fn store(&mut self, dataset: &str, key: VersionKey, table: Table) -> std::io::Result<()> {
         if let Some(root) = &self.root {
             let dir = root.join(dataset);
             std::fs::create_dir_all(&dir)?;
-            csv::write_file(&dir.join(format!("{}.csv", key.file_stem())), &table)?;
+            let stem = key.file_stem();
+            let tmp = dir.join(format!("{stem}.csv.tmp-{}", std::process::id()));
+            let target = dir.join(format!("{stem}.csv"));
+            csv::write_file(&tmp, &table)?;
+            if let Err(e) = std::fs::rename(&tmp, &target) {
+                let _ = std::fs::remove_file(&tmp);
+                return Err(e);
+            }
         }
         self.versions.insert((dataset.to_string(), key), table);
         Ok(())
@@ -142,6 +153,35 @@ mod tests {
         let key = VersionKey::Repaired { detector: "sd".into(), repairer: "baran".into() };
         let t = repo.load("nasa", &key).unwrap();
         assert_eq!(t.cell(0, 0), &Value::Int(7));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_leaves_no_temp_files_and_survives_torn_target() {
+        let dir = std::env::temp_dir().join(format!("rein_repo_torn_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut repo = Repository::with_root(&dir).unwrap();
+        repo.store("flights", VersionKey::Dirty, table(3)).unwrap();
+
+        let target = dir.join("flights").join("dirty.csv");
+        // Simulate a torn write from a crashed non-atomic writer: truncate
+        // the target mid-record and drop a stale temp file beside it.
+        std::fs::write(&target, "x\n\"torn").unwrap();
+        std::fs::write(dir.join("flights").join("dirty.csv.tmp-999"), "garbage").unwrap();
+
+        // A cold-started repository must treat the torn file as absent,
+        // not return a partial table.
+        let cold = Repository::with_root(&dir).unwrap();
+        assert!(cold.load("flights", &VersionKey::Dirty).is_none());
+
+        // Re-storing replaces the torn file atomically and cleans up after
+        // itself: afterwards the version reads back whole and no temp file
+        // from this process remains.
+        repo.store("flights", VersionKey::Dirty, table(4)).unwrap();
+        let cold = Repository::with_root(&dir).unwrap();
+        assert_eq!(cold.load("flights", &VersionKey::Dirty).unwrap().cell(0, 0), &Value::Int(4));
+        let own_tmp = dir.join("flights").join(format!("dirty.csv.tmp-{}", std::process::id()));
+        assert!(!own_tmp.exists(), "temp file must be renamed away");
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

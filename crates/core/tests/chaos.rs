@@ -1,0 +1,212 @@
+//! Integration tests for fault-isolated grid execution: chaos-injected
+//! runs are deterministic, degrade exactly the injected cells, and leave
+//! every other cell byte-identical to a fault-free run.
+//!
+//! All assertions read the `failure` field returned on each run — never
+//! the global telemetry registry, which parallel tests share.
+
+use rein_core::{
+    run_repair_guarded, ChaosSpec, Controller, DetectorHarness, FailureCause, GuardPolicy,
+};
+use rein_data::CellMask;
+use rein_datasets::{DatasetId, GeneratedDataset, Params};
+use rein_detect::DetectorKind;
+use rein_repair::RepairKind;
+
+fn small_dataset() -> GeneratedDataset {
+    DatasetId::BreastCancer.generate(&Params::scaled(0.1, 29))
+}
+
+fn harness(ds: &GeneratedDataset, policy: GuardPolicy) -> DetectorHarness {
+    DetectorHarness::new(ds, 25, 29).with_policy(policy)
+}
+
+fn mask_bytes(mask: &CellMask) -> String {
+    serde_json::to_string(mask).expect("mask serializes")
+}
+
+#[test]
+fn injected_panic_degrades_only_the_target_cell() {
+    let ds = small_dataset();
+    let chaos = ChaosSpec::parse("detect:sd=panic").unwrap();
+    let kinds = [DetectorKind::Sd, DetectorKind::Iqr, DetectorKind::MvDetector];
+
+    let clean = harness(&ds, GuardPolicy::default());
+    let faulty = harness(&ds, GuardPolicy::with_chaos(chaos));
+    for kind in kinds {
+        let base = clean.run(&ds, kind);
+        let run = faulty.run(&ds, kind);
+        if kind == DetectorKind::Sd {
+            let failure = run.failure.expect("injected detector must degrade");
+            assert!(
+                matches!(failure.cause, FailureCause::Panic { .. }),
+                "expected a panic cause, got {:?}",
+                failure.cause
+            );
+            assert_eq!(failure.strategy, "sd");
+            assert_eq!(run.mask.count(), 0, "degraded detector yields an empty mask");
+            assert_eq!(run.mask.rows(), ds.dirty.n_rows());
+        } else {
+            assert!(run.failure.is_none(), "{} must not degrade", kind.name());
+            assert_eq!(mask_bytes(&run.mask), mask_bytes(&base.mask), "{}", kind.name());
+        }
+    }
+}
+
+#[test]
+fn chaos_runs_are_deterministic_across_repeats() {
+    let ds = small_dataset();
+    let policy =
+        GuardPolicy::with_chaos(ChaosSpec::parse("detect:iqr=panic,detect:sd=stall").unwrap());
+    let kinds = [DetectorKind::Sd, DetectorKind::Iqr, DetectorKind::MvDetector];
+
+    let render = |h: &DetectorHarness| -> Vec<String> {
+        kinds
+            .iter()
+            .map(|&kind| {
+                let run = h.run(&ds, kind);
+                // Compare everything but elapsed time: mask bytes plus the
+                // failure identity (cause / strategy / attempts).
+                let failure = run
+                    .failure
+                    .map(|f| {
+                        format!("{}:{}:{}:{}", f.phase.name(), f.strategy, f.cause, f.attempts)
+                    })
+                    .unwrap_or_default();
+                format!("{}|{}", mask_bytes(&run.mask), failure)
+            })
+            .collect()
+    };
+
+    let first = render(&harness(&ds, policy.clone()));
+    let second = render(&harness(&ds, policy));
+    assert_eq!(first, second, "a chaos-injected run must reproduce byte-for-byte");
+}
+
+#[test]
+fn budget_exhaustion_mid_kernel_degrades_with_spend_figures() {
+    let ds = small_dataset();
+    // A three-tick allowance trips inside the first kernel loop of any
+    // real detector on this dataset.
+    let policy = GuardPolicy { budget_override: Some(3), ..GuardPolicy::default() };
+    let run = harness(&ds, policy).run(&ds, DetectorKind::IsolationForest);
+    let failure = run.failure.expect("tiny budget must exhaust");
+    match failure.cause {
+        FailureCause::BudgetExhausted { spent, allowance } => {
+            assert_eq!(allowance, 3);
+            assert!(spent > allowance, "spent {spent} must exceed the allowance");
+        }
+        other => panic!("expected budget exhaustion, got {other:?}"),
+    }
+}
+
+#[test]
+fn flaky_injection_retries_to_success() {
+    let ds = small_dataset();
+    let policy = GuardPolicy::with_chaos(ChaosSpec::parse("detect:mv_detector=flaky").unwrap());
+    let run = harness(&ds, policy).run(&ds, DetectorKind::MvDetector);
+    assert!(run.failure.is_none(), "one flake within the retry budget must recover");
+    assert_eq!(run.mask.rows(), ds.dirty.n_rows());
+}
+
+#[test]
+fn corrupt_injection_is_caught_by_output_validation() {
+    let ds = small_dataset();
+    let policy = GuardPolicy::with_chaos(ChaosSpec::parse("detect:iqr=corrupt").unwrap());
+    let run = harness(&ds, policy).run(&ds, DetectorKind::Iqr);
+    let failure = run.failure.expect("corrupted output must be rejected");
+    assert!(
+        matches!(failure.cause, FailureCause::InvalidOutput { .. }),
+        "expected invalid output, got {:?}",
+        failure.cause
+    );
+}
+
+#[test]
+fn stalled_repair_degrades_to_the_identity_version() {
+    let ds = small_dataset();
+    let chaos = ChaosSpec::parse("repair:impute_mean_mode=stall").unwrap();
+    let policy = GuardPolicy::with_chaos(chaos);
+    let detections =
+        CellMask::from_cells(ds.dirty.n_rows(), ds.dirty.n_cols(), ds.mask.iter().take(10));
+
+    let run = run_repair_guarded(&ds, &detections, RepairKind::ImputeMeanMode, 7, "sd", &policy);
+    let failure = run.failure.expect("stalled repairer must degrade");
+    assert!(
+        matches!(failure.cause, FailureCause::BudgetExhausted { allowance: 0, .. }),
+        "stall means a zero allowance, got {:?}",
+        failure.cause
+    );
+    assert_eq!(failure.scope, "sd", "the failure carries the feeding detector");
+    let version = run.version.expect("degraded repair falls back to the dirty version");
+    assert_eq!(
+        rein_data::csv::write_str(&version.table),
+        rein_data::csv::write_str(&ds.dirty),
+        "the fallback version is the dirty table untouched"
+    );
+    assert_eq!(run.repaired_cells.map(|m| m.count()), Some(0));
+
+    // The same repair without chaos succeeds and reports no failure.
+    let ok = run_repair_guarded(
+        &ds,
+        &detections,
+        RepairKind::ImputeMeanMode,
+        7,
+        "sd",
+        &GuardPolicy::default(),
+    );
+    assert!(ok.failure.is_none());
+}
+
+#[test]
+fn controller_completes_the_plan_with_exactly_the_injected_failures() {
+    let ds = small_dataset();
+    let spec = "detect:sd=panic,detect:raha=stall";
+    let chaos = ChaosSpec::parse(spec).unwrap();
+    let expected = chaos.len();
+
+    let ctrl = Controller { label_budget: 25, seed: 29, policy: GuardPolicy::with_chaos(chaos) };
+    let baseline = Controller { label_budget: 25, seed: 29, ..Controller::default() };
+
+    let runs = ctrl.run_detection(&ds);
+    let base_runs = baseline.run_detection(&ds);
+    assert_eq!(runs.len(), base_runs.len(), "degradation must not shrink the plan");
+
+    let mut failures: Vec<String> = runs
+        .iter()
+        .filter_map(|r| r.failure.as_ref())
+        .map(|f| format!("{}:{}", f.phase.name(), f.strategy))
+        .collect();
+    failures.sort();
+    assert_eq!(failures.len(), expected, "exactly the injected cells degrade: {failures:?}");
+    assert_eq!(failures, vec!["detect:raha".to_string(), "detect:sd".to_string()]);
+
+    // Failure ordering in record form is stable: sorting the rendered
+    // identities twice gives the same sequence (no wall-clock key).
+    let rendered: Vec<String> = runs
+        .iter()
+        .filter_map(|r| r.failure.as_ref())
+        .map(|f| f.to_record())
+        .map(|rec| {
+            format!("{}|{}|{}|{}|{}", rec.phase, rec.strategy, rec.dataset, rec.scope, rec.attempts)
+        })
+        .collect();
+    let mut sorted = rendered.clone();
+    sorted.sort();
+    let mut again = rendered;
+    again.sort();
+    assert_eq!(sorted, again);
+
+    // Every non-injected detector matches the fault-free run.
+    for (run, base) in runs.iter().zip(base_runs.iter()) {
+        assert_eq!(run.kind, base.kind);
+        if run.failure.is_none() {
+            assert_eq!(
+                mask_bytes(&run.mask),
+                mask_bytes(&base.mask),
+                "{} diverged under chaos",
+                run.kind.name()
+            );
+        }
+    }
+}

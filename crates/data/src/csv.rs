@@ -27,9 +27,26 @@ pub enum CsvError {
         /// 1-based line number where the quote opened.
         line: usize,
     },
+    /// A single field exceeded [`MAX_FIELD_LEN`] bytes.
+    OverlongField {
+        /// 1-based line number where the field started growing.
+        line: usize,
+        /// Observed length in bytes when the limit tripped.
+        len: usize,
+    },
+    /// The input bytes were not valid UTF-8.
+    InvalidUtf8 {
+        /// Byte offset of the first invalid sequence.
+        offset: usize,
+    },
     /// The input contained no header row.
     Empty,
 }
+
+/// Upper bound on a single field's byte length (1 MiB). Fields beyond
+/// this are overwhelmingly corrupt input (an unbalanced quote swallowing
+/// the rest of a file, a torn write); failing fast keeps memory bounded.
+pub const MAX_FIELD_LEN: usize = 1 << 20;
 
 impl std::fmt::Display for CsvError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -40,12 +57,27 @@ impl std::fmt::Display for CsvError {
             CsvError::UnterminatedQuote { line } => {
                 write!(f, "line {line}: unterminated quoted field")
             }
+            CsvError::OverlongField { line, len } => {
+                write!(f, "line {line}: field of {len} bytes exceeds {MAX_FIELD_LEN}-byte limit")
+            }
+            CsvError::InvalidUtf8 { offset } => {
+                write!(f, "invalid UTF-8 at byte offset {offset}")
+            }
             CsvError::Empty => write!(f, "empty CSV input"),
         }
     }
 }
 
 impl std::error::Error for CsvError {}
+
+/// Appends a character to a field, rejecting fields past [`MAX_FIELD_LEN`].
+fn push_bounded(field: &mut String, ch: char, line: usize) -> Result<(), CsvError> {
+    field.push(ch);
+    if field.len() > MAX_FIELD_LEN {
+        return Err(CsvError::OverlongField { line, len: field.len() });
+    }
+    Ok(())
+}
 
 /// Splits raw CSV text into records of string fields.
 fn parse_records(input: &str) -> Result<Vec<Vec<String>>, CsvError> {
@@ -65,16 +97,16 @@ fn parse_records(input: &str) -> Result<Vec<Vec<String>>, CsvError> {
                 '"' => {
                     if chars.peek() == Some(&'"') {
                         chars.next();
-                        field.push('"');
+                        push_bounded(&mut field, '"', line)?;
                     } else {
                         in_quotes = false;
                     }
                 }
                 '\n' => {
                     line += 1;
-                    field.push('\n');
+                    push_bounded(&mut field, '\n', line)?;
                 }
-                c => field.push(c),
+                c => push_bounded(&mut field, c, line)?,
             }
         } else {
             match ch {
@@ -95,7 +127,7 @@ fn parse_records(input: &str) -> Result<Vec<Vec<String>>, CsvError> {
                     record.push(std::mem::take(&mut field));
                     records.push(std::mem::take(&mut record));
                 }
-                c => field.push(c),
+                c => push_bounded(&mut field, c, line)?,
             }
         }
     }
@@ -138,6 +170,15 @@ pub fn read_str(input: &str) -> Result<Table, CsvError> {
         schema = schema.with_type(c, table.observed_type(c));
     }
     Ok(Table::from_columns(schema, (0..table.n_cols()).map(|c| table.column(c).to_vec()).collect()))
+}
+
+/// Parses raw bytes as UTF-8 CSV. Invalid byte sequences are a typed
+/// [`CsvError::InvalidUtf8`] carrying the offset of the first bad byte,
+/// so on-disk corruption surfaces as a recoverable error, not a panic.
+pub fn read_bytes(bytes: &[u8]) -> Result<Table, CsvError> {
+    let text = std::str::from_utf8(bytes)
+        .map_err(|e| CsvError::InvalidUtf8 { offset: e.valid_up_to() })?;
+    read_str(text)
 }
 
 /// Quotes a field if it contains separators, quotes or newlines.
@@ -187,8 +228,8 @@ pub fn write_str(table: &Table) -> String {
 
 /// Reads a table from a CSV file on disk.
 pub fn read_file(path: &std::path::Path) -> std::io::Result<Table> {
-    let text = std::fs::read_to_string(path)?;
-    read_str(&text).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    let bytes = std::fs::read(path)?;
+    read_bytes(&bytes).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
 }
 
 /// Writes a table to a CSV file on disk.
@@ -265,6 +306,37 @@ mod tests {
                 assert_eq!(t.cell(r, c), t2.cell(r, c), "cell ({r},{c})");
             }
         }
+    }
+
+    #[test]
+    fn overlong_field_is_error() {
+        let input = format!("a\n{}\n", "x".repeat(MAX_FIELD_LEN + 1));
+        let err = read_str(&input).unwrap_err();
+        assert!(
+            matches!(err, CsvError::OverlongField { line: 2, len } if len > MAX_FIELD_LEN),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn overlong_quoted_runaway_is_error() {
+        // An unbalanced quote swallows the rest of the input into one
+        // field; the limit must trip before the parser reaches the end.
+        let input = format!("a\n\"{}\n", "y".repeat(MAX_FIELD_LEN + 8));
+        let err = read_str(&input).unwrap_err();
+        assert!(matches!(err, CsvError::OverlongField { .. }), "got {err:?}");
+    }
+
+    #[test]
+    fn invalid_utf8_is_error() {
+        let err = read_bytes(b"a,b\n1,\xff\xfe\n").unwrap_err();
+        assert_eq!(err, CsvError::InvalidUtf8 { offset: 6 });
+    }
+
+    #[test]
+    fn read_bytes_accepts_valid_utf8() {
+        let t = read_bytes("a,b\n1,caf\u{e9}\n".as_bytes()).unwrap();
+        assert_eq!(t.cell(0, 1), &Value::str("caf\u{e9}"));
     }
 
     #[test]

@@ -103,6 +103,34 @@ mod proptests {
         }
 
         #[test]
+        fn csv_read_bytes_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+            // Malformed input — ragged rows, stray quotes, invalid UTF-8 —
+            // must surface as a typed Err, never a panic.
+            let _ = csv::read_bytes(&bytes);
+        }
+
+        #[test]
+        fn csv_read_str_never_panics(text in "[\\x00-\\x7f\"\\n,]{0,256}") {
+            let _ = csv::read_str(&text);
+        }
+
+        #[test]
+        fn csv_errors_are_typed_for_mutated_valid_input(
+            flip in 0usize..64,
+            byte in any::<u8>(),
+        ) {
+            // Start from a well-formed document, corrupt one byte, and
+            // require the codec to either parse or return a CsvError.
+            let mut bytes = b"id,name,score\n1,alpha,2.5\n2,beta,3.0\n3,gamma,4.5\n".to_vec();
+            let at = flip % bytes.len();
+            bytes[at] = byte;
+            match csv::read_bytes(&bytes) {
+                Ok(t) => prop_assert!(t.n_cols() >= 1),
+                Err(e) => prop_assert!(!e.to_string().is_empty()),
+            }
+        }
+
+        #[test]
         fn csv_roundtrip(
             rows in prop::collection::vec(
                 prop::collection::vec(arb_value(), 3..=3), 1..20),

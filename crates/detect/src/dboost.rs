@@ -202,6 +202,7 @@ impl Detector for DBoost {
                 continue;
             }
             for r in 0..t.n_rows() {
+                rein_guard::checkpoint(1);
                 let v = t.cell(r, col);
                 if !v.is_null() && rare.contains(v.as_key().as_ref()) {
                     mask.set(r, col, true);

@@ -40,6 +40,7 @@ impl Detector for KeyCollision {
         }
         let mut groups: BTreeMap<String, Vec<usize>> = BTreeMap::new();
         for r in 0..t.n_rows() {
+            rein_guard::checkpoint(1);
             let mut key = String::new();
             for &c in ctx.key_columns {
                 key.push_str(&fingerprint(&t.cell(r, c).to_string()));

@@ -48,6 +48,7 @@ impl Detector for Ed2 {
         let width = N_CONTENT_FEATURES + t.n_cols();
         let mut x = Matrix::zeros(n_cells, width);
         for r in 0..t.n_rows() {
+            rein_guard::checkpoint(t.n_cols() as u64);
             for c in 0..t.n_cols() {
                 let idx = r * t.n_cols() + c;
                 let row = x.row_mut(idx);

@@ -121,6 +121,7 @@ impl IsolationForest {
             let tree = build_itree(&data, &rows, 0, max_depth, &mut rng);
             let point: &mut Vec<f64> = &mut vec![0.0; data.len()];
             for r in 0..n {
+                rein_guard::checkpoint(1);
                 for (f, col) in data.iter().enumerate() {
                     point[f] = col[r];
                 }

@@ -53,6 +53,7 @@ impl Detector for Katara {
                 continue; // column does not align with this KB type
             }
             for (r, v) in t.column(*col).iter().enumerate() {
+                rein_guard::checkpoint(1);
                 if !v.is_null() && !domain.contains(v.as_key().as_ref()) {
                     mask.set(r, *col, true);
                 }

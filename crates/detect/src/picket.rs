@@ -72,6 +72,7 @@ impl Detector for Picket {
                     // Non-numeric cells in a numeric column fail
                     // reconstruction by definition.
                     for r in 0..t.n_rows() {
+                        rein_guard::checkpoint(1);
                         let v = t.cell(r, target_col);
                         if !v.is_null() && v.as_f64().is_none() {
                             mask.set(r, target_col, true);

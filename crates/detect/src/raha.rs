@@ -138,6 +138,7 @@ impl Detector for Raha {
         let mut rng = StdRng::seed_from_u64(ctx.seed);
 
         for col in 0..t.n_cols() {
+            rein_guard::checkpoint(t.n_rows() as u64);
             let verdicts = column_strategy_verdicts(t, col, ctx.fds);
             // Group cells by identical strategy signatures.
             let mut groups: std::collections::BTreeMap<u64, Vec<usize>> = Default::default();

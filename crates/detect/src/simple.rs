@@ -67,6 +67,7 @@ impl Detector for SdDetector {
             let mean = descriptive::mean(&xs);
             let std = descriptive::std_dev(&xs).max(1e-12);
             for r in 0..t.n_rows() {
+                rein_guard::checkpoint(1);
                 if let Some(x) = t.cell(r, c).as_f64() {
                     if (x - mean).abs() > self.n_std * std {
                         mask.set(r, c, true);

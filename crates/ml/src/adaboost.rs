@@ -42,6 +42,7 @@ impl Classifier for AdaBoostClassifier {
         let k = self.n_classes as f64;
         let mut weights = vec![1.0 / n as f64; n];
         for round in 0..self.n_rounds {
+            rein_guard::checkpoint(n as u64);
             let mut params = stump_params();
             params.seed = round as u64;
             let mut stump = DecisionTreeClassifier::new(params);

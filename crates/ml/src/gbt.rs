@@ -63,6 +63,7 @@ impl Regressor for GradientBoostedRegressor {
         self.base = y.iter().sum::<f64>() / n as f64;
         let mut preds = vec![self.base; n];
         for round in 0..self.params.n_rounds {
+            rein_guard::checkpoint(n as u64);
             let residuals: Vec<f64> = y.iter().zip(&preds).map(|(t, p)| t - p).collect();
             let mut tree = DecisionTreeRegressor::new(tree_params(&self.params, round as u64));
             tree.fit(x, &residuals);

@@ -76,6 +76,7 @@ impl Clusterer for KMeans {
         self.centroids = self.init_centroids(x, &mut rng);
         let mut labels = vec![0usize; n];
         for _ in 0..self.max_iter {
+            rein_guard::checkpoint(n as u64);
             let new_labels = self.assign(x);
             // Update centroids.
             let d = x.cols();

@@ -195,6 +195,7 @@ fn train<FErr: FnMut(usize, &[f64]) -> Vec<f64>>(
     }
     let mut order: Vec<usize> = (0..n).collect();
     for _ in 0..params.epochs {
+        rein_guard::checkpoint(n as u64);
         order.shuffle(rng);
         for batch in order.chunks(params.batch.max(1)) {
             let mut errors = Vec::with_capacity(batch.len());

@@ -246,6 +246,7 @@ fn build_node(
     tree: &mut Tree,
     rng: &mut StdRng,
 ) -> usize {
+    rein_guard::checkpoint(rows.len() as u64);
     let make_leaf = depth >= params.max_depth || rows.len() < params.min_samples_split;
     if !make_leaf {
         let all: Vec<usize> = (0..x.cols()).collect();

@@ -184,6 +184,7 @@ impl Repairer for Baran {
         }
 
         for cell in det.iter() {
+            rein_guard::checkpoint(1);
             let Some(models) = per_column_models.get(&cell.col) else { continue };
             let mut best: Option<(&Value, f64)> = None;
             for (cand, _) in &models.domain {

@@ -168,6 +168,7 @@ impl Repairer for StandardImpute {
                 }
             };
             for r in 0..dirty.n_rows() {
+                rein_guard::checkpoint(1);
                 if ctx.detections.get(r, c) {
                     table.set_cell(r, c, replacement.clone());
                     repaired.set(r, c, true);

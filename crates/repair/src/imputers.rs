@@ -207,6 +207,7 @@ impl Repairer for MlImputer {
             (0..dirty.n_cols()).filter(|&c| det.count_col(c) > 0).collect();
         for _ in 0..self.iterations.max(1) {
             for &col in &target_cols {
+                rein_guard::checkpoint(dirty.n_rows() as u64);
                 let target_numeric = {
                     // Type from trusted cells only.
                     let trusted_numeric = (0..dirty.n_rows())

@@ -111,6 +111,7 @@ impl Repairer for ActiveClean {
             let budget = ctx.label_budget.max(self.batch);
             let mut used = 0usize;
             for _ in 0..self.iterations {
+                rein_guard::checkpoint(self.batch as u64);
                 if available.is_empty() || used >= budget {
                     break;
                 }
@@ -246,6 +247,7 @@ impl Repairer for BoostClean {
         let mut weights = vec![1.0 / n as f64; n];
         let mut learners: Vec<(DecisionTreeClassifier, f64)> = Vec::new();
         for round in 0..self.rounds {
+            rein_guard::checkpoint(n as u64);
             // Train one weak learner per candidate; keep the best.
             let mut best: Option<(DecisionTreeClassifier, f64, Vec<usize>)> = None;
             for x in &encoded {

@@ -191,6 +191,7 @@ impl Repairer for OpenRefineRepair {
                 continue;
             }
             for r in 0..dirty.n_rows() {
+                rein_guard::checkpoint(1);
                 if !det.get(r, c) {
                     continue;
                 }

@@ -42,12 +42,14 @@
 //! manifest.write().expect("manifest written");
 //! ```
 
+mod failures;
 mod log;
 mod manifest;
 mod metrics;
 pub mod perf;
 mod span;
 
+pub use failures::{failures_snapshot, record_failure, FailureRecord};
 pub use log::{emit, enabled, level, set_level, Level};
 pub use manifest::{manifest_dir, RunConfig, RunManifest};
 pub use metrics::{
@@ -56,10 +58,11 @@ pub use metrics::{
 };
 pub use span::{current, drain_spans, snapshot_spans, span, span_under, Span, SpanCtx, SpanRecord};
 
-/// Clears all recorded spans and metric values (counters reset to zero,
-/// histograms emptied). Intended for tests and for binaries that run
-/// several independent experiments in one process.
+/// Clears all recorded spans, metric values (counters reset to zero,
+/// histograms emptied) and failure records. Intended for tests and for
+/// binaries that run several independent experiments in one process.
 pub fn reset() {
     span::reset_spans();
     metrics::reset_metrics();
+    failures::reset_failures();
 }

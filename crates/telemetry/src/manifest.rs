@@ -12,6 +12,7 @@ use std::path::{Path, PathBuf};
 
 use serde::{Deserialize, Serialize};
 
+use crate::failures::{failures_snapshot, FailureRecord};
 use crate::metrics::{counters_snapshot, histograms_snapshot, HistogramSummary};
 use crate::span::{snapshot_spans, SpanRecord};
 
@@ -42,6 +43,10 @@ pub struct RunManifest {
     pub counters: BTreeMap<String, u64>,
     /// Final histogram summaries.
     pub histograms: BTreeMap<String, HistogramSummary>,
+    /// Degraded grid cells, sorted by cell identity (absent in
+    /// pre-guard manifests, hence the serde default).
+    #[serde(default)]
+    pub failures: Vec<FailureRecord>,
 }
 
 /// Directory manifests are written to, relative to the working
@@ -60,6 +65,7 @@ impl RunManifest {
             spans: snapshot_spans(),
             counters: counters_snapshot(),
             histograms: histograms_snapshot(),
+            failures: failures_snapshot(),
         }
     }
 
@@ -105,6 +111,7 @@ mod tests {
             spans: Vec::new(),
             counters: BTreeMap::new(),
             histograms: BTreeMap::new(),
+            failures: Vec::new(),
         };
         assert!(m.path().ends_with("artifacts/telemetry/fig2_detection-42.json"));
     }

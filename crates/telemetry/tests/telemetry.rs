@@ -171,11 +171,24 @@ fn manifest_roundtrips_losslessly_through_json() {
         ],
         counters,
         histograms,
+        failures: vec![rein_telemetry::FailureRecord {
+            phase: "detect".to_string(),
+            strategy: "raha".to_string(),
+            dataset: "beers".to_string(),
+            scope: String::new(),
+            cause: "panic: boom".to_string(),
+            attempts: 2,
+            elapsed_ms: 4.5,
+        }],
     };
 
     let json = manifest.to_json();
     let back = RunManifest::from_json(&json).expect("manifest parses back");
     assert_eq!(back, manifest);
+    // Pre-guard manifests carry no `failures` key; the field defaults.
+    let legacy = json.replace("\"failures\"", "\"failures_legacy\"");
+    let back = RunManifest::from_json(&legacy).expect("legacy manifest parses");
+    assert!(back.failures.is_empty());
 
     // The manifest path embeds binary and seed.
     assert!(manifest

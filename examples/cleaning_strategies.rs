@@ -18,7 +18,7 @@ use rein::repair::RepairKind;
 
 fn main() {
     let ds = DatasetId::Nasa.generate(&Params::scaled(0.5, 9));
-    let ctrl = Controller { label_budget: 80, seed: 3 };
+    let ctrl = Controller { label_budget: 80, seed: 3, ..Controller::default() };
 
     // The controller prunes detectors that cannot help this error profile
     // (no duplicate detectors for a MV/outlier dataset, etc.).

@@ -22,6 +22,19 @@ REIN_SCALE=0.01 cargo run -q --release -p rein-bench --bin perf_baseline -- \
 cargo run -q --release -p rein-bench --bin bench_compare -- \
   BENCH_0.json artifacts/perf/BENCH_ci.json --report-only
 
+echo "==> chaos smoke (seeded fault injection; exit 3 = degraded-as-injected)"
+# chaos_smoke exits 3 by design: the injected cells *did* degrade and the
+# manifest records them. 4 = a non-injected cell diverged, 5 = wrong
+# failure set, anything else = crash or bad environment.
+set +e
+REIN_SCALE=0.05 cargo run -q --release -p rein-bench --bin chaos_smoke
+chaos_exit=$?
+set -e
+if [ "$chaos_exit" -ne 3 ]; then
+  echo "chaos_smoke exited $chaos_exit (expected 3: degraded run with recorded failures)"
+  exit 1
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 

@@ -51,7 +51,7 @@ fn ground_truth_repair_reaches_s4_for_regression() {
 #[test]
 fn controller_end_to_end_on_breast_cancer() {
     let ds = DatasetId::BreastCancer.generate(&Params::scaled(0.4, 7));
-    let ctrl = Controller { label_budget: 60, seed: 1 };
+    let ctrl = Controller { label_budget: 60, seed: 1, ..Controller::default() };
     let detections = ctrl.run_detection(&ds);
     assert!(detections.len() >= 5, "only {} detectors planned", detections.len());
     let best =

@@ -117,6 +117,18 @@ pub fn de_field<T: Deserialize>(
     }
 }
 
+/// Like [`de_field`], but a missing key yields `T::default()` — the
+/// derive-macro helper behind `#[serde(default)]`.
+pub fn de_field_or_default<T: Deserialize + Default>(
+    map: &[(String, Content)],
+    name: &str,
+) -> Result<T, DeError> {
+    match map.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::deserialize_content(v),
+        None => Ok(T::default()),
+    }
+}
+
 macro_rules! impl_serde_int {
     ($($t:ty),*) => {$(
         impl Serialize for $t {

@@ -16,7 +16,7 @@ use proc_macro::{Delimiter, TokenStream, TokenTree};
 /// A parsed derive target.
 enum Item {
     /// Struct with named fields.
-    Struct { name: String, fields: Vec<String> },
+    Struct { name: String, fields: Vec<Field> },
     /// Single-field tuple struct, serialized transparently as its inner value.
     NewtypeStruct { name: String },
     /// Enum of unit and single-field (newtype) variants.
@@ -28,8 +28,30 @@ struct Variant {
     newtype: bool,
 }
 
+struct Field {
+    name: String,
+    /// `#[serde(default)]`: a missing key deserializes to `T::default()`.
+    default: bool,
+}
+
+/// Whether a `#`-introduced attribute group is `#[serde(... default ...)]`.
+fn attr_is_serde_default(attr: &TokenTree) -> bool {
+    let TokenTree::Group(g) = attr else { return false };
+    if g.delimiter() != Delimiter::Bracket {
+        return false;
+    }
+    let tokens: Vec<TokenTree> = g.stream().into_iter().collect();
+    match &tokens[..] {
+        [TokenTree::Ident(id), TokenTree::Group(inner)] if id.to_string() == "serde" => inner
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "default")),
+        _ => false,
+    }
+}
+
 /// Derives the vendored `serde::Serialize`.
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     match parse_item(input) {
         Ok(item) => gen_serialize(&item).parse().expect("generated Serialize impl parses"),
@@ -38,7 +60,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 }
 
 /// Derives the vendored `serde::Deserialize`.
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     match parse_item(input) {
         Ok(item) => gen_deserialize(&item).parse().expect("generated Deserialize impl parses"),
@@ -131,14 +153,17 @@ fn parse_item(input: TokenStream) -> Result<Item, String> {
 /// Extracts field names from a named-struct body, skipping attributes,
 /// visibility, and type tokens (angle-bracket depth tracked so commas
 /// inside generics don't split fields).
-fn parse_fields(body: &[TokenTree]) -> Result<Vec<String>, String> {
+fn parse_fields(body: &[TokenTree]) -> Result<Vec<Field>, String> {
     let mut fields = Vec::new();
     let mut i = 0;
     while i < body.len() {
-        // Skip per-field attributes (doc comments arrive as `#[doc = ..]`).
+        // Skip per-field attributes (doc comments arrive as `#[doc = ..]`),
+        // noting a `#[serde(default)]` when present.
+        let mut default = false;
         while i + 1 < body.len()
             && matches!(&body[i], TokenTree::Punct(p) if p.as_char() == '#')
         {
+            default |= attr_is_serde_default(&body[i + 1]);
             i += 2;
         }
         if i >= body.len() {
@@ -178,7 +203,7 @@ fn parse_fields(body: &[TokenTree]) -> Result<Vec<String>, String> {
             }
             i += 1;
         }
-        fields.push(field);
+        fields.push(Field { name: field, default });
     }
     Ok(fields)
 }
@@ -248,6 +273,7 @@ fn gen_serialize(item: &Item) -> String {
             let entries: Vec<String> = fields
                 .iter()
                 .map(|f| {
+                    let f = &f.name;
                     format!(
                         "(::std::string::String::from({f:?}), \
                          ::serde::Serialize::serialize_content(&self.{f}))"
@@ -306,7 +332,14 @@ fn gen_deserialize(item: &Item) -> String {
         Item::Struct { name, fields } => {
             let inits: Vec<String> = fields
                 .iter()
-                .map(|f| format!("{f}: ::serde::de_field(__map, {f:?}, {name:?})?,"))
+                .map(|field| {
+                    let f = &field.name;
+                    if field.default {
+                        format!("{f}: ::serde::de_field_or_default(__map, {f:?})?,")
+                    } else {
+                        format!("{f}: ::serde::de_field(__map, {f:?}, {name:?})?,")
+                    }
+                })
                 .collect();
             format!(
                 "impl ::serde::Deserialize for {name} {{\n\
