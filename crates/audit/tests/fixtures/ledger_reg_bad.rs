@@ -1,0 +1,9 @@
+//! Negative fixture: a manifest collected in the bench crate but never
+//! registered in the cross-run ledger.
+
+pub fn finish(binary: &str, config: RunConfig) {
+    let manifest = RunManifest::collect(binary, config);
+    if let Err(e) = manifest.write() {
+        rein_telemetry::emit(&format!("manifest write failed: {e}"));
+    }
+}

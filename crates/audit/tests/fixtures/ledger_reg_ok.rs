@@ -1,0 +1,14 @@
+//! Positive fixture: the collected manifest is registered in the ledger
+//! right after it is written.
+
+pub fn finish(binary: &str, config: RunConfig) {
+    let manifest = RunManifest::collect(binary, config);
+    match manifest.write() {
+        Ok(path) => {
+            if let Err(e) = rein_ledger::register_run(Path::new("."), &manifest, &path) {
+                rein_telemetry::emit(&format!("ledger registration failed: {e}"));
+            }
+        }
+        Err(e) => rein_telemetry::emit(&format!("manifest write failed: {e}")),
+    }
+}

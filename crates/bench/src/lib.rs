@@ -79,6 +79,23 @@ pub fn perf_repeats() -> usize {
     }
 }
 
+/// The configured worker-thread count, plumbed from exactly one place
+/// so every artifact echoes the same number: `REIN_THREADS` when set
+/// (validated like the other overrides), otherwise the rayon pool width
+/// ([`rayon::current_num_threads`]). Both `BENCH_*.json` reports and
+/// run manifests echo this value — the parallelism speedup curve is
+/// only readable if the thread axis is recorded honestly.
+pub fn worker_threads() -> u32 {
+    static THREADS: std::sync::OnceLock<u32> = std::sync::OnceLock::new();
+    *THREADS.get_or_init(|| match std::env::var("REIN_THREADS") {
+        Err(_) => rayon::current_num_threads() as u32,
+        Ok(raw) => match raw.parse::<u32>() {
+            Ok(t) if t > 0 => t,
+            _ => reject_env("REIN_THREADS", &raw, "a positive integer"),
+        },
+    })
+}
+
 /// Opens a top-level phase span (named `phase:<name>`) for a section of
 /// a benchmark binary. Phases land in the run manifest with their
 /// durations; under `REIN_LOG=debug` they print open/close events.
@@ -101,7 +118,13 @@ pub fn write_run_manifest(binary: &str, seed: u64, label_budget: u64) {
     for name in STANDARD_COUNTERS {
         rein_telemetry::counter(name);
     }
-    let config = RunConfig { scale: scale(), repeats: repeats() as u32, seed, label_budget };
+    let config = RunConfig {
+        scale: scale(),
+        repeats: repeats() as u32,
+        seed,
+        label_budget,
+        threads: worker_threads(),
+    };
     let manifest = RunManifest::collect(binary, config);
     match manifest.write() {
         Ok(path) => {
@@ -112,6 +135,15 @@ pub fn write_run_manifest(binary: &str, seed: u64, label_budget: u64) {
                 path.display()
             );
             println!("telemetry manifest: {}", path.display());
+            // Register the run in the cross-run ledger so the report
+            // generator sees it without a full rescan. Registration is
+            // idempotent: re-running the same configuration maps to the
+            // same content key and leaves the index untouched.
+            match rein_ledger::register_run(std::path::Path::new("."), &manifest, &path) {
+                Ok(true) => println!("ledger: registered {}", path.display()),
+                Ok(false) => println!("ledger: already known, index unchanged"),
+                Err(e) => eprintln!("warning: ledger registration failed for {binary}: {e}"),
+            }
         }
         Err(e) => eprintln!("warning: failed to write run manifest for {binary}: {e}"),
     }

@@ -367,7 +367,7 @@ pub fn run_perf_suite(created_by: &str, scale: f64, repeats: usize, seed: u64) -
             seed,
             os: std::env::consts::OS.to_string(),
             arch: std::env::consts::ARCH.to_string(),
-            threads: rayon::current_num_threads() as u32,
+            threads: crate::worker_threads(),
             alloc_tracking: perf::alloc_tracking_active(),
         },
         benchmarks,
@@ -604,7 +604,7 @@ fn synthetic_report(repeats: usize) -> BenchReport {
             seed: 0,
             os: std::env::consts::OS.to_string(),
             arch: std::env::consts::ARCH.to_string(),
-            threads: 1,
+            threads: crate::worker_threads(),
             alloc_tracking: false,
         },
         benchmarks: vec![

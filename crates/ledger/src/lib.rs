@@ -1,0 +1,110 @@
+//! rein-ledger: the cross-run observability store.
+//!
+//! Every benchmark run in this repo already leaves an artifact behind —
+//! telemetry run manifests under `artifacts/telemetry/`, macro-benchmark
+//! reports at `BENCH_*.json`, the audit report under `artifacts/audit/`.
+//! The ledger folds all of them into one deterministic, content-addressed
+//! index at `artifacts/ledger/index.json`:
+//!
+//! * **Content addressed** — each entry is keyed by the FNV-1a 64 hash
+//!   of the run identity (kind, bin, seed, scale, strategy set). Timings
+//!   are never part of the key, so re-running the same configuration
+//!   maps to the same key and the ledger never double-counts a run.
+//! * **Generational** — the index carries a generation counter that
+//!   advances once per ingest pass *that changes something*. Re-ingesting
+//!   the same artifacts is a byte-identical no-op.
+//! * **Byte stable** — entries sort by (kind, source, key), collections
+//!   are `BTreeMap`s, serialization is pretty JSON with a trailing
+//!   newline. Two ingest runs over the same artifacts produce the same
+//!   file, byte for byte, which is what lets CI diff it.
+//!
+//! On top of the index, [`report`] renders the static observability
+//! report (markdown + HTML) served by the `rein_report` binary:
+//! per-strategy cost/failure tables, a guard-failure taxonomy, span
+//! profile diffs between runs, and trend series across generations.
+//!
+//! Benchmark binaries register their manifests at write time through
+//! [`register_run`]; the `ledger-registration` audit rule keeps that
+//! path mandatory.
+
+pub mod hash;
+pub mod index;
+pub mod ingest;
+pub mod report;
+
+pub use hash::{content_key, fnv1a64, run_identity};
+pub use index::{
+    index_path, ledger_dir, EntrySummary, FailureTaxonomy, IngestOutcome, LedgerEntry, LedgerIndex,
+    INDEX_SCHEMA,
+};
+pub use ingest::{audit_entry, bench_entry, ingest_repo, manifest_entry};
+pub use report::{
+    build_report, profile_diff, trend_rows, DiffRow, Report, StrategyRow, TaxonomyRow, TrendRow,
+};
+
+use std::path::Path;
+
+use rein_telemetry::RunManifest;
+
+/// Registers one freshly written run manifest in the ledger index under
+/// `root` (the working directory for benchmark binaries). Loads the
+/// index, ingests the manifest as a single-candidate pass, and saves it
+/// back only when the index changed. Returns whether it did.
+///
+/// Benchmark binaries call this right after
+/// [`RunManifest::write`](rein_telemetry::RunManifest::write); the
+/// `ledger-registration` audit rule enforces the pairing.
+pub fn register_run(root: &Path, manifest: &RunManifest, source: &Path) -> Result<bool, String> {
+    let source = source.strip_prefix(root).unwrap_or(source).to_string_lossy().replace('\\', "/");
+    let entry = manifest_entry(manifest, &source);
+    let path = index_path(root);
+    let mut index = LedgerIndex::load(&path)?;
+    let changed = index.apply(vec![entry]);
+    if changed {
+        index.save(&path).map_err(|e| format!("write {}: {e}", path.display()))?;
+    }
+    Ok(changed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rein_telemetry::RunConfig;
+    use std::collections::BTreeMap;
+
+    fn manifest(seed: u64) -> RunManifest {
+        RunManifest {
+            binary: "fig2_detection".into(),
+            config: RunConfig { scale: 0.05, repeats: 3, seed, label_budget: 100, threads: 1 },
+            mode: "full".into(),
+            spans: Vec::new(),
+            span_rollup: Vec::new(),
+            counters: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+            failures: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn register_run_is_idempotent_on_disk() {
+        let dir = std::env::temp_dir().join(format!("rein-ledger-reg-{}", std::process::id()));
+        let _cleanup = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let m = manifest(11);
+        let source = dir.join("artifacts/telemetry/fig2_detection-11.json");
+
+        assert!(register_run(&dir, &m, &source).expect("first registration"));
+        let bytes = std::fs::read(index_path(&dir)).expect("index written");
+        assert!(!register_run(&dir, &m, &source).expect("second registration"));
+        assert_eq!(
+            std::fs::read(index_path(&dir)).expect("index still there"),
+            bytes,
+            "re-registering the same run must not change the index bytes"
+        );
+
+        assert!(register_run(&dir, &manifest(12), &source).expect("new seed registers"));
+        let index = LedgerIndex::load(&index_path(&dir)).expect("index loads");
+        assert_eq!(index.generation, 2);
+        std::fs::remove_dir_all(&dir).expect("cleanup");
+    }
+}

@@ -37,7 +37,13 @@
 //!     rein_telemetry::counter("detector_invocations").incr();
 //! }
 //! drop(_run);
-//! let config = rein_telemetry::RunConfig { scale: 0.05, repeats: 3, seed: 7, label_budget: 100 };
+//! let config = rein_telemetry::RunConfig {
+//!     scale: 0.05,
+//!     repeats: 3,
+//!     seed: 7,
+//!     label_budget: 100,
+//!     threads: 1,
+//! };
 //! let manifest = rein_telemetry::RunManifest::collect("fig2_detection", config);
 //! manifest.write().expect("manifest written");
 //! ```
@@ -51,12 +57,18 @@ mod span;
 
 pub use failures::{failures_snapshot, record_failure, FailureRecord};
 pub use log::{emit, enabled, level, set_level, Level};
-pub use manifest::{manifest_dir, RunConfig, RunManifest};
+pub use manifest::{
+    manifest_dir, manifest_mode, summarize_spans, ManifestMode, RunConfig, RunManifest, SpanRollup,
+    SUMMARY_SPANS_PER_NAME,
+};
 pub use metrics::{
     counter, counters_snapshot, histogram, histograms_snapshot, Counter, Histogram,
     HistogramSummary,
 };
-pub use span::{current, drain_spans, snapshot_spans, span, span_under, Span, SpanCtx, SpanRecord};
+pub use span::{
+    current, drain_spans, snapshot_spans, span, span_shard_count, span_under, Span, SpanCtx,
+    SpanRecord,
+};
 
 /// Clears all recorded spans, metric values (counters reset to zero,
 /// histograms emptied) and failure records. Intended for tests and for

@@ -28,6 +28,101 @@ pub struct RunConfig {
     pub seed: u64,
     /// Labelling budget (cells the oracle may reveal).
     pub label_budget: u64,
+    /// Configured worker-thread count the run executed with. `0` in
+    /// manifests recorded before the echo existed (the serde default);
+    /// real runs plumb the value from `rein_bench::worker_threads`.
+    #[serde(default)]
+    pub threads: u32,
+}
+
+/// How much span detail a manifest carries (`REIN_MANIFEST`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ManifestMode {
+    /// Every finished span, verbatim — the historical format.
+    #[default]
+    Full,
+    /// Per-span-name rollups plus a capped sample of spans per name,
+    /// for artifacts whose full stream would be tens of thousands of
+    /// lines. Deterministic: the sample is the first
+    /// [`SUMMARY_SPANS_PER_NAME`] spans of each name in merged order.
+    Summary,
+}
+
+impl ManifestMode {
+    /// The string stored in the manifest's `mode` field.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ManifestMode::Full => "full",
+            ManifestMode::Summary => "summary",
+        }
+    }
+}
+
+/// Reads `REIN_MANIFEST` (default [`ManifestMode::Full`]). A value that
+/// is set but neither `full` nor `summary` is a hard error, never a
+/// silent default — consistent with the other environment overrides.
+pub fn manifest_mode() -> ManifestMode {
+    match std::env::var("REIN_MANIFEST") {
+        Err(_) => ManifestMode::Full,
+        Ok(raw) => match raw.as_str() {
+            "full" => ManifestMode::Full,
+            "summary" => ManifestMode::Summary,
+            _ => {
+                // audit:allow(print, a bad environment must fail loudly before any telemetry exists)
+                eprintln!(
+                    "error: REIN_MANIFEST={raw:?} is invalid: want `full` or `summary` \
+                     (unset it to keep full span streams)"
+                );
+                std::process::exit(2);
+            }
+        },
+    }
+}
+
+/// Spans kept per span name in a summary-mode manifest.
+pub const SUMMARY_SPANS_PER_NAME: usize = 4;
+
+/// One span name's aggregate in a summary-mode manifest. The rollup
+/// always covers *every* span of that name, including the sampled ones
+/// still present in `spans`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanRollup {
+    /// Span name, e.g. `"detect:raha"`.
+    pub name: String,
+    /// Spans with this name.
+    pub count: u64,
+    /// Sum of their wall-clock durations.
+    pub total_ms: f64,
+    /// Largest single duration.
+    pub max_ms: f64,
+    /// Spans dropped from the `spans` sample (count minus kept).
+    pub dropped: u64,
+}
+
+/// Folds a full span stream into per-name rollups (sorted by name) and
+/// the capped per-name sample that summary mode keeps, preserving the
+/// merged stream order within the sample.
+pub fn summarize_spans(spans: &[SpanRecord]) -> (Vec<SpanRecord>, Vec<SpanRollup>) {
+    let mut rollups: BTreeMap<&str, SpanRollup> = BTreeMap::new();
+    let mut kept: Vec<SpanRecord> = Vec::new();
+    for s in spans {
+        let r = rollups.entry(s.name.as_str()).or_insert_with(|| SpanRollup {
+            name: s.name.clone(),
+            count: 0,
+            total_ms: 0.0,
+            max_ms: 0.0,
+            dropped: 0,
+        });
+        r.count += 1;
+        r.total_ms += s.duration_ms;
+        r.max_ms = r.max_ms.max(s.duration_ms);
+        if (r.count as usize) <= SUMMARY_SPANS_PER_NAME {
+            kept.push(s.clone());
+        } else {
+            r.dropped += 1;
+        }
+    }
+    (kept, rollups.into_values().collect())
 }
 
 /// Snapshot of one run's telemetry.
@@ -37,8 +132,18 @@ pub struct RunManifest {
     pub binary: String,
     /// Effective configuration.
     pub config: RunConfig,
-    /// Every finished span, in completion order.
+    /// Span detail mode: `"full"` or `"summary"`. Empty in manifests
+    /// recorded before the mode existed (they are full streams).
+    #[serde(default)]
+    pub mode: String,
+    /// Finished spans in merged completion order — every span in full
+    /// mode, the first [`SUMMARY_SPANS_PER_NAME`] per name in summary
+    /// mode.
     pub spans: Vec<SpanRecord>,
+    /// Per-span-name rollups covering the *complete* stream; empty in
+    /// full mode and in pre-mode manifests.
+    #[serde(default)]
+    pub span_rollup: Vec<SpanRollup>,
     /// Final counter values.
     pub counters: BTreeMap<String, u64>,
     /// Final histogram summaries.
@@ -56,13 +161,26 @@ pub fn manifest_dir() -> PathBuf {
 }
 
 impl RunManifest {
-    /// Snapshots the global span list and metric registries into a
-    /// manifest for `binary`.
+    /// Snapshots the global span sink and metric registries into a
+    /// manifest for `binary`, at the detail mode configured by
+    /// `REIN_MANIFEST` (default full).
     pub fn collect(binary: &str, config: RunConfig) -> Self {
+        Self::collect_with_mode(binary, config, manifest_mode())
+    }
+
+    /// [`RunManifest::collect`] at an explicit mode (tests and tools).
+    pub fn collect_with_mode(binary: &str, config: RunConfig, mode: ManifestMode) -> Self {
+        let full = snapshot_spans();
+        let (spans, span_rollup) = match mode {
+            ManifestMode::Full => (full, Vec::new()),
+            ManifestMode::Summary => summarize_spans(&full),
+        };
         RunManifest {
             binary: binary.to_string(),
             config,
-            spans: snapshot_spans(),
+            mode: mode.as_str().to_string(),
+            spans,
+            span_rollup,
             counters: counters_snapshot(),
             histograms: histograms_snapshot(),
             failures: failures_snapshot(),
@@ -107,12 +225,71 @@ mod tests {
     fn manifest_path_includes_binary_and_seed() {
         let m = RunManifest {
             binary: "fig2_detection".into(),
-            config: RunConfig { scale: 0.05, repeats: 3, seed: 42, label_budget: 100 },
+            config: RunConfig { scale: 0.05, repeats: 3, seed: 42, label_budget: 100, threads: 1 },
+            mode: "full".into(),
             spans: Vec::new(),
+            span_rollup: Vec::new(),
             counters: BTreeMap::new(),
             histograms: BTreeMap::new(),
             failures: Vec::new(),
         };
         assert!(m.path().ends_with("artifacts/telemetry/fig2_detection-42.json"));
+    }
+
+    #[test]
+    fn pre_mode_manifests_still_parse() {
+        // A manifest recorded before `threads`, `mode` and `span_rollup`
+        // existed: the serde defaults must fill them in.
+        let old = r#"{
+            "binary": "fig2_detection",
+            "config": { "scale": 0.05, "repeats": 3, "seed": 42, "label_budget": 100 },
+            "spans": [],
+            "counters": {},
+            "histograms": {},
+            "failures": []
+        }"#;
+        let m = RunManifest::from_json(old).expect("old manifest parses");
+        assert_eq!(m.config.threads, 0, "pre-echo manifests report 0 (unrecorded)");
+        assert_eq!(m.mode, "");
+        assert!(m.span_rollup.is_empty());
+    }
+
+    #[test]
+    fn summarize_caps_per_name_and_rolls_up_everything() {
+        let span = |name: &str, id: u64, ms: f64| SpanRecord {
+            name: name.into(),
+            id,
+            parent_id: 0,
+            depth: 0,
+            start_ms: 0.0,
+            duration_ms: ms,
+        };
+        let mut spans = Vec::new();
+        for i in 0..10u64 {
+            spans.push(span("detect:raha", i, 1.0 + i as f64));
+        }
+        spans.push(span("phase:setup", 100, 5.0));
+        let (kept, rollup) = summarize_spans(&spans);
+        // detect:raha capped at SUMMARY_SPANS_PER_NAME, phase:setup kept whole.
+        assert_eq!(kept.iter().filter(|s| s.name == "detect:raha").count(), SUMMARY_SPANS_PER_NAME);
+        assert_eq!(kept.iter().filter(|s| s.name == "phase:setup").count(), 1);
+        // Sample preserves stream order: the *first* K spans of the name.
+        let ids: Vec<u64> = kept.iter().filter(|s| s.name == "detect:raha").map(|s| s.id).collect();
+        assert_eq!(ids, [0, 1, 2, 3]);
+        // Rollup covers all 10 spans, sorted by name.
+        assert_eq!(rollup.len(), 2);
+        assert_eq!(rollup[0].name, "detect:raha");
+        assert_eq!(rollup[0].count, 10);
+        assert_eq!(rollup[0].dropped, 10 - SUMMARY_SPANS_PER_NAME as u64);
+        assert!((rollup[0].total_ms - (10.0 + 45.0)).abs() < 1e-9);
+        assert_eq!(rollup[0].max_ms, 10.0);
+        assert_eq!(rollup[1].name, "phase:setup");
+        assert_eq!(rollup[1].dropped, 0);
+        // Deterministic: same input, same bytes.
+        let again = summarize_spans(&spans);
+        assert_eq!(
+            serde_json::to_string(&(kept, rollup)).expect("serializes"),
+            serde_json::to_string(&again).expect("serializes")
+        );
     }
 }

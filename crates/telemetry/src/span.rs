@@ -13,11 +13,19 @@
 //! })
 //! ```
 //!
-//! Finished spans accumulate in a process-global list that
-//! [`RunManifest::collect`](crate::RunManifest::collect) snapshots.
+//! Finished spans accumulate in a process-global *sharded* sink: each
+//! worker thread appends to its own buffer (round-robin shard
+//! assignment on first use, `REIN_SPAN_SHARDS` buffers, default one per
+//! core), so parallel stages never contend on one list lock. Snapshots
+//! merge the shards deterministically — ordered by the global close
+//! epoch each record was stamped with, tie-broken by span path and
+//! per-shard sequence — so the merged stream is byte-identical no
+//! matter how many shards the records were scattered across, and a
+//! one-shard sink reproduces the historical single-stream completion
+//! order exactly.
 
-use std::cell::RefCell;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
@@ -62,13 +70,171 @@ fn epoch() -> Instant {
     *EPOCH.get_or_init(crate::perf::now)
 }
 
-fn finished() -> &'static Mutex<Vec<SpanRecord>> {
-    static FINISHED: OnceLock<Mutex<Vec<SpanRecord>>> = OnceLock::new();
-    FINISHED.get_or_init(|| Mutex::new(Vec::new()))
+/// One shard entry: the global close epoch the record was stamped with
+/// when it finished, and the record itself. The epoch never reaches the
+/// serialized manifest — it exists only to give the merge a total order
+/// that is independent of which shard held the record.
+type ShardEntry = (u64, SpanRecord);
+
+/// The sharded span sink: per-worker buffers plus the global close
+/// epoch. Worker threads are assigned shards round-robin on their first
+/// finished span; a single-threaded process therefore lands every
+/// record in one shard regardless of the shard count, and the merge of
+/// one shard is the historical completion-order stream unchanged.
+pub(crate) struct SpanSink {
+    shards: Vec<Mutex<Vec<ShardEntry>>>,
+    close_epoch: AtomicU64,
+    next_worker: AtomicUsize,
+}
+
+impl SpanSink {
+    /// A sink with `shards` buffers (clamped to at least one).
+    pub(crate) fn new(shards: usize) -> SpanSink {
+        SpanSink {
+            shards: (0..shards.max(1)).map(|_| Mutex::new(Vec::new())).collect(),
+            close_epoch: AtomicU64::new(0),
+            next_worker: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of shard buffers.
+    pub(crate) fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Round-robin shard assignment for a newly seen worker thread.
+    fn assign_shard(&self) -> usize {
+        self.next_worker.fetch_add(1, Ordering::Relaxed) % self.shards.len()
+    }
+
+    /// Appends a finished record to `shard`, stamping it with the next
+    /// global close epoch. The epoch increment is a single relaxed
+    /// atomic add; only the per-shard lock is taken, so workers on
+    /// different shards never contend.
+    pub(crate) fn record(&self, shard: usize, record: SpanRecord) {
+        let epoch = self.close_epoch.fetch_add(1, Ordering::Relaxed);
+        let buffer = &self.shards[shard % self.shards.len()];
+        // audit:allow(panic, span shard lock poisoning only follows another panic)
+        buffer.lock().expect("span shard lock").push((epoch, record));
+    }
+
+    /// Copies every shard out and merges deterministically.
+    pub(crate) fn snapshot(&self) -> Vec<SpanRecord> {
+        let shards = self
+            .shards
+            .iter()
+            // audit:allow(panic, span shard lock poisoning only follows another panic)
+            .map(|s| s.lock().expect("span shard lock").clone())
+            .collect();
+        merge_shards(shards)
+    }
+
+    /// Removes every record from every shard and merges them.
+    pub(crate) fn drain(&self) -> Vec<SpanRecord> {
+        let shards = self
+            .shards
+            .iter()
+            // audit:allow(panic, span shard lock poisoning only follows another panic)
+            .map(|s| std::mem::take(&mut *s.lock().expect("span shard lock")))
+            .collect();
+        merge_shards(shards)
+    }
+
+    /// Clears every shard without touching the epoch (epochs, like span
+    /// ids, are process-monotonic).
+    pub(crate) fn clear(&self) {
+        for s in &self.shards {
+            // audit:allow(panic, span shard lock poisoning only follows another panic)
+            s.lock().expect("span shard lock").clear();
+        }
+    }
+}
+
+/// Total order over shard entries for the deterministic merge: the
+/// global close epoch first, then span path and the remaining record
+/// fields so the comparator is total even under synthetic epoch ties.
+/// Because the key never mentions the shard an entry came from, the
+/// merged order is invariant under any re-sharding of the same records
+/// — merging is associative and commutative in the shard list.
+fn cmp_entries(a: &ShardEntry, b: &ShardEntry) -> std::cmp::Ordering {
+    let (ea, ra) = a;
+    let (eb, rb) = b;
+    ea.cmp(eb)
+        .then_with(|| ra.name.cmp(&rb.name))
+        .then_with(|| ra.id.cmp(&rb.id))
+        .then_with(|| ra.parent_id.cmp(&rb.parent_id))
+        .then_with(|| ra.depth.cmp(&rb.depth))
+        .then_with(|| ra.start_ms.total_cmp(&rb.start_ms))
+        .then_with(|| ra.duration_ms.total_cmp(&rb.duration_ms))
+}
+
+/// Merges shard buffers into one deterministic stream, keeping the
+/// epoch stamps (so a merged stream can itself be treated as a shard —
+/// the associativity tests rely on this).
+pub(crate) fn merge_entries(shards: Vec<Vec<ShardEntry>>) -> Vec<ShardEntry> {
+    let mut all: Vec<ShardEntry> = shards.into_iter().flatten().collect();
+    all.sort_by(cmp_entries);
+    all
+}
+
+/// Merges shard buffers into the final record stream (epoch stamps
+/// stripped). With real (process-unique) epochs this reconstructs the
+/// exact global completion order, so shard count cannot perturb a
+/// manifest's span list.
+pub(crate) fn merge_shards(shards: Vec<Vec<ShardEntry>>) -> Vec<SpanRecord> {
+    merge_entries(shards).into_iter().map(|(_, r)| r).collect()
+}
+
+/// Shard count for the global sink: `REIN_SPAN_SHARDS` when set,
+/// otherwise one buffer per available core. A value that is set but not
+/// a positive integer is a hard error, never a silent default —
+/// consistent with the bench crate's environment handling.
+fn span_shards() -> usize {
+    match std::env::var("REIN_SPAN_SHARDS") {
+        Err(_) => std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1),
+        Ok(raw) => match raw.parse::<usize>() {
+            Ok(n) if n > 0 => n,
+            _ => {
+                // audit:allow(print, a bad environment must fail loudly before any telemetry exists)
+                eprintln!(
+                    "error: REIN_SPAN_SHARDS={raw:?} is invalid: want a positive \
+                     integer (unset it to use one shard per core)"
+                );
+                std::process::exit(2);
+            }
+        },
+    }
+}
+
+fn sink() -> &'static SpanSink {
+    static SINK: OnceLock<SpanSink> = OnceLock::new();
+    SINK.get_or_init(|| SpanSink::new(span_shards()))
 }
 
 thread_local! {
     static STACK: RefCell<Vec<SpanCtx>> = const { RefCell::new(Vec::new()) };
+    /// The shard this worker thread writes finished spans to, assigned
+    /// round-robin by the sink the first time the thread records one.
+    static WORKER_SHARD: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The calling thread's shard in the global sink.
+fn worker_shard() -> usize {
+    WORKER_SHARD.with(|c| match c.get() {
+        Some(s) => s,
+        None => {
+            let s = sink().assign_shard();
+            c.set(Some(s));
+            s
+        }
+    })
+}
+
+/// Shard count of the process-global span sink (`REIN_SPAN_SHARDS`,
+/// default one per core). Exposed so manifests and tests can echo the
+/// effective collection configuration.
+pub fn span_shard_count() -> usize {
+    sink().shard_count()
 }
 
 /// The innermost span open on the current thread, if any. Capture this
@@ -169,8 +335,7 @@ impl Span {
                 ),
             );
         }
-        // audit:allow(panic, span list lock poisoning only follows another panic)
-        finished().lock().expect("span list lock").push(record);
+        sink().record(worker_shard(), record);
         duration
     }
 }
@@ -181,19 +346,133 @@ impl Drop for Span {
     }
 }
 
-/// Copies out every finished span, in completion order.
+/// Copies out every finished span, in global completion order (the
+/// deterministic merge of the per-worker shards).
 pub fn snapshot_spans() -> Vec<SpanRecord> {
-    // audit:allow(panic, span list lock poisoning only follows another panic)
-    finished().lock().expect("span list lock").clone()
+    sink().snapshot()
 }
 
-/// Removes and returns every finished span.
+/// Removes and returns every finished span, in global completion order.
 pub fn drain_spans() -> Vec<SpanRecord> {
-    // audit:allow(panic, span list lock poisoning only follows another panic)
-    std::mem::take(&mut *finished().lock().expect("span list lock"))
+    sink().drain()
 }
 
 pub(crate) fn reset_spans() {
-    // audit:allow(panic, span list lock poisoning only follows another panic)
-    finished().lock().expect("span list lock").clear();
+    sink().clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(name: &str, id: u64) -> SpanRecord {
+        SpanRecord {
+            name: name.to_string(),
+            id,
+            parent_id: 0,
+            depth: 0,
+            start_ms: id as f64,
+            duration_ms: 1.0,
+        }
+    }
+
+    /// A fixed stream of records with unique epochs, as a real run
+    /// produces (the close epoch is a process-global atomic).
+    fn stream() -> Vec<ShardEntry> {
+        ["phase:detect", "detect:raha", "detect:raha", "repair:mean", "phase:repair", "detect:sd"]
+            .iter()
+            .enumerate()
+            .map(|(i, name)| (i as u64, rec(name, 100 + i as u64)))
+            .collect()
+    }
+
+    /// Distributes a stream round-robin over `n` shards, as round-robin
+    /// worker assignment would under an adversarial scheduler.
+    fn scatter(entries: &[ShardEntry], n: usize) -> Vec<Vec<ShardEntry>> {
+        let mut shards = vec![Vec::new(); n];
+        for (i, e) in entries.iter().enumerate() {
+            shards[i % n].push(e.clone());
+        }
+        shards
+    }
+
+    #[test]
+    fn one_shard_merge_is_the_identity_stream() {
+        let s = stream();
+        let merged = merge_shards(vec![s.clone()]);
+        let plain: Vec<SpanRecord> = s.into_iter().map(|(_, r)| r).collect();
+        assert_eq!(merged, plain, "a single shard must reproduce the single-stream order");
+    }
+
+    #[test]
+    fn one_vs_n_shards_merge_byte_identically() {
+        let s = stream();
+        let one = merge_shards(vec![s.clone()]);
+        for n in [2, 3, 4, 7] {
+            let scattered = merge_shards(scatter(&s, n));
+            let a = serde_json::to_string(&one).expect("serializes");
+            let b = serde_json::to_string(&scattered).expect("serializes");
+            assert_eq!(a, b, "{n}-shard merge must be byte-identical to the 1-shard stream");
+        }
+    }
+
+    #[test]
+    fn merge_is_commutative_in_shard_order() {
+        let s = stream();
+        let shards = scatter(&s, 3);
+        let forward = merge_shards(shards.clone());
+        let mut reversed = shards.clone();
+        reversed.reverse();
+        assert_eq!(merge_shards(reversed), forward);
+        let rotated = vec![shards[1].clone(), shards[2].clone(), shards[0].clone()];
+        assert_eq!(merge_shards(rotated), forward);
+    }
+
+    #[test]
+    fn merge_is_associative() {
+        let s = stream();
+        let shards = scatter(&s, 3);
+        let all_at_once = merge_entries(shards.clone());
+        let ab_then_c = merge_entries(vec![
+            merge_entries(vec![shards[0].clone(), shards[1].clone()]),
+            shards[2].clone(),
+        ]);
+        let a_then_bc = merge_entries(vec![
+            shards[0].clone(),
+            merge_entries(vec![shards[1].clone(), shards[2].clone()]),
+        ]);
+        assert_eq!(ab_then_c, all_at_once);
+        assert_eq!(a_then_bc, all_at_once);
+    }
+
+    #[test]
+    fn epoch_ties_break_by_span_path_then_record_fields() {
+        // Synthetic duplicate epochs (cannot happen with the atomic
+        // epoch, but the comparator must stay total): path decides.
+        let a = (5u64, rec("detect:zeta", 1));
+        let b = (5u64, rec("detect:alpha", 2));
+        let merged = merge_shards(vec![vec![a.clone()], vec![b.clone()]]);
+        assert_eq!(merged[0].name, "detect:alpha");
+        assert_eq!(merged[1].name, "detect:zeta");
+        let swapped = merge_shards(vec![vec![b], vec![a]]);
+        assert_eq!(merged, swapped);
+    }
+
+    #[test]
+    fn sink_round_robins_workers_and_merges_deterministically() {
+        let sink = SpanSink::new(4);
+        assert_eq!(sink.shard_count(), 4);
+        // Simulate three workers, each recording into its assigned shard.
+        let shards: Vec<usize> = (0..3).map(|_| sink.assign_shard()).collect();
+        assert_eq!(shards, [0, 1, 2]);
+        sink.record(shards[1], rec("b", 2));
+        sink.record(shards[0], rec("a", 1));
+        sink.record(shards[2], rec("c", 3));
+        let snap = sink.snapshot();
+        // Order is the global close epoch: b (epoch 0), a (1), c (2).
+        let names: Vec<&str> = snap.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, ["b", "a", "c"]);
+        assert_eq!(sink.drain(), snap);
+        assert!(sink.snapshot().is_empty());
+    }
 }

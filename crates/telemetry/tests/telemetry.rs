@@ -150,7 +150,10 @@ fn manifest_roundtrips_losslessly_through_json() {
             repeats: 3,
             seed: 0xDEAD_BEEF_CAFE_F00D,
             label_budget: 100,
+            threads: 4,
         },
+        mode: "full".to_string(),
+        span_rollup: Vec::new(),
         spans: vec![
             SpanRecord {
                 name: "phase:setup".to_string(),
@@ -204,7 +207,7 @@ fn collected_manifest_sees_global_state() {
     {
         let _s = span("collecttest:phase");
     }
-    let config = RunConfig { scale: 1.0, repeats: 1, seed: 99, label_budget: 50 };
+    let config = RunConfig { scale: 1.0, repeats: 1, seed: 99, label_budget: 50, threads: 1 };
     let m = RunManifest::collect("collecttest", config);
     assert!(m.counters.get("collecttest_counter").copied().unwrap_or(0) >= 7);
     assert!(m.histograms["collecttest_hist"].count >= 1);

@@ -12,6 +12,19 @@ cargo test -q
 echo "==> cargo run -p rein-audit (determinism & integrity audit, semantic rules + SARIF)"
 cargo run -q -p rein-audit -- --quiet --sarif artifacts/audit/report.sarif
 
+echo "==> ledger report (ingest committed artifacts; must be a deterministic no-op twice)"
+cargo run -q --release -p rein-ledger --bin rein_report -- --out artifacts/ledger \
+  --diff artifacts/telemetry/chaos_smoke-29.json artifacts/telemetry/fig5_repair_numerical-61.json
+first_sum=$(sha256sum artifacts/ledger/index.json artifacts/ledger/report.md artifacts/ledger/report.html)
+cargo run -q --release -p rein-ledger --bin rein_report -- --out artifacts/ledger \
+  --diff artifacts/telemetry/chaos_smoke-29.json artifacts/telemetry/fig5_repair_numerical-61.json
+second_sum=$(sha256sum artifacts/ledger/index.json artifacts/ledger/report.md artifacts/ledger/report.html)
+if [ "$first_sum" != "$second_sum" ]; then
+  echo "ledger outputs changed between two identical runs:"
+  echo "$first_sum"
+  echo "$second_sum"
+  exit 1
+fi
 echo "==> perf smoke (comparator self-test + small-scale suite vs committed baseline, report-only)"
 cargo run -q --release -p rein-bench --bin bench_compare -- --self-test
 REIN_SCALE=0.01 cargo run -q --release -p rein-bench --bin perf_baseline -- \

@@ -212,6 +212,21 @@ impl Deserialize for f32 {
     }
 }
 
+// `Content` is its own data model (the stand-in for `serde_json::Value`,
+// which implements both traits upstream): serializing or deserializing it
+// is the identity.
+impl Serialize for Content {
+    fn serialize_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn deserialize_content(content: &Content) -> Result<Self, DeError> {
+        Ok(content.clone())
+    }
+}
+
 impl Serialize for bool {
     fn serialize_content(&self) -> Content {
         Content::Bool(*self)
