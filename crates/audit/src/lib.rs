@@ -24,6 +24,7 @@
 //! exits nonzero on violations (CI treats that as a failing step).
 
 pub mod callgraph;
+pub mod concurrency;
 pub mod lexer;
 pub mod parser;
 pub mod report;

@@ -203,6 +203,27 @@ pub struct PanicSite {
     pub what: &'static str,
 }
 
+/// One closure expression inside a function body. Closures are how code
+/// enters rayon parallel regions (`par_iter().map(|x| …)`,
+/// `spawn(move || …)`), so the concurrency rules need to know which
+/// calls and idents sit inside one and which call received it as an
+/// argument.
+#[derive(Debug, Clone, Default)]
+pub struct Closure {
+    /// Idents bound by the parameter list (pattern idents, lowercase).
+    pub params: Vec<String>,
+    pub line: usize,
+    /// Index into the function's `calls` of the innermost call whose
+    /// argument list the closure appears in (`None` when the closure is
+    /// bound outside any call, e.g. `let f = |x| …`).
+    pub arg_of: Option<usize>,
+    /// Indices into the function's `calls` of every call opened inside
+    /// the closure body (including nested closures' calls).
+    pub calls: Vec<usize>,
+    /// Every ident occurrence inside the closure body.
+    pub idents: Vec<String>,
+}
+
 /// One parsed function (top-level, impl/trait method, or nested).
 #[derive(Debug, Clone, Default)]
 pub struct Function {
@@ -221,6 +242,7 @@ pub struct Function {
     pub has_body: bool,
     pub calls: Vec<Call>,
     pub lets: Vec<LetBinding>,
+    pub closures: Vec<Closure>,
     pub panics: Vec<PanicSite>,
     /// First segments (after `crate`/`self`/`super`) of every
     /// multi-segment path in the body — calls *and* plain paths like
@@ -295,6 +317,27 @@ struct OpenLet {
     in_type: bool,
 }
 
+/// A closure whose body is still being scanned.
+struct OpenClosure {
+    /// Index into the function's `closures`.
+    ix: usize,
+    /// Delimiter depth at the closure's `|params|` (the body ends at a
+    /// `,`/`;` at this depth or when a close delimiter drops below it).
+    entry_depth: i64,
+}
+
+fn close_closures(closures: &mut Vec<OpenClosure>, depth: i64) {
+    while closures.last().is_some_and(|c| c.entry_depth > depth) {
+        closures.pop();
+    }
+}
+
+fn end_closures_at(closures: &mut Vec<OpenClosure>, depth: i64) {
+    while closures.last().is_some_and(|c| c.entry_depth >= depth) {
+        closures.pop();
+    }
+}
+
 fn close_calls(f: &mut Function, calls: &mut Vec<OpenCall>, depth: i64) {
     while calls.last().is_some_and(|c| c.inner > depth) {
         if let Some(top) = calls.pop() {
@@ -318,7 +361,13 @@ fn finish_lets(f: &mut Function, lets: &mut Vec<OpenLet>, depth: i64) {
     }
 }
 
-fn feed_ident(f: &mut Function, calls: &[OpenCall], lets: &mut [OpenLet], name: &str) {
+fn feed_ident(
+    f: &mut Function,
+    calls: &[OpenCall],
+    lets: &mut [OpenLet],
+    closures: &[OpenClosure],
+    name: &str,
+) {
     for c in calls {
         if let Some(call) = f.calls.get_mut(c.ix) {
             if let Some(arg) = call.args.last_mut() {
@@ -329,6 +378,20 @@ fn feed_ident(f: &mut Function, calls: &[OpenCall], lets: &mut [OpenLet], name: 
     for l in lets.iter_mut() {
         if l.init_active {
             l.binding.init_idents.push(name.to_string());
+        }
+    }
+    for oc in closures {
+        if let Some(cl) = f.closures.get_mut(oc.ix) {
+            cl.idents.push(name.to_string());
+        }
+    }
+}
+
+/// Registers a freshly-opened call index with every open closure.
+fn note_call(f: &mut Function, closures: &[OpenClosure], ix: usize) {
+    for oc in closures {
+        if let Some(cl) = f.closures.get_mut(oc.ix) {
+            cl.calls.push(ix);
         }
     }
 }
@@ -453,6 +516,95 @@ impl Parser {
                 return;
             }
         }
+    }
+
+    /// Whether the `|` at the cursor begins a closure's parameter list.
+    /// Two checks: the previous token must be an expression-*start*
+    /// position (after `(`/`,`/`=`/`move`/… — a binary-or or or-pattern
+    /// `|` always follows an expression or pattern end), and a matching
+    /// `|` must close the parameter list before any token that cannot
+    /// appear inside one (`{`, `}`, `;`, `=>`).
+    fn closure_starts_here(&self) -> bool {
+        let prev_ok = match self.pos.checked_sub(1).and_then(|i| self.toks.get(i)) {
+            None => true,
+            Some(t) => match (t.kind, t.text.as_str()) {
+                (TokKind::Punct, "(" | "[" | "{" | "," | ";" | "=" | "=>" | ":" | "?" | "&") => {
+                    true
+                }
+                (TokKind::Ident, "move" | "return" | "else" | "in") => true,
+                _ => false,
+            },
+        };
+        if !prev_ok {
+            return false;
+        }
+        // Zero-parameter closure: `||` arrives as two `|` tokens.
+        let mut pd = 0i64;
+        let mut k = 1usize;
+        while let Some(t) = self.peek_at(k) {
+            match (t.kind, t.text.as_str()) {
+                (TokKind::Punct, "|") if pd == 0 => return true,
+                (TokKind::Punct, "(" | "[" | "<") => pd += 1,
+                (TokKind::Punct, ")" | "]" | ">") => {
+                    pd -= 1;
+                    if pd < 0 {
+                        return false;
+                    }
+                }
+                (TokKind::Punct, "{" | "}" | ";" | "=>") => return false,
+                _ => {}
+            }
+            k += 1;
+            if k > 64 {
+                return false; // parameter lists are short
+            }
+        }
+        false
+    }
+
+    /// Consumes a closure's `|params|`, returning the bound pattern
+    /// idents. The cursor sits at the opening `|` and is left just past
+    /// the closing `|`.
+    fn closure_params(&mut self) -> Vec<String> {
+        self.bump(); // opening `|`
+        let mut params = Vec::new();
+        let mut in_type = false;
+        let mut pd = 0i64;
+        while let Some(t) = self.peek() {
+            match (t.kind, t.text.as_str()) {
+                (TokKind::Punct, "|") if pd == 0 => {
+                    self.bump();
+                    return params;
+                }
+                (TokKind::Punct, "(" | "[" | "<") => {
+                    pd += 1;
+                    self.bump();
+                }
+                (TokKind::Punct, ")" | "]" | ">") => {
+                    pd -= 1;
+                    self.bump();
+                }
+                (TokKind::Punct, ",") if pd == 0 => {
+                    in_type = false;
+                    self.bump();
+                }
+                (TokKind::Punct, ":") => {
+                    in_type = true;
+                    self.bump();
+                }
+                (TokKind::Ident, s)
+                    if !in_type
+                        && !is_keyword(s)
+                        && s != "_"
+                        && s.chars().next().is_some_and(|c| c.is_lowercase() || c == '_') =>
+                {
+                    params.push(s.to_string());
+                    self.bump();
+                }
+                _ => self.bump(),
+            }
+        }
+        params
     }
 
     /// Consumes one attribute (`#[...]` or `#![...]`) and reports
@@ -854,6 +1006,7 @@ impl Parser {
         let mut depth = 1i64;
         let mut calls: Vec<OpenCall> = Vec::new();
         let mut lets: Vec<OpenLet> = Vec::new();
+        let mut closures: Vec<OpenClosure> = Vec::new();
 
         while let Some(tok) = self.peek() {
             let kind = tok.kind;
@@ -877,6 +1030,7 @@ impl Parser {
                     depth -= 1;
                     self.bump();
                     close_calls(f, &mut calls, depth);
+                    close_closures(&mut closures, depth);
                     finish_lets(f, &mut lets, depth + 1);
                     if depth == 0 {
                         finish_lets(f, &mut lets, 0);
@@ -885,9 +1039,11 @@ impl Parser {
                 }
                 (TokKind::Punct, ";") => {
                     finish_lets(f, &mut lets, depth);
+                    end_closures_at(&mut closures, depth);
                     self.bump();
                 }
                 (TokKind::Punct, ",") => {
+                    end_closures_at(&mut closures, depth);
                     if let Some(top) = calls.last() {
                         if top.inner == depth {
                             if let Some(call) = f.calls.get_mut(top.ix) {
@@ -896,6 +1052,22 @@ impl Parser {
                         }
                     }
                     self.bump();
+                }
+                (TokKind::Punct, "|") => {
+                    if self.closure_starts_here() {
+                        let cline = line;
+                        let params = self.closure_params();
+                        let ix = f.closures.len();
+                        f.closures.push(Closure {
+                            params,
+                            line: cline,
+                            arg_of: calls.last().map(|c| c.ix),
+                            ..Closure::default()
+                        });
+                        closures.push(OpenClosure { ix, entry_depth: depth });
+                    } else {
+                        self.bump();
+                    }
                 }
                 (TokKind::Punct, ":") => {
                     if let Some(top) = lets.last_mut() {
@@ -956,6 +1128,7 @@ impl Parser {
                                 args: vec![ArgInfo::default()],
                                 line: mline,
                             });
+                            note_call(f, &closures, ix);
                             for l in lets.iter_mut() {
                                 if l.init_active && l.let_depth == depth {
                                     l.binding.init_top_calls.push(ix);
@@ -998,7 +1171,7 @@ impl Parser {
                 }
                 (TokKind::Ident, s) if is_keyword(s) => self.bump(),
                 (TokKind::Ident, _) => {
-                    self.scan_ident(f, &mut depth, &mut calls, &mut lets);
+                    self.scan_ident(f, &mut depth, &mut calls, &mut lets, &closures);
                 }
                 (TokKind::Number | TokKind::Str | TokKind::CharLit, _) => {
                     feed_literal(f, &calls);
@@ -1020,6 +1193,7 @@ impl Parser {
         depth: &mut i64,
         calls: &mut Vec<OpenCall>,
         lets: &mut Vec<OpenLet>,
+        closures: &[OpenClosure],
     ) {
         let first = match self.peek() {
             Some(t) => t.clone(),
@@ -1095,6 +1269,7 @@ impl Parser {
                 args: vec![ArgInfo::default()],
                 line: first.line,
             });
+            note_call(f, closures, ix);
             for l in lets.iter_mut() {
                 if l.init_active && l.let_depth == *depth {
                     l.binding.init_top_calls.push(ix);
@@ -1110,7 +1285,7 @@ impl Parser {
             // collect lowercase segments as pattern names when inside a
             // let pattern.
             for seg in &segs {
-                feed_ident(f, calls, lets, seg);
+                feed_ident(f, calls, lets, closures, seg);
                 if let Some(top) = lets.last_mut() {
                     // Pattern idents may sit inside tuple/struct/variant
                     // sub-patterns, i.e. at a deeper delimiter depth.
@@ -1279,6 +1454,77 @@ mod tests {
         let p = parse("fn outer() {\n    fn inner(x: u8) { x.count_ones(); }\n    inner(3);\n}\n");
         assert_eq!(p.functions.len(), 2);
         assert!(p.functions.iter().any(|f| f.name == "inner"));
+    }
+
+    #[test]
+    fn closures_record_params_arg_of_calls_and_idents() {
+        let p = parse(
+            "fn go(seed: u64) {\n\
+                 let xs = items.par_iter().map(|i| derive(seed, i)).collect();\n\
+                 spawn(move || helper(seed));\n\
+             }\n",
+        );
+        let f = &p.functions[0];
+        assert_eq!(f.closures.len(), 2, "{:?}", f.closures);
+        let c0 = &f.closures[0];
+        assert_eq!(c0.params, ["i"]);
+        assert_eq!(f.calls[c0.arg_of.expect("arg_of")].callee.name(), "map");
+        assert!(c0.calls.iter().any(|&ix| f.calls[ix].callee.name() == "derive"));
+        assert!(c0.idents.contains(&"seed".to_string()));
+        let c1 = &f.closures[1];
+        assert!(c1.params.is_empty());
+        assert_eq!(f.calls[c1.arg_of.expect("arg_of")].callee.name(), "spawn");
+        assert!(c1.calls.iter().any(|&ix| f.calls[ix].callee.name() == "helper"));
+    }
+
+    #[test]
+    fn or_patterns_and_binary_or_are_not_closures() {
+        let p = parse(
+            "fn go(a: u8, b: u8) -> u8 {\n\
+                 match a { 1 | 2 => a | b, _ => if a > 1 || b > 1 { 1 } else { 0 } }\n\
+             }\n",
+        );
+        assert!(p.functions[0].closures.is_empty(), "{:?}", p.functions[0].closures);
+    }
+
+    #[test]
+    fn braced_closure_body_ends_at_its_brace() {
+        let p = parse("fn go() { run(|x| { inner(x); }); after(); }\n");
+        let f = &p.functions[0];
+        assert_eq!(f.closures.len(), 1);
+        let member =
+            |name: &str| f.closures[0].calls.iter().any(|&ix| f.calls[ix].callee.name() == name);
+        assert!(member("inner"));
+        assert!(!member("after"));
+    }
+
+    #[test]
+    fn sibling_closure_args_stay_separate() {
+        let p = parse("fn go() { join(|| left(), || right()); }\n");
+        let f = &p.functions[0];
+        assert_eq!(f.closures.len(), 2);
+        let names = |c: &Closure| -> Vec<String> {
+            c.calls.iter().map(|&ix| f.calls[ix].callee.name().to_string()).collect()
+        };
+        assert_eq!(names(&f.closures[0]), ["left"]);
+        assert_eq!(names(&f.closures[1]), ["right"]);
+    }
+
+    #[test]
+    fn closure_patterns_and_typed_params() {
+        let p = parse(
+            "fn go() {\n\
+                 pairs.iter().filter(|&(a, b)| a > b).for_each(|x: Vec<u8>| sink(x));\n\
+                 let f = |n: usize| n + 1;\n\
+             }\n",
+        );
+        let f = &p.functions[0];
+        assert_eq!(f.closures.len(), 3);
+        assert_eq!(f.closures[0].params, ["a", "b"]);
+        assert_eq!(f.closures[1].params, ["x"]);
+        let c2 = &f.closures[2];
+        assert_eq!(c2.params, ["n"]);
+        assert!(c2.arg_of.is_none(), "let-bound closure is not a call argument");
     }
 
     #[test]

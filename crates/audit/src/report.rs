@@ -28,6 +28,8 @@ const SKIP_PREFIXES: [&str; 3] = ["vendor", "target", "crates/audit/tests/fixtur
 pub struct RuleSummary {
     pub id: &'static str,
     pub description: &'static str,
+    /// Documentation anchor for the rule (SARIF `helpUri`).
+    pub help_uri: &'static str,
     pub violations: usize,
 }
 
@@ -174,6 +176,7 @@ pub fn audit_sources(sources: Vec<(String, String)>) -> Report {
         .map(|r| RuleSummary {
             id: r.id,
             description: r.description,
+            help_uri: r.help_uri,
             violations: violations.iter().filter(|v| v.rule == r.id).count(),
         })
         .collect();

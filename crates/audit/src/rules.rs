@@ -31,12 +31,23 @@ pub struct Violation {
 pub struct RuleInfo {
     pub id: &'static str,
     pub description: &'static str,
+    /// Documentation anchor for the rule (SARIF `helpUri`).
+    pub help_uri: &'static str,
 }
 
+/// DESIGN.md section anchors the `help_uri` fields point into.
+const DOC_TOKEN: &str = "DESIGN.md#6b-determinism-invariants-and-the-audit-rein-audit";
+const DOC_SEMANTIC: &str = "DESIGN.md#6c-semantic-rules-ast--call-graph";
+const DOC_GUARD: &str = "DESIGN.md#6e-fault-tolerance-and-chaos-testing-rein-guard";
+const DOC_LEDGER: &str = "DESIGN.md#6f-cross-run-observability-the-ledger-rein-ledger";
+const DOC_CONCURRENCY: &str =
+    "DESIGN.md#6g-concurrency-determinism-rules-parallel-grid-certification";
+
 /// The audit rule catalog.
-pub const RULES: [RuleInfo; 14] = [
+pub const RULES: [RuleInfo; 19] = [
     RuleInfo {
         id: "wallclock",
+        help_uri: DOC_TOKEN,
         description: "No Instant::now/SystemTime outside \
                       rein-telemetry::perf — wall-clock reads make runs \
                       irreproducible; every timer flows through the one \
@@ -44,39 +55,46 @@ pub const RULES: [RuleInfo; 14] = [
     },
     RuleInfo {
         id: "hash-iter",
+        help_uri: DOC_TOKEN,
         description: "No HashMap/HashSet in result-producing code — their \
                       iteration order varies across runs; use \
                       BTreeMap/BTreeSet or sort before iterating.",
     },
     RuleInfo {
         id: "unseeded-rng",
+        help_uri: DOC_TOKEN,
         description: "No unseeded randomness (thread_rng, from_entropy, \
                       rand::random) anywhere — every RNG must derive from an \
                       explicit seed.",
     },
     RuleInfo {
         id: "panic",
+        help_uri: DOC_TOKEN,
         description: "unwrap()/expect()/panic! in library code must carry an \
                       audit:allow(panic, reason) annotation or be replaced \
                       with Result propagation.",
     },
     RuleInfo {
         id: "telemetry-phases",
+        help_uri: DOC_TOKEN,
         description: "Every benchmark binary must mark at least 3 phases and \
                       write a RunManifest.",
     },
     RuleInfo {
         id: "telemetry-span",
+        help_uri: DOC_TOKEN,
         description: "Every detector/repair module must open a telemetry \
                       span.",
     },
     RuleInfo {
         id: "print",
+        help_uri: DOC_TOKEN,
         description: "No bare println!/eprintln! outside the telemetry \
                       emitter and bench result emission.",
     },
     RuleInfo {
         id: "seed-provenance",
+        help_uri: DOC_SEMANTIC,
         description: "Every RNG construction in library code must trace \
                       its seed to a function parameter (interprocedurally), \
                       never a literal or re-derived constant; only tests, \
@@ -84,12 +102,14 @@ pub const RULES: [RuleInfo; 14] = [
     },
     RuleInfo {
         id: "split-leakage",
+        help_uri: DOC_SEMANTIC,
         description: "Functions in rein-detect/rein-repair/rein-ml that \
                       receive a train/test split must not pass the test \
                       partition into fit-like callees (fit/fit_*/train_*).",
     },
     RuleInfo {
         id: "toolbox-parity",
+        help_uri: DOC_SEMANTIC,
         description: "Every module declared in crates/detect and \
                       crates/repair is registered through its crate's \
                       lib.rs, wired into rein-core::toolbox, and reachable \
@@ -99,6 +119,7 @@ pub const RULES: [RuleInfo; 14] = [
     },
     RuleInfo {
         id: "panic-reachability",
+        help_uri: DOC_SEMANTIC,
         description: "No public library API may transitively reach an \
                       unannotated panic site through the call graph \
                       (supersedes the per-site `panic` rule for API \
@@ -106,12 +127,14 @@ pub const RULES: [RuleInfo; 14] = [
     },
     RuleInfo {
         id: "result-discard",
+        help_uri: DOC_SEMANTIC,
         description: "`let _ =` must not discard a Result returned by a \
                       first-party call outside tests — handle it or match \
                       on it explicitly.",
     },
     RuleInfo {
         id: "guard-coverage",
+        help_uri: DOC_GUARD,
         description: "Every toolbox dispatch (`.detect(` / `.repair(`) in \
                       rein-core and the bench binaries must run under \
                       rein-guard supervision: the file either calls \
@@ -122,11 +145,59 @@ pub const RULES: [RuleInfo; 14] = [
     },
     RuleInfo {
         id: "ledger-registration",
+        help_uri: DOC_LEDGER,
         description: "Every manifest collection in the bench crate must \
                       register the run in the cross-run ledger \
                       (rein_ledger::register_run) — an unregistered \
                       manifest is invisible to the observability report \
                       and to incremental evaluation.",
+    },
+    RuleInfo {
+        id: "par-shared-mutable",
+        help_uri: DOC_CONCURRENCY,
+        description: "No `static mut`, `RefCell` or `Cell` in code \
+                      reachable from a rayon parallel region — \
+                      unsynchronized interior mutability observed from \
+                      worker threads makes grid output depend on \
+                      scheduling; use atomics, a Mutex, or thread_local! \
+                      storage.",
+    },
+    RuleInfo {
+        id: "par-seed-derivation",
+        help_uri: DOC_CONCURRENCY,
+        description: "Every RNG (or seed-consuming call) inside a \
+                      parallel closure must derive its seed from the \
+                      closure's own per-cell parameter (derive_seed(seed, \
+                      i)) — a literal or loop-shared seed gives every \
+                      worker the same stream and silently correlates \
+                      cells.",
+    },
+    RuleInfo {
+        id: "par-merge-registered",
+        help_uri: DOC_CONCURRENCY,
+        description: "A parallel fold/reduce/sum that combines worker \
+                      results must route through a registered \
+                      deterministic merge (merge_shards/merge_entries) or \
+                      collect() into an order-preserving container — ad \
+                      hoc reductions over floats depend on worker \
+                      interleaving.",
+    },
+    RuleInfo {
+        id: "par-atomic-ordering",
+        help_uri: DOC_CONCURRENCY,
+        description: "`Ordering::Relaxed` is allowed only at the \
+                      allowlisted rein-telemetry counter sites — relaxed \
+                      atomics elsewhere let cross-thread reads observe \
+                      scheduling-dependent values.",
+    },
+    RuleInfo {
+        id: "par-lock-discipline",
+        help_uri: DOC_CONCURRENCY,
+        description: "Locks must be acquired in one consistent global \
+                      order across parallel call paths — an A→B order in \
+                      one function and B→A in another is a potential \
+                      deadlock and a scheduling-dependent execution \
+                      order.",
     },
 ];
 
@@ -247,7 +318,7 @@ impl AllowTable {
 
 /// Per-line test-region mask: `true` for lines inside `#[cfg(test)]` /
 /// `#[test]` items, tracked by brace depth.
-fn test_region_mask(lines: &[SourceLine]) -> Vec<bool> {
+pub(crate) fn test_region_mask(lines: &[SourceLine]) -> Vec<bool> {
     let mut mask = Vec::with_capacity(lines.len());
     let mut depth: i64 = 0;
     let mut pending = false;

@@ -39,7 +39,11 @@ pub fn to_sarif(report: &Report) -> String {
         .rules
         .iter()
         .map(|r| {
-            map(vec![("id", s(r.id)), ("shortDescription", map(vec![("text", s(r.description))]))])
+            map(vec![
+                ("id", s(r.id)),
+                ("shortDescription", map(vec![("text", s(r.description))])),
+                ("helpUri", s(r.help_uri)),
+            ])
         })
         .collect();
     let results: Vec<Value> = report
@@ -99,7 +103,12 @@ mod tests {
             tool: "rein-audit",
             files_scanned: 3,
             suppressed: 1,
-            rules: vec![RuleSummary { id: "panic", description: "no panics", violations: 1 }],
+            rules: vec![RuleSummary {
+                id: "panic",
+                description: "no panics",
+                help_uri: "DESIGN.md#6b",
+                violations: 1,
+            }],
             violations: vec![Violation {
                 path: "crates/core/src/x.rs".into(),
                 line: 7,
@@ -120,6 +129,25 @@ mod tests {
     #[test]
     fn sarif_is_byte_stable() {
         assert_eq!(to_sarif(&sample()), to_sarif(&sample()));
+    }
+
+    /// The SARIF rule table and the catalog stay in sync: every catalog
+    /// rule appears exactly once with its description and helpUri.
+    #[test]
+    fn sarif_rule_table_matches_catalog() {
+        let report = crate::report::audit_sources(vec![(
+            "crates/core/src/lib.rs".to_string(),
+            "pub fn ok() {}\n".to_string(),
+        )]);
+        let doc = to_sarif(&report);
+        assert_eq!(report.rules.len(), crate::rules::RULES.len());
+        for r in &crate::rules::RULES {
+            assert!(!r.description.is_empty(), "{} needs a description", r.id);
+            assert!(r.help_uri.starts_with("DESIGN.md#"), "{} needs a doc anchor", r.id);
+            assert_eq!(doc.matches(&format!("\"id\": \"{}\"", r.id)).count(), 1, "{}", r.id);
+            assert!(doc.contains(&format!("\"helpUri\": \"{}\"", r.help_uri)), "{}", r.id);
+        }
+        assert_eq!(doc.matches("\"helpUri\"").count(), crate::rules::RULES.len());
     }
 
     #[test]

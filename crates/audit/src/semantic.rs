@@ -21,6 +21,8 @@ pub struct FileModel {
     pub class: FileClass,
     pub parsed: ParsedFile,
     pub allows: AllowTable,
+    /// Raw source, kept for token-level passes (concurrency rules).
+    pub source: String,
 }
 
 /// Every first-party file, parsed.
@@ -39,6 +41,7 @@ impl WorkspaceModel {
                 class: classify(path),
                 parsed: parse_file(source),
                 allows: AllowTable::build(source),
+                source: source.clone(),
             });
         }
         model
@@ -64,7 +67,7 @@ pub struct SemanticOutcome {
 }
 
 /// Collects findings, applying suppressions per file/line.
-struct Sink<'a> {
+pub(crate) struct Sink<'a> {
     allows: BTreeMap<&'a str, &'a AllowTable>,
     seen: BTreeSet<(String, usize, String, String)>,
     out: SemanticOutcome,
@@ -79,7 +82,7 @@ impl<'a> Sink<'a> {
         }
     }
 
-    fn emit(&mut self, path: &str, line: usize, rule: &str, message: String) {
+    pub(crate) fn emit(&mut self, path: &str, line: usize, rule: &str, message: String) {
         if !self.seen.insert((path.to_string(), line, rule.to_string(), message.clone())) {
             return;
         }
@@ -107,6 +110,7 @@ pub fn analyze(model: &WorkspaceModel) -> SemanticOutcome {
     toolbox_parity(model, &graph, &mut sink);
     panic_reachability(model, &graph, &mut sink);
     result_discard(&graph, &mut sink);
+    crate::concurrency::analyze_concurrency(model, &graph, &mut sink);
     let mut out = sink.out;
     out.violations.sort();
     out
@@ -116,7 +120,7 @@ pub fn analyze(model: &WorkspaceModel) -> SemanticOutcome {
 
 /// Forward taint: idents derived from the function's parameters (and
 /// `self`), propagated through `let` bindings.
-fn param_taint(f: &Function) -> BTreeSet<String> {
+pub(crate) fn param_taint(f: &Function) -> BTreeSet<String> {
     let mut t: BTreeSet<String> = f.params.iter().flat_map(|p| p.names.iter().cloned()).collect();
     if f.has_self {
         t.insert("self".to_string());
@@ -133,7 +137,7 @@ fn param_taint(f: &Function) -> BTreeSet<String> {
 
 /// Backward slice: starting from `seeds`, adds every ident whose `let`
 /// binding flows into the set.
-fn backward_slice(f: &Function, seeds: BTreeSet<String>) -> BTreeSet<String> {
+pub(crate) fn backward_slice(f: &Function, seeds: BTreeSet<String>) -> BTreeSet<String> {
     let mut s = seeds;
     for _ in 0..2 {
         for l in f.lets.iter().rev() {
@@ -148,7 +152,7 @@ fn backward_slice(f: &Function, seeds: BTreeSet<String>) -> BTreeSet<String> {
 // ------------------------------------------------------ seed-provenance
 
 /// An RNG construction whose first argument is the seed material.
-fn is_rng_construction(call: &Call) -> bool {
+pub(crate) fn is_rng_construction(call: &Call) -> bool {
     match call.callee.name() {
         "seed_from_u64" | "from_seed" => true,
         "new" => {

@@ -1,0 +1,14 @@
+//! Call-graph closure fixture (positive): the closure-reached panic is
+//! annotated, so `panic-reachability` stays silent for the public API.
+
+pub fn grid(xs: &[u64]) -> Vec<u64> {
+    xs.iter().map(|x| risky(*x)).collect()
+}
+
+fn risky(x: u64) -> u64 {
+    if x == 0 {
+        // audit:allow(panic, zero cells are rejected at parse time; this is unreachable)
+        panic!("zero cell");
+    }
+    x
+}

@@ -1,0 +1,12 @@
+//! Concurrency fixture (negative): `Ordering::Relaxed` outside the
+//! allowlisted telemetry counter sites — `par-atomic-ordering` must
+//! fire. (The same source mapped to an allowlisted telemetry path is
+//! the positive case.)
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNT: AtomicU64 = AtomicU64::new(0);
+
+pub fn bump() -> u64 {
+    COUNT.fetch_add(1, Ordering::Relaxed)
+}

@@ -1,0 +1,14 @@
+//! Concurrency fixture (positive): sequentially-consistent atomics are
+//! always fine — `par-atomic-ordering` only gates `Relaxed`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNT: AtomicU64 = AtomicU64::new(0);
+
+pub fn bump() -> u64 {
+    COUNT.fetch_add(1, Ordering::SeqCst)
+}
+
+pub fn read() -> u64 {
+    COUNT.load(Ordering::Acquire)
+}

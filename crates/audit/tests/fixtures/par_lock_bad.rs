@@ -1,0 +1,21 @@
+//! Concurrency fixture (negative): two functions acquire the same pair
+//! of locks in opposite orders while holding the first — a potential
+//! deadlock and a scheduling-dependent execution order.
+//! `par-lock-discipline` must fire.
+
+use std::sync::Mutex;
+
+static LEFT: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+static RIGHT: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+
+pub fn forward() -> usize {
+    let a = LEFT.lock().unwrap();
+    let b = RIGHT.lock().unwrap();
+    a.len() + b.len()
+}
+
+pub fn backward() -> usize {
+    let b = RIGHT.lock().unwrap();
+    let a = LEFT.lock().unwrap();
+    a.len() + b.len()
+}

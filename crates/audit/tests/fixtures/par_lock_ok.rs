@@ -1,0 +1,25 @@
+//! Concurrency fixture (positive): every function acquires the lock
+//! pair in the same global order (LEFT before RIGHT), and sequential
+//! non-held locks (temporary guards) impose no ordering at all.
+//! `par-lock-discipline` must stay silent.
+
+use std::sync::Mutex;
+
+static LEFT: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+static RIGHT: Mutex<Vec<u64>> = Mutex::new(Vec::new());
+
+pub fn forward() -> usize {
+    let a = LEFT.lock().unwrap();
+    let b = RIGHT.lock().unwrap();
+    a.len() + b.len()
+}
+
+pub fn also_forward() -> usize {
+    let a = LEFT.lock().unwrap();
+    let b = RIGHT.lock().unwrap();
+    b.len() + a.len()
+}
+
+pub fn sequential() -> usize {
+    RIGHT.lock().unwrap().len() + LEFT.lock().unwrap().len()
+}

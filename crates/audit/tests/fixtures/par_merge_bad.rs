@@ -1,0 +1,8 @@
+//! Concurrency fixture (negative): a parallel float reduction with an
+//! ad hoc combiner — the result depends on worker interleaving because
+//! float addition is not associative. `par-merge-registered` must fire
+//! once on the `reduce` call.
+
+pub fn total(xs: &[f64]) -> f64 {
+    xs.par_iter().map(|x| x * 2.0).reduce(|| 0.0, |a, b| a + b)
+}

@@ -1,0 +1,28 @@
+//! Concurrency fixture (positive): parallel combination routed through
+//! registered deterministic merges (`merge_entries` in the fold
+//! combiner, `merge_shards` as the reduce operator) and an
+//! order-preserving `collect`. `par-merge-registered` must stay silent.
+
+pub fn totals(xs: &[Vec<u64>]) -> Vec<u64> {
+    xs.par_iter()
+        .fold(Vec::new, |acc, x| merge_entries(acc, x))
+        .reduce(Vec::new, merge_shards)
+}
+
+pub fn doubled(xs: &[u64]) -> Vec<u64> {
+    xs.par_iter().map(|x| x * 2).collect()
+}
+
+pub fn merge_shards(a: Vec<u64>, b: Vec<u64>) -> Vec<u64> {
+    let mut out = a;
+    out.extend(b);
+    out.sort_unstable();
+    out
+}
+
+pub fn merge_entries(a: Vec<u64>, b: &Vec<u64>) -> Vec<u64> {
+    let mut out = a;
+    out.extend(b.iter().copied());
+    out.sort_unstable();
+    out
+}

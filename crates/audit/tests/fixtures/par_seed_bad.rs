@@ -1,0 +1,17 @@
+//! Concurrency fixture (negative): an RNG constructed inside a parallel
+//! closure from a loop-shared seed — every worker sees the same stream.
+//! `par-seed-derivation` must fire even though the seed traces to a
+//! parameter (so plain `seed-provenance` is satisfied).
+
+pub fn shard_scores(xs: &[u64], seed: u64) -> Vec<u64> {
+    xs.par_iter()
+        .map(|x| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            step(&mut rng, *x)
+        })
+        .collect()
+}
+
+fn step(rng: &mut StdRng, x: u64) -> u64 {
+    x
+}

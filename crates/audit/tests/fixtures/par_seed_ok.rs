@@ -1,0 +1,22 @@
+//! Concurrency fixture (positive): the per-cell seed derives from the
+//! closure's own enumeration index, so every worker gets a distinct
+//! stream. Both `par-seed-derivation` and `seed-provenance` pass.
+
+pub fn shard_scores(xs: &[u64], seed: u64) -> Vec<u64> {
+    xs.par_iter()
+        .enumerate()
+        .map(|(i, x)| {
+            let cell_seed = derive_seed(seed, i as u64);
+            let mut rng = StdRng::seed_from_u64(cell_seed);
+            step(&mut rng, *x)
+        })
+        .collect()
+}
+
+pub fn derive_seed(seed: u64, stream: u64) -> u64 {
+    seed.rotate_left(17) ^ stream
+}
+
+fn step(rng: &mut StdRng, x: u64) -> u64 {
+    x
+}

@@ -1,0 +1,19 @@
+//! Concurrency fixture (negative): interior mutability in a file
+//! hosting a parallel region — `par-shared-mutable` must fire on the
+//! `static mut` and on the `RefCell` field, but not on the `use` line.
+
+use std::cell::RefCell;
+
+static mut HITS: usize = 0;
+
+pub struct Tally {
+    slots: RefCell<Vec<usize>>,
+}
+
+pub fn tally(xs: &[usize]) -> Vec<usize> {
+    xs.par_iter().map(|x| bump(*x)).collect()
+}
+
+fn bump(x: usize) -> usize {
+    x + 1
+}

@@ -1,0 +1,22 @@
+//! Concurrency fixture (positive): the same parallel region with
+//! shard-safe state — atomics, a Mutex, and per-thread `thread_local!`
+//! storage. `par-shared-mutable` must stay silent.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+static HITS: AtomicUsize = AtomicUsize::new(0);
+static SLOTS: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+
+thread_local! {
+    static SCRATCH: std::cell::RefCell<Vec<usize>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+pub fn tally(xs: &[usize]) -> Vec<usize> {
+    xs.par_iter().map(|x| bump(*x)).collect()
+}
+
+fn bump(x: usize) -> usize {
+    HITS.fetch_add(1, Ordering::SeqCst);
+    x + 1
+}

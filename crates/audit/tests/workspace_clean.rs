@@ -29,6 +29,11 @@ fn semantic_rules_are_in_the_catalog() {
         "panic-reachability",
         "result-discard",
         "guard-coverage",
+        "par-shared-mutable",
+        "par-seed-derivation",
+        "par-merge-registered",
+        "par-atomic-ordering",
+        "par-lock-discipline",
     ] {
         assert!(
             report.rules.iter().any(|r| r.id == rule),

@@ -14,48 +14,31 @@
 //! cells, and the manifest records them; `4` when a non-injected cell
 //! diverged; `5` when the failure set differs from the injection spec;
 //! `2` for a bad environment.
+//!
+//! `--dump-cells PATH` additionally writes the fault-free grid's
+//! serialized cells to `PATH` — CI runs the smoke at `REIN_THREADS=1`
+//! and `REIN_THREADS=4` and asserts the two dumps hash identically.
 
 // Benchmark bins emit their report tables on stdout by design.
 #![allow(clippy::print_stdout)]
 
-use std::collections::BTreeMap;
-
-use rein_bench::{conclude, dataset, header, phase};
+use rein_bench::{conclude, dataset, dump_cells, header, install_thread_pool, phase};
 use rein_core::{ChaosSpec, Controller, GuardPolicy};
-use rein_datasets::{DatasetId, GeneratedDataset};
+use rein_datasets::DatasetId;
 
 /// One detector panics; one (detector, repairer) cell stalls.
 const DEFAULT_SPEC: &str = "detect:raha=panic,repair:impute_mean_mode#max_entropy=stall";
 
-/// Serializes every grid cell's output: detector masks and repaired
-/// versions, keyed by cell coordinates.
-fn run_grid(ctrl: &Controller, ds: &GeneratedDataset) -> BTreeMap<String, String> {
-    let mut cells = BTreeMap::new();
-    let detections = ctrl.run_detection(ds);
-    for det in &detections {
-        let key = format!("detect:{}", det.kind.name());
-        let bytes = serde_json::to_string(&det.mask).expect("mask serializes");
-        cells.insert(key, bytes);
-        let repairs = ctrl.run_repairs(ds, det);
-        for rep in &repairs {
-            let key = format!("repair:{}#{}", rep.kind.name(), det.kind.name());
-            let bytes = match (&rep.version, &rep.repaired_cells) {
-                (Some(v), Some(m)) => format!(
-                    "{}\n{}\n{:?}",
-                    rein_data::csv::write_str(&v.table),
-                    serde_json::to_string(m).expect("mask serializes"),
-                    v.row_map
-                ),
-                _ => format!("pipeline:{}", rep.pipeline.is_some()),
-            };
-            cells.insert(key, bytes);
-        }
-    }
-    cells
-}
-
 fn main() {
     let setup = phase("setup");
+    install_thread_pool();
+    let dump_path = match parse_args() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
     let spec_text = std::env::var("REIN_CHAOS").unwrap_or_else(|_| DEFAULT_SPEC.to_string());
     let chaos = match ChaosSpec::parse(&spec_text) {
         Ok(c) if !c.is_empty() => c,
@@ -77,18 +60,27 @@ fn main() {
 
     let baseline_phase = phase("baseline");
     let clean_ctrl = Controller { label_budget: 50, seed: 29, ..Controller::default() };
-    let baseline = run_grid(&clean_ctrl, &ds);
+    let baseline = clean_ctrl.run_grid(&ds, &[], 0);
     drop(baseline_phase);
     let baseline_failures = rein_telemetry::failures_snapshot();
     if !baseline_failures.is_empty() {
         eprintln!("error: fault-free run degraded {} cell(s)", baseline_failures.len());
         std::process::exit(5);
     }
+    if let Some(path) = &dump_path {
+        match dump_cells(path, &baseline) {
+            Ok(()) => println!("cells dump: {}", path.display()),
+            Err(e) => {
+                eprintln!("error: cannot write {}: {e}", path.display());
+                std::process::exit(2);
+            }
+        }
+    }
 
     let chaos_phase = phase("chaos");
     let chaos_ctrl =
         Controller { label_budget: 50, seed: 29, policy: GuardPolicy::with_chaos(chaos.clone()) };
-    let injected = run_grid(&chaos_ctrl, &ds);
+    let injected = chaos_ctrl.run_grid(&ds, &[], 0);
     drop(chaos_phase);
 
     let verify = phase("verify");
@@ -170,4 +162,20 @@ fn main() {
         std::process::exit(4);
     }
     conclude("chaos_smoke", 29, 50);
+}
+
+/// Parses the binary's arguments: only `--dump-cells PATH` is accepted.
+fn parse_args() -> Result<Option<std::path::PathBuf>, String> {
+    let mut args = std::env::args().skip(1);
+    let mut dump = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--dump-cells" => {
+                let path = args.next().ok_or("--dump-cells needs a PATH argument")?;
+                dump = Some(std::path::PathBuf::from(path));
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(dump)
 }

@@ -1,0 +1,155 @@
+//! Parallel-determinism smoke test: runs the full S1–S5 benchmark grid
+//! (detection → repair → scenario evaluation) under scoped rayon pools
+//! of 1, 4 and N worker threads in one process, and asserts that every
+//! serialized grid cell is byte-identical across the three runs.
+//!
+//! This is the runtime half of the parallel-grid certification: the
+//! static half is `rein-audit`'s `par-*` rule family, which proves the
+//! sharded code derives seeds per cell, merges through registered
+//! combiners, and shares no unsynchronized state. The smoke test closes
+//! the loop chaos-style — if any worker-count-dependent behaviour slips
+//! past the analyzer, the byte comparison catches it here.
+//!
+//! Exit codes: `0` on success, `4` when any cell differs between thread
+//! counts, `5` when a run degraded cells (the grid must be fault-free
+//! under the default policy), `2` for a bad environment.
+
+// Benchmark bins emit their report tables on stdout by design.
+#![allow(clippy::print_stdout)]
+
+use std::collections::BTreeMap;
+
+use rein_bench::{conclude, dataset, dump_cells, header, phase, worker_threads};
+use rein_core::{Controller, Scenario};
+use rein_datasets::{DatasetId, GeneratedDataset};
+
+const SEED: u64 = 31;
+const LABEL_BUDGET: usize = 50;
+const REPEATS: usize = 1;
+
+/// Runs the S1–S5 grid inside a scoped pool of exactly `threads`
+/// workers and returns the serialized cells. Telemetry is reset first
+/// so each run's failure set stands alone.
+fn grid_at(threads: usize, ds: &GeneratedDataset) -> BTreeMap<String, String> {
+    rein_telemetry::reset();
+    let run = phase(&format!("grid-{threads}"));
+    let pool = match rayon::ThreadPoolBuilder::new().num_threads(threads).build() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: cannot build a {threads}-thread pool: {e}");
+            std::process::exit(2);
+        }
+    };
+    let ctrl = Controller { label_budget: LABEL_BUDGET, seed: SEED, ..Controller::default() };
+    let cells = pool.install(|| ctrl.run_grid(ds, &Scenario::ALL, REPEATS));
+    drop(run);
+    let failures = rein_telemetry::failures_snapshot();
+    if !failures.is_empty() {
+        eprintln!("error: the {threads}-thread run degraded {} cell(s):", failures.len());
+        for f in &failures {
+            eprintln!("  {}:{}@{}#{} -> {}", f.phase, f.strategy, f.dataset, f.scope, f.cause);
+        }
+        std::process::exit(5);
+    }
+    cells
+}
+
+/// Reports the cells that differ between two runs; returns their count.
+fn diff(
+    label: &str,
+    reference: &BTreeMap<String, String>,
+    other: &BTreeMap<String, String>,
+) -> usize {
+    let mut diverged = 0usize;
+    for (key, bytes) in reference {
+        match other.get(key) {
+            Some(b) if b == bytes => {}
+            Some(_) => {
+                eprintln!("error: cell {key} diverged at {label}");
+                diverged += 1;
+            }
+            None => {
+                eprintln!("error: cell {key} missing at {label}");
+                diverged += 1;
+            }
+        }
+    }
+    for key in other.keys() {
+        if !reference.contains_key(key) {
+            eprintln!("error: extra cell {key} at {label}");
+            diverged += 1;
+        }
+    }
+    diverged
+}
+
+fn main() {
+    let setup = phase("setup");
+    let dump_path = match parse_args() {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let ds = dataset(DatasetId::BreastCancer, SEED);
+    drop(setup);
+
+    header("Parallel smoke — S1–S5 grid byte-identity across pool widths");
+    println!("dataset: {} ({} rows)", ds.info.name, ds.dirty.n_rows());
+
+    // 1, 4, and the configured width (REIN_THREADS or the machine's
+    // core count) — deduplicated, reference first.
+    let native = worker_threads() as usize;
+    let mut widths = vec![1usize, 4, native];
+    widths.sort_unstable();
+    widths.dedup();
+    println!("pool widths: {widths:?} (native {native})");
+
+    let reference = grid_at(widths[0], &ds);
+    println!("{} cell(s) at {} thread(s)", reference.len(), widths[0]);
+    if let Some(path) = &dump_path {
+        match dump_cells(path, &reference) {
+            Ok(()) => println!("cells dump: {}", path.display()),
+            Err(e) => {
+                eprintln!("error: cannot write {}: {e}", path.display());
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let compare = phase("compare");
+    let mut diverged = 0usize;
+    for &w in &widths[1..] {
+        let cells = grid_at(w, &ds);
+        let label = format!("{w} thread(s) vs {}", widths[0]);
+        diverged += diff(&label, &reference, &cells);
+        if diverged == 0 {
+            println!("{} cell(s) byte-identical at {label}", cells.len());
+        }
+    }
+    drop(compare);
+
+    if diverged > 0 {
+        eprintln!("error: {diverged} cell(s) depend on the worker-thread count");
+        std::process::exit(4);
+    }
+    println!("\ngrid is worker-count invariant across {widths:?} threads");
+    conclude("parallel_smoke", SEED, LABEL_BUDGET as u64);
+}
+
+/// Parses the binary's arguments: only `--dump-cells PATH` is accepted.
+fn parse_args() -> Result<Option<std::path::PathBuf>, String> {
+    let mut args = std::env::args().skip(1);
+    let mut dump = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--dump-cells" => {
+                let path = args.next().ok_or("--dump-cells needs a PATH argument")?;
+                dump = Some(std::path::PathBuf::from(path));
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(dump)
+}

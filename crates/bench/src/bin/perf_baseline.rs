@@ -5,7 +5,10 @@
 //! detectors, repairs, one ML fit and one end-to-end S1 scenario — at the
 //! `REIN_SCALE`-controlled dataset sizes, `REIN_REPEATS` (default 7)
 //! repeats each, and writes the timings, throughput, allocation stats and
-//! span-path profile as a deterministic-ordered JSON report.
+//! span-path profile as a deterministic-ordered JSON report. The report
+//! also carries the parallel-grid threads axis: the controller grid
+//! timed under scoped pools of 1, 2, 4 and `REIN_THREADS` workers, with
+//! speedups relative to the serial run.
 //!
 //! ```text
 //! cargo run --release -p rein-bench --bin perf_baseline [-- --out PATH]
@@ -59,7 +62,8 @@ fn main() {
     drop(setup);
 
     let measure = rein_bench::phase("measure");
-    let report = run_perf_suite("perf_baseline", scale, repeats, SUITE_SEED);
+    let widths = [1, 2, 4, rein_bench::worker_threads()];
+    let report = run_perf_suite("perf_baseline", scale, repeats, SUITE_SEED, &widths);
     drop(measure);
 
     let emit = rein_bench::phase("report");
@@ -70,6 +74,15 @@ fn main() {
             rein_bench::f(b.timing.median_ms),
             rein_bench::f(b.cells_per_sec),
             b.alloc.allocs_per_repeat.first().copied().unwrap_or(0).to_string(),
+        ]);
+    }
+    println!("\nparallel grid, by pool width:");
+    rein_bench::row(&["threads".into(), "median ms".into(), "speedup".into()]);
+    for p in &report.thread_axis {
+        rein_bench::row(&[
+            p.threads.to_string(),
+            rein_bench::f(p.timing.median_ms),
+            rein_bench::f(p.speedup),
         ]);
     }
     if let Err(e) = report.write_to(&path) {

@@ -96,6 +96,17 @@ pub fn worker_threads() -> u32 {
     })
 }
 
+/// Installs the global rayon pool sized by [`worker_threads`], so grid
+/// execution actually honours `REIN_THREADS` instead of merely echoing
+/// it into the run manifest. Called by [`controller`], which every
+/// bench binary goes through. Harmless when a pool already exists —
+/// rayon forbids re-configuration, so the first installer wins — which
+/// is exactly what scoped-pool callers like `parallel_smoke` rely on.
+pub fn install_thread_pool() {
+    // An Err means a global pool is already installed; its size wins.
+    let _ = rayon::ThreadPoolBuilder::new().num_threads(worker_threads() as usize).build_global();
+}
+
 /// Opens a top-level phase span (named `phase:<name>`) for a section of
 /// a benchmark binary. Phases land in the run manifest with their
 /// durations; under `REIN_LOG=debug` they print open/close events.
@@ -149,6 +160,28 @@ pub fn write_run_manifest(binary: &str, seed: u64, label_budget: u64) {
     }
 }
 
+/// Writes a grid's serialized cells (see `Controller::run_grid`) to a
+/// stable text file: a `== <key> (<len> bytes)` header per cell followed
+/// by the cell's bytes. Byte-identical grids produce byte-identical
+/// files, so CI compares dumps across `REIN_THREADS` settings by hash.
+pub fn dump_cells(
+    path: &std::path::Path,
+    cells: &std::collections::BTreeMap<String, String>,
+) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            std::fs::create_dir_all(dir)?;
+        }
+    }
+    let mut out = String::new();
+    for (key, bytes) in cells {
+        out.push_str(&format!("== {key} ({} bytes)\n", bytes.len()));
+        out.push_str(bytes);
+        out.push('\n');
+    }
+    std::fs::write(path, out)
+}
+
 /// Exit code for a run that completed but degraded at least one grid
 /// cell (distinct from `2` = bad environment and `1` = crash).
 pub const FAILURE_EXIT: i32 = 3;
@@ -171,6 +204,7 @@ pub fn guard_policy() -> GuardPolicy {
 /// A controller wired with the environment's chaos policy and the given
 /// seed/budget — the standard way bench binaries obtain one.
 pub fn controller(label_budget: usize, seed: u64) -> rein_core::Controller {
+    install_thread_pool();
     rein_core::Controller { label_budget, seed, policy: guard_policy() }
 }
 

@@ -101,6 +101,21 @@ pub struct BenchmarkResult {
     pub span_profile: Vec<SpanPathStat>,
 }
 
+/// One point of the parallel-grid speedup curve: the detect+repair grid
+/// timed under a scoped rayon pool of exactly `threads` workers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThreadAxisPoint {
+    /// Scoped pool width the grid ran under.
+    pub threads: u32,
+    /// Wall-clock time of every repeat, in order, milliseconds.
+    pub repeat_ms: Vec<f64>,
+    /// Derived timing statistics.
+    pub timing: TimingStats,
+    /// `median(1 thread) / median(this width)`; >1 means the wider pool
+    /// beat the serial grid.
+    pub speedup: f64,
+}
+
 /// A full perf baseline: the durable JSON artefact at the repo root.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BenchReport {
@@ -112,6 +127,10 @@ pub struct BenchReport {
     pub env: BenchEnv,
     /// Measurements, sorted by benchmark id.
     pub benchmarks: Vec<BenchmarkResult>,
+    /// Parallel-grid speedup curve over pool widths (empty in reports
+    /// predating the threads axis, hence the serde default).
+    #[serde(default)]
+    pub thread_axis: Vec<ThreadAxisPoint>,
 }
 
 fn timing_stats(xs: &[f64]) -> TimingStats {
@@ -186,6 +205,11 @@ impl BenchReport {
                 s.self_ms = 0.0;
                 s.max_ms = 0.0;
             }
+        }
+        for p in &mut out.thread_axis {
+            p.repeat_ms = vec![0.0; p.repeat_ms.len()];
+            p.timing = TimingStats { median_ms: 0.0, mean_ms: 0.0, min_ms: 0.0, max_ms: 0.0 };
+            p.speedup = 0.0;
         }
         out
     }
@@ -351,13 +375,65 @@ fn measure(bench: &MacroBench, repeats: usize) -> BenchmarkResult {
     result
 }
 
-/// Runs the whole macro suite and assembles the report. Deterministic
-/// given `(scale, repeats, seed)` up to the volatile measurement fields
-/// — see [`BenchReport::normalized`].
-pub fn run_perf_suite(created_by: &str, scale: f64, repeats: usize, seed: u64) -> BenchReport {
+/// Measures the parallel-grid speedup curve: the controller's
+/// detect+repair grid on a classification dataset, timed `repeats`
+/// times under a scoped pool of each requested width. A `1` anchor is
+/// always measured (speedups are relative to the serial grid); widths
+/// are deduplicated and sorted so the curve reads monotonically.
+pub fn run_thread_axis(
+    scale: f64,
+    repeats: usize,
+    seed: u64,
+    widths: &[u32],
+) -> Vec<ThreadAxisPoint> {
+    let ds = DatasetId::BreastCancer
+        .generate(&Params::scaled(scale, rein_data::rng::derive_seed(seed, 9)));
+    let ctrl = rein_core::Controller { label_budget: 50, seed, ..Default::default() };
+    let mut widths: Vec<u32> = widths.iter().copied().filter(|&w| w > 0).collect();
+    widths.push(1);
+    widths.sort_unstable();
+    widths.dedup();
+    let mut points: Vec<ThreadAxisPoint> = Vec::new();
+    for &w in &widths {
+        // audit:allow(panic, the vendored pool builder is infallible for positive widths)
+        let pool = rayon::ThreadPoolBuilder::new().num_threads(w as usize).build().expect("pool");
+        // Warm-up pass outside the timed region, like `measure`.
+        pool.install(|| ctrl.run_grid(&ds, &[], 0));
+        let mut repeat_ms = Vec::with_capacity(repeats);
+        for _ in 0..repeats {
+            let sw = perf::Stopwatch::start();
+            pool.install(|| ctrl.run_grid(&ds, &[], 0));
+            repeat_ms.push(sw.elapsed_ms());
+        }
+        let timing = timing_stats(&repeat_ms);
+        points.push(ThreadAxisPoint { threads: w, repeat_ms, timing, speedup: 0.0 });
+    }
+    let serial = points.iter().find(|p| p.threads == 1).map(|p| p.timing.median_ms).unwrap_or(0.0);
+    for p in &mut points {
+        p.speedup = if p.timing.median_ms > 0.0 { serial / p.timing.median_ms } else { 0.0 };
+    }
+    points
+}
+
+/// Runs the whole macro suite (plus, when `thread_widths` is non-empty,
+/// the parallel-grid threads axis) and assembles the report.
+/// Deterministic given `(scale, repeats, seed)` up to the volatile
+/// measurement fields — see [`BenchReport::normalized`].
+pub fn run_perf_suite(
+    created_by: &str,
+    scale: f64,
+    repeats: usize,
+    seed: u64,
+    thread_widths: &[u32],
+) -> BenchReport {
     let mut benchmarks: Vec<BenchmarkResult> =
         suite(scale, seed).iter().map(|b| measure(b, repeats)).collect();
     benchmarks.sort_by(|a, b| a.id.cmp(&b.id));
+    let thread_axis = if thread_widths.is_empty() {
+        Vec::new()
+    } else {
+        run_thread_axis(scale, repeats, seed, thread_widths)
+    };
     BenchReport {
         schema: REPORT_SCHEMA,
         created_by: created_by.to_string(),
@@ -371,6 +447,7 @@ pub fn run_perf_suite(created_by: &str, scale: f64, repeats: usize, seed: u64) -
             alloc_tracking: perf::alloc_tracking_active(),
         },
         benchmarks,
+        thread_axis,
     }
 }
 
@@ -612,6 +689,7 @@ fn synthetic_report(repeats: usize) -> BenchReport {
             bench("selftest/bravo", 100.0),
             bench("selftest/charlie", 250.0),
         ],
+        thread_axis: Vec::new(),
     }
 }
 

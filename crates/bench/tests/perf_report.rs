@@ -13,8 +13,8 @@ use rein_bench::perf::{comparator_self_test, compare_reports, CompareConfig, Ver
 /// spans).
 #[test]
 fn same_seed_runs_are_byte_identical_modulo_timing() {
-    let a = rein_bench::perf::run_perf_suite("test", 0.01, 2, 90);
-    let b = rein_bench::perf::run_perf_suite("test", 0.01, 2, 90);
+    let a = rein_bench::perf::run_perf_suite("test", 0.01, 2, 90, &[1, 2]);
+    let b = rein_bench::perf::run_perf_suite("test", 0.01, 2, 90, &[1, 2]);
     assert_eq!(
         a.normalized().to_json(),
         b.normalized().to_json(),
@@ -27,6 +27,29 @@ fn same_seed_runs_are_byte_identical_modulo_timing() {
     let cmp = compare_reports(&a, &a, &CompareConfig::default());
     assert_eq!(cmp.regressions, 0);
     assert!(cmp.comparisons.iter().all(|c| c.verdict == Verdict::Unchanged));
+    // The threads axis was measured at both requested widths plus the
+    // serial anchor, with speedups relative to that anchor.
+    assert_eq!(a.thread_axis.iter().map(|p| p.threads).collect::<Vec<_>>(), vec![1, 2]);
+    for p in &a.thread_axis {
+        assert_eq!(p.repeat_ms.len(), 2, "threads={} repeats", p.threads);
+        assert!(p.timing.median_ms > 0.0, "threads={} median", p.threads);
+        assert!(p.speedup > 0.0, "threads={} speedup", p.threads);
+    }
+    let serial = a.thread_axis.iter().find(|p| p.threads == 1).expect("serial anchor");
+    assert!((serial.speedup - 1.0).abs() < 1e-9, "serial speedup is 1 by construction");
+}
+
+/// Reports written before the threads axis existed (no `thread_axis`
+/// key) must still load — the field defaults to empty.
+#[test]
+fn pre_axis_reports_still_parse() {
+    let report = rein_bench::perf::BenchReport::load(std::path::Path::new(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../BENCH_0.json"
+    )))
+    .expect("BENCH_0.json parses");
+    assert!(report.thread_axis.is_empty(), "schema-1 report has no measured axis");
+    assert!(!report.benchmarks.is_empty());
 }
 
 /// The gate's own proof: identical reports compare clean and an injected

@@ -2,18 +2,24 @@
 //! evaluation module, and exploits design-time knowledge (error types, ML
 //! task, available signals) to sidestep unnecessary experiments.
 
+use std::collections::BTreeMap;
+
 use rayon::prelude::*;
 use rein_data::rng::derive_seed;
+use rein_data::MlTask;
 use rein_datasets::GeneratedDataset;
 use rein_detect::DetectorKind;
-use rein_guard::GuardPolicy;
+use rein_guard::{GuardPolicy, StrategyFailure};
+use rein_ml::model::{ClassifierKind, ClustererKind, RegressorKind};
 use rein_repair::{RepairCategory, RepairKind};
 
 use crate::evaluate::{
-    repair_quality_categorical, repair_quality_numerical, run_repair_guarded, DetectorHarness,
-    DetectorRun, RepairRun,
+    eval_classifier_guarded, eval_clusterer, eval_regressor_guarded, repair_quality_categorical,
+    repair_quality_numerical, run_repair_guarded, DetectorHarness, DetectorRun, RepairRun,
+    VersionTable,
 };
 use crate::experiment::{DetectionRecord, RepairRecord};
+use crate::scenario::Scenario;
 use crate::toolbox::{applicable_detectors, applicable_repairers, AvailableSignals};
 
 /// A cleaning strategy: one detector feeding one repairer (the paper's
@@ -138,6 +144,146 @@ impl Controller {
             .collect()
     }
 
+    /// Runs the full benchmark grid — detection, repair, and (when
+    /// `scenarios` is non-empty) model evaluation — and serializes every
+    /// cell's output, keyed by cell coordinates:
+    ///
+    /// - `detect:<detector>` — the detected cell mask,
+    /// - `repair:<repairer>#<detector>` — the repaired table, modified
+    ///   cells and row map (or a pipeline marker for ML-oriented
+    ///   repairers),
+    /// - `eval:<scenario>:<repairer>#<detector>` — the scenario scores
+    ///   for each table-producing repair.
+    ///
+    /// The map is the grid's deterministic fingerprint: every seed is
+    /// derived per cell from the controller seed and the cell's
+    /// coordinates, never from worker identity or arrival order, so the
+    /// serialized bytes are identical at any rayon pool width. The
+    /// `parallel_smoke` binary asserts exactly that (1 ≡ 4 ≡ N threads),
+    /// and `chaos_smoke` compares fault-free and fault-injected runs of
+    /// the same map.
+    pub fn run_grid(
+        &self,
+        ds: &GeneratedDataset,
+        scenarios: &[Scenario],
+        repeats: usize,
+    ) -> BTreeMap<String, String> {
+        let _span = rein_telemetry::span("controller:grid");
+        let mut cells = BTreeMap::new();
+        let detections = self.run_detection(ds);
+        for (det_ix, det) in detections.iter().enumerate() {
+            let key = format!("detect:{}", det.kind.name());
+            // audit:allow(panic, CellMask serialization to JSON strings is infallible)
+            let bytes = serde_json::to_string(&det.mask).expect("mask serializes");
+            cells.insert(key, bytes);
+            // audit:allow(seed-provenance, det only names the guard scope; every repair seed is derived inside run_repairs from self.seed and the repair kind)
+            let repairs = self.run_repairs(ds, det);
+            for rep in &repairs {
+                let key = format!("repair:{}#{}", rep.kind.name(), det.kind.name());
+                let bytes = match (&rep.version, &rep.repaired_cells) {
+                    (Some(v), Some(m)) => format!(
+                        "{}\n{}\n{:?}",
+                        rein_data::csv::write_str(&v.table),
+                        // audit:allow(panic, CellMask serialization to JSON strings is infallible)
+                        serde_json::to_string(m).expect("mask serializes"),
+                        v.row_map
+                    ),
+                    _ => format!("pipeline:{}", rep.pipeline.is_some()),
+                };
+                cells.insert(key, bytes);
+            }
+            cells.extend(self.eval_cells(ds, det, det_ix, &repairs, scenarios, repeats));
+        }
+        cells
+    }
+
+    /// The evaluation layer of [`Controller::run_grid`]: every
+    /// (scenario × table-producing repair) cell for one detector, in
+    /// parallel, each under its own coordinate-derived seed.
+    fn eval_cells(
+        &self,
+        ds: &GeneratedDataset,
+        det: &DetectorRun,
+        det_ix: usize,
+        repairs: &[RepairRun],
+        scenarios: &[Scenario],
+        repeats: usize,
+    ) -> Vec<(String, String)> {
+        if scenarios.is_empty() || repeats == 0 {
+            return Vec::new();
+        }
+        let span = rein_telemetry::span("controller:evaluate");
+        let parent = Some(span.ctx());
+        let work: Vec<(usize, usize)> = (0..scenarios.len())
+            .flat_map(|si| {
+                repairs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, r)| r.version.is_some())
+                    .map(move |(ri, _)| (si, ri))
+            })
+            .collect();
+        work.par_iter()
+            .map(|&(si, ri)| {
+                let _worker = rein_telemetry::span_under("controller:eval-one", parent);
+                let scenario = scenarios[si];
+                let rep = &repairs[ri];
+                // audit:allow(panic, the work list above is filtered to table-producing repairs)
+                let version = rep.version.as_ref().expect("versioned repair");
+                let cell_seed = derive_seed(
+                    self.seed,
+                    40_000 + (det_ix as u64) * 1_000 + (si as u64) * 100 + ri as u64,
+                );
+                let key =
+                    format!("eval:{}:{}#{}", scenario.name(), rep.kind.name(), det.kind.name());
+                (key, self.eval_cell(ds, scenario, version, repeats, cell_seed))
+            })
+            .collect()
+    }
+
+    /// Serializes one evaluation cell: the task-appropriate model's
+    /// scores (plus the failure cause when the guarded fit degraded).
+    fn eval_cell(
+        &self,
+        ds: &GeneratedDataset,
+        scenario: Scenario,
+        version: &VersionTable,
+        repeats: usize,
+        seed: u64,
+    ) -> String {
+        match ds.info.task {
+            MlTask::Classification => {
+                let (scores, failure) = eval_classifier_guarded(
+                    scenario,
+                    ds,
+                    version,
+                    ClassifierKind::DecisionTree,
+                    repeats,
+                    seed,
+                    &self.policy,
+                );
+                render_scores(&scores, failure.as_ref())
+            }
+            MlTask::Regression => {
+                let (scores, failure) = eval_regressor_guarded(
+                    scenario,
+                    ds,
+                    version,
+                    RegressorKind::LinearRegression,
+                    repeats,
+                    seed,
+                    &self.policy,
+                );
+                render_scores(&scores, failure.as_ref())
+            }
+            MlTask::Clustering => {
+                let score = eval_clusterer(&version.table, ClustererKind::KMeans, 6, seed);
+                format!("silhouette:{score:?}")
+            }
+            MlTask::None => "task:none".to_string(),
+        }
+    }
+
     /// Detection records for result tables.
     pub fn detection_records(
         &self,
@@ -185,6 +331,14 @@ impl Controller {
                 }
             })
             .collect()
+    }
+}
+
+/// The `scores:…` cell text shared by the supervised tasks.
+fn render_scores(scores: &[f64], failure: Option<&StrategyFailure>) -> String {
+    match failure {
+        Some(f) => format!("scores:{scores:?} failure:{}", f.cause),
+        None => format!("scores:{scores:?}"),
     }
 }
 
@@ -240,6 +394,23 @@ mod tests {
         let records = ctrl.repair_records(&ds, det.kind, &runs);
         // Numeric dataset: RMSE defined for same-shape repairs.
         assert!(records.iter().any(|r| r.rmse.is_some()));
+    }
+
+    #[test]
+    fn grid_covers_detect_repair_and_eval_cells() {
+        let ds = DatasetId::BreastCancer.generate(&Params::scaled(0.2, 6));
+        let ctrl = Controller { label_budget: 30, seed: 7, ..Controller::default() };
+        let cells = ctrl.run_grid(&ds, &[Scenario::S1], 1);
+        assert!(cells.keys().any(|k| k.starts_with("detect:")), "got {:?}", cells.keys());
+        assert!(cells.keys().any(|k| k.starts_with("repair:")), "got {:?}", cells.keys());
+        let evals: Vec<&String> = cells.keys().filter(|k| k.starts_with("eval:S1:")).collect();
+        assert!(!evals.is_empty(), "got {:?}", cells.keys());
+        // Eval cells carry rendered scores, not placeholders.
+        for key in evals {
+            assert!(cells[key].starts_with("scores:"), "{key} -> {}", cells[key]);
+        }
+        // Byte-identity across pool widths is parallel_smoke's job; here
+        // we only pin the cell taxonomy.
     }
 
     #[test]

@@ -17,12 +17,14 @@ use rein_data::{CellMask, CellRef, ColumnType, Table};
 #[derive(Debug)]
 pub struct Oracle {
     mask: CellMask,
+    // audit:allow(par-shared-mutable, the oracle is constructed per detector invocation and owned by a single worker; the query counter never crosses the parallel boundary)
     queries: Cell<usize>,
 }
 
 impl Oracle {
     /// Builds an oracle from the ground-truth error mask.
     pub fn new(mask: CellMask) -> Self {
+        // audit:allow(par-shared-mutable, single-owner counter, see the field declaration above)
         Self { mask, queries: Cell::new(0) }
     }
 

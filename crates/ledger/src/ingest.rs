@@ -136,8 +136,10 @@ fn num_u64(value: &Value) -> Option<u64> {
 
 /// Builds the ledger entry for one `BENCH_*.json` perf report. Parsed
 /// generically: the identity is (creating bin, seed, scale, sorted
-/// benchmark ids) — timings are deliberately not part of the key, so a
-/// re-run of the same suite maps to the same entry.
+/// benchmark ids, thread-axis widths) — timings are deliberately not
+/// part of the key, so a re-run of the same suite maps to the same
+/// entry, while adding or widening the threads axis measures something
+/// new and registers as a new entry.
 pub fn bench_entry(report: &Value, source: &str) -> Result<LedgerEntry, String> {
     let bin = get(report, "created_by")
         .and_then(Value::as_str)
@@ -162,6 +164,17 @@ pub fn bench_entry(report: &Value, source: &str) -> Result<LedgerEntry, String> 
             bench_medians.insert(id.clone(), median);
         }
         ids.push(id);
+    }
+    if let Some(axis) = get(report, "thread_axis").and_then(Value::as_seq) {
+        for point in axis {
+            let Some(width) = get(point, "threads").and_then(num_u64) else { continue };
+            ids.push(format!("thread_axis/{width}"));
+            if let Some(median) =
+                get(point, "timing").and_then(|t| get(t, "median_ms")).and_then(num_f64)
+            {
+                bench_medians.insert(format!("thread_axis/{width}"), median);
+            }
+        }
     }
     ids.sort();
     let key = content_key(&run_identity("bench_report", &bin, seed, scale, &ids));
@@ -410,6 +423,47 @@ mod tests {
         assert_eq!(a.threads, 4);
         assert_eq!(a.bench_medians.get("detect/katara/beers"), Some(&0.2));
         assert_eq!(b.bench_medians.get("detect/katara/beers"), Some(&0.9));
+    }
+
+    #[test]
+    fn bench_thread_axis_widths_are_identity() {
+        // The measured pool widths are part of what the suite ran, so
+        // a report that adds a threads axis (BENCH_1 vs BENCH_0) gets
+        // its own key — while the axis timings stay out of the key.
+        let report = |axis: &str| {
+            serde_json::from_str::<Value>(&format!(
+                r#"{{
+                    "schema": 1,
+                    "created_by": "perf_baseline",
+                    "env": {{ "scale": 0.05, "seed": 90, "threads": 4 }},
+                    "benchmarks": [
+                        {{ "id": "detect/katara/beers", "timing": {{ "median_ms": 0.2 }} }}
+                    ],
+                    "thread_axis": [{axis}]
+                }}"#
+            ))
+            .expect("report parses")
+        };
+        let point = |threads: u64, median: f64| {
+            format!(r#"{{ "threads": {threads}, "timing": {{ "median_ms": {median} }} }}"#)
+        };
+        let no_axis = bench_entry(&report(""), "BENCH_0.json").expect("entry");
+        let axis_a = bench_entry(
+            &report(&format!("{}, {}", point(1, 400.0), point(4, 500.0))),
+            "BENCH_1.json",
+        )
+        .expect("entry");
+        let axis_b = bench_entry(
+            &report(&format!("{}, {}", point(1, 410.0), point(4, 520.0))),
+            "BENCH_1.json",
+        )
+        .expect("entry");
+        let wider = bench_entry(&report(&point(8, 300.0)), "BENCH_1.json").expect("entry");
+        assert_ne!(no_axis.key, axis_a.key, "axis widths are identity");
+        assert_eq!(axis_a.key, axis_b.key, "axis timings are not identity");
+        assert_ne!(axis_a.key, wider.key, "a different width set is a different run");
+        assert_eq!(axis_a.bench_medians.get("thread_axis/1"), Some(&400.0));
+        assert_eq!(axis_a.bench_medians.get("thread_axis/4"), Some(&500.0));
     }
 
     #[test]

@@ -6,8 +6,11 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --release"
 cargo build --release
 
-echo "==> cargo test -q"
-cargo test -q
+echo "==> cargo test -q (REIN_THREADS=1)"
+REIN_THREADS=1 cargo test -q
+
+echo "==> cargo test -q (REIN_THREADS=4)"
+REIN_THREADS=4 cargo test -q
 
 echo "==> cargo run -p rein-audit (determinism & integrity audit, semantic rules + SARIF)"
 cargo run -q -p rein-audit -- --quiet --sarif artifacts/audit/report.sarif
@@ -35,18 +38,33 @@ REIN_SCALE=0.01 cargo run -q --release -p rein-bench --bin perf_baseline -- \
 cargo run -q --release -p rein-bench --bin bench_compare -- \
   BENCH_0.json artifacts/perf/BENCH_ci.json --report-only
 
-echo "==> chaos smoke (seeded fault injection; exit 3 = degraded-as-injected)"
+echo "==> chaos smoke at REIN_THREADS=1 and 4 (exit 3 = degraded-as-injected)"
 # chaos_smoke exits 3 by design: the injected cells *did* degrade and the
 # manifest records them. 4 = a non-injected cell diverged, 5 = wrong
-# failure set, anything else = crash or bad environment.
-set +e
-REIN_SCALE=0.05 cargo run -q --release -p rein-bench --bin chaos_smoke
-chaos_exit=$?
-set -e
-if [ "$chaos_exit" -ne 3 ]; then
-  echo "chaos_smoke exited $chaos_exit (expected 3: degraded run with recorded failures)"
+# failure set, anything else = crash or bad environment. Running it at
+# two pool widths and hashing the fault-free cell dumps proves the grid
+# is worker-count invariant in the serial/parallel dimension too.
+for threads in 1 4; do
+  set +e
+  REIN_SCALE=0.05 REIN_THREADS=$threads cargo run -q --release -p rein-bench --bin chaos_smoke -- \
+    --dump-cells "artifacts/chaos/cells-t$threads.txt"
+  chaos_exit=$?
+  set -e
+  if [ "$chaos_exit" -ne 3 ]; then
+    echo "chaos_smoke (REIN_THREADS=$threads) exited $chaos_exit (expected 3: degraded run with recorded failures)"
+    exit 1
+  fi
+done
+serial_sum=$(sha256sum artifacts/chaos/cells-t1.txt | cut -d' ' -f1)
+parallel_sum=$(sha256sum artifacts/chaos/cells-t4.txt | cut -d' ' -f1)
+if [ "$serial_sum" != "$parallel_sum" ]; then
+  echo "grid cell dumps differ between REIN_THREADS=1 ($serial_sum) and REIN_THREADS=4 ($parallel_sum)"
   exit 1
 fi
+echo "grid dumps byte-identical across REIN_THREADS=1/4 (sha256 $serial_sum)"
+
+echo "==> parallel smoke (S1-S5 grid byte-identity at 1/4/N threads, in-process)"
+REIN_SCALE=0.05 cargo run -q --release -p rein-bench --bin parallel_smoke
 
 echo "==> cargo fmt --check"
 cargo fmt --check

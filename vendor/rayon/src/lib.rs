@@ -8,18 +8,118 @@
 //! the fan-out behaviour the benchmark's telemetry has to survive is
 //! real OS-thread concurrency, not a sequential simulation.
 
+use std::cell::Cell;
 use std::ops::Range;
+use std::sync::OnceLock;
 
-/// Number of worker threads a parallel stage uses.
+/// Width of the global pool once [`ThreadPoolBuilder::build_global`]
+/// has run; `None` means "machine default".
+static GLOBAL_WIDTH: OnceLock<usize> = OnceLock::new();
+
+thread_local! {
+    /// Width override installed by [`ThreadPool::install`], inherited
+    /// by worker threads a parallel stage spawns.
+    static POOL_WIDTH: Cell<Option<usize>> = Cell::new(None);
+}
+
+/// Number of worker threads a parallel stage uses: the scoped
+/// [`ThreadPool::install`] override when inside one, then the global
+/// pool width, then the machine's available parallelism.
 pub fn current_num_threads() -> usize {
+    if let Some(w) = POOL_WIDTH.with(Cell::get) {
+        return w;
+    }
+    if let Some(&w) = GLOBAL_WIDTH.get() {
+        return w;
+    }
     std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
 }
 
+/// Configures pool widths; the subset of the real builder the
+/// workspace uses.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+/// Error from [`ThreadPoolBuilder::build_global`] when a global pool
+/// already exists (rayon forbids re-configuration).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(&'static str);
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.0)
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// A builder with the default (machine-wide) width.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker count; `0` restores the default, like rayon.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = if n == 0 { None } else { Some(n) };
+        self
+    }
+
+    fn width(&self) -> usize {
+        self.num_threads
+            .unwrap_or_else(|| std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1))
+    }
+
+    /// Builds a scoped pool; see [`ThreadPool::install`].
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool { width: self.width() })
+    }
+
+    /// Fixes the global pool width. Errs if a global pool was already
+    /// installed — the first configuration wins.
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        GLOBAL_WIDTH
+            .set(self.width())
+            .map_err(|_| ThreadPoolBuildError("the global thread pool has already been initialized"))
+    }
+}
+
+/// A scoped pool: a width that applies to every parallel stage reached
+/// from inside [`ThreadPool::install`], overriding the global pool.
+#[derive(Debug)]
+pub struct ThreadPool {
+    width: usize,
+}
+
+impl ThreadPool {
+    /// Runs `op` with this pool's width governing parallel stages
+    /// (restored on exit, even across panics).
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                POOL_WIDTH.with(|w| w.set(self.0));
+            }
+        }
+        let _restore = Restore(POOL_WIDTH.with(|w| w.replace(Some(self.width))));
+        op()
+    }
+
+    /// This pool's worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.width
+    }
+}
+
 /// Runs `f` over the items of `items` on up to [`current_num_threads`]
-/// scoped threads, preserving order.
+/// scoped threads, preserving order. Workers inherit the stage's width
+/// so nested parallel stages honour a scoped pool.
 fn parallel_map<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> Vec<R> {
     let n = items.len();
-    let threads = current_num_threads().min(n);
+    let width = current_num_threads();
+    let threads = width.min(n);
     if threads <= 1 {
         return items.into_iter().map(f).collect();
     }
@@ -31,6 +131,7 @@ fn parallel_map<T: Send, R: Send>(items: Vec<T>, f: impl Fn(T) -> R + Sync) -> V
     std::thread::scope(|scope| {
         for (in_chunk, out_chunk) in slots.chunks_mut(chunk).zip(out.chunks_mut(chunk)) {
             scope.spawn(move || {
+                POOL_WIDTH.with(|w| w.set(Some(width)));
                 for (slot, dst) in in_chunk.iter_mut().zip(out_chunk.iter_mut()) {
                     *dst = Some(f(slot.take().expect("slot taken twice")));
                 }
