@@ -30,8 +30,9 @@ use crate::semantic::{backward_slice, is_rng_construction, Sink, WorkspaceModel}
 /// worker thread.
 const PAR_ENTRY: [&str; 6] = ["spawn", "scope", "join", "install", "broadcast", "spawn_broadcast"];
 
-/// Calls that turn an iterator chain parallel.
-const PAR_MARKERS: [&str; 7] = [
+/// Calls that turn an iterator chain parallel. Shared with the
+/// dataflow module's `float-reduce-order` rule.
+pub(crate) const PAR_MARKERS: [&str; 7] = [
     "par_iter",
     "into_par_iter",
     "par_iter_mut",

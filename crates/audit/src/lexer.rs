@@ -48,7 +48,17 @@ pub fn lex(source: &str) -> Vec<SourceLine> {
             if st == State::LineComment {
                 st = State::Normal;
             }
+            // A string spanning the line break is closed and reopened
+            // around it: every SourceLine keeps balanced quotes (the
+            // tokenizer's invariant) without collapsing physical lines.
+            let in_str = matches!(st, State::Str | State::RawStr(_));
+            if in_str {
+                cur.code.push('"');
+            }
             lines.push(std::mem::take(&mut cur));
+            if in_str {
+                cur.code.push('"');
+            }
             i += 1;
             continue;
         }
@@ -152,7 +162,15 @@ pub fn lex(source: &str) -> Vec<SourceLine> {
             }
             State::Str => {
                 if c == '\\' {
-                    i += 2; // skip the escaped char (incl. \" and \\)
+                    // Skip the escaped char (incl. \" and \\) — but a
+                    // line-continuation `\` before the newline must leave
+                    // the newline for the top of the loop, or every
+                    // continuation line shifts all later line numbers.
+                    if i + 1 < n && cs[i + 1] == '\n' {
+                        i += 1;
+                    } else {
+                        i += 2;
+                    }
                 } else if c == '"' {
                     cur.code.push('"');
                     st = State::Normal;
@@ -316,5 +334,31 @@ mod tests {
         let ls = lex("writer\"HashMap\";\n");
         assert!(!ls[0].code.contains("HashMap"));
         assert!(ls[0].code.contains("writer"));
+    }
+
+    /// A `\` line-continuation inside a string must not swallow the
+    /// newline: every physical line keeps its own SourceLine, or every
+    /// annotation and finding after the string reports a shifted line.
+    #[test]
+    fn string_continuation_preserves_line_count() {
+        let ls = lex("let s = \"one \\\n    two\";\nlet x = 1; // audit:allow(panic, why)\n");
+        assert_eq!(ls.len(), 3);
+        assert!(ls[2].comment.contains("audit:allow"), "comment stays on physical line 3");
+    }
+
+    /// Strings spanning a line break close and reopen their quotes at
+    /// the break, so each SourceLine has balanced quotes (the
+    /// tokenizer's invariant) and code after the closing quote is kept.
+    #[test]
+    fn multi_line_string_keeps_per_line_quotes_balanced() {
+        for src in ["let s = \"one \\\n  two\"; after();\n", "let s = \"one\n  two\"; after();\n"] {
+            let ls = lex(src);
+            assert_eq!(ls.len(), 2, "{src:?}");
+            for l in &ls {
+                assert_eq!(l.code.matches('"').count() % 2, 0, "{src:?} -> {:?}", l.code);
+            }
+            assert!(ls[1].code.contains("after"), "{src:?}");
+            assert!(!ls[1].code.contains("two"), "string content stays blanked: {src:?}");
+        }
     }
 }

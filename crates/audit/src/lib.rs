@@ -25,16 +25,20 @@
 
 pub mod callgraph;
 pub mod concurrency;
+pub mod dataflow;
 pub mod lexer;
 pub mod parser;
+pub mod purity;
 pub mod report;
 pub mod rules;
 pub mod sarif;
 pub mod semantic;
 
+pub use purity::{cache_key_fields, certify, env_read_allowlist, EntryCertificate};
 pub use report::{audit_workspace, collect_sources, Report, RuleSummary};
 pub use rules::{
-    audit_source, classify, wallclock_allowlist, AllowTable, FileAudit, FileClass, Violation, RULES,
+    audit_source, classify, wallclock_allowlist, AllowEntry, AllowTable, FileAudit, FileClass,
+    Violation, RULES,
 };
 pub use sarif::to_sarif;
 pub use semantic::{analyze, SemanticOutcome, WorkspaceModel};

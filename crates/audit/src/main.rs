@@ -2,7 +2,7 @@
 //! writes `artifacts/audit/report.json` and exits nonzero on violations.
 //!
 //! Usage: `cargo run -p rein-audit [-- --root DIR --json-out FILE
-//! --sarif FILE --only RULE --quiet]`
+//! --sarif FILE --only RULE --deny-stale --quiet]`
 
 // This binary is the audit's report surface; printing is its job.
 #![allow(clippy::print_stdout)]
@@ -17,6 +17,7 @@ struct Args {
     json_out: Option<PathBuf>,
     sarif_out: Option<PathBuf>,
     only: Vec<String>,
+    deny_stale: bool,
     quiet: bool,
 }
 
@@ -30,6 +31,7 @@ fn parse_args() -> Result<Args, String> {
         json_out: None,
         sarif_out: None,
         only: Vec::new(),
+        deny_stale: false,
         quiet: false,
     };
     let mut it = std::env::args().skip(1);
@@ -57,6 +59,7 @@ fn parse_args() -> Result<Args, String> {
                 }
                 args.only.push(rule);
             }
+            "--deny-stale" => args.deny_stale = true,
             "--quiet" | "-q" => args.quiet = true,
             other => return Err(format!("unknown argument: {other}")),
         }
@@ -100,6 +103,9 @@ fn main() -> ExitCode {
         }
     };
     report.retain_rules(&args.only);
+    if args.deny_stale {
+        report.deny_stale();
+    }
     if !args.quiet || !report.clean() {
         print!("{}", report.render_text());
     }

@@ -6,7 +6,7 @@
 //! byte-deterministic, so directory enumeration order cannot leak in.
 //! The report carries no timestamps for the same reason.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -31,6 +31,8 @@ pub struct RuleSummary {
     /// Documentation anchor for the rule (SARIF `helpUri`).
     pub help_uri: &'static str,
     pub violations: usize,
+    /// Non-blocking findings for this rule.
+    pub advisories: usize,
 }
 
 /// The machine-readable audit report written to
@@ -45,16 +47,21 @@ pub struct Report {
     pub rules: Vec<RuleSummary>,
     /// Sorted by (path, line, rule).
     pub violations: Vec<Violation>,
+    /// Non-blocking findings (ranked reports: `hot-loop-alloc`,
+    /// `stale-allow`), sorted like `violations`. Never fail the run
+    /// unless promoted (`--deny-stale`).
+    pub advisories: Vec<Violation>,
 }
 
 impl Report {
-    /// `true` when the workspace passes the audit.
+    /// `true` when the workspace passes the audit (advisories do not
+    /// block).
     pub fn clean(&self) -> bool {
         self.violations.is_empty()
     }
 
     /// Restricts the report to the given rule ids (`--only`): the rule
-    /// catalog and the violation list are filtered; file/suppression
+    /// catalog and the finding lists are filtered; file/suppression
     /// tallies stay untouched.
     pub fn retain_rules(&mut self, only: &[String]) {
         if only.is_empty() {
@@ -62,6 +69,18 @@ impl Report {
         }
         self.rules.retain(|r| only.iter().any(|o| o == r.id));
         self.violations.retain(|v| only.iter().any(|o| *o == v.rule));
+        self.advisories.retain(|v| only.iter().any(|o| *o == v.rule));
+    }
+
+    /// Promotes `stale-allow` advisories to blocking violations
+    /// (`--deny-stale`): CI runs with this on, so dead suppressions
+    /// cannot accumulate.
+    pub fn deny_stale(&mut self) {
+        let (stale, rest): (Vec<Violation>, Vec<Violation>) =
+            self.advisories.drain(..).partition(|v| v.rule == "stale-allow");
+        self.advisories = rest;
+        self.violations.extend(stale);
+        self.violations.sort();
     }
 
     /// Serializes to pretty JSON (deterministic field order).
@@ -75,9 +94,10 @@ impl Report {
     pub fn render_text(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "rein-audit: {} file(s) scanned, {} violation(s), {} suppressed\n",
+            "rein-audit: {} file(s) scanned, {} violation(s), {} advisory(ies), {} suppressed\n",
             self.files_scanned,
             self.violations.len(),
+            self.advisories.len(),
             self.suppressed
         ));
         let mut by_rule: BTreeMap<&str, Vec<&Violation>> = BTreeMap::new();
@@ -86,6 +106,19 @@ impl Report {
         }
         for (rule, vs) in &by_rule {
             out.push_str(&format!("\n[{rule}] {} violation(s)\n", vs.len()));
+            if let Some(info) = RULES.iter().find(|r| r.id == *rule) {
+                out.push_str(&format!("  {}\n", info.description));
+            }
+            for v in vs {
+                out.push_str(&format!("  {}:{}  {}\n", v.path, v.line, v.message));
+            }
+        }
+        let mut adv_by_rule: BTreeMap<&str, Vec<&Violation>> = BTreeMap::new();
+        for v in &self.advisories {
+            adv_by_rule.entry(v.rule.as_str()).or_default().push(v);
+        }
+        for (rule, vs) in &adv_by_rule {
+            out.push_str(&format!("\n[{rule}] {} advisory finding(s) (non-blocking)\n", vs.len()));
             if let Some(info) = RULES.iter().find(|r| r.id == *rule) {
                 out.push_str(&format!("  {}\n", info.description));
             }
@@ -160,17 +193,67 @@ pub fn audit_workspace(root: &Path) -> io::Result<Report> {
 pub fn audit_sources(sources: Vec<(String, String)>) -> Report {
     let mut violations = Vec::new();
     let mut suppressed = 0usize;
+    // Annotation keys that suppressed at least one finding, per file.
+    let mut consumed: BTreeMap<String, BTreeSet<(usize, String, bool)>> = BTreeMap::new();
     for (rel, source) in &sources {
         let audit = audit_source(rel, source);
         violations.extend(audit.violations);
         suppressed += audit.suppressed;
+        consumed.entry(rel.clone()).or_default().extend(audit.consumed);
     }
     let model = WorkspaceModel::build(&sources);
     let semantic = analyze(&model);
     violations.extend(semantic.violations);
     suppressed += semantic.suppressed;
+    let mut advisories = semantic.advisories;
+    for (path, keys) in semantic.consumed {
+        consumed.entry(path).or_default().extend(keys);
+    }
+    // Stale-allow pass: every well-formed annotation that suppressed
+    // nothing in either pass is dead weight — it documents a finding
+    // that no longer exists and would silently mask a future one.
+    // `panic` annotations double as panic-reachability waivers through
+    // the same per-site consumption, so they are never falsely stale.
+    for f in &model.files {
+        let is_live = |consumed: &BTreeMap<String, BTreeSet<(usize, String, bool)>>,
+                       key: &(usize, String, bool)| {
+            consumed.get(&f.path).is_some_and(|k| k.contains(key))
+        };
+        let candidates: Vec<_> =
+            f.allows.entries().iter().filter(|e| !is_live(&consumed, &e.key())).cloned().collect();
+        // First let stale-allow suppressions fire (consuming their own
+        // annotation), then report what is still dead.
+        for e in &candidates {
+            if f.allows.allows(e.line, "stale-allow") {
+                suppressed += 1;
+                consumed
+                    .entry(f.path.clone())
+                    .or_default()
+                    .extend(f.allows.match_keys(e.line, "stale-allow"));
+            }
+        }
+        for e in &candidates {
+            if is_live(&consumed, &e.key()) || f.allows.allows(e.line, "stale-allow") {
+                continue;
+            }
+            let marker = if e.file_level { "audit:allow-file" } else { "audit:allow" };
+            advisories.push(Violation {
+                path: f.path.clone(),
+                line: e.line,
+                rule: "stale-allow".to_string(),
+                message: format!(
+                    "{marker}({rule}, …) no longer suppresses any finding — \
+                     remove the annotation (or fix the regression it used \
+                     to cover)",
+                    rule = e.rule
+                ),
+            });
+        }
+    }
     violations.sort();
     violations.dedup();
+    advisories.sort();
+    advisories.dedup();
     let rules = RULES
         .iter()
         .map(|r| RuleSummary {
@@ -178,15 +261,17 @@ pub fn audit_sources(sources: Vec<(String, String)>) -> Report {
             description: r.description,
             help_uri: r.help_uri,
             violations: violations.iter().filter(|v| v.rule == r.id).count(),
+            advisories: advisories.iter().filter(|v| v.rule == r.id).count(),
         })
         .collect();
     Report {
-        schema_version: 2,
+        schema_version: 3,
         tool: "rein-audit",
         files_scanned: sources.len(),
         suppressed,
         rules,
         violations,
+        advisories,
     }
 }
 
@@ -212,6 +297,7 @@ mod tests {
             suppressed: 0,
             rules: Vec::new(),
             violations: Vec::new(),
+            advisories: Vec::new(),
         };
         assert_eq!(r.to_json(), r.to_json());
         assert!(r.clean());

@@ -42,9 +42,10 @@ const DOC_GUARD: &str = "DESIGN.md#6e-fault-tolerance-and-chaos-testing-rein-gua
 const DOC_LEDGER: &str = "DESIGN.md#6f-cross-run-observability-the-ledger-rein-ledger";
 const DOC_CONCURRENCY: &str =
     "DESIGN.md#6g-concurrency-determinism-rules-parallel-grid-certification";
+const DOC_DATAFLOW: &str = "DESIGN.md#6h-cache-key-purity-certification-taint-dataflow";
 
 /// The audit rule catalog.
-pub const RULES: [RuleInfo; 19] = [
+pub const RULES: [RuleInfo; 24] = [
     RuleInfo {
         id: "wallclock",
         help_uri: DOC_TOKEN,
@@ -199,6 +200,50 @@ pub const RULES: [RuleInfo; 19] = [
                       deadlock and a scheduling-dependent execution \
                       order.",
     },
+    RuleInfo {
+        id: "cache-key-completeness",
+        help_uri: DOC_DATAFLOW,
+        description: "No ambient read (environment, filesystem, \
+                      wall-clock, static/thread_local state) may reach \
+                      the cell-compute region without flowing through \
+                      the declared cache key \
+                      (rein_core::cache_key::CellKey) — an input the \
+                      key cannot see makes every incremental cache hit \
+                      a potential stale replay.",
+    },
+    RuleInfo {
+        id: "env-read-confinement",
+        help_uri: DOC_DATAFLOW,
+        description: "std::env::var and friends are confined to \
+                      rein-bench's config layer (crates/bench/src/lib.rs) \
+                      and binaries — everywhere else the value must be \
+                      snapshotted once and passed down as a parameter.",
+    },
+    RuleInfo {
+        id: "float-reduce-order",
+        help_uri: DOC_DATAFLOW,
+        description: "`.sum()`/`.product()` downstream of a parallel \
+                      iterator must collect() into an ordered container \
+                      first or route through a registered deterministic \
+                      merge — float accumulation order is not \
+                      associative, so scheduling leaks into result bytes.",
+    },
+    RuleInfo {
+        id: "hot-loop-alloc",
+        help_uri: DOC_DATAFLOW,
+        description: "Advisory (non-blocking): allocation calls \
+                      (Vec::new, clone, to_string, format!, collect) \
+                      inside detector/repair kernel loops — the ranked \
+                      worklist for the columnar rewrite.",
+    },
+    RuleInfo {
+        id: "stale-allow",
+        help_uri: DOC_DATAFLOW,
+        description: "Advisory (blocking under --deny-stale): an \
+                      audit:allow annotation that no longer suppresses \
+                      any finding — remove it so dead suppressions \
+                      cannot mask a future regression.",
+    },
 ];
 
 /// Where wall-clock reads are legitimate: exactly the perf module of the
@@ -243,11 +288,22 @@ fn starts_with_any(path: &str, prefixes: &[&str]) -> bool {
     prefixes.iter().any(|p| path == *p || path.starts_with(p))
 }
 
+/// Whether a comment *is* an annotation, as opposed to prose that merely
+/// mentions one (doc comments quoting the syntax, test names): the
+/// content must start with the marker once doc-comment punctuation is
+/// stripped. Backtick-quoted mentions never qualify.
+fn is_annotation_comment(comment: &str) -> bool {
+    comment.trim_start_matches(['/', '!', ' ', '\t']).starts_with("audit:allow")
+}
+
 /// Extracts `audit:allow(rule, reason)` annotations from a comment.
 /// Returns the rules allowed on the annotated line; `malformed` collects
 /// annotations without a reason.
 fn parse_allows(comment: &str, marker: &str, malformed: &mut Vec<String>) -> BTreeSet<String> {
     let mut out = BTreeSet::new();
+    if !is_annotation_comment(comment) {
+        return out;
+    }
     let mut from = 0;
     while let Some(pos) = comment[from..].find(marker) {
         let after = from + pos + marker.len();
@@ -271,6 +327,24 @@ fn parse_allows(comment: &str, marker: &str, malformed: &mut Vec<String>) -> BTr
     out
 }
 
+/// One well-formed `audit:allow` / `audit:allow-file` annotation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct AllowEntry {
+    /// 1-based line of the annotation comment.
+    pub line: usize,
+    /// Rule id the annotation names (may be `all`).
+    pub rule: String,
+    /// `true` for `audit:allow-file`.
+    pub file_level: bool,
+}
+
+impl AllowEntry {
+    /// Stable identity for consumption tracking.
+    pub fn key(&self) -> (usize, String, bool) {
+        (self.line, self.rule.clone(), self.file_level)
+    }
+}
+
 /// Per-file suppression lookup for the semantic rules: the effective
 /// `audit:allow` set of every line (own comment plus the line directly
 /// above) and the file-wide `audit:allow-file` set. Malformed allows are
@@ -280,6 +354,7 @@ fn parse_allows(comment: &str, marker: &str, malformed: &mut Vec<String>) -> BTr
 pub struct AllowTable {
     line_allows: Vec<BTreeSet<String>>,
     file_allows: BTreeSet<String>,
+    entries: Vec<AllowEntry>,
 }
 
 impl AllowTable {
@@ -290,8 +365,17 @@ impl AllowTable {
         let own: Vec<BTreeSet<String>> =
             lines.iter().map(|l| parse_allows(&l.comment, "audit:allow", &mut ignored)).collect();
         let mut t = AllowTable::default();
-        for line in &lines {
-            t.file_allows.extend(parse_allows(&line.comment, "audit:allow-file", &mut ignored));
+        for (i, rules) in own.iter().enumerate() {
+            for r in rules {
+                t.entries.push(AllowEntry { line: i + 1, rule: r.clone(), file_level: false });
+            }
+        }
+        for (i, line) in lines.iter().enumerate() {
+            let file = parse_allows(&line.comment, "audit:allow-file", &mut ignored);
+            for r in &file {
+                t.entries.push(AllowEntry { line: i + 1, rule: r.clone(), file_level: true });
+            }
+            t.file_allows.extend(file);
         }
         t.line_allows = (0..own.len())
             .map(|i| {
@@ -313,6 +397,41 @@ impl AllowTable {
         line.checked_sub(1)
             .and_then(|i| self.line_allows.get(i))
             .is_some_and(|s| s.contains(rule) || s.contains("all"))
+    }
+
+    /// Whether a *file-level* annotation suppresses `rule` (line-level
+    /// allows do not count — used by whole-file rules).
+    pub fn file_allowed(&self, rule: &str) -> bool {
+        self.file_allows.contains(rule) || self.file_allows.contains("all")
+    }
+
+    /// Every well-formed annotation in the file.
+    pub fn entries(&self) -> &[AllowEntry] {
+        &self.entries
+    }
+
+    /// The annotation keys that justify suppressing `rule` at `line`:
+    /// line-level entries on the line or the line directly above, plus
+    /// matching file-level entries. Consumption tracking marks all of
+    /// them live (a redundant second annotation is not "stale").
+    pub fn match_keys(&self, line: usize, rule: &str) -> Vec<(usize, String, bool)> {
+        self.entries
+            .iter()
+            .filter(|e| {
+                (e.rule == rule || e.rule == "all")
+                    && (e.file_level || e.line == line || e.line + 1 == line)
+            })
+            .map(AllowEntry::key)
+            .collect()
+    }
+
+    /// The annotation keys that justify a *file-level* suppression.
+    pub fn match_keys_file(&self, rule: &str) -> Vec<(usize, String, bool)> {
+        self.entries
+            .iter()
+            .filter(|e| e.file_level && (e.rule == rule || e.rule == "all"))
+            .map(AllowEntry::key)
+            .collect()
     }
 }
 
@@ -361,6 +480,9 @@ pub struct FileAudit {
     pub violations: Vec<Violation>,
     /// Number of would-be violations silenced by a valid `audit:allow`.
     pub suppressed: usize,
+    /// Annotation keys ([`AllowEntry::key`]) that suppressed at least
+    /// one token-level finding — input to the stale-allow pass.
+    pub consumed: BTreeSet<(usize, String, bool)>,
 }
 
 /// Line-level checks: token → rule, with a scope predicate.
@@ -403,13 +525,14 @@ pub fn audit_source(path: &str, source: &str) -> FileAudit {
     let class = classify(path);
     let lines = lex(source);
     let tests = test_region_mask(&lines);
+    let table = AllowTable::build(source);
     let mut out = FileAudit::default();
     let mut malformed: Vec<String> = Vec::new();
 
-    // File-wide allows.
-    let mut file_allows: BTreeSet<String> = BTreeSet::new();
+    // File-wide allows (re-parsed here to surface malformed ones;
+    // `AllowTable::build` silently drops them).
     for line in &lines {
-        file_allows.extend(parse_allows(&line.comment, "audit:allow-file", &mut malformed));
+        parse_allows(&line.comment, "audit:allow-file", &mut malformed);
     }
     for rule in &malformed {
         out.violations.push(Violation {
@@ -423,20 +546,14 @@ pub fn audit_source(path: &str, source: &str) -> FileAudit {
             ),
         });
     }
-    let file_allowed = |rule: &str| file_allows.contains(rule) || file_allows.contains("all");
+    let file_allowed = |rule: &str| table.file_allowed(rule);
 
     // Line-level rules.
     for (idx, line) in lines.iter().enumerate() {
         if line.code.is_empty() {
             continue;
         }
-        let mut ignored = Vec::new();
-        let mut allows = parse_allows(&line.comment, "audit:allow", &mut ignored);
-        if idx > 0 {
-            allows.extend(parse_allows(&lines[idx - 1].comment, "audit:allow", &mut ignored));
-        }
-        let allowed =
-            |rule: &str| allows.contains(rule) || allows.contains("all") || file_allowed(rule);
+        let allowed = |rule: &str| table.allows(idx + 1, rule);
 
         for lr in &LINE_RULES {
             if !(lr.applies)(path, class) {
@@ -446,6 +563,7 @@ pub fn audit_source(path: &str, source: &str) -> FileAudit {
                 if has_token(&line.code, token) {
                     if allowed(lr.rule) {
                         out.suppressed += 1;
+                        out.consumed.extend(table.match_keys(idx + 1, lr.rule));
                     } else {
                         out.violations.push(Violation {
                             path: path.to_string(),
@@ -466,6 +584,7 @@ pub fn audit_source(path: &str, source: &str) -> FileAudit {
                 if has_token(&line.code, token) {
                     if allowed("panic") {
                         out.suppressed += 1;
+                        out.consumed.extend(table.match_keys(idx + 1, "panic"));
                     } else {
                         out.violations.push(Violation {
                             path: path.to_string(),
@@ -493,6 +612,7 @@ pub fn audit_source(path: &str, source: &str) -> FileAudit {
         if phases < 3 || !manifests {
             if file_allowed("telemetry-phases") {
                 out.suppressed += 1;
+                out.consumed.extend(table.match_keys_file("telemetry-phases"));
             } else {
                 out.violations.push(Violation {
                     path: path.to_string(),
@@ -523,6 +643,7 @@ pub fn audit_source(path: &str, source: &str) -> FileAudit {
                 .map_or(1, |i| i + 1);
             if file_allowed("ledger-registration") {
                 out.suppressed += 1;
+                out.consumed.extend(table.match_keys_file("ledger-registration"));
             } else {
                 out.violations.push(Violation {
                     path: path.to_string(),
@@ -555,6 +676,7 @@ pub fn audit_source(path: &str, source: &str) -> FileAudit {
                     if has_token(&line.code, token) {
                         if file_allowed("guard-coverage") {
                             out.suppressed += 1;
+                            out.consumed.extend(table.match_keys_file("guard-coverage"));
                         } else {
                             out.violations.push(Violation {
                                 path: path.to_string(),
@@ -583,6 +705,7 @@ pub fn audit_source(path: &str, source: &str) -> FileAudit {
         if !opens_span {
             if file_allowed("telemetry-span") {
                 out.suppressed += 1;
+                out.consumed.extend(table.match_keys_file("telemetry-span"));
             } else {
                 out.violations.push(Violation {
                     path: path.to_string(),
@@ -604,6 +727,22 @@ mod tests {
 
     fn rules_of(audit: &FileAudit) -> Vec<&str> {
         audit.violations.iter().map(|v| v.rule.as_str()).collect()
+    }
+
+    /// Doc prose *quoting* the annotation syntax must not create a
+    /// suppression (it would then be reported as stale); only comments
+    /// that start with the marker are annotations.
+    #[test]
+    fn prose_mentions_are_not_annotations() {
+        let prose = AllowTable::build(
+            "//! suppressed with a `// audit:allow(rule, reason)` comment\n\
+             /// see `audit:allow-file(rule, reason)` for whole files\nfn f() {}\n",
+        );
+        assert!(prose.entries().is_empty());
+        assert!(!prose.allows(1, "rule"));
+        let real = AllowTable::build("// audit:allow(panic, why)\nfn f() {}\n");
+        assert_eq!(real.entries().len(), 1);
+        assert!(real.allows(2, "panic"));
     }
 
     #[test]

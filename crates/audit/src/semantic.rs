@@ -63,7 +63,13 @@ impl WorkspaceModel {
 #[derive(Debug, Default)]
 pub struct SemanticOutcome {
     pub violations: Vec<Violation>,
+    /// Non-blocking findings (ranked reports like `hot-loop-alloc`).
+    pub advisories: Vec<Violation>,
     pub suppressed: usize,
+    /// Per file: `audit:allow` entries that suppressed at least one
+    /// finding, keyed as [`AllowTable::match_keys`] keys. The report
+    /// layer diffs this against every annotation to find stale allows.
+    pub consumed: BTreeMap<String, BTreeSet<(usize, String, bool)>>,
 }
 
 /// Collects findings, applying suppressions per file/line.
@@ -82,15 +88,43 @@ impl<'a> Sink<'a> {
         }
     }
 
+    /// Suppression check shared by blocking and advisory findings:
+    /// `true` when the finding was silenced (and its annotation marked
+    /// consumed).
+    fn suppress(&mut self, path: &str, line: usize, rule: &str) -> bool {
+        let Some(t) = self.allows.get(path) else { return false };
+        if !t.allows(line, rule) {
+            return false;
+        }
+        self.out.suppressed += 1;
+        self.out.consumed.entry(path.to_string()).or_default().extend(t.match_keys(line, rule));
+        true
+    }
+
     pub(crate) fn emit(&mut self, path: &str, line: usize, rule: &str, message: String) {
         if !self.seen.insert((path.to_string(), line, rule.to_string(), message.clone())) {
             return;
         }
-        if self.allows.get(path).is_some_and(|t| t.allows(line, rule)) {
-            self.out.suppressed += 1;
+        if self.suppress(path, line, rule) {
             return;
         }
         self.out.violations.push(Violation {
+            path: path.to_string(),
+            line,
+            rule: rule.to_string(),
+            message,
+        });
+    }
+
+    /// Like [`Sink::emit`] but lands in the non-blocking advisory list.
+    pub(crate) fn emit_advisory(&mut self, path: &str, line: usize, rule: &str, message: String) {
+        if !self.seen.insert((path.to_string(), line, rule.to_string(), message.clone())) {
+            return;
+        }
+        if self.suppress(path, line, rule) {
+            return;
+        }
+        self.out.advisories.push(Violation {
             path: path.to_string(),
             line,
             rule: rule.to_string(),
@@ -111,8 +145,10 @@ pub fn analyze(model: &WorkspaceModel) -> SemanticOutcome {
     panic_reachability(model, &graph, &mut sink);
     result_discard(&graph, &mut sink);
     crate::concurrency::analyze_concurrency(model, &graph, &mut sink);
+    crate::purity::analyze_purity(model, &graph, &mut sink);
     let mut out = sink.out;
     out.violations.sort();
+    out.advisories.sort();
     out
 }
 

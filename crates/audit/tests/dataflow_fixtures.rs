@@ -1,0 +1,280 @@
+//! Fixture-based tests for the purity/taint dataflow rules: each rule
+//! has a negative fixture it must flag, a positive fixture it must
+//! pass, and a suppressed variant, plus the two interprocedural cases
+//! the engine exists for — taint through a closure capture and taint
+//! through a struct-literal field initializer.
+
+use std::path::Path;
+
+use rein_audit::report::audit_sources;
+use rein_audit::semantic::SemanticOutcome;
+use rein_audit::{analyze, certify, Violation, WorkspaceModel};
+
+/// Parses the named fixtures under their virtual workspace paths and
+/// runs the semantic pass (which includes the dataflow rules).
+fn analyze_fixtures(files: &[(&str, &str)]) -> SemanticOutcome {
+    let sources: Vec<(String, String)> = files
+        .iter()
+        .map(|(fixture, vpath)| {
+            let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(fixture);
+            let source = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+            (vpath.to_string(), source)
+        })
+        .collect();
+    let model = WorkspaceModel::build(&sources);
+    let errors = model.parse_errors();
+    assert!(errors.is_empty(), "fixtures must parse cleanly: {errors:?}");
+    analyze(&model)
+}
+
+fn analyze_inline(files: &[(&str, &str)]) -> SemanticOutcome {
+    let sources: Vec<(String, String)> =
+        files.iter().map(|(p, s)| (p.to_string(), s.to_string())).collect();
+    let model = WorkspaceModel::build(&sources);
+    let errors = model.parse_errors();
+    assert!(errors.is_empty(), "inline sources must parse cleanly: {errors:?}");
+    analyze(&model)
+}
+
+fn of_rule<'a>(violations: &'a [Violation], rule: &str) -> Vec<&'a Violation> {
+    violations.iter().filter(|v| v.rule == rule).collect()
+}
+
+// --------------------------------------------------- cache-key-completeness
+
+#[test]
+fn cache_key_flags_ambient_reads_reaching_the_entry_point() {
+    let out = analyze_fixtures(&[("cachekey_bad.rs", "crates/core/src/fixture.rs")]);
+    let hits = of_rule(&out.violations, "cache-key-completeness");
+    // The env read in `helper` and the static read in `tally`.
+    assert_eq!(hits.len(), 2, "got {:?}", out.violations);
+    assert!(hits.iter().any(|v| v.message.contains("environment")), "got {hits:?}");
+    assert!(hits.iter().any(|v| v.message.contains("DRAWS")), "got {hits:?}");
+    // Every finding names the concrete call path from the entry point.
+    assert!(hits.iter().all(|v| v.message.contains("Controller::run_grid ->")), "got {hits:?}");
+}
+
+#[test]
+fn cache_key_traces_taint_through_closure_captures() {
+    let out = analyze_fixtures(&[("cachekey_closure_bad.rs", "crates/core/src/fixture.rs")]);
+    let hits = of_rule(&out.violations, "cache-key-completeness");
+    assert_eq!(hits.len(), 1, "got {:?}", out.violations);
+    assert!(hits[0].message.contains("env::var"), "got {hits:?}");
+}
+
+#[test]
+fn cache_key_traces_taint_through_struct_literal_fields() {
+    let out = analyze_fixtures(&[("cachekey_field_bad.rs", "crates/core/src/fixture.rs")]);
+    let hits = of_rule(&out.violations, "cache-key-completeness");
+    assert_eq!(hits.len(), 1, "got {:?}", out.violations);
+    assert!(hits[0].message.contains("BUMP"), "got {hits:?}");
+}
+
+#[test]
+fn cache_key_passes_a_parameter_pure_entry_point() {
+    let out = analyze_fixtures(&[("cachekey_ok.rs", "crates/core/src/fixture.rs")]);
+    assert!(of_rule(&out.violations, "cache-key-completeness").is_empty(), "{:?}", out.violations);
+}
+
+#[test]
+fn cache_key_suppression_cleanses_the_taint() {
+    let out = analyze_inline(&[(
+        "crates/core/src/fixture.rs",
+        "pub fn detect_with_context() -> u64 {\n\
+         // audit:allow(cache-key-completeness, value only picks a log label)\n\
+         std::env::var(\"X\").map(|v| v.len() as u64).unwrap_or(0)\n\
+         }\n",
+    )]);
+    assert!(of_rule(&out.violations, "cache-key-completeness").is_empty(), "{:?}", out.violations);
+    assert!(out.suppressed >= 1);
+}
+
+#[test]
+fn certify_reports_the_same_fixture_taint() {
+    let sources = vec![(
+        "crates/core/src/fixture.rs".to_string(),
+        std::fs::read_to_string(
+            Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/cachekey_bad.rs"),
+        )
+        .expect("fixture exists"),
+    )];
+    let model = WorkspaceModel::build(&sources);
+    let certs = certify(&model);
+    assert_eq!(certs.len(), 1);
+    assert_eq!(certs[0].entry, "Controller::run_grid");
+    assert!(!certs[0].key_pure);
+    assert_eq!(certs[0].taints.len(), 2, "got {:?}", certs[0].taints);
+}
+
+// ----------------------------------------------------- env-read-confinement
+
+#[test]
+fn env_read_flags_library_code_outside_the_allowlist() {
+    let out = analyze_fixtures(&[("env_read_bad.rs", "crates/repair/src/fixture.rs")]);
+    let hits = of_rule(&out.violations, "env-read-confinement");
+    assert_eq!(hits.len(), 1, "got {:?}", out.violations);
+    assert!(hits[0].message.contains("env::var"), "got {hits:?}");
+}
+
+#[test]
+fn env_read_passes_the_bench_config_layer_and_binaries() {
+    for vpath in ["crates/bench/src/lib.rs", "crates/bench/src/bin/fixture.rs"] {
+        let out = analyze_fixtures(&[("env_read_bad.rs", vpath)]);
+        assert!(
+            of_rule(&out.violations, "env-read-confinement").is_empty(),
+            "{vpath}: {:?}",
+            out.violations
+        );
+    }
+}
+
+#[test]
+fn env_read_suppression_works() {
+    let out = analyze_inline(&[(
+        "crates/repair/src/fixture.rs",
+        "pub fn scale_override() -> usize {\n\
+         // audit:allow(env-read-confinement, read once at startup, documented)\n\
+         std::env::var(\"S\").ok().and_then(|v| v.parse().ok()).unwrap_or(1)\n\
+         }\n",
+    )]);
+    assert!(of_rule(&out.violations, "env-read-confinement").is_empty(), "{:?}", out.violations);
+}
+
+// --------------------------------------------------------- hot-loop-alloc
+
+#[test]
+fn hot_loop_alloc_is_a_non_blocking_advisory() {
+    let out = analyze_fixtures(&[("hotloop_bad.rs", "crates/detect/src/fixture.rs")]);
+    // Advisory, never a violation.
+    assert!(of_rule(&out.violations, "hot-loop-alloc").is_empty(), "{:?}", out.violations);
+    let hits = of_rule(&out.advisories, "hot-loop-alloc");
+    assert_eq!(hits.len(), 1, "got {:?}", out.advisories);
+    assert!(hits[0].message.contains(".to_string()"), "got {hits:?}");
+    // The Vec::new before the loop is not flagged.
+    assert!(hits.iter().all(|v| v.line != 4), "got {hits:?}");
+}
+
+#[test]
+fn hot_loop_alloc_ignores_code_outside_kernel_crates() {
+    let out = analyze_fixtures(&[("hotloop_bad.rs", "crates/core/src/fixture.rs")]);
+    assert!(of_rule(&out.advisories, "hot-loop-alloc").is_empty(), "{:?}", out.advisories);
+}
+
+// ------------------------------------------------------- float-reduce-order
+
+#[test]
+fn float_reduce_flags_sum_off_a_parallel_iterator() {
+    let out = analyze_fixtures(&[("float_reduce_bad.rs", "crates/core/src/fixture.rs")]);
+    let hits = of_rule(&out.violations, "float-reduce-order");
+    assert_eq!(hits.len(), 1, "got {:?}", out.violations);
+    assert!(hits[0].message.contains("sum"), "got {hits:?}");
+}
+
+#[test]
+fn float_reduce_passes_collect_plus_registered_merge() {
+    let out = analyze_fixtures(&[("float_reduce_ok.rs", "crates/core/src/fixture.rs")]);
+    assert!(of_rule(&out.violations, "float-reduce-order").is_empty(), "{:?}", out.violations);
+}
+
+#[test]
+fn float_reduce_suppression_works() {
+    let out = analyze_inline(&[(
+        "crates/core/src/fixture.rs",
+        "pub fn mean(xs: &[f64]) -> f64 {\n\
+         // audit:allow(float-reduce-order, inputs are sanitized to exact dyadics)\n\
+         xs.par_iter().map(|x| x * 0.5).sum::<f64>()\n\
+         }\n",
+    )]);
+    assert!(of_rule(&out.violations, "float-reduce-order").is_empty(), "{:?}", out.violations);
+}
+
+// ------------------------------------------------------------- stale-allow
+
+#[test]
+fn stale_allow_reports_annotations_that_suppress_nothing() {
+    let report = audit_sources(vec![(
+        "crates/core/src/x.rs".to_string(),
+        "// audit:allow(hash-iter, a reason that outlived its finding)\npub fn f() {}\n"
+            .to_string(),
+    )]);
+    let stale: Vec<_> = report.advisories.iter().filter(|v| v.rule == "stale-allow").collect();
+    assert_eq!(stale.len(), 1, "got {:?}", report.advisories);
+    assert_eq!(stale[0].line, 1);
+    assert!(report.clean(), "stale-allow is non-blocking by default");
+}
+
+#[test]
+fn stale_allow_stays_quiet_for_consumed_annotations() {
+    let report = audit_sources(vec![(
+        "crates/core/src/x.rs".to_string(),
+        "// audit:allow(hash-iter, counting only, never iterated)\n\
+         use std::collections::HashMap;\npub fn f() {}\n"
+            .to_string(),
+    )]);
+    assert!(
+        report.advisories.iter().all(|v| v.rule != "stale-allow"),
+        "got {:?}",
+        report.advisories
+    );
+    assert_eq!(report.suppressed, 1);
+}
+
+#[test]
+fn stale_allow_is_itself_suppressible() {
+    let report = audit_sources(vec![(
+        "crates/core/src/x.rs".to_string(),
+        "// audit:allow(stale-allow, kept as a template for the next port)\n\
+         // audit:allow(hash-iter, a reason that outlived its finding)\npub fn f() {}\n"
+            .to_string(),
+    )]);
+    assert!(
+        report.advisories.iter().all(|v| v.rule != "stale-allow"),
+        "got {:?}",
+        report.advisories
+    );
+}
+
+#[test]
+fn deny_stale_promotes_the_advisory_to_blocking() {
+    let mut report = audit_sources(vec![(
+        "crates/core/src/x.rs".to_string(),
+        "// audit:allow(hash-iter, a reason that outlived its finding)\npub fn f() {}\n"
+            .to_string(),
+    )]);
+    assert!(report.clean());
+    report.deny_stale();
+    assert!(!report.clean());
+    assert_eq!(report.violations.len(), 1);
+    assert_eq!(report.violations[0].rule, "stale-allow");
+    assert!(report.advisories.iter().all(|v| v.rule != "stale-allow"));
+}
+
+// ----------------------------------------------------------- determinism
+
+/// Two runs over the same sources produce byte-identical JSON and SARIF,
+/// advisories included.
+#[test]
+fn extended_report_is_byte_identical_across_runs() {
+    let sources = || {
+        vec![
+            (
+                "crates/detect/src/fixture.rs".to_string(),
+                std::fs::read_to_string(
+                    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/hotloop_bad.rs"),
+                )
+                .expect("fixture exists"),
+            ),
+            (
+                "crates/core/src/x.rs".to_string(),
+                "// audit:allow(hash-iter, a reason that outlived its finding)\npub fn f() {}\n"
+                    .to_string(),
+            ),
+        ]
+    };
+    let a = audit_sources(sources());
+    let b = audit_sources(sources());
+    assert!(!a.advisories.is_empty(), "fixture must produce advisories");
+    assert_eq!(a.to_json(), b.to_json());
+    assert_eq!(rein_audit::to_sarif(&a), rein_audit::to_sarif(&b));
+}

@@ -1,0 +1,21 @@
+//! Negative fixture: ambient reads (environment + global state) reach
+//! the `Controller::run_grid` entry point through helpers.
+
+static DRAWS: u64 = 7;
+
+pub struct Controller;
+
+impl Controller {
+    pub fn run_grid(&self) -> u64 {
+        let spec = helper();
+        spec + tally()
+    }
+}
+
+fn helper() -> u64 {
+    std::env::var("REIN_SCALE").map(|v| v.len() as u64).unwrap_or(0)
+}
+
+fn tally() -> u64 {
+    DRAWS
+}

@@ -1,0 +1,6 @@
+//! Negative fixture: the ambient read hides inside a closure body —
+//! taint must flow through the closure capture into the entry point.
+
+pub fn detect_with_context(rows: &[u64]) -> Vec<u64> {
+    rows.iter().map(|r| r + std::env::var("X").map(|v| v.len() as u64).unwrap_or(0)).collect()
+}

@@ -1,0 +1,13 @@
+//! Negative fixture: a static flows into the computation through a
+//! struct-literal field initializer.
+
+static BUMP: u64 = 3;
+
+pub struct Plan {
+    pub seed: u64,
+}
+
+pub fn run_repair_guarded() -> u64 {
+    let p = Plan { seed: BUMP };
+    p.seed
+}

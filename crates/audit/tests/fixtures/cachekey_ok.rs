@@ -1,0 +1,10 @@
+//! Positive fixture: the entry point computes purely from its
+//! parameters — every input is key-derived by construction.
+
+pub fn eval_classifier_guarded(seed: u64, scale: u64) -> u64 {
+    mix(seed, scale)
+}
+
+fn mix(a: u64, b: u64) -> u64 {
+    a ^ b.rotate_left(7)
+}

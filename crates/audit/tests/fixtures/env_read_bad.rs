@@ -1,0 +1,6 @@
+//! Fixture: an environment read in library code. A violation anywhere
+//! except rein-bench's config layer (the allowlisted module).
+
+pub fn scale_override() -> usize {
+    std::env::var("REIN_SCALE").ok().and_then(|v| v.parse().ok()).unwrap_or(1)
+}

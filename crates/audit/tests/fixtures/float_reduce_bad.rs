@@ -1,0 +1,7 @@
+//! Negative fixture: a float sum directly off a parallel iterator —
+//! accumulation order follows the scheduler, not the data.
+
+pub fn mean(xs: &[f64]) -> f64 {
+    let total = xs.par_iter().map(|x| x * 0.5).sum::<f64>();
+    total / xs.len() as f64
+}

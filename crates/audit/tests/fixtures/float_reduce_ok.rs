@@ -1,0 +1,11 @@
+//! Positive fixture: the parallel results are collected into an ordered
+//! container and folded through a registered deterministic merge.
+
+pub fn mean(xs: &[f64]) -> f64 {
+    let shards: Vec<f64> = xs.par_iter().map(|x| x * 0.5).collect();
+    merge_shards(&shards) / xs.len() as f64
+}
+
+fn merge_shards(xs: &[f64]) -> f64 {
+    xs.iter().sum()
+}

@@ -1,0 +1,10 @@
+//! Negative fixture: per-row allocations inside a detector kernel loop.
+
+pub fn detect(rows: &[Vec<String>]) -> Vec<String> {
+    let mut out = Vec::new();
+    for row in rows {
+        let joined = row.join("|").to_string();
+        out.push(joined);
+    }
+    out
+}

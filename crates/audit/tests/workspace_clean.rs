@@ -34,12 +34,70 @@ fn semantic_rules_are_in_the_catalog() {
         "par-merge-registered",
         "par-atomic-ordering",
         "par-lock-discipline",
+        "cache-key-completeness",
+        "env-read-confinement",
+        "float-reduce-order",
+        "hot-loop-alloc",
+        "stale-allow",
     ] {
         assert!(
             report.rules.iter().any(|r| r.id == rule),
             "semantic rule `{rule}` missing from the report catalog"
         );
     }
+}
+
+/// Every cell-compute entry point in the real workspace is certified
+/// key-pure: no unsuppressed ambient read reaches any of them. This is
+/// the precondition for content-addressed incremental evaluation keyed
+/// on `rein_core::cache_key::CellKey`.
+#[test]
+fn every_entry_point_is_certified_key_pure() {
+    let root = workspace_root();
+    let paths = rein_audit::collect_sources(&root).expect("walk workspace sources");
+    let sources: Vec<(String, String)> = paths
+        .iter()
+        .map(|p| {
+            let rel = p.strip_prefix(&root).unwrap_or(p).to_string_lossy().replace('\\', "/");
+            (rel, std::fs::read_to_string(p).expect("read source"))
+        })
+        .collect();
+    let model = rein_audit::WorkspaceModel::build(&sources);
+    let certs = rein_audit::certify(&model);
+    assert!(
+        certs.len() >= rein_audit::dataflow::entry_points().len(),
+        "expected every declared entry point to resolve, got {certs:#?}"
+    );
+    for c in &certs {
+        assert!(
+            c.key_pure,
+            "{} ({}:{}) is not key-pure:\n  {}",
+            c.entry,
+            c.file,
+            c.line,
+            c.taints.join("\n  ")
+        );
+    }
+    let names: Vec<&str> = certs.iter().map(|c| c.entry.as_str()).collect();
+    for expect in [
+        "Controller::run_grid",
+        "DetectorHarness::run",
+        "detect_with_context",
+        "run_repair_guarded",
+    ] {
+        assert!(names.contains(&expect), "entry `{expect}` missing from certificates: {names:?}");
+    }
+}
+
+/// No suppression in the workspace is dead: every `audit:allow`
+/// still silences a live finding (CI enforces this via `--deny-stale`).
+#[test]
+fn workspace_has_no_stale_suppressions() {
+    let mut report =
+        rein_audit::audit_workspace(&workspace_root()).expect("walk workspace sources");
+    report.deny_stale();
+    let stale: Vec<_> = report.violations.iter().filter(|v| v.rule == "stale-allow").collect();
+    assert!(stale.is_empty(), "stale suppressions:\n{stale:#?}");
 }
 
 #[test]

@@ -67,9 +67,7 @@ fn parse_args() -> Result<Option<Args>, String> {
     match positional.len() {
         2 => {
             let mut it = positional.into_iter();
-            // audit:allow(panic, length checked to be exactly two above)
             let baseline = it.next().unwrap();
-            // audit:allow(panic, length checked to be exactly two above)
             let current = it.next().unwrap();
             Ok(Some(Args { baseline, current, cfg, report_only }))
         }
@@ -111,6 +109,26 @@ fn main() {
              ratios mix workload size with speed",
             baseline.env.scale, current.env.scale
         );
+    }
+    if baseline.env.threads != current.env.threads
+        || baseline.env.single_core != current.env.single_core
+    {
+        let describe = |env: &rein_bench::perf::BenchEnv| {
+            format!(
+                "{} thread(s){}",
+                env.threads,
+                if env.single_core { ", single-core host" } else { "" }
+            )
+        };
+        eprintln!("==================================================================");
+        eprintln!("WARNING: core counts differ between the two reports.");
+        eprintln!("  baseline: {}", describe(&baseline.env));
+        eprintln!("  current:  {}", describe(&current.env));
+        eprintln!("Timing ratios below mix hardware parallelism with code speed;");
+        eprintln!("parallel-grid regressions/improvements reported here are NOT");
+        eprintln!("attributable to the code change. Re-run both reports on the");
+        eprintln!("same machine (or pin RAYON_NUM_THREADS) before trusting them.");
+        eprintln!("==================================================================");
     }
 
     let cmp = compare_reports(&baseline, &current, &args.cfg);

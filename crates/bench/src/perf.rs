@@ -52,6 +52,13 @@ pub struct BenchEnv {
     pub arch: String,
     /// Worker threads rayon fan-outs may use.
     pub threads: u32,
+    /// `true` when the host reported a single hardware thread
+    /// (`available_parallelism() == 1`): parallel speedup numbers from
+    /// such a run are meaningless and the comparator warns loudly when
+    /// one side of a comparison was single-core. Defaults to `false`
+    /// for reports written before the field existed.
+    #[serde(default)]
+    pub single_core: bool,
     /// Whether the counting global allocator was installed (allocation
     /// numbers are all-zero when it was not).
     pub alloc_tracking: bool,
@@ -417,6 +424,14 @@ pub fn run_thread_axis(
 
 /// Runs the whole macro suite (plus, when `thread_widths` is non-empty,
 /// the parallel-grid threads axis) and assembles the report.
+/// Whether the host reports exactly one hardware thread. Stamped into
+/// the report's env echo so `bench_compare` can warn when a comparison
+/// mixes a single-core run (no real parallelism, thread-axis points all
+/// equal) with a multi-core one.
+pub fn single_core_host() -> bool {
+    std::thread::available_parallelism().map(|n| n.get() == 1).unwrap_or(false)
+}
+
 /// Deterministic given `(scale, repeats, seed)` up to the volatile
 /// measurement fields — see [`BenchReport::normalized`].
 pub fn run_perf_suite(
@@ -444,6 +459,7 @@ pub fn run_perf_suite(
             os: std::env::consts::OS.to_string(),
             arch: std::env::consts::ARCH.to_string(),
             threads: crate::worker_threads(),
+            single_core: single_core_host(),
             alloc_tracking: perf::alloc_tracking_active(),
         },
         benchmarks,
@@ -682,6 +698,7 @@ fn synthetic_report(repeats: usize) -> BenchReport {
             os: std::env::consts::OS.to_string(),
             arch: std::env::consts::ARCH.to_string(),
             threads: crate::worker_threads(),
+            single_core: false,
             alloc_tracking: false,
         },
         benchmarks: vec![

@@ -241,6 +241,35 @@ impl Controller {
             .collect()
     }
 
+    /// The canonical cache key of one grid cell, exactly as the
+    /// ROADMAP's content-addressed incremental store will compute it.
+    /// `strategy` is the cell's `run_grid` coordinate string
+    /// (`detect:…`, `repair:…#…` or `eval:…:…#…`), `dataset_version`
+    /// the consumed version's [`VersionTable::content_identity`] (the
+    /// dirty table's identity for detection cells), `cell_seed` the
+    /// fully-derived per-cell seed, and `scale` the dataset generation
+    /// factor. rein-audit's `cache-key-completeness` rule certifies the
+    /// cell-compute entry points pure against exactly these components
+    /// (DESIGN.md §6h), so a key hit is provably a byte-identical
+    /// recompute.
+    pub fn cell_key(
+        &self,
+        ds: &GeneratedDataset,
+        dataset_version: &str,
+        strategy: &str,
+        scale: f64,
+        cell_seed: u64,
+    ) -> crate::cache_key::CellKey {
+        crate::cache_key::CellKey {
+            dataset: ds.info.name.clone(),
+            dataset_version: dataset_version.to_string(),
+            strategy: strategy.to_string(),
+            seed: cell_seed,
+            scale,
+            guard_policy: format!("{:?}", self.policy),
+        }
+    }
+
     /// Serializes one evaluation cell: the task-appropriate model's
     /// scores (plus the failure cause when the guarded fit degraded).
     fn eval_cell(
@@ -411,6 +440,27 @@ mod tests {
         }
         // Byte-identity across pool widths is parallel_smoke's job; here
         // we only pin the cell taxonomy.
+    }
+
+    #[test]
+    fn cell_keys_are_content_addressed_per_coordinate() {
+        let ds = DatasetId::BreastCancer.generate(&Params::scaled(0.2, 6));
+        let ctrl = Controller { label_budget: 30, seed: 7, ..Controller::default() };
+        let version = VersionTable::identity(ds.dirty.clone());
+        let seed_a = derive_seed(ctrl.seed, 40_000);
+        let seed_b = derive_seed(ctrl.seed, 40_001);
+        let vid = version.content_identity();
+        let a = ctrl.cell_key(&ds, &vid, "eval:S1:ImputeMeanMode#Raha", 0.2, seed_a);
+        let b = ctrl.cell_key(&ds, &vid, "eval:S1:ImputeMeanMode#MaxEntropy", 0.2, seed_b);
+        assert_ne!(a.content_key(), b.content_key());
+        // Rebuilding the key from the same coordinates is byte-stable.
+        let again = ctrl.cell_key(&ds, &vid, "eval:S1:ImputeMeanMode#Raha", 0.2, seed_a);
+        assert_eq!(a, again);
+        assert_eq!(a.content_key(), again.content_key());
+        // The version component really is content-addressed: the same
+        // table rebuilt from scratch hashes to the same identity.
+        assert_eq!(vid, VersionTable::identity(ds.dirty.clone()).content_identity());
+        assert!(vid.starts_with("v:") && vid.len() == 18, "got {vid}");
     }
 
     #[test]

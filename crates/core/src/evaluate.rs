@@ -213,6 +213,16 @@ impl VersionTable {
         let row_map = (0..table.n_rows()).collect();
         Self { table, row_map }
     }
+
+    /// Content identity of this version: the ledger's 16-hex FNV-1a key
+    /// over the CSV bytes and the row map. This is the
+    /// `dataset_version` component of a
+    /// [`crate::cache_key::CellKey`] — two versions with identical
+    /// bytes share an identity no matter which repair produced them.
+    pub fn content_identity(&self) -> String {
+        let payload = format!("{}\n{:?}", rein_data::csv::write_str(&self.table), self.row_map);
+        format!("v:{}", rein_ledger::content_key(&payload))
+    }
 }
 
 /// One repair execution: either a repaired version or a trained pipeline.

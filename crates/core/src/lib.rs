@@ -8,6 +8,7 @@
 //! detection/repair/model quality, and serialisable [`experiment`]
 //! records including the Wilcoxon A/B test.
 
+pub mod cache_key;
 pub mod controller;
 pub mod evaluate;
 pub mod experiment;
@@ -15,6 +16,7 @@ pub mod repository;
 pub mod scenario;
 pub mod toolbox;
 
+pub use cache_key::CellKey;
 pub use controller::{CleaningStrategy, Controller, Plan};
 pub use evaluate::{
     detect_with_context, eval_classifier, eval_classifier_guarded, eval_clusterer,

@@ -125,6 +125,7 @@ impl ChaosSpec {
     /// unparsable spec is an error — silently running fault-free when the
     /// operator asked for chaos would invalidate the experiment.
     pub fn from_env() -> Result<Self, String> {
+        // audit:allow(env-read-confinement, REIN_CHAOS is snapshotted once at startup by the bench binaries and folded into the guard policy, which is a declared cache-key component)
         match std::env::var("REIN_CHAOS") {
             Err(_) => Ok(ChaosSpec::default()),
             Ok(raw) => Self::parse(&raw),

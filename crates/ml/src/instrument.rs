@@ -29,6 +29,7 @@ impl InstrumentedClassifier {
 
 impl Classifier for InstrumentedClassifier {
     fn fit(&mut self, x: &Matrix, y: &[usize], n_classes: usize) {
+        // audit:allow(cache-key-completeness, elapsed time feeds only the telemetry histograms and counters, never the fitted model or its predictions)
         let start = Stopwatch::start();
         self.inner.fit(x, y, n_classes);
         histogram("model_fit").record(start.elapsed());
@@ -37,6 +38,7 @@ impl Classifier for InstrumentedClassifier {
     }
 
     fn predict(&self, x: &Matrix) -> Vec<usize> {
+        // audit:allow(cache-key-completeness, elapsed time feeds only the telemetry histograms and counters, never the fitted model or its predictions)
         let start = Stopwatch::start();
         let out = self.inner.predict(x);
         histogram("model_predict").record(start.elapsed());
@@ -45,6 +47,7 @@ impl Classifier for InstrumentedClassifier {
     }
 
     fn predict_proba(&self, x: &Matrix, n_classes: usize) -> Matrix {
+        // audit:allow(cache-key-completeness, elapsed time feeds only the telemetry histograms and counters, never the fitted model or its predictions)
         let start = Stopwatch::start();
         let out = self.inner.predict_proba(x, n_classes);
         histogram("model_predict").record(start.elapsed());
@@ -67,6 +70,7 @@ impl InstrumentedRegressor {
 
 impl Regressor for InstrumentedRegressor {
     fn fit(&mut self, x: &Matrix, y: &[f64]) {
+        // audit:allow(cache-key-completeness, elapsed time feeds only the telemetry histograms and counters, never the fitted model or its predictions)
         let start = Stopwatch::start();
         self.inner.fit(x, y);
         histogram("model_fit").record(start.elapsed());
@@ -75,6 +79,7 @@ impl Regressor for InstrumentedRegressor {
     }
 
     fn predict(&self, x: &Matrix) -> Vec<f64> {
+        // audit:allow(cache-key-completeness, elapsed time feeds only the telemetry histograms and counters, never the fitted model or its predictions)
         let start = Stopwatch::start();
         let out = self.inner.predict(x);
         histogram("model_predict").record(start.elapsed());
@@ -97,6 +102,7 @@ impl InstrumentedClusterer {
 
 impl Clusterer for InstrumentedClusterer {
     fn fit_predict(&mut self, x: &Matrix) -> Vec<usize> {
+        // audit:allow(cache-key-completeness, elapsed time feeds only the telemetry histograms and counters, never the fitted model or its predictions)
         let start = Stopwatch::start();
         let out = self.inner.fit_predict(x);
         histogram("model_fit").record(start.elapsed());

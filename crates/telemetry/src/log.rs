@@ -39,6 +39,7 @@ pub fn level() -> Level {
         1 => Level::Info,
         2 => Level::Debug,
         _ => {
+            // audit:allow(env-read-confinement, REIN_LOG only selects log verbosity in the observer layer; it cannot reach a computed result)
             let from_env = std::env::var("REIN_LOG");
             let resolved = match &from_env {
                 Ok(raw) => parse(raw),

@@ -62,6 +62,7 @@ impl ManifestMode {
 /// is set but neither `full` nor `summary` is a hard error, never a
 /// silent default — consistent with the other environment overrides.
 pub fn manifest_mode() -> ManifestMode {
+    // audit:allow(env-read-confinement, REIN_MANIFEST only chooses how much the run manifest records; the manifest is observer output, never an input)
     match std::env::var("REIN_MANIFEST") {
         Err(_) => ManifestMode::Full,
         Ok(raw) => match raw.as_str() {

@@ -190,6 +190,7 @@ pub(crate) fn merge_shards(shards: Vec<Vec<ShardEntry>>) -> Vec<SpanRecord> {
 /// a positive integer is a hard error, never a silent default —
 /// consistent with the bench crate's environment handling.
 fn span_shards() -> usize {
+    // audit:allow(env-read-confinement, REIN_SPAN_SHARDS only sizes the span sink's buffer pool; shards are merged deterministically before any report)
     match std::env::var("REIN_SPAN_SHARDS") {
         Err(_) => std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1),
         Ok(raw) => match raw.parse::<usize>() {

@@ -12,8 +12,8 @@ REIN_THREADS=1 cargo test -q
 echo "==> cargo test -q (REIN_THREADS=4)"
 REIN_THREADS=4 cargo test -q
 
-echo "==> cargo run -p rein-audit (determinism & integrity audit, semantic rules + SARIF)"
-cargo run -q -p rein-audit -- --quiet --sarif artifacts/audit/report.sarif
+echo "==> cargo run -p rein-audit (determinism & integrity audit, semantic rules + SARIF, stale suppressions blocking)"
+cargo run -q -p rein-audit -- --quiet --deny-stale --sarif artifacts/audit/report.sarif
 
 echo "==> ledger report (ingest committed artifacts; must be a deterministic no-op twice)"
 cargo run -q --release -p rein-ledger --bin rein_report -- --out artifacts/ledger \
