@@ -15,9 +15,10 @@
 //! serial look-alike costs one `audit:allow`, a rule that misses a
 //! shared mutation costs a nondeterministic benchmark.
 //!
-//! Five blocking rules run over that region (catalog in DESIGN.md §6g):
-//! `par-shared-mutable`, `par-seed-derivation`, `par-merge-registered`,
-//! `par-atomic-ordering` and `par-lock-discipline`.
+//! Six blocking rules run over that region (catalog in DESIGN.md §6g,
+//! trace-context in §6i): `par-shared-mutable`, `par-seed-derivation`,
+//! `par-merge-registered`, `par-atomic-ordering`, `par-lock-discipline`
+//! and `trace-context`.
 
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -130,7 +131,7 @@ fn parallel_region(g: &CallGraph) -> ParRegion {
     ParRegion { sites, member }
 }
 
-/// Runs the five concurrency rules. Called from `semantic::analyze`.
+/// Runs the six concurrency rules. Called from `semantic::analyze`.
 pub(crate) fn analyze_concurrency(model: &WorkspaceModel, g: &CallGraph, sink: &mut Sink) {
     let region = parallel_region(g);
     par_shared_mutable(model, g, &region, sink);
@@ -138,6 +139,47 @@ pub(crate) fn analyze_concurrency(model: &WorkspaceModel, g: &CallGraph, sink: &
     par_merge_registered(g, &region, sink);
     par_atomic_ordering(model, sink);
     par_lock_discipline(model, g, sink);
+    trace_context(g, &region, sink);
+}
+
+// --------------------------------------------------------- trace-context
+
+/// Span constructors that inherit the thread-local ambient context
+/// instead of carrying an explicit trace id. Fine in serial code (the
+/// ambient stack is the enclosing span); on a worker thread the stack
+/// starts empty, so the span falls outside every causal cell trace.
+const AMBIENT_SPAN_CTORS: [&str; 2] = ["span", "span_under"];
+
+fn trace_context(g: &CallGraph, region: &ParRegion, sink: &mut Sink) {
+    for (&ix, closure_ixs) in &region.sites {
+        let n = &g.nodes[ix];
+        if n.class.is_test_support || n.func.in_test {
+            continue;
+        }
+        for &ci in closure_ixs {
+            let c = &n.func.closures[ci];
+            for &call_ix in &c.calls {
+                let Some(call) = n.func.calls.get(call_ix) else { continue };
+                if !AMBIENT_SPAN_CTORS.contains(&call.callee.name()) {
+                    continue;
+                }
+                sink.emit(
+                    &n.file,
+                    call.line,
+                    "trace-context",
+                    format!(
+                        "`{}` opens a span directly inside a parallel \
+                         closure without a cell-derived TraceContext — the \
+                         worker's ambient parent stack is empty, so the \
+                         span becomes an unattributable ambient root; open \
+                         the cell root with span_traced(name, parent, \
+                         trace_id) keyed on the CellKey digest",
+                        call.callee.name()
+                    ),
+                );
+            }
+        }
+    }
 }
 
 // --------------------------------------------------- par-shared-mutable

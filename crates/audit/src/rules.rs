@@ -43,9 +43,10 @@ const DOC_LEDGER: &str = "DESIGN.md#6f-cross-run-observability-the-ledger-rein-l
 const DOC_CONCURRENCY: &str =
     "DESIGN.md#6g-concurrency-determinism-rules-parallel-grid-certification";
 const DOC_DATAFLOW: &str = "DESIGN.md#6h-cache-key-purity-certification-taint-dataflow";
+const DOC_TRACE: &str = "DESIGN.md#6i-causal-cell-level-tracing-trace-context-propagation";
 
 /// The audit rule catalog.
-pub const RULES: [RuleInfo; 24] = [
+pub const RULES: [RuleInfo; 25] = [
     RuleInfo {
         id: "wallclock",
         help_uri: DOC_TOKEN,
@@ -199,6 +200,17 @@ pub const RULES: [RuleInfo; 24] = [
                       one function and B→A in another is a potential \
                       deadlock and a scheduling-dependent execution \
                       order.",
+    },
+    RuleInfo {
+        id: "trace-context",
+        help_uri: DOC_TRACE,
+        description: "Spans opened directly inside a parallel closure \
+                      must carry a cell-derived TraceContext \
+                      (span_traced(name, parent, trace_id) keyed on the \
+                      CellKey digest) — a plain span()/span_under() on a \
+                      worker thread starts with an empty ambient parent \
+                      stack, so its subtree becomes an unattributable \
+                      ambient root outside every causal cell trace.",
     },
     RuleInfo {
         id: "cache-key-completeness",

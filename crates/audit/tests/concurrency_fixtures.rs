@@ -151,6 +151,22 @@ fn par_lock_discipline_accepts_consistent_global_order() {
     assert!(of_rule(&violations, "par-lock-discipline").is_empty(), "got {violations:?}");
 }
 
+// --------------------------------------------------------- trace-context
+
+#[test]
+fn trace_context_flags_ambient_span_in_parallel_closure() {
+    let violations = analyze_assembly(&[("trace_ctx_bad.rs", "crates/core/src/fixture.rs")]);
+    let hits = of_rule(&violations, "trace-context");
+    assert_eq!(hits.len(), 1, "got {violations:?}");
+    assert!(hits[0].message.contains("span_traced"), "got {hits:?}");
+}
+
+#[test]
+fn trace_context_accepts_span_traced_cell_roots() {
+    let violations = analyze_assembly(&[("trace_ctx_ok.rs", "crates/core/src/fixture.rs")]);
+    assert!(of_rule(&violations, "trace-context").is_empty(), "got {violations:?}");
+}
+
 // ------------------------------------------- closure-argument call edges
 
 #[test]

@@ -1,0 +1,19 @@
+//! Concurrency fixture (negative): a span opened directly inside a
+//! parallel closure with the ambient constructor — on a worker thread
+//! the thread-local parent stack is empty, so the span (and everything
+//! under it) is an unattributable ambient root outside every causal
+//! cell trace. `trace-context` must fire.
+
+pub fn shard_cells(xs: &[u64]) -> Vec<u64> {
+    xs.par_iter()
+        .enumerate()
+        .map(|(i, x)| {
+            let _cell = span("cell");
+            step(i as u64, *x)
+        })
+        .collect()
+}
+
+fn step(i: u64, x: u64) -> u64 {
+    i + x
+}

@@ -1,0 +1,23 @@
+//! Concurrency fixture (positive): the cell root is opened with
+//! `span_traced`, carrying the parent link and the cell-derived trace
+//! id, so the whole subtree hangs off a causal cell trace and
+//! `trace-context` stays quiet.
+
+pub fn shard_cells(xs: &[u64], parent: u64) -> Vec<u64> {
+    xs.par_iter()
+        .enumerate()
+        .map(|(i, x)| {
+            let trace = cell_trace_id(i as u64);
+            let _cell = span_traced("cell", parent, trace);
+            step(i as u64, *x)
+        })
+        .collect()
+}
+
+pub fn cell_trace_id(i: u64) -> u64 {
+    i.rotate_left(11) ^ 0x9e37_79b9
+}
+
+fn step(i: u64, x: u64) -> u64 {
+    i + x
+}

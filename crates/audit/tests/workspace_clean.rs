@@ -34,6 +34,7 @@ fn semantic_rules_are_in_the_catalog() {
         "par-merge-registered",
         "par-atomic-ordering",
         "par-lock-discipline",
+        "trace-context",
         "cache-key-completeness",
         "env-read-confinement",
         "float-reduce-order",

@@ -2,10 +2,14 @@
 //! fault-free, once under seeded fault injection — and asserts that
 //!
 //! 1. exactly the injected cells degrade (each with a structured
-//!    failure of the expected cause), and
+//!    failure of the expected cause),
 //! 2. every non-injected cell's output is byte-identical between the
 //!    two runs (serialized masks and repaired versions compared as
-//!    strings).
+//!    strings), and
+//! 3. every injected failure is causally attributed: its failure record
+//!    links a cell trace id, that trace's root is the injected cell,
+//!    the tree carries a `guard:fail:*` instant event — and no
+//!    *other* cell trace carries one.
 //!
 //! The injection spec comes from `REIN_CHAOS` when set, otherwise the
 //! built-in default targets one detector (panic) and one repair cell
@@ -78,8 +82,12 @@ fn main() {
     }
 
     let chaos_phase = phase("chaos");
-    let chaos_ctrl =
-        Controller { label_budget: 50, seed: 29, policy: GuardPolicy::with_chaos(chaos.clone()) };
+    let chaos_ctrl = Controller {
+        label_budget: 50,
+        seed: 29,
+        policy: GuardPolicy::with_chaos(chaos.clone()),
+        ..Controller::default()
+    };
     let injected = chaos_ctrl.run_grid(&ds, &[], 0);
     drop(chaos_phase);
 
@@ -113,6 +121,57 @@ fn main() {
             std::process::exit(5);
         }
     }
+
+    // Causal attribution: each failure record links the trace of the
+    // cell it was injected into, and the failure instant sits on that
+    // trace — and only there.
+    let spans = rein_telemetry::snapshot_spans();
+    let forest = rein_telemetry::build_traces(&spans);
+    fn count_fail_instants(node: &rein_telemetry::TraceNode) -> usize {
+        usize::from(node.instant && node.name.starts_with("guard:fail:"))
+            + node.children.iter().map(count_fail_instants).sum::<usize>()
+    }
+    for f in &failures {
+        if f.trace_id.is_empty() {
+            eprintln!("error: failure {}:{} carries no trace link", f.phase, f.strategy);
+            std::process::exit(5);
+        }
+        let Some(trace) = forest.traces.iter().find(|t| t.trace_hex() == f.trace_id) else {
+            eprintln!(
+                "error: failure {}:{} links trace {} but no such trace exists",
+                f.phase, f.strategy, f.trace_id
+            );
+            std::process::exit(5);
+        };
+        let expected_root = if f.scope.is_empty() {
+            format!("cell:{}:{}", f.phase, f.strategy)
+        } else {
+            format!("cell:{}:{}#{}", f.phase, f.strategy, f.scope)
+        };
+        if trace.root.name != expected_root {
+            eprintln!(
+                "error: failure {}:{} links trace {} rooted at {:?}, expected {:?}",
+                f.phase, f.strategy, f.trace_id, trace.root.name, expected_root
+            );
+            std::process::exit(5);
+        }
+        if count_fail_instants(&trace.root) == 0 {
+            eprintln!(
+                "error: trace {} ({}) carries no guard:fail instant",
+                f.trace_id, trace.root.name
+            );
+            std::process::exit(5);
+        }
+    }
+    let failing_traces = forest.traces.iter().filter(|t| count_fail_instants(&t.root) > 0).count();
+    if failing_traces != failures.len() {
+        eprintln!(
+            "error: {failing_traces} trace(s) carry failure instants but {} cell(s) failed",
+            failures.len()
+        );
+        std::process::exit(5);
+    }
+    println!("{} failure(s) causally attributed to their injected cell traces", failures.len());
 
     // Non-injected cells must match the fault-free run byte-for-byte.
     let failed_keys: Vec<String> = failures

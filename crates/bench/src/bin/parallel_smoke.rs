@@ -10,9 +10,17 @@
 //! the loop chaos-style — if any worker-count-dependent behaviour slips
 //! past the analyzer, the byte comparison catches it here.
 //!
-//! Exit codes: `0` on success, `4` when any cell differs between thread
-//! counts, `5` when a run degraded cells (the grid must be fault-free
-//! under the default policy), `2` for a bad environment.
+//! The same invariance is asserted for the causal trace layer: each
+//! run's span stream is reconstructed into per-cell trace trees, every
+//! trace-carrying span must be reachable from a `cell:*` root (no
+//! orphans), and the canonical Chrome-trace and flamegraph exports must
+//! be byte-identical across pool widths — the trace tree is a function
+//! of the grid, not of the scheduler.
+//!
+//! Exit codes: `0` on success, `4` when any cell or trace export
+//! differs between thread counts (or a causal tree is broken), `5` when
+//! a run degraded cells (the grid must be fault-free under the default
+//! policy), `2` for a bad environment.
 
 // Benchmark bins emit their report tables on stdout by design.
 #![allow(clippy::print_stdout)]
@@ -27,10 +35,53 @@ const SEED: u64 = 31;
 const LABEL_BUDGET: usize = 50;
 const REPEATS: usize = 1;
 
+/// The canonical trace exports of one grid run — byte-comparable
+/// across pool widths because the exporter erases wall-clock, worker
+/// identity and span-id allocation order.
+struct TraceCheck {
+    chrome: String,
+    flame: String,
+    traces: usize,
+}
+
+/// Reconstructs the run's causal trace trees and renders the canonical
+/// exports, enforcing the structural invariants on the way: no orphan
+/// spans, and every trace rooted at a `cell:*` span.
+fn trace_check(threads: usize) -> TraceCheck {
+    let spans = rein_telemetry::snapshot_spans();
+    let forest = rein_telemetry::build_traces(&spans);
+    if !forest.orphans.is_empty() {
+        eprintln!("error: the {threads}-thread run left {} orphan span(s):", forest.orphans.len());
+        for o in &forest.orphans {
+            eprintln!(
+                "  {:?} (id {}) on trace {:016x}, parent {}",
+                o.name, o.id, o.trace_id, o.parent_id
+            );
+        }
+        std::process::exit(4);
+    }
+    for t in &forest.traces {
+        if !t.root.name.starts_with("cell:") {
+            eprintln!(
+                "error: trace {} is rooted at {:?}, not a cell span",
+                t.trace_hex(),
+                t.root.name
+            );
+            std::process::exit(4);
+        }
+    }
+    TraceCheck {
+        chrome: rein_telemetry::chrome_trace_json(&forest),
+        flame: rein_telemetry::flamegraph_svg(&forest),
+        traces: forest.traces.len(),
+    }
+}
+
 /// Runs the S1–S5 grid inside a scoped pool of exactly `threads`
-/// workers and returns the serialized cells. Telemetry is reset first
-/// so each run's failure set stands alone.
-fn grid_at(threads: usize, ds: &GeneratedDataset) -> BTreeMap<String, String> {
+/// workers and returns the serialized cells plus the canonical trace
+/// exports. Telemetry is reset first so each run's failure set and span
+/// stream stand alone.
+fn grid_at(threads: usize, ds: &GeneratedDataset) -> (BTreeMap<String, String>, TraceCheck) {
     rein_telemetry::reset();
     let run = phase(&format!("grid-{threads}"));
     let pool = match rayon::ThreadPoolBuilder::new().num_threads(threads).build() {
@@ -51,7 +102,8 @@ fn grid_at(threads: usize, ds: &GeneratedDataset) -> BTreeMap<String, String> {
         }
         std::process::exit(5);
     }
-    cells
+    let traces = trace_check(threads);
+    (cells, traces)
 }
 
 /// Reports the cells that differ between two runs; returns their count.
@@ -106,8 +158,13 @@ fn main() {
     widths.dedup();
     println!("pool widths: {widths:?} (native {native})");
 
-    let reference = grid_at(widths[0], &ds);
-    println!("{} cell(s) at {} thread(s)", reference.len(), widths[0]);
+    let (reference, ref_traces) = grid_at(widths[0], &ds);
+    println!(
+        "{} cell(s), {} cell trace(s) at {} thread(s)",
+        reference.len(),
+        ref_traces.traces,
+        widths[0]
+    );
     if let Some(path) = &dump_path {
         match dump_cells(path, &reference) {
             Ok(()) => println!("cells dump: {}", path.display()),
@@ -121,20 +178,32 @@ fn main() {
     let compare = phase("compare");
     let mut diverged = 0usize;
     for &w in &widths[1..] {
-        let cells = grid_at(w, &ds);
+        let (cells, traces) = grid_at(w, &ds);
         let label = format!("{w} thread(s) vs {}", widths[0]);
         diverged += diff(&label, &reference, &cells);
+        if traces.chrome != ref_traces.chrome {
+            eprintln!("error: Chrome trace export diverged at {label}");
+            diverged += 1;
+        }
+        if traces.flame != ref_traces.flame {
+            eprintln!("error: flamegraph export diverged at {label}");
+            diverged += 1;
+        }
         if diverged == 0 {
-            println!("{} cell(s) byte-identical at {label}", cells.len());
+            println!(
+                "{} cell(s) and {} canonical trace(s) byte-identical at {label}",
+                cells.len(),
+                traces.traces
+            );
         }
     }
     drop(compare);
 
     if diverged > 0 {
-        eprintln!("error: {diverged} cell(s) depend on the worker-thread count");
+        eprintln!("error: {diverged} cell(s)/export(s) depend on the worker-thread count");
         std::process::exit(4);
     }
-    println!("\ngrid is worker-count invariant across {widths:?} threads");
+    println!("\ngrid and trace exports are worker-count invariant across {widths:?} threads");
     conclude("parallel_smoke", SEED, LABEL_BUDGET as u64);
 }
 

@@ -69,6 +69,24 @@ pub fn repeats() -> usize {
     })
 }
 
+/// Whether the opt-in grid progress heartbeat is enabled
+/// (`REIN_PROGRESS`, default off). The controller prints one
+/// deterministic-content line per completed grid phase on stderr when
+/// this is set — useful for watching a long full-scale run without
+/// perturbing any artefact. Accepts `1`/`true` (on) and `0`/`false`/
+/// empty (off); anything else is rejected like the other overrides.
+pub fn progress() -> bool {
+    static PROGRESS: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *PROGRESS.get_or_init(|| match std::env::var("REIN_PROGRESS") {
+        Err(_) => false,
+        Ok(raw) => match raw.as_str() {
+            "" | "0" | "false" => false,
+            "1" | "true" => true,
+            _ => reject_env("REIN_PROGRESS", &raw, "1/true to enable or 0/false to disable"),
+        },
+    })
+}
+
 /// Repeat count for the perf suite: `REIN_REPEATS` when set (validated
 /// like [`repeats`]), otherwise [`DEFAULT_PERF_REPEATS`].
 pub fn perf_repeats() -> usize {
@@ -205,7 +223,13 @@ pub fn guard_policy() -> GuardPolicy {
 /// seed/budget — the standard way bench binaries obtain one.
 pub fn controller(label_budget: usize, seed: u64) -> rein_core::Controller {
     install_thread_pool();
-    rein_core::Controller { label_budget, seed, policy: guard_policy() }
+    rein_core::Controller {
+        label_budget,
+        seed,
+        policy: guard_policy(),
+        scale: scale(),
+        progress: progress(),
+    }
 }
 
 /// Finishes a benchmark binary: writes the run manifest and exits with

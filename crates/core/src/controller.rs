@@ -15,8 +15,8 @@ use rein_repair::{RepairCategory, RepairKind};
 
 use crate::evaluate::{
     eval_classifier_guarded, eval_clusterer, eval_regressor_guarded, repair_quality_categorical,
-    repair_quality_numerical, run_repair_guarded, DetectorHarness, DetectorRun, RepairRun,
-    VersionTable,
+    repair_quality_numerical, run_repair_guarded, table_identity, DetectorHarness, DetectorRun,
+    RepairRun, VersionTable,
 };
 use crate::experiment::{DetectionRecord, RepairRecord};
 use crate::scenario::Scenario;
@@ -50,6 +50,16 @@ pub struct Controller {
     /// Supervision policy for every toolbox dispatch (chaos injection,
     /// retries, budget override).
     pub policy: GuardPolicy,
+    /// Dataset scale factor the grid runs at — a [`CellKey`]
+    /// component, so it participates in every cell's trace id.
+    ///
+    /// [`CellKey`]: crate::cache_key::CellKey
+    pub scale: f64,
+    /// Opt-in live progress heartbeat (`REIN_PROGRESS`, plumbed by
+    /// rein-bench): when true, the grid's sequential merge points print
+    /// deterministic-content progress lines (cell counts, never timing
+    /// or worker identity) to stderr.
+    pub progress: bool,
 }
 
 impl Default for Controller {
@@ -58,6 +68,8 @@ impl Default for Controller {
             label_budget: crate::evaluate::DEFAULT_LABEL_BUDGET,
             seed: 0,
             policy: GuardPolicy::default(),
+            scale: 1.0,
+            progress: false,
         }
     }
 }
@@ -99,25 +111,41 @@ impl Controller {
     }
 
     /// Runs the detection phase: every planned detector, in parallel.
+    /// Each worker opens a **cell trace root** named for its grid
+    /// coordinate and keyed by the cell's [`CellKey`] digest, so every
+    /// span and instant the detector produces reconstructs into that
+    /// cell's tree after the sharded sink merges (DESIGN.md §6i).
+    ///
+    /// [`CellKey`]: crate::cache_key::CellKey
     pub fn run_detection(&self, ds: &GeneratedDataset) -> Vec<DetectorRun> {
         let plan = self.plan(ds);
         let span = rein_telemetry::span("controller:detect");
         // Detector spans open on rayon worker threads; hand them the
         // phase span explicitly so nesting survives the fan-out.
         let parent = Some(span.ctx());
-        plan.detectors
+        let dirty_id = table_identity(&ds.dirty);
+        let runs: Vec<DetectorRun> = plan
+            .detectors
             .par_iter()
             .map(|&kind| {
-                let _worker = rein_telemetry::span_under("controller:detect-one", parent);
-                let harness = DetectorHarness::new(
-                    ds,
-                    self.label_budget,
-                    derive_seed(self.seed, kind.index_letter() as u64),
-                )
-                .with_policy(self.policy.clone());
+                let strategy = format!("detect:{}", kind.name());
+                let cell_seed = derive_seed(self.seed, kind.index_letter() as u64);
+                let trace = self.cell_key(ds, &dirty_id, &strategy, self.scale, cell_seed).hash();
+                let _worker =
+                    rein_telemetry::span_traced(format!("cell:{strategy}"), parent, trace);
+                let harness = DetectorHarness::new(ds, self.label_budget, cell_seed)
+                    .with_policy(self.policy.clone());
                 harness.run(ds, kind)
             })
-            .collect()
+            .collect();
+        let failed = runs.iter().filter(|r| r.failure.is_some()).count();
+        self.emit_progress(&format!(
+            "dataset={} phase=detect done={} failed={failed} total={}",
+            ds.info.name,
+            runs.len(),
+            runs.len()
+        ));
+        runs
     }
 
     /// Runs the repair phase for one detector's detections: every planned
@@ -128,20 +156,37 @@ impl Controller {
             plan.generic_repairers.iter().chain(plan.ml_repairers.iter()).copied().collect();
         let span = rein_telemetry::span("controller:repair");
         let parent = Some(span.ctx());
-        kinds
+        // Repair cells consume the dirty table (plus the detector's
+        // mask, named in the strategy coordinate): its identity is the
+        // `dataset_version` component of the cell trace id.
+        let dirty_id = table_identity(&ds.dirty);
+        let runs: Vec<RepairRun> = kinds
             .par_iter()
             .map(|&kind| {
-                let _worker = rein_telemetry::span_under("controller:repair-one", parent);
+                let strategy = format!("repair:{}#{}", kind.name(), detection.kind.name());
+                let cell_seed = derive_seed(self.seed, kind.index() as u64);
+                let trace = self.cell_key(ds, &dirty_id, &strategy, self.scale, cell_seed).hash();
+                let _worker =
+                    rein_telemetry::span_traced(format!("cell:{strategy}"), parent, trace);
                 run_repair_guarded(
                     ds,
                     &detection.mask,
                     kind,
-                    derive_seed(self.seed, kind.index() as u64),
+                    cell_seed,
                     detection.kind.name(),
                     &self.policy,
                 )
             })
-            .collect()
+            .collect();
+        let failed = runs.iter().filter(|r| r.failure.is_some()).count();
+        self.emit_progress(&format!(
+            "dataset={} phase=repair detector={} done={} failed={failed} total={}",
+            ds.info.name,
+            detection.kind.name(),
+            runs.len(),
+            runs.len()
+        ));
+        runs
     }
 
     /// Runs the full benchmark grid — detection, repair, and (when
@@ -194,6 +239,11 @@ impl Controller {
             }
             cells.extend(self.eval_cells(ds, det, det_ix, &repairs, scenarios, repeats));
         }
+        self.emit_progress(&format!(
+            "dataset={} grid complete cells={}",
+            ds.info.name,
+            cells.len()
+        ));
         cells
     }
 
@@ -214,6 +264,11 @@ impl Controller {
         }
         let span = rein_telemetry::span("controller:evaluate");
         let parent = Some(span.ctx());
+        // Per-repair version identities, computed once at the sequential
+        // merge point: each eval cell's trace id keys on the exact table
+        // version it consumes.
+        let version_ids: Vec<Option<String>> =
+            repairs.iter().map(|r| r.version.as_ref().map(|v| v.content_identity())).collect();
         let work: Vec<(usize, usize)> = (0..scenarios.len())
             .flat_map(|si| {
                 repairs
@@ -223,22 +278,46 @@ impl Controller {
                     .map(move |(ri, _)| (si, ri))
             })
             .collect();
-        work.par_iter()
+        let cells: Vec<(String, String)> = work
+            .par_iter()
             .map(|&(si, ri)| {
-                let _worker = rein_telemetry::span_under("controller:eval-one", parent);
                 let scenario = scenarios[si];
                 let rep = &repairs[ri];
                 // audit:allow(panic, the work list above is filtered to table-producing repairs)
                 let version = rep.version.as_ref().expect("versioned repair");
+                // audit:allow(panic, the work list above is filtered to table-producing repairs)
+                let version_id = version_ids[ri].as_deref().expect("versioned repair identity");
                 let cell_seed = derive_seed(
                     self.seed,
                     40_000 + (det_ix as u64) * 1_000 + (si as u64) * 100 + ri as u64,
                 );
                 let key =
                     format!("eval:{}:{}#{}", scenario.name(), rep.kind.name(), det.kind.name());
+                let trace = self.cell_key(ds, version_id, &key, self.scale, cell_seed).hash();
+                let _worker = rein_telemetry::span_traced(format!("cell:{key}"), parent, trace);
                 (key, self.eval_cell(ds, scenario, version, repeats, cell_seed))
             })
-            .collect()
+            .collect();
+        let failed = cells.iter().filter(|(_, v)| v.contains(" failure:")).count();
+        self.emit_progress(&format!(
+            "dataset={} phase=eval detector={} done={} failed={failed} total={}",
+            ds.info.name,
+            det.kind.name(),
+            cells.len(),
+            cells.len()
+        ));
+        cells
+    }
+
+    /// Prints one deterministic-content progress line when the opt-in
+    /// `REIN_PROGRESS` heartbeat is on. Only called from the grid's
+    /// sequential merge points, so line order is scheduling-invariant;
+    /// content is counts and coordinates, never timing or worker ids.
+    fn emit_progress(&self, line: &str) {
+        if self.progress {
+            // audit:allow(print, opt-in REIN_PROGRESS heartbeat; deterministic content, emitted only at sequential merge points)
+            eprintln!("[progress] {line}");
+        }
     }
 
     /// The canonical cache key of one grid cell, exactly as the
@@ -461,6 +540,53 @@ mod tests {
         // table rebuilt from scratch hashes to the same identity.
         assert_eq!(vid, VersionTable::identity(ds.dirty.clone()).content_identity());
         assert!(vid.starts_with("v:") && vid.len() == 18, "got {vid}");
+    }
+
+    #[test]
+    fn grid_cells_open_trace_roots_keyed_by_cell_key_digest() {
+        let ds = DatasetId::BreastCancer.generate(&Params::scaled(0.2, 6));
+        // A seed no other test's grid uses: the span sink is process-
+        // global, so this run's roots are isolated by their trace ids.
+        let ctrl =
+            Controller { label_budget: 30, seed: 0xC311, scale: 0.2, ..Controller::default() };
+        let _ = ctrl.run_grid(&ds, &[Scenario::S1], 1);
+        let spans = rein_telemetry::snapshot_spans();
+        let roots: Vec<_> =
+            spans.iter().filter(|s| s.name.starts_with("cell:") && !s.instant).collect();
+        assert!(!roots.is_empty(), "grid must open cell trace roots");
+        assert!(roots.iter().all(|s| s.trace_id != 0), "cell roots are never ambient");
+        // Every planned detection cell's trace id is recomputable from
+        // its CellKey — and the recorded roots carry exactly those ids.
+        // (The snapshot is process-global, so selection is by trace id,
+        // which this test's unique seed scopes to this run.)
+        let dirty_id = table_identity(&ds.dirty);
+        let this_run: Vec<(String, u64)> = ctrl
+            .plan(&ds)
+            .detectors
+            .iter()
+            .map(|k| {
+                let strat = format!("detect:{}", k.name());
+                let seed = derive_seed(ctrl.seed, k.index_letter() as u64);
+                let id = ctrl.cell_key(&ds, &dirty_id, &strat, ctrl.scale, seed).hash();
+                (strat, id)
+            })
+            .collect();
+        let mut unique: Vec<u64> = this_run.iter().map(|(_, id)| *id).collect();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), this_run.len(), "detection cell trace ids are distinct");
+        for (strategy, id) in &this_run {
+            let root = roots
+                .iter()
+                .find(|s| s.trace_id == *id)
+                .unwrap_or_else(|| panic!("no trace root recorded for {strategy}"));
+            assert_eq!(root.name, format!("cell:{strategy}"), "root named for its coordinate");
+            // Guard spans opened inside the cell inherit the root's trace.
+            let inherited = spans
+                .iter()
+                .any(|s| s.trace_id == *id && s.id != root.id && s.name.starts_with("detect:"));
+            assert!(inherited, "guard span under {strategy} must inherit its trace id");
+        }
     }
 
     #[test]

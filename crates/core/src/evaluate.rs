@@ -225,6 +225,16 @@ impl VersionTable {
     }
 }
 
+/// Content identity of a bare table as an identity-mapped version —
+/// byte-equal to `VersionTable::identity(table.clone()).content_identity()`
+/// without cloning the table. The controller uses this for the dirty
+/// table's identity when deriving detection/repair cell trace ids.
+pub fn table_identity(table: &Table) -> String {
+    let row_map: Vec<usize> = (0..table.n_rows()).collect();
+    let payload = format!("{}\n{:?}", rein_data::csv::write_str(table), row_map);
+    format!("v:{}", rein_ledger::content_key(&payload))
+}
+
 /// One repair execution: either a repaired version or a trained pipeline.
 pub struct RepairRun {
     /// Which repairer ran.

@@ -165,7 +165,12 @@ fn controller_completes_the_plan_with_exactly_the_injected_failures() {
     let chaos = ChaosSpec::parse(spec).unwrap();
     let expected = chaos.len();
 
-    let ctrl = Controller { label_budget: 25, seed: 29, policy: GuardPolicy::with_chaos(chaos) };
+    let ctrl = Controller {
+        label_budget: 25,
+        seed: 29,
+        policy: GuardPolicy::with_chaos(chaos),
+        ..Controller::default()
+    };
     let baseline = Controller { label_budget: 25, seed: 29, ..Controller::default() };
 
     let runs = ctrl.run_detection(&ds);

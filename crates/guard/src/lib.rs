@@ -137,6 +137,19 @@ pub enum FailureCause {
     },
 }
 
+impl FailureCause {
+    /// Short cause tag used in the `guard:fail:<tag>` instant event name
+    /// attached to the owning cell's trace.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            FailureCause::Panic { .. } => "panic",
+            FailureCause::BudgetExhausted { .. } => "deadline",
+            FailureCause::InvalidOutput { .. } => "invalid",
+            FailureCause::Transient { .. } => "transient",
+        }
+    }
+}
+
 impl std::fmt::Display for FailureCause {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -171,6 +184,10 @@ pub struct StrategyFailure {
     /// Wall-clock time spent across all attempts, via the telemetry
     /// span — guard code itself never reads the clock.
     pub elapsed: Duration,
+    /// Trace id of the owning cell (the `CellKey` digest the guard span
+    /// inherited through the thread-local span stack); 0 when the call
+    /// ran outside any cell trace.
+    pub trace_id: u64,
 }
 
 impl StrategyFailure {
@@ -184,6 +201,11 @@ impl StrategyFailure {
             cause: self.cause.to_string(),
             attempts: self.attempts,
             elapsed_ms: self.elapsed.as_secs_f64() * 1e3,
+            trace_id: if self.trace_id == 0 {
+                String::new()
+            } else {
+                format!("{:016x}", self.trace_id)
+            },
         }
     }
 }
@@ -373,11 +395,17 @@ pub fn run<T>(
                         failure_cause = FailureCause::Transient { message: transient_message };
                         break;
                     }
-                    // Retry with the next derived seed.
+                    // Retry with the next derived seed; the decision is
+                    // an instant event on the owning cell's trace.
+                    rein_telemetry::instant("guard:retry");
                 }
             },
         }
     }
+    // The degradation becomes an instant event while the guard span is
+    // still open, so it lands inside the owning cell's trace tree.
+    rein_telemetry::instant(format!("guard:fail:{}", failure_cause.tag()));
+    let trace_id = span.trace_context().trace_id;
     let elapsed = span.finish();
     let failure = StrategyFailure {
         phase: spec.phase,
@@ -387,6 +415,7 @@ pub fn run<T>(
         cause: failure_cause,
         attempts,
         elapsed,
+        trace_id,
     };
     rein_telemetry::counter("strategy_failures").incr();
     rein_telemetry::record_failure(failure.to_record());
@@ -541,6 +570,60 @@ mod tests {
         let report = run(&s, &other, |_| 1u32, no_validate, no_corrupt);
         assert_eq!(report.outcome.unwrap(), 1);
         assert_eq!(report.attempts, 1);
+    }
+
+    #[test]
+    fn failures_and_retries_become_instants_on_the_owning_trace() {
+        const TRACE: u64 = 0x9AD_0001;
+        let cell = rein_telemetry::span_traced("cell:guardtest", None, TRACE);
+        let s = spec(Phase::Detect, "tracedboom");
+        let report = run(
+            &s,
+            &GuardPolicy { retries: 1, ..GuardPolicy::default() },
+            |_| -> u32 { transient_failure("still down") },
+            no_validate,
+            no_corrupt,
+        );
+        let failure = report.outcome.unwrap_err();
+        assert_eq!(failure.trace_id, TRACE, "failure links back to the cell trace");
+        assert_eq!(failure.to_record().trace_id, format!("{TRACE:016x}"));
+        drop(cell);
+        let spans: Vec<_> =
+            rein_telemetry::snapshot_spans().into_iter().filter(|r| r.trace_id == TRACE).collect();
+        let guard_span = spans
+            .iter()
+            .find(|r| r.name == "detect:tracedboom" && !r.instant)
+            .expect("guard span inherits the cell trace");
+        let retry = spans
+            .iter()
+            .find(|r| r.name == "guard:retry")
+            .expect("retry decision recorded as instant");
+        let fail = spans
+            .iter()
+            .find(|r| r.name == "guard:fail:transient")
+            .expect("degradation recorded as instant");
+        for instant in [retry, fail] {
+            assert!(instant.instant);
+            assert_eq!(
+                instant.parent_id, guard_span.id,
+                "instants parent under the open guard span"
+            );
+        }
+    }
+
+    #[test]
+    fn failures_outside_any_trace_record_an_empty_trace_link() {
+        let s = spec(Phase::Detect, "untracedboom");
+        let report = run(
+            &s,
+            &GuardPolicy::default(),
+            |_| -> u32 { panic!("kernel exploded") },
+            no_validate,
+            no_corrupt,
+        );
+        let failure = report.outcome.unwrap_err();
+        assert_eq!(failure.trace_id, 0);
+        assert_eq!(failure.to_record().trace_id, "");
     }
 
     #[test]

@@ -95,7 +95,8 @@ pub struct EntrySummary {
 pub struct LedgerEntry {
     /// Content key: FNV-1a 64 of the run identity, 16 hex digits.
     pub key: String,
-    /// Artifact class: `run_manifest`, `bench_report` or `audit_report`.
+    /// Artifact class: `run_manifest`, `bench_report`, `audit_report`
+    /// or `trace_export`.
     pub kind: String,
     /// Repo-relative source path, forward slashes.
     pub source: String,

@@ -9,6 +9,9 @@
 //! * **Bench reports** — `BENCH_*.json` at the repo root, parsed
 //!   generically so schema growth never breaks ingestion.
 //! * **Audit reports** — `artifacts/audit/report.json`.
+//! * **Trace exports** — `artifacts/trace/*.cells.json`, the typed
+//!   per-cell cost tables written by `rein_trace` (the Chrome JSON and
+//!   flamegraph SVG siblings are render artifacts, not index input).
 //!
 //! Ingestion is pure with respect to the index: it reads the repo and
 //! returns candidates; [`LedgerIndex::apply`](crate::LedgerIndex::apply)
@@ -283,6 +286,20 @@ pub fn ingest_repo(root: &Path) -> Result<Vec<LedgerEntry>, String> {
         candidates.push(bench_entry(&report, &rel(root, &path))?);
     }
 
+    for path in json_files(&crate::trace::trace_dir(root))? {
+        let is_cells =
+            path.file_name().and_then(|n| n.to_str()).is_some_and(|n| n.ends_with(".cells.json"));
+        if !is_cells {
+            // `.trace.json` / `.flame.svg` siblings are render output.
+            continue;
+        }
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+        let export: crate::trace::TraceExport =
+            serde_json::from_str(&text).map_err(|e| format!("parse {}: {e}", path.display()))?;
+        candidates.push(crate::trace::trace_entry(&export, &rel(root, &path)));
+    }
+
     let audit_path = root.join("artifacts").join("audit").join("report.json");
     match std::fs::read_to_string(&audit_path) {
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
@@ -311,6 +328,8 @@ mod tests {
             depth: 0,
             start_ms: 0.0,
             duration_ms: 1.0,
+            trace_id: 0,
+            instant: false,
         };
         let mut counters = Map::new();
         counters.insert("cells_scanned".to_string(), 1331);
@@ -336,6 +355,7 @@ mod tests {
                 cause: "budget exhausted: 12 of 10 ticks".into(),
                 attempts: 1,
                 elapsed_ms: 3.0,
+                trace_id: String::new(),
             }],
         }
     }

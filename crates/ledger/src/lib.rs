@@ -31,6 +31,7 @@ pub mod hash;
 pub mod index;
 pub mod ingest;
 pub mod report;
+pub mod trace;
 
 pub use hash::{content_key, fnv1a64, run_identity};
 pub use index::{
@@ -39,7 +40,11 @@ pub use index::{
 };
 pub use ingest::{audit_entry, bench_entry, ingest_repo, manifest_entry};
 pub use report::{
-    build_report, profile_diff, trend_rows, DiffRow, Report, StrategyRow, TaxonomyRow, TrendRow,
+    build_report, profile_diff, trend_rows, DiffRow, PercentileRow, Report, StrategyRow,
+    TaxonomyRow, TrendRow,
+};
+pub use trace::{
+    export_json, export_manifest, trace_dir, trace_entry, write_exports, TraceExport, TRACE_SCHEMA,
 };
 
 use std::path::Path;

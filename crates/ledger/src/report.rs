@@ -59,6 +59,12 @@ pub struct TaxonomyRow {
     pub cell: String,
     /// Cause breakdown.
     pub taxonomy: FailureTaxonomy,
+    /// Sorted, deduplicated 16-hex trace ids of the cell traces the
+    /// failures landed on — the join key into the `rein_trace` exports
+    /// (`artifacts/trace/*.cells.json` rows carry the same ids). Empty
+    /// entries (pre-trace manifests, failures outside any cell) are
+    /// dropped rather than rendered as blanks.
+    pub traces: Vec<String>,
 }
 
 /// One row of the generation trend table — what each ingest pass added.
@@ -76,6 +82,28 @@ pub struct TrendRow {
     pub benchmarks: u64,
     /// Audit violations those entries carry.
     pub violations: u64,
+}
+
+/// One row of the duration-percentile table: one histogram of one run
+/// manifest, straight from its recorded [`HistogramSummary`].
+///
+/// [`HistogramSummary`]: rein_telemetry::HistogramSummary
+#[derive(Debug, Clone, PartialEq)]
+pub struct PercentileRow {
+    /// Histogram name.
+    pub histogram: String,
+    /// Repo-relative manifest source.
+    pub source: String,
+    /// Observation count.
+    pub count: u64,
+    /// Median milliseconds.
+    pub p50_ms: f64,
+    /// 95th percentile milliseconds.
+    pub p95_ms: f64,
+    /// 99th percentile milliseconds.
+    pub p99_ms: f64,
+    /// Exact maximum milliseconds.
+    pub max_ms: f64,
 }
 
 /// One row of a span-profile diff between two runs.
@@ -112,6 +140,9 @@ pub struct Report {
     pub strategies: Vec<StrategyRow>,
     /// Guard-failure taxonomy, sorted by cell; only failing cells.
     pub taxonomy: Vec<TaxonomyRow>,
+    /// Duration percentiles of every recorded histogram, sorted by
+    /// (histogram, source).
+    pub percentiles: Vec<PercentileRow>,
     /// Benchmark medians of every bench report, keyed by benchmark id
     /// then source file.
     pub bench_medians: BTreeMap<String, BTreeMap<String, f64>>,
@@ -148,17 +179,29 @@ fn name_stats(manifest: &RunManifest) -> BTreeMap<String, (u64, f64, f64)> {
     stats
 }
 
+/// The three manifest-derived tables of the report, in render order.
+type ManifestTables = (Vec<StrategyRow>, Vec<TaxonomyRow>, Vec<PercentileRow>);
+
 /// Aggregates the per-strategy table and the failure taxonomy across
 /// every run manifest the index points at.
-fn strategy_tables(
-    root: &Path,
-    index: &LedgerIndex,
-) -> Result<(Vec<StrategyRow>, Vec<TaxonomyRow>), String> {
+fn strategy_tables(root: &Path, index: &LedgerIndex) -> Result<ManifestTables, String> {
     let mut rows: BTreeMap<String, StrategyRow> = BTreeMap::new();
-    let mut taxonomy: BTreeMap<String, FailureTaxonomy> = BTreeMap::new();
+    let mut taxonomy: BTreeMap<String, (FailureTaxonomy, Vec<String>)> = BTreeMap::new();
+    let mut percentiles: Vec<PercentileRow> = Vec::new();
     for entry in index.entries.iter().filter(|e| e.kind == "run_manifest") {
         let manifest = load_manifest(root, &entry.source)?;
         let stats = name_stats(&manifest);
+        for (name, summary) in &manifest.histograms {
+            percentiles.push(PercentileRow {
+                histogram: name.clone(),
+                source: entry.source.clone(),
+                count: summary.count,
+                p50_ms: summary.p50_ms,
+                p95_ms: summary.p95_ms,
+                p99_ms: summary.p99_ms,
+                max_ms: summary.max_ms,
+            });
+        }
         for strategy in &entry.strategies {
             let row = rows.entry(strategy.clone()).or_insert_with(|| StrategyRow {
                 strategy: strategy.clone(),
@@ -180,12 +223,23 @@ fn strategy_tables(
             if let Some(row) = rows.get_mut(&cell) {
                 row.failures += 1;
             }
-            taxonomy.entry(cell).or_default().count(&failure.cause);
+            let (causes, traces) = taxonomy.entry(cell).or_default();
+            causes.count(&failure.cause);
+            if !failure.trace_id.is_empty() {
+                traces.push(failure.trace_id.clone());
+            }
         }
     }
-    let taxonomy =
-        taxonomy.into_iter().map(|(cell, taxonomy)| TaxonomyRow { cell, taxonomy }).collect();
-    Ok((rows.into_values().collect(), taxonomy))
+    let taxonomy = taxonomy
+        .into_iter()
+        .map(|(cell, (taxonomy, mut traces))| {
+            traces.sort();
+            traces.dedup();
+            TaxonomyRow { cell, taxonomy, traces }
+        })
+        .collect();
+    percentiles.sort_by(|a, b| (&a.histogram, &a.source).cmp(&(&b.histogram, &b.source)));
+    Ok((rows.into_values().collect(), taxonomy, percentiles))
 }
 
 /// Folds the index into per-generation trend rows (pure — no file IO).
@@ -260,7 +314,7 @@ pub fn build_report(
     for e in &index.entries {
         *kind_counts.entry(e.kind.clone()).or_insert(0) += 1;
     }
-    let (strategies, taxonomy) = strategy_tables(root, index)?;
+    let (strategies, taxonomy, percentiles) = strategy_tables(root, index)?;
     let mut bench_medians: BTreeMap<String, BTreeMap<String, f64>> = BTreeMap::new();
     for e in index.entries.iter().filter(|e| e.kind == "bench_report") {
         for (id, median) in &e.bench_medians {
@@ -276,6 +330,7 @@ pub fn build_report(
         kind_counts,
         strategies,
         taxonomy,
+        percentiles,
         bench_medians,
         trends: trend_rows(index),
         diff,
@@ -284,6 +339,16 @@ pub fn build_report(
 
 fn fmt_ms(ms: f64) -> String {
     format!("{ms:.3}")
+}
+
+/// Renders a taxonomy row's trace links: comma-joined 16-hex ids, or
+/// `-` when no failure carried one (pre-trace manifests).
+fn fmt_traces(traces: &[String]) -> String {
+    if traces.is_empty() {
+        "-".to_string()
+    } else {
+        traces.join(", ")
+    }
 }
 
 fn fmt_rate(rate: f64) -> String {
@@ -325,18 +390,39 @@ impl Report {
         if self.taxonomy.is_empty() {
             out.push_str("No guarded failures recorded.\n");
         } else {
-            out.push_str("| cell | panics | deadlines | retries | corrupt | total |\n");
-            out.push_str("|---|---:|---:|---:|---:|---:|\n");
+            out.push_str("| cell | panics | deadlines | retries | corrupt | total | traces |\n");
+            out.push_str("|---|---:|---:|---:|---:|---:|---|\n");
             for r in &self.taxonomy {
                 let t = &r.taxonomy;
                 out.push_str(&format!(
-                    "| {} | {} | {} | {} | {} | {} |\n",
+                    "| {} | {} | {} | {} | {} | {} | {} |\n",
                     r.cell,
                     t.panics,
                     t.deadlines,
                     t.retries,
                     t.corrupt,
-                    t.total()
+                    t.total(),
+                    fmt_traces(&r.traces)
+                ));
+            }
+        }
+
+        out.push_str("\n## Duration percentiles\n\n");
+        if self.percentiles.is_empty() {
+            out.push_str("No histograms recorded.\n");
+        } else {
+            out.push_str("| histogram | source | count | p50 ms | p95 ms | p99 ms | max ms |\n");
+            out.push_str("|---|---|---:|---:|---:|---:|---:|\n");
+            for r in &self.percentiles {
+                out.push_str(&format!(
+                    "| {} | {} | {} | {} | {} | {} | {} |\n",
+                    r.histogram,
+                    r.source,
+                    r.count,
+                    fmt_ms(r.p50_ms),
+                    fmt_ms(r.p95_ms),
+                    fmt_ms(r.p99_ms),
+                    fmt_ms(r.max_ms)
                 ));
             }
         }
@@ -446,19 +532,46 @@ impl Report {
         } else {
             out.push_str(
                 "<table>\n<tr><th>cell</th><th>panics</th><th>deadlines</th><th>retries</th>\
-                 <th>corrupt</th><th>total</th></tr>\n",
+                 <th>corrupt</th><th>total</th><th>traces</th></tr>\n",
             );
             for r in &self.taxonomy {
                 let t = &r.taxonomy;
                 out.push_str(&format!(
                     "<tr><td><code>{}</code></td><td class=\"n\">{}</td><td class=\"n\">{}</td>\
-                     <td class=\"n\">{}</td><td class=\"n\">{}</td><td class=\"n\">{}</td></tr>\n",
+                     <td class=\"n\">{}</td><td class=\"n\">{}</td><td class=\"n\">{}</td>\
+                     <td><code>{}</code></td></tr>\n",
                     esc(&r.cell),
                     t.panics,
                     t.deadlines,
                     t.retries,
                     t.corrupt,
-                    t.total()
+                    t.total(),
+                    esc(&fmt_traces(&r.traces))
+                ));
+            }
+            out.push_str("</table>\n");
+        }
+
+        out.push_str("<h2>Duration percentiles</h2>\n");
+        if self.percentiles.is_empty() {
+            out.push_str("<p>No histograms recorded.</p>\n");
+        } else {
+            out.push_str(
+                "<table>\n<tr><th>histogram</th><th>source</th><th>count</th><th>p50 ms</th>\
+                 <th>p95 ms</th><th>p99 ms</th><th>max ms</th></tr>\n",
+            );
+            for r in &self.percentiles {
+                out.push_str(&format!(
+                    "<tr><td><code>{}</code></td><td>{}</td><td class=\"n\">{}</td>\
+                     <td class=\"n\">{}</td><td class=\"n\">{}</td><td class=\"n\">{}</td>\
+                     <td class=\"n\">{}</td></tr>\n",
+                    esc(&r.histogram),
+                    esc(&r.source),
+                    r.count,
+                    fmt_ms(r.p50_ms),
+                    fmt_ms(r.p95_ms),
+                    fmt_ms(r.p99_ms),
+                    fmt_ms(r.max_ms)
                 ));
             }
             out.push_str("</table>\n");
@@ -602,7 +715,20 @@ mod tests {
                 max_ms: 2.0,
                 failures: 0,
             }],
-            taxonomy: Vec::new(),
+            taxonomy: vec![TaxonomyRow {
+                cell: "detect:zeroed".into(),
+                taxonomy: FailureTaxonomy { deadlines: 1, ..FailureTaxonomy::default() },
+                traces: vec!["00000000deadbeef".into()],
+            }],
+            percentiles: vec![PercentileRow {
+                histogram: "grid:cell_ms".into(),
+                source: "artifacts/telemetry/fig2-11.json".into(),
+                count: 9,
+                p50_ms: 1.0,
+                p95_ms: 2.0,
+                p99_ms: 3.0,
+                max_ms: 3.0,
+            }],
             bench_medians: BTreeMap::new(),
             trends: Vec::new(),
             diff: None,
@@ -612,7 +738,15 @@ mod tests {
         assert!(!html.contains("detect:a<b"));
         assert_eq!(report.to_markdown(), report.to_markdown());
         assert_eq!(html, report.to_html());
-        assert!(report.to_markdown().contains("| detect:a<b | 1 | 2 | 3.500 | 2.000 | 0 | 0.0% |"));
+        let md = report.to_markdown();
+        assert!(md.contains("| detect:a<b | 1 | 2 | 3.500 | 2.000 | 0 | 0.0% |"));
+        assert!(
+            md.contains("| detect:zeroed | 0 | 1 | 0 | 0 | 1 | 00000000deadbeef |"),
+            "taxonomy rows link their cell trace ids"
+        );
+        assert!(md.contains("| grid:cell_ms | artifacts/telemetry/fig2-11.json | 9 | 1.000 | 2.000 | 3.000 | 3.000 |"));
+        assert!(html.contains("00000000deadbeef"));
+        assert!(html.contains("grid:cell_ms"));
     }
 
     #[test]

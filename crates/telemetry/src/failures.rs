@@ -28,6 +28,11 @@ pub struct FailureRecord {
     pub attempts: u32,
     /// Wall-clock time spent across attempts, in milliseconds.
     pub elapsed_ms: f64,
+    /// 16-hex trace id of the owning cell trace (the `CellKey` digest),
+    /// empty for records written before trace propagation (PR 9) or
+    /// outside any cell span.
+    #[serde(default)]
+    pub trace_id: String,
 }
 
 impl FailureRecord {
@@ -75,7 +80,17 @@ mod tests {
             cause: "panic: boom".into(),
             attempts: 1,
             elapsed_ms,
+            trace_id: String::new(),
         }
+    }
+
+    #[test]
+    fn pre_trace_failure_records_deserialize_with_empty_trace_id() {
+        let old = r#"{"phase":"detect","strategy":"Raha","dataset":"beers",
+                      "scope":"","cause":"panic: boom","attempts":2,"elapsed_ms":1.5}"#;
+        let f: FailureRecord = serde_json::from_str(old).expect("pre-trace record parses");
+        assert_eq!(f.trace_id, "");
+        assert_eq!(f.attempts, 2);
     }
 
     #[test]

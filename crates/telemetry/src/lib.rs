@@ -7,6 +7,12 @@
 //!   timers. Nesting is tracked per thread; a parent context can be
 //!   captured with [`current`] and handed across a rayon fan-out so
 //!   worker-thread spans attach to the right parent.
+//! * **Traces** ([`span_traced`], [`instant`], [`trace`]) — causal
+//!   per-cell trace trees. A cell root span carries a `trace_id`
+//!   derived from its `CellKey` digest; descendants and instant events
+//!   inherit it through the thread-local stack, and [`trace`]
+//!   reconstructs the merged stream into per-cell trees with canonical
+//!   Chrome trace-event / flamegraph SVG / cost-table exports.
 //! * **Metrics** ([`counter`], [`histogram`]) — named monotonic
 //!   counters and log-bucketed duration histograms with percentile
 //!   summaries. Counter increments are single relaxed atomic adds and
@@ -54,6 +60,7 @@ mod manifest;
 mod metrics;
 pub mod perf;
 mod span;
+pub mod trace;
 
 pub use failures::{failures_snapshot, record_failure, FailureRecord};
 pub use log::{emit, enabled, level, set_level, Level};
@@ -66,8 +73,12 @@ pub use metrics::{
     HistogramSummary,
 };
 pub use span::{
-    current, drain_spans, snapshot_spans, span, span_shard_count, span_under, Span, SpanCtx,
-    SpanRecord,
+    current, current_trace, drain_spans, instant, snapshot_spans, span, span_shard_count,
+    span_traced, span_under, Span, SpanCtx, SpanRecord, TraceContext,
+};
+pub use trace::{
+    build_traces, cell_costs, chrome_trace_json, flamegraph_svg, CellCost, CellTrace, OrphanSpan,
+    TraceForest, TraceNode,
 };
 
 /// Clears all recorded spans, metric values (counters reset to zero,

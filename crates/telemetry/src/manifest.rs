@@ -256,6 +256,36 @@ mod tests {
     }
 
     #[test]
+    fn pre_trace_manifests_still_parse() {
+        // A manifest recorded before trace propagation (PR 9): spans
+        // lack `trace_id`/`instant`, histograms lack `p95_ms`, failures
+        // lack `trace_id` — every one must fill from serde defaults.
+        let old = r#"{
+            "binary": "chaos_smoke",
+            "config": { "scale": 0.05, "repeats": 1, "seed": 29, "label_budget": 100, "threads": 1 },
+            "mode": "full",
+            "spans": [
+                { "name": "detect:raha", "id": 3, "parent_id": 1, "depth": 1,
+                  "start_ms": 0.5, "duration_ms": 2.5 }
+            ],
+            "counters": { "strategy_failures": 2 },
+            "histograms": {
+                "detect_ms": { "count": 4, "mean_ms": 1.0, "p50_ms": 1.0,
+                               "p90_ms": 2.0, "p99_ms": 3.0, "max_ms": 3.0 }
+            },
+            "failures": [
+                { "phase": "detect", "strategy": "Raha", "dataset": "beers",
+                  "scope": "", "cause": "panic: boom", "attempts": 2, "elapsed_ms": 1.5 }
+            ]
+        }"#;
+        let m = RunManifest::from_json(old).expect("pre-trace manifest parses");
+        assert_eq!(m.spans[0].trace_id, 0, "pre-trace spans are ambient");
+        assert!(!m.spans[0].instant);
+        assert_eq!(m.histograms["detect_ms"].p95_ms, 0.0);
+        assert_eq!(m.failures[0].trace_id, "");
+    }
+
+    #[test]
     fn summarize_caps_per_name_and_rolls_up_everything() {
         let span = |name: &str, id: u64, ms: f64| SpanRecord {
             name: name.into(),
@@ -264,6 +294,8 @@ mod tests {
             depth: 0,
             start_ms: 0.0,
             duration_ms: ms,
+            trace_id: 0,
+            instant: false,
         };
         let mut spans = Vec::new();
         for i in 0..10u64 {

@@ -155,6 +155,7 @@ impl Histogram {
             mean_ms: if count == 0 { 0.0 } else { to_ms(sum_ns as f64 / count as f64) },
             p50_ms: to_ms(self.quantile_ns(0.50)),
             p90_ms: to_ms(self.quantile_ns(0.90)),
+            p95_ms: to_ms(self.quantile_ns(0.95)),
             p99_ms: to_ms(self.quantile_ns(0.99)),
             max_ms: to_ms(self.0.max_ns.load(Ordering::Relaxed) as f64),
         }
@@ -172,6 +173,10 @@ pub struct HistogramSummary {
     pub p50_ms: f64,
     /// 90th percentile.
     pub p90_ms: f64,
+    /// 95th percentile. `#[serde(default)]` so manifests written before
+    /// the percentile surfacing (PR 9) still deserialize.
+    #[serde(default)]
+    pub p95_ms: f64,
     /// 99th percentile.
     pub p99_ms: f64,
     /// Exact maximum.
@@ -218,6 +223,32 @@ pub(crate) fn reset_metrics() {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn summary_percentiles_are_monotone_and_include_p95() {
+        let h = histogram("test:percentile_monotonicity");
+        for i in 1..=100u64 {
+            h.record(Duration::from_micros(i * 10));
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 100);
+        assert!(s.p50_ms > 0.0);
+        assert!(s.p50_ms <= s.p90_ms, "p50 {} > p90 {}", s.p50_ms, s.p90_ms);
+        assert!(s.p90_ms <= s.p95_ms, "p90 {} > p95 {}", s.p90_ms, s.p95_ms);
+        assert!(s.p95_ms <= s.p99_ms, "p95 {} > p99 {}", s.p95_ms, s.p99_ms);
+        // Bucket interpolation may overshoot the exact max by up to one
+        // bucket's width.
+        assert!(s.p99_ms <= s.max_ms * 1.05, "p99 {} > max {}", s.p99_ms, s.max_ms);
+    }
+
+    #[test]
+    fn pre_percentile_summaries_deserialize_with_default_p95() {
+        let old =
+            r#"{"count":3,"mean_ms":1.0,"p50_ms":1.0,"p90_ms":2.0,"p99_ms":3.0,"max_ms":3.0}"#;
+        let s: HistogramSummary = serde_json::from_str(old).expect("pre-p95 summary parses");
+        assert_eq!(s.p95_ms, 0.0);
+        assert_eq!(s.p99_ms, 3.0);
+    }
 
     #[test]
     fn bucket_index_matches_bounds() {

@@ -294,7 +294,16 @@ mod tests {
     use super::*;
 
     fn rec(name: &str, id: u64, parent_id: u64, duration_ms: f64) -> SpanRecord {
-        SpanRecord { name: name.into(), id, parent_id, depth: 0, start_ms: 0.0, duration_ms }
+        SpanRecord {
+            name: name.into(),
+            id,
+            parent_id,
+            depth: 0,
+            start_ms: 0.0,
+            duration_ms,
+            trace_id: 0,
+            instant: false,
+        }
     }
 
     #[test]

@@ -41,6 +41,23 @@ pub struct SpanCtx {
     pub id: u64,
     /// Nesting depth, 0 for root spans.
     pub depth: u32,
+    /// Cell trace this span belongs to (0 = ambient, outside any cell).
+    pub trace_id: u64,
+}
+
+/// Explicit causal coordinates of one span: which cell trace it belongs
+/// to and where it hangs in that trace's tree. `trace_id` is the
+/// FNV-1a-64 digest of the owning cell's `CellKey` identity (see
+/// DESIGN.md §6i), so the same grid cell maps to the same trace id at
+/// any thread or shard count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceContext {
+    /// Cell trace id (`CellKey::hash()`); 0 for ambient spans.
+    pub trace_id: u64,
+    /// This span's process-unique id.
+    pub span_id: u64,
+    /// Parent span id, 0 at the roots.
+    pub parent_id: u64,
 }
 
 /// One finished span.
@@ -59,6 +76,16 @@ pub struct SpanRecord {
     pub start_ms: f64,
     /// Wall-clock duration in milliseconds.
     pub duration_ms: f64,
+    /// Cell trace this span belongs to: the FNV-1a-64 digest of the
+    /// owning cell's `CellKey` identity, inherited from the enclosing
+    /// span. 0 (the serde default, covering pre-trace manifests) marks
+    /// ambient spans outside any cell.
+    #[serde(default)]
+    pub trace_id: u64,
+    /// True for zero-duration instant events (guard retries/failures)
+    /// attached to the trace at a point in time rather than an interval.
+    #[serde(default)]
+    pub instant: bool,
 }
 
 static NEXT_ID: AtomicU64 = AtomicU64::new(1);
@@ -166,6 +193,8 @@ fn cmp_entries(a: &ShardEntry, b: &ShardEntry) -> std::cmp::Ordering {
         .then_with(|| ra.depth.cmp(&rb.depth))
         .then_with(|| ra.start_ms.total_cmp(&rb.start_ms))
         .then_with(|| ra.duration_ms.total_cmp(&rb.duration_ms))
+        .then_with(|| ra.trace_id.cmp(&rb.trace_id))
+        .then_with(|| ra.instant.cmp(&rb.instant))
 }
 
 /// Merges shard buffers into one deterministic stream, keeping the
@@ -252,30 +281,91 @@ pub struct Span {
     id: u64,
     parent_id: u64,
     depth: u32,
+    trace_id: u64,
     start_ms: f64,
     start: Instant,
     closed: bool,
 }
 
-/// Opens a span parented under the current thread's innermost open span.
+/// Opens a span parented under the current thread's innermost open span,
+/// inheriting its trace context.
 pub fn span(name: impl Into<String>) -> Span {
     span_under(name, current())
 }
 
 /// Opens a span under an explicit parent (or as a root when `None`).
 /// This is the fan-out form: the parent context travels into worker
-/// threads by value, so nesting stays correct under rayon.
+/// threads by value, so nesting stays correct under rayon. The trace id
+/// is inherited from the parent; parallel worker roots must instead use
+/// [`span_traced`] with their cell-derived trace id (the `trace-context`
+/// audit rule enforces this inside the certified parallel region).
 pub fn span_under(name: impl Into<String>, parent: Option<SpanCtx>) -> Span {
+    span_traced(name, parent, parent.map_or(0, |p| p.trace_id))
+}
+
+/// Opens a **cell trace root** (or a span pinned to an explicit trace):
+/// parented under `parent` for tree structure, but carrying `trace_id`
+/// — the FNV-1a-64 digest of the owning cell's `CellKey` identity —
+/// instead of the ambient one. Every span subsequently opened on the
+/// same thread (guard spans, kernel spans, instant events) inherits the
+/// id through the thread-local stack, so the whole per-cell subtree is
+/// reconstructible from the merged stream no matter which rayon worker
+/// or sink shard carried each record.
+pub fn span_traced(name: impl Into<String>, parent: Option<SpanCtx>, trace_id: u64) -> Span {
     let name = name.into();
     let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
     let depth = parent.map_or(0, |p| p.depth + 1);
     let parent_id = parent.map_or(0, |p| p.id);
     let start_ms = epoch().elapsed().as_secs_f64() * 1e3;
-    STACK.with(|s| s.borrow_mut().push(SpanCtx { id, depth }));
+    STACK.with(|s| s.borrow_mut().push(SpanCtx { id, depth, trace_id }));
     if enabled(Level::Debug) {
         emit(Level::Debug, &format!("{}+ open {name} depth={depth}", Indent(depth)));
     }
-    Span { name, id, parent_id, depth, start_ms, start: crate::perf::now(), closed: false }
+    Span {
+        name,
+        id,
+        parent_id,
+        depth,
+        trace_id,
+        start_ms,
+        start: crate::perf::now(),
+        closed: false,
+    }
+}
+
+/// Records a zero-duration **instant event** attached to the current
+/// thread's innermost open span (guard failures, retries, deadline
+/// exhaustion). The event lands in the sink immediately, carrying the
+/// enclosing span's trace id, so a degraded cell's trace shows *when*
+/// inside the guarded call the failure happened.
+pub fn instant(name: impl Into<String>) {
+    let parent = current();
+    let record = SpanRecord {
+        name: name.into(),
+        id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+        parent_id: parent.map_or(0, |p| p.id),
+        depth: parent.map_or(0, |p| p.depth + 1),
+        start_ms: epoch().elapsed().as_secs_f64() * 1e3,
+        duration_ms: 0.0,
+        trace_id: parent.map_or(0, |p| p.trace_id),
+        instant: true,
+    };
+    if enabled(Level::Debug) {
+        emit(Level::Debug, &format!("{}! instant {}", Indent(record.depth), record.name));
+    }
+    sink().record(worker_shard(), record);
+}
+
+/// The trace context of the current thread's innermost open span, if
+/// any. Guard code captures this when building failure records so the
+/// report's failure taxonomy can link each row to its cell trace.
+pub fn current_trace() -> Option<TraceContext> {
+    STACK.with(|s| {
+        let stack = s.borrow();
+        let top = stack.last()?;
+        let parent_id = stack.len().checked_sub(2).map_or(0, |i| stack[i].id);
+        Some(TraceContext { trace_id: top.trace_id, span_id: top.id, parent_id })
+    })
 }
 
 /// Depth-proportional indentation for debug span events.
@@ -293,7 +383,12 @@ impl std::fmt::Display for Indent {
 impl Span {
     /// Handle for parenting children (possibly on other threads).
     pub fn ctx(&self) -> SpanCtx {
-        SpanCtx { id: self.id, depth: self.depth }
+        SpanCtx { id: self.id, depth: self.depth, trace_id: self.trace_id }
+    }
+
+    /// This span's explicit causal coordinates.
+    pub fn trace_context(&self) -> TraceContext {
+        TraceContext { trace_id: self.trace_id, span_id: self.id, parent_id: self.parent_id }
     }
 
     /// Closes the span now and returns its wall-clock duration.
@@ -323,6 +418,8 @@ impl Span {
             depth: self.depth,
             start_ms: self.start_ms,
             duration_ms: duration.as_secs_f64() * 1e3,
+            trace_id: self.trace_id,
+            instant: false,
         };
         if enabled(Level::Debug) {
             emit(
@@ -374,6 +471,8 @@ mod tests {
             depth: 0,
             start_ms: id as f64,
             duration_ms: 1.0,
+            trace_id: 0,
+            instant: false,
         }
     }
 
@@ -457,6 +556,42 @@ mod tests {
         assert_eq!(merged[1].name, "detect:zeta");
         let swapped = merge_shards(vec![vec![b], vec![a]]);
         assert_eq!(merged, swapped);
+    }
+
+    #[test]
+    fn trace_id_inherits_through_nested_spans_and_instants() {
+        // A traced root on this thread: children and instants opened
+        // with no explicit context must inherit its trace id.
+        let root = span_traced("cell:detect:unit", None, 0xFEED);
+        assert_eq!(root.trace_context().trace_id, 0xFEED);
+        let child = span("detect:unit");
+        assert_eq!(child.ctx().trace_id, 0xFEED, "ambient child inherits the trace");
+        assert_eq!(current_trace().map(|t| t.trace_id), Some(0xFEED));
+        instant("guard:retry");
+        let child_id = child.ctx().id;
+        drop(child);
+        drop(root);
+        let spans = drain_spans();
+        let inst =
+            spans.iter().find(|r| r.instant && r.name == "guard:retry").expect("instant recorded");
+        assert_eq!(inst.trace_id, 0xFEED);
+        assert_eq!(inst.parent_id, child_id, "instant parents under the innermost span");
+        assert_eq!(inst.duration_ms, 0.0);
+        for r in spans.iter().filter(|r| !r.instant) {
+            if r.name == "cell:detect:unit" || r.name == "detect:unit" {
+                assert_eq!(r.trace_id, 0xFEED, "{}", r.name);
+            }
+        }
+    }
+
+    #[test]
+    fn pre_trace_records_deserialize_with_zero_trace_id() {
+        // A span serialized before the trace fields existed.
+        let old = r#"{"name":"detect:raha","id":3,"parent_id":1,"depth":1,
+                      "start_ms":0.5,"duration_ms":2.0}"#;
+        let r: SpanRecord = serde_json::from_str(old).expect("old record parses");
+        assert_eq!(r.trace_id, 0);
+        assert!(!r.instant);
     }
 
     #[test]

@@ -139,6 +139,7 @@ fn manifest_roundtrips_losslessly_through_json() {
             mean_ms: 3.25,
             p50_ms: 2.0,
             p90_ms: 7.5,
+            p95_ms: 8.25,
             p99_ms: 9.125,
             max_ms: 9.5,
         },
@@ -162,6 +163,8 @@ fn manifest_roundtrips_losslessly_through_json() {
                 depth: 0,
                 start_ms: 0.125,
                 duration_ms: 10.5,
+                trace_id: 0,
+                instant: false,
             },
             SpanRecord {
                 name: "detect:raha".to_string(),
@@ -170,6 +173,8 @@ fn manifest_roundtrips_losslessly_through_json() {
                 depth: 1,
                 start_ms: 1.0,
                 duration_ms: 4.75,
+                trace_id: 0x1234_5678_9ABC_DEF0,
+                instant: false,
             },
         ],
         counters,
@@ -182,6 +187,7 @@ fn manifest_roundtrips_losslessly_through_json() {
             cause: "panic: boom".to_string(),
             attempts: 2,
             elapsed_ms: 4.5,
+            trace_id: "123456789abcdef0".to_string(),
         }],
     };
 

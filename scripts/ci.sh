@@ -66,6 +66,32 @@ echo "grid dumps byte-identical across REIN_THREADS=1/4 (sha256 $serial_sum)"
 echo "==> parallel smoke (S1-S5 grid byte-identity at 1/4/N threads, in-process)"
 REIN_SCALE=0.05 cargo run -q --release -p rein-bench --bin parallel_smoke
 
+echo "==> trace exports from the smoke manifests (double run must be byte-identical; ledger must register)"
+# The smoke runs above rewrote their manifests; render the causal trace
+# exports (Chrome trace JSON, flamegraph SVG, per-cell cost table)
+# twice and hash-compare — the exports are pure functions of the
+# manifest bytes, so any drift is nondeterminism. rein_trace exits 4 on
+# orphan spans (an incomplete causal tree) and re-ingests the ledger.
+cargo run -q --release -p rein-ledger --bin rein_trace -- \
+  --manifest artifacts/telemetry/chaos_smoke-29.json \
+  --manifest artifacts/telemetry/parallel_smoke-31.json
+first_trace=$(sha256sum artifacts/trace/chaos_smoke-29.* artifacts/trace/parallel_smoke-31.*)
+cargo run -q --release -p rein-ledger --bin rein_trace -- \
+  --manifest artifacts/telemetry/chaos_smoke-29.json \
+  --manifest artifacts/telemetry/parallel_smoke-31.json
+second_trace=$(sha256sum artifacts/trace/chaos_smoke-29.* artifacts/trace/parallel_smoke-31.*)
+if [ "$first_trace" != "$second_trace" ]; then
+  echo "trace exports changed between two identical runs:"
+  echo "$first_trace"
+  echo "$second_trace"
+  exit 1
+fi
+echo "trace exports byte-identical across a double run"
+if ! grep -q '"kind": "trace_export"' artifacts/ledger/index.json; then
+  echo "ledger index carries no trace_export entries after rein_trace"
+  exit 1
+fi
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
