@@ -44,9 +44,11 @@ const DOC_CONCURRENCY: &str =
     "DESIGN.md#6g-concurrency-determinism-rules-parallel-grid-certification";
 const DOC_DATAFLOW: &str = "DESIGN.md#6h-cache-key-purity-certification-taint-dataflow";
 const DOC_TRACE: &str = "DESIGN.md#6i-causal-cell-level-tracing-trace-context-propagation";
+const DOC_STORE: &str =
+    "DESIGN.md#6j-crash-safe-incremental-grid-the-durable-cell-store-rein-store";
 
 /// The audit rule catalog.
-pub const RULES: [RuleInfo; 25] = [
+pub const RULES: [RuleInfo; 26] = [
     RuleInfo {
         id: "wallclock",
         help_uri: DOC_TOKEN,
@@ -239,6 +241,17 @@ pub const RULES: [RuleInfo; 25] = [
                       first or route through a registered deterministic \
                       merge — float accumulation order is not \
                       associative, so scheduling leaks into result bytes.",
+    },
+    RuleInfo {
+        id: "store-atomic-write",
+        help_uri: DOC_STORE,
+        description: "Store artifacts (journal segments, quarantine \
+                      blobs, the recovery report) must be written through \
+                      rein-store's atomic commit path \
+                      (atomic_write/commit_staged) — a raw fs::write or \
+                      File::create to a store file outside crates/store \
+                      can tear under a crash and defeats the write-ahead \
+                      journal's recovery guarantees.",
     },
     RuleInfo {
         id: "hot-loop-alloc",
@@ -703,6 +716,42 @@ pub fn audit_source(path: &str, source: &str) -> FileAudit {
                         }
                         break;
                     }
+                }
+            }
+        }
+    }
+
+    // Store write discipline: outside the store crate itself (which owns
+    // the fsync'd temp-file + rename machinery), any raw filesystem write
+    // aimed at a store artifact — a journal segment, a quarantine blob,
+    // the recovery report — bypasses the write-ahead journal's atomicity
+    // and can leave a torn file that recovery then quarantines as
+    // corruption. String literals are stripped from lexed code, so the
+    // artifact side matches the identifiers such code necessarily binds
+    // (`journal`, `quarantine`, `segment`, `store_root`).
+    let store_scoped = !class.is_test_support && !path.starts_with("crates/store/src/");
+    if store_scoped {
+        const STORE_WRITE_TOKENS: [&str; 2] = ["fs::write(", "File::create("];
+        const STORE_ARTIFACT_TOKENS: [&str; 4] = ["journal", "quarantine", "segment", "store_root"];
+        for (idx, line) in lines.iter().enumerate() {
+            if tests[idx] {
+                continue;
+            }
+            let raw_write = STORE_WRITE_TOKENS.iter().any(|t| has_token(&line.code, t));
+            let store_artifact = STORE_ARTIFACT_TOKENS.iter().any(|t| has_token(&line.code, t));
+            if raw_write && store_artifact {
+                if table.allows(idx + 1, "store-atomic-write") {
+                    out.suppressed += 1;
+                    out.consumed.extend(table.match_keys(idx + 1, "store-atomic-write"));
+                } else {
+                    out.violations.push(Violation {
+                        path: path.to_string(),
+                        line: idx + 1,
+                        rule: "store-atomic-write".into(),
+                        message: "raw filesystem write to a store artifact — route it \
+                                  through rein_store::atomic_write or Store::commit_staged"
+                            .into(),
+                    });
                 }
             }
         }

@@ -139,6 +139,21 @@ fn ledger_registration_rule() {
 }
 
 #[test]
+fn store_atomic_write_rule() {
+    assert_fires("store_write_bad.rs", "crates/core/src/fixture.rs", "store-atomic-write");
+    // Binaries are in scope too: a smoke bin poking the journal with a
+    // raw write needs an explicit audit:allow.
+    assert_fires("store_write_bad.rs", "crates/bench/src/bin/fixture.rs", "store-atomic-write");
+    assert_clean("store_write_ok.rs", "crates/core/src/fixture.rs");
+    // The store crate owns the raw fsync + rename machinery, and test
+    // support may corrupt journals on purpose.
+    let out = audit_fixture("store_write_bad.rs", "crates/store/src/fixture.rs");
+    assert!(!rules_of(&out).contains(&"store-atomic-write"), "got {:?}", out.violations);
+    let out = audit_fixture("store_write_bad.rs", "crates/store/tests/fixture.rs");
+    assert!(!rules_of(&out).contains(&"store-atomic-write"), "got {:?}", out.violations);
+}
+
+#[test]
 fn comments_and_strings_do_not_fire() {
     assert_clean("lexer_ok.rs", "crates/core/src/fixture.rs");
 }

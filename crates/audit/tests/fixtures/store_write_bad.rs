@@ -1,0 +1,12 @@
+//! Negative fixture: a store consumer writes journal bytes with a raw
+//! fs::write and opens a segment with File::create — either can tear
+//! under a crash, which recovery then quarantines as corruption.
+
+pub fn persist(store_root: &Path, payload: &[u8]) -> std::io::Result<()> {
+    let journal = store_root.join("journal.wal");
+    std::fs::write(&journal, payload)
+}
+
+pub fn open_segment(segment: &Path) -> std::io::Result<std::fs::File> {
+    std::fs::File::create(segment)
+}

@@ -1,0 +1,13 @@
+//! Positive fixture: store artifacts flow through rein-store's atomic
+//! commit path, so a crash mid-write can never tear a journal segment
+//! or leave a half-written quarantine report.
+
+pub fn persist(store_root: &Path, journal: &[u8]) -> std::io::Result<()> {
+    let target = store_root.join("journal.wal");
+    rein_store::atomic_write(&target, journal)
+}
+
+pub fn report(store_root: &Path, quarantine: &str) -> std::io::Result<()> {
+    let target = store_root.join("quarantine").join("report.json");
+    rein_store::atomic_write(&target, quarantine.as_bytes())
+}

@@ -40,6 +40,7 @@ fn semantic_rules_are_in_the_catalog() {
         "float-reduce-order",
         "hot-loop-alloc",
         "stale-allow",
+        "store-atomic-write",
     ] {
         assert!(
             report.rules.iter().any(|r| r.id == rule),

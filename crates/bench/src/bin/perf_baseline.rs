@@ -62,7 +62,17 @@ fn main() {
     drop(setup);
 
     let measure = rein_bench::phase("measure");
-    let widths = [1, 2, 4, rein_bench::worker_threads()];
+    // The threads axis is only worth recording when the host can
+    // actually run pools wider than one worker: on a single-core host
+    // every width measures the same serial grid plus pool overhead, and
+    // `bench_compare` would refuse to pair the rows against a multi-core
+    // baseline anyway.
+    let widths: Vec<u32> = if rein_bench::perf::single_core_host() {
+        println!("single-core host: skipping the parallel-grid threads axis");
+        Vec::new()
+    } else {
+        vec![1, 2, 4, rein_bench::worker_threads()]
+    };
     let report = run_perf_suite("perf_baseline", scale, repeats, SUITE_SEED, &widths);
     drop(measure);
 
@@ -76,14 +86,16 @@ fn main() {
             b.alloc.allocs_per_repeat.first().copied().unwrap_or(0).to_string(),
         ]);
     }
-    println!("\nparallel grid, by pool width:");
-    rein_bench::row(&["threads".into(), "median ms".into(), "speedup".into()]);
-    for p in &report.thread_axis {
-        rein_bench::row(&[
-            p.threads.to_string(),
-            rein_bench::f(p.timing.median_ms),
-            rein_bench::f(p.speedup),
-        ]);
+    if !report.thread_axis.is_empty() {
+        println!("\nparallel grid, by pool width:");
+        rein_bench::row(&["threads".into(), "median ms".into(), "speedup".into()]);
+        for p in &report.thread_axis {
+            rein_bench::row(&[
+                p.threads.to_string(),
+                rein_bench::f(p.timing.median_ms),
+                rein_bench::f(p.speedup),
+            ]);
+        }
     }
     if let Err(e) = report.write_to(&path) {
         eprintln!("error: write {}: {e}", path.display());

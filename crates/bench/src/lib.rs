@@ -205,22 +205,88 @@ pub fn dump_cells(
 pub const FAILURE_EXIT: i32 = 3;
 
 /// The supervision policy for bench binaries: chaos injection from the
-/// `REIN_CHAOS` environment variable (empty when unset), default
-/// retries and budgets. A set-but-unparsable spec is rejected like any
-/// other bad environment override.
+/// `REIN_CHAOS` environment variable and crash injection from
+/// `REIN_CRASH` (both empty when unset), default retries and budgets.
+/// A set-but-unparsable spec is rejected like any other bad
+/// environment override.
 pub fn guard_policy() -> GuardPolicy {
-    match rein_core::ChaosSpec::from_env() {
-        Ok(chaos) => GuardPolicy::with_chaos(chaos),
+    let chaos = match rein_core::ChaosSpec::from_env() {
+        Ok(chaos) => chaos,
         Err(e) => reject_env(
             "REIN_CHAOS",
             &std::env::var("REIN_CHAOS").unwrap_or_default(),
             &format!("a chaos spec like detect:raha=panic ({e})"),
         ),
-    }
+    };
+    let crash = match rein_core::CrashSpec::from_env() {
+        Ok(crash) => crash,
+        Err(e) => reject_env(
+            "REIN_CRASH",
+            &std::env::var("REIN_CRASH").unwrap_or_default(),
+            &format!("a crash spec like detect:raha=before ({e})"),
+        ),
+    };
+    let mut policy = GuardPolicy::with_chaos(chaos);
+    policy.crash = crash;
+    policy
 }
 
-/// A controller wired with the environment's chaos policy and the given
-/// seed/budget — the standard way bench binaries obtain one.
+/// Reads the durable cell-store selector (`REIN_STORE`, default off):
+/// unset, empty, `0` or `off` runs store-less; `1`/`on` selects the
+/// standard `artifacts/store` root; any other value is used as the
+/// store root path directly. Parsed once per process.
+pub fn store_root() -> Option<std::path::PathBuf> {
+    static ROOT: std::sync::OnceLock<Option<std::path::PathBuf>> = std::sync::OnceLock::new();
+    ROOT.get_or_init(|| match std::env::var("REIN_STORE") {
+        Err(_) => None,
+        Ok(raw) => match raw.as_str() {
+            "" | "0" | "off" => None,
+            "1" | "on" => Some(std::path::PathBuf::from("artifacts/store")),
+            path => Some(std::path::PathBuf::from(path)),
+        },
+    })
+    .clone()
+}
+
+/// Opens (once per process) the durable cell store selected by
+/// `REIN_STORE`, running write-ahead-journal recovery. `None` when the
+/// store is off. An unopenable root is a hard environment error like
+/// any other bad override — silently running store-less would make a
+/// "resumed" run recompute everything while claiming to resume.
+/// Recovery that quarantined corrupt records is reported on stderr
+/// (the store also writes `quarantine/report.json`), never silent.
+pub fn open_store() -> Option<std::sync::Arc<rein_store::Store>> {
+    static STORE: std::sync::OnceLock<Option<std::sync::Arc<rein_store::Store>>> =
+        std::sync::OnceLock::new();
+    STORE
+        .get_or_init(|| {
+            let root = store_root()?;
+            match rein_store::Store::open(&root) {
+                Ok(store) => {
+                    let recovery = store.recovery();
+                    if !recovery.quarantined.is_empty() {
+                        eprintln!(
+                            "warning: store recovery quarantined {} corrupt record stretch(es); \
+                             see {}",
+                            recovery.quarantined.len(),
+                            rein_store::Store::quarantine_report_path(store.store_root()).display()
+                        );
+                    }
+                    Some(std::sync::Arc::new(store))
+                }
+                Err(e) => reject_env(
+                    "REIN_STORE",
+                    &root.display().to_string(),
+                    &format!("an openable store root ({e})"),
+                ),
+            }
+        })
+        .clone()
+}
+
+/// A controller wired with the environment's chaos/crash policy, the
+/// environment's durable store (if any) and the given seed/budget —
+/// the standard way bench binaries obtain one.
 pub fn controller(label_budget: usize, seed: u64) -> rein_core::Controller {
     install_thread_pool();
     rein_core::Controller {
@@ -229,6 +295,7 @@ pub fn controller(label_budget: usize, seed: u64) -> rein_core::Controller {
         policy: guard_policy(),
         scale: scale(),
         progress: progress(),
+        store: open_store(),
     }
 }
 
@@ -336,5 +403,17 @@ mod tests {
     fn dataset_helper_generates() {
         let ds = dataset_at(DatasetId::BreastCancer, 0.2, 1);
         assert!(ds.clean.n_rows() >= 20);
+    }
+
+    #[test]
+    fn store_off_selector_runs_the_grid_store_less() {
+        // Back-compat: REIN_STORE=off (and unset) must behave exactly
+        // like the pre-store harness — no store opened, no journal
+        // touched, controller in direct mode.
+        std::env::set_var("REIN_STORE", "off");
+        assert!(store_root().is_none());
+        assert!(open_store().is_none());
+        let ctrl = controller(10, 1);
+        assert!(ctrl.store.is_none(), "REIN_STORE=off must run store-less");
     }
 }

@@ -603,30 +603,66 @@ fn compare_one(
     }
 }
 
+/// Whether two reports' thread-axis rows are comparable at all: the
+/// grids must have run under the same worker-pool ceiling on the same
+/// core class. Across differing core counts a `threads=4` point means
+/// different hardware parallelism on each side, so a ratio between them
+/// measures the machines, not the code.
+pub fn thread_axes_comparable(a: &BenchEnv, b: &BenchEnv) -> bool {
+    a.threads == b.threads && a.single_core == b.single_core
+}
+
+/// A thread-axis point rendered as a pseudo-benchmark so the Wilcoxon
+/// gate can pair it (`parallel-grid/threads/<w>`).
+fn thread_axis_benchmark(p: &ThreadAxisPoint) -> BenchmarkResult {
+    BenchmarkResult {
+        id: format!("parallel-grid/threads/{}", p.threads),
+        cells: 0,
+        repeat_ms: p.repeat_ms.clone(),
+        timing: p.timing.clone(),
+        cells_per_sec: 0.0,
+        alloc: AllocReport {
+            allocs_per_repeat: Vec::new(),
+            bytes_per_repeat: Vec::new(),
+            peak_bytes: 0,
+        },
+        span_profile: Vec::new(),
+    }
+}
+
 /// Pairs two reports by benchmark id and applies the Wilcoxon gate.
+/// Thread-axis points join the comparison as `parallel-grid/threads/<w>`
+/// rows — but only when [`thread_axes_comparable`] holds; across
+/// differing core counts they are omitted entirely rather than reported
+/// as hardware-flavoured regressions.
 pub fn compare_reports(
     baseline: &BenchReport,
     current: &BenchReport,
     cfg: &CompareConfig,
 ) -> CompareReport {
-    let mut ids: Vec<&str> = baseline
-        .benchmarks
-        .iter()
-        .chain(current.benchmarks.iter())
-        .map(|b| b.id.as_str())
-        .collect();
+    let (base_axis, cur_axis): (Vec<BenchmarkResult>, Vec<BenchmarkResult>) =
+        if thread_axes_comparable(&baseline.env, &current.env) {
+            (
+                baseline.thread_axis.iter().map(thread_axis_benchmark).collect(),
+                current.thread_axis.iter().map(thread_axis_benchmark).collect(),
+            )
+        } else {
+            (Vec::new(), Vec::new())
+        };
+    let base_all: Vec<&BenchmarkResult> = baseline.benchmarks.iter().chain(&base_axis).collect();
+    let cur_all: Vec<&BenchmarkResult> = current.benchmarks.iter().chain(&cur_axis).collect();
+    let mut ids: Vec<&str> = base_all.iter().chain(cur_all.iter()).map(|b| b.id.as_str()).collect();
     ids.sort_unstable();
     ids.dedup();
-    let find = |r: &'_ BenchReport, id: &str| -> Option<usize> {
-        r.benchmarks.iter().position(|b| b.id == id)
-    };
+    let find =
+        |rs: &[&BenchmarkResult], id: &str| -> Option<usize> { rs.iter().position(|b| b.id == id) };
     let comparisons: Vec<BenchComparison> = ids
         .iter()
         .map(|id| {
             compare_one(
                 id,
-                find(baseline, id).map(|i| &baseline.benchmarks[i]),
-                find(current, id).map(|i| &current.benchmarks[i]),
+                find(&base_all, id).map(|i| base_all[i]),
+                find(&cur_all, id).map(|i| cur_all[i]),
                 cfg,
             )
         })
@@ -820,6 +856,46 @@ mod tests {
         assert_eq!(verdict_of("selftest/alpha"), Verdict::OnlyInBaseline);
         assert_eq!(verdict_of("selftest/delta"), Verdict::OnlyInCurrent);
         assert_eq!(cmp.regressions, 0);
+    }
+
+    #[test]
+    fn thread_axis_rows_compare_only_on_matching_core_counts() {
+        let cfg = CompareConfig::default();
+        let point = |ms: f64| {
+            const JITTER: [f64; 8] = [0.0, 1.0, 3.0, 2.0, 5.0, 4.0, 7.0, 6.0];
+            let repeat_ms: Vec<f64> = JITTER.iter().map(|j| ms * (1.0 + 0.002 * j)).collect();
+            let timing = timing_stats(&repeat_ms);
+            ThreadAxisPoint { threads: 4, repeat_ms, timing, speedup: 1.0 }
+        };
+        let mut base = synthetic_report(8);
+        base.thread_axis = vec![point(10.0)];
+        let mut cur = base.clone();
+        cur.thread_axis = vec![point(25.0)];
+
+        // Same env: the axis row joins the comparison and the 2.5x
+        // slowdown is flagged.
+        let cmp = compare_reports(&base, &cur, &cfg);
+        let axis = cmp
+            .comparisons
+            .iter()
+            .find(|c| c.id == "parallel-grid/threads/4")
+            .expect("axis row compared");
+        assert_eq!(axis.verdict, Verdict::Regression);
+
+        // Differing core counts: the axis rows vanish from the
+        // comparison instead of reporting a hardware-flavoured verdict.
+        let mut other_host = cur.clone();
+        other_host.env.threads = 16;
+        let cmp = compare_reports(&base, &other_host, &cfg);
+        assert!(
+            cmp.comparisons.iter().all(|c| !c.id.starts_with("parallel-grid/threads/")),
+            "thread-axis rows must be omitted across core counts: {:?}",
+            cmp.comparisons.iter().map(|c| c.id.as_str()).collect::<Vec<_>>()
+        );
+        // A single-core host on one side is the same incomparability.
+        let mut single = cur.clone();
+        single.env.single_core = true;
+        assert!(!thread_axes_comparable(&base.env, &single.env));
     }
 
     #[test]

@@ -2,21 +2,23 @@
 //! evaluation module, and exploits design-time knowledge (error types, ML
 //! task, available signals) to sidestep unnecessary experiments.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 use rayon::prelude::*;
 use rein_data::rng::derive_seed;
-use rein_data::MlTask;
+use rein_data::{CellMask, MlTask};
 use rein_datasets::GeneratedDataset;
 use rein_detect::DetectorKind;
-use rein_guard::{GuardPolicy, StrategyFailure};
+use rein_guard::{CrashWhen, GuardPolicy, StrategyFailure};
 use rein_ml::model::{ClassifierKind, ClustererKind, RegressorKind};
 use rein_repair::{RepairCategory, RepairKind};
+use rein_store::{CrashPoint, Store, StoreWriter};
 
 use crate::evaluate::{
     eval_classifier_guarded, eval_clusterer, eval_regressor_guarded, repair_quality_categorical,
-    repair_quality_numerical, run_repair_guarded, table_identity, DetectorHarness, DetectorRun,
-    RepairRun, VersionTable,
+    repair_quality_numerical, replay_detector_run, run_repair_guarded, table_identity,
+    DetectorHarness, DetectorRun, RepairRun, VersionTable,
 };
 use crate::experiment::{DetectionRecord, RepairRecord};
 use crate::scenario::Scenario;
@@ -60,6 +62,14 @@ pub struct Controller {
     /// deterministic-content progress lines (cell counts, never timing
     /// or worker identity) to stderr.
     pub progress: bool,
+    /// Durable cell-result store (`REIN_STORE`, plumbed by rein-bench):
+    /// when set, [`Controller::run_grid`] consults the store before
+    /// dispatching each cell, replays hits without executing the
+    /// strategy, and commits every computed cell through the store's
+    /// write-ahead journal at the grid's sequential merge points
+    /// (DESIGN.md §6j). `None` runs the grid store-less, byte-identical
+    /// to the pre-store behaviour.
+    pub store: Option<Arc<Store>>,
 }
 
 impl Default for Controller {
@@ -70,6 +80,7 @@ impl Default for Controller {
             policy: GuardPolicy::default(),
             scale: 1.0,
             progress: false,
+            store: None,
         }
     }
 }
@@ -213,29 +224,31 @@ impl Controller {
         scenarios: &[Scenario],
         repeats: usize,
     ) -> BTreeMap<String, String> {
+        match self.store.as_deref() {
+            // audit:allow(seed-provenance, store only selects persistence; every cell seed still derives from self.seed and the cell coordinates)
+            Some(store) => self.run_grid_stored(store, ds, scenarios, repeats),
+            None => self.run_grid_direct(ds, scenarios, repeats),
+        }
+    }
+
+    /// The store-less grid: every cell computes, nothing persists.
+    fn run_grid_direct(
+        &self,
+        ds: &GeneratedDataset,
+        scenarios: &[Scenario],
+        repeats: usize,
+    ) -> BTreeMap<String, String> {
         let _span = rein_telemetry::span("controller:grid");
         let mut cells = BTreeMap::new();
         let detections = self.run_detection(ds);
         for (det_ix, det) in detections.iter().enumerate() {
             let key = format!("detect:{}", det.kind.name());
-            // audit:allow(panic, CellMask serialization to JSON strings is infallible)
-            let bytes = serde_json::to_string(&det.mask).expect("mask serializes");
-            cells.insert(key, bytes);
+            cells.insert(key, detect_payload(&det.mask));
             // audit:allow(seed-provenance, det only names the guard scope; every repair seed is derived inside run_repairs from self.seed and the repair kind)
             let repairs = self.run_repairs(ds, det);
             for rep in &repairs {
                 let key = format!("repair:{}#{}", rep.kind.name(), det.kind.name());
-                let bytes = match (&rep.version, &rep.repaired_cells) {
-                    (Some(v), Some(m)) => format!(
-                        "{}\n{}\n{:?}",
-                        rein_data::csv::write_str(&v.table),
-                        // audit:allow(panic, CellMask serialization to JSON strings is infallible)
-                        serde_json::to_string(m).expect("mask serializes"),
-                        v.row_map
-                    ),
-                    _ => format!("pipeline:{}", rep.pipeline.is_some()),
-                };
-                cells.insert(key, bytes);
+                cells.insert(key, repair_payload(rep));
             }
             cells.extend(self.eval_cells(ds, det, det_ix, &repairs, scenarios, repeats));
         }
@@ -245,6 +258,352 @@ impl Controller {
             cells.len()
         ));
         cells
+    }
+
+    /// The store-backed grid (DESIGN.md §6j): per phase, consult the
+    /// store sequentially, compute only the misses in parallel (under
+    /// exactly the per-cell seeds and trace roots the direct grid
+    /// uses), and commit the computed cells through the write-ahead
+    /// journal at the phase's sequential merge point. Hits replay the
+    /// stored payload bytes verbatim, so a warm grid's cell map is
+    /// byte-identical to a cold one.
+    fn run_grid_stored(
+        &self,
+        store: &Store,
+        ds: &GeneratedDataset,
+        scenarios: &[Scenario],
+        repeats: usize,
+    ) -> BTreeMap<String, String> {
+        let _span = rein_telemetry::span("controller:grid");
+        let plan = self.plan(ds);
+        let dirty_id = table_identity(&ds.dirty);
+        let mut cells = BTreeMap::new();
+        let detections = self.stored_detection(store, ds, &plan, &dirty_id);
+        for (det_ix, (det, coordinate, payload)) in detections.iter().enumerate() {
+            cells.insert(coordinate.clone(), payload.clone());
+            // audit:allow(seed-provenance, det names the guard scope and det_ix the plan position; repair and eval seeds derive from self.seed exactly like the direct grid)
+            let repairs = self.stored_repairs(store, ds, &plan, &dirty_id, det);
+            for slot in &repairs {
+                cells.insert(slot.coordinate.clone(), slot.payload.clone());
+            }
+            // audit:allow(seed-provenance, det_ix is the detector's plan position; eval seeds derive from self.seed and the cell coordinates as in eval_cells)
+            cells.extend(self.stored_evals(store, ds, det, det_ix, repairs, scenarios, repeats));
+        }
+        self.emit_progress(&format!(
+            "dataset={} grid complete cells={}",
+            ds.info.name,
+            cells.len()
+        ));
+        cells
+    }
+
+    /// Store-backed detection: hits deserialize the stored mask and
+    /// replay ([`replay_detector_run`]); misses run the detector under
+    /// the same seed/trace the direct phase would use, then commit.
+    /// Returns `(run, coordinate, payload)` in plan order.
+    fn stored_detection(
+        &self,
+        store: &Store,
+        ds: &GeneratedDataset,
+        plan: &Plan,
+        dirty_id: &str,
+    ) -> Vec<(DetectorRun, String, String)> {
+        let span = rein_telemetry::span("controller:detect");
+        let parent = Some(span.ctx());
+        let slots: Vec<(DetectorKind, String, u64, String, u64)> = plan
+            .detectors
+            .iter()
+            .map(|&kind| {
+                let coordinate = format!("detect:{}", kind.name());
+                let seed = derive_seed(self.seed, kind.index_letter() as u64);
+                let key = self.cell_key(ds, dirty_id, &coordinate, self.scale, seed);
+                (kind, coordinate, seed, key.content_key(), key.hash())
+            })
+            .collect();
+        // Sequential store consultation. A stored payload that fails to
+        // parse back into a mask is treated as a miss, never trusted.
+        let mut out: Vec<Option<(DetectorRun, String)>> = slots
+            .iter()
+            .map(|(kind, _, _, digest, _)| {
+                let cell = store.lookup(digest)?;
+                let mask: CellMask = serde_json::from_str(&cell.payload).ok()?;
+                Some((replay_detector_run(ds, *kind, mask), cell.payload))
+            })
+            .collect();
+        let hits = out.iter().filter(|o| o.is_some()).count();
+        rein_telemetry::counter("store_hits").add(hits as u64);
+        rein_telemetry::counter("store_misses").add((slots.len() - hits) as u64);
+        let writer = StoreWriter::with_shards(rayon::current_num_threads().max(1));
+        let missing: Vec<usize> = (0..slots.len()).filter(|&i| out[i].is_none()).collect();
+        let computed: Vec<(usize, DetectorRun, String)> = missing
+            .par_iter()
+            .map(|&i| {
+                let (kind, coordinate, seed, digest, trace) = &slots[i];
+                let _worker =
+                    rein_telemetry::span_traced(format!("cell:{coordinate}"), parent, *trace);
+                let harness = DetectorHarness::new(ds, self.label_budget, *seed)
+                    .with_policy(self.policy.clone());
+                let run = harness.run(ds, *kind);
+                let payload = detect_payload(&run.mask);
+                writer.stage(digest, coordinate, &payload, None);
+                (i, run, payload)
+            })
+            .collect();
+        self.commit(store, &writer);
+        for (i, run, payload) in computed {
+            out[i] = Some((run, payload));
+        }
+        let runs: Vec<(DetectorRun, String, String)> = slots
+            .into_iter()
+            .zip(out)
+            .map(|((_, coordinate, _, _, _), resolved)| {
+                // audit:allow(panic, every store miss was computed in the loop above)
+                let (run, payload) = resolved.expect("detect cell resolved");
+                (run, coordinate, payload)
+            })
+            .collect();
+        let failed = runs.iter().filter(|(r, _, _)| r.failure.is_some()).count();
+        self.emit_progress(&format!(
+            "dataset={} phase=detect done={} failed={failed} total={} hits={hits}",
+            ds.info.name,
+            runs.len(),
+            runs.len()
+        ));
+        runs
+    }
+
+    /// Store-backed repair phase for one detector's detections. Hits
+    /// keep the stored payload bytes (and the produced version's
+    /// content identity from the record's aux field) without
+    /// rehydrating the table; misses run the repairer live and commit.
+    fn stored_repairs(
+        &self,
+        store: &Store,
+        ds: &GeneratedDataset,
+        plan: &Plan,
+        dirty_id: &str,
+        det: &DetectorRun,
+    ) -> Vec<RepairSlot> {
+        let kinds: Vec<RepairKind> =
+            plan.generic_repairers.iter().chain(plan.ml_repairers.iter()).copied().collect();
+        let span = rein_telemetry::span("controller:repair");
+        let parent = Some(span.ctx());
+        let metas: Vec<(RepairKind, String, u64, String, u64, Option<rein_store::StoredCell>)> =
+            kinds
+                .iter()
+                .map(|&kind| {
+                    let coordinate = format!("repair:{}#{}", kind.name(), det.kind.name());
+                    let seed = derive_seed(self.seed, kind.index() as u64);
+                    let key = self.cell_key(ds, dirty_id, &coordinate, self.scale, seed);
+                    let digest = key.content_key();
+                    let hit = store.lookup(&digest);
+                    (kind, coordinate, seed, digest, key.hash(), hit)
+                })
+                .collect();
+        let hits = metas.iter().filter(|m| m.5.is_some()).count();
+        rein_telemetry::counter("store_hits").add(hits as u64);
+        rein_telemetry::counter("store_misses").add((metas.len() - hits) as u64);
+        let writer = StoreWriter::with_shards(rayon::current_num_threads().max(1));
+        let missing: Vec<usize> = (0..metas.len()).filter(|&i| metas[i].5.is_none()).collect();
+        let computed: Vec<(usize, RepairRun, String, Option<String>)> = missing
+            .par_iter()
+            .map(|&i| {
+                let (kind, coordinate, seed, digest, trace, _) = &metas[i];
+                let _worker =
+                    rein_telemetry::span_traced(format!("cell:{coordinate}"), parent, *trace);
+                let run =
+                    run_repair_guarded(ds, &det.mask, *kind, *seed, det.kind.name(), &self.policy);
+                let payload = repair_payload(&run);
+                let version_id = run.version.as_ref().map(|v| v.content_identity());
+                writer.stage(digest, coordinate, &payload, version_id.as_deref());
+                (i, run, payload, version_id)
+            })
+            .collect();
+        self.commit(store, &writer);
+        let mut live: BTreeMap<usize, (RepairRun, String, Option<String>)> =
+            computed.into_iter().map(|(i, run, payload, vid)| (i, (run, payload, vid))).collect();
+        let failed = live.values().filter(|(run, _, _)| run.failure.is_some()).count();
+        let slots: Vec<RepairSlot> = metas
+            .into_iter()
+            .enumerate()
+            .map(|(i, (kind, coordinate, seed, _, trace, hit))| match hit {
+                Some(cell) => RepairSlot {
+                    kind,
+                    coordinate,
+                    seed,
+                    trace,
+                    payload: cell.payload,
+                    version_id: cell.aux,
+                    run: None,
+                },
+                None => {
+                    // audit:allow(panic, every store miss was computed in the loop above)
+                    let (run, payload, version_id) = live.remove(&i).expect("repair cell resolved");
+                    RepairSlot {
+                        kind,
+                        coordinate,
+                        seed,
+                        trace,
+                        payload,
+                        version_id,
+                        run: Some(run),
+                    }
+                }
+            })
+            .collect();
+        self.emit_progress(&format!(
+            "dataset={} phase=repair detector={} done={} failed={failed} total={} hits={hits}",
+            ds.info.name,
+            det.kind.name(),
+            slots.len(),
+            slots.len()
+        ));
+        slots
+    }
+
+    /// Store-backed evaluation layer. Eval misses whose repair was a
+    /// store hit first rehydrate that repair live (same seed — the
+    /// audit's purity certificate makes the recompute byte-identical;
+    /// any payload mismatch is counted as `store_divergence`, never
+    /// silently accepted), then evaluate and commit.
+    #[allow(clippy::too_many_arguments)]
+    fn stored_evals(
+        &self,
+        store: &Store,
+        ds: &GeneratedDataset,
+        det: &DetectorRun,
+        det_ix: usize,
+        mut repairs: Vec<RepairSlot>,
+        scenarios: &[Scenario],
+        repeats: usize,
+    ) -> Vec<(String, String)> {
+        if scenarios.is_empty() || repeats == 0 {
+            return Vec::new();
+        }
+        let span = rein_telemetry::span("controller:evaluate");
+        let parent = Some(span.ctx());
+        let work: Vec<(usize, usize)> = (0..scenarios.len())
+            .flat_map(|si| {
+                repairs
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, r)| r.version_id.is_some())
+                    .map(move |(ri, _)| (si, ri))
+            })
+            .collect();
+        let metas: Vec<EvalMeta> = work
+            .iter()
+            .map(|&(si, ri)| {
+                let rep = &repairs[ri];
+                // audit:allow(panic, the work list above is filtered to versioned repairs)
+                let version_id = rep.version_id.as_deref().expect("versioned repair identity");
+                let key = format!(
+                    "eval:{}:{}#{}",
+                    scenarios[si].name(),
+                    rep.kind.name(),
+                    det.kind.name()
+                );
+                let seed = derive_seed(
+                    self.seed,
+                    40_000 + (det_ix as u64) * 1_000 + (si as u64) * 100 + ri as u64,
+                );
+                let ck = self.cell_key(ds, version_id, &key, self.scale, seed);
+                let hit = store.lookup(&ck.content_key()).map(|c| c.payload);
+                EvalMeta { si, ri, key, seed, digest: ck.content_key(), trace: ck.hash(), hit }
+            })
+            .collect();
+        let hits = metas.iter().filter(|m| m.hit.is_some()).count();
+        rein_telemetry::counter("store_hits").add(hits as u64);
+        rein_telemetry::counter("store_misses").add((metas.len() - hits) as u64);
+        // Rehydrate each stored repair version that an eval miss needs,
+        // exactly once, in parallel.
+        let need: BTreeSet<usize> = metas
+            .iter()
+            .filter(|m| m.hit.is_none() && repairs[m.ri].run.is_none())
+            .map(|m| m.ri)
+            .collect();
+        let need: Vec<usize> = need.into_iter().collect();
+        let rehydrated: Vec<(usize, RepairRun)> = need
+            .par_iter()
+            .map(|&ri| {
+                let slot = &repairs[ri];
+                let _worker = rein_telemetry::span_traced(
+                    format!("cell:{}", slot.coordinate),
+                    parent,
+                    slot.trace,
+                );
+                let run = run_repair_guarded(
+                    ds,
+                    &det.mask,
+                    slot.kind,
+                    slot.seed,
+                    det.kind.name(),
+                    &self.policy,
+                );
+                (ri, run)
+            })
+            .collect();
+        rein_telemetry::counter("store_rehydrated").add(rehydrated.len() as u64);
+        for (ri, run) in rehydrated {
+            if repair_payload(&run) != repairs[ri].payload {
+                rein_telemetry::counter("store_divergence").incr();
+            }
+            repairs[ri].run = Some(run);
+        }
+        let writer = StoreWriter::with_shards(rayon::current_num_threads().max(1));
+        let missing: Vec<usize> = (0..metas.len()).filter(|&i| metas[i].hit.is_none()).collect();
+        let computed: Vec<(usize, String)> = missing
+            .par_iter()
+            .map(|&i| {
+                let EvalMeta { si, ri, key, seed, digest, trace, .. } = &metas[i];
+                let slot = &repairs[*ri];
+                // audit:allow(panic, every eval-missed stored repair was rehydrated above)
+                let run = slot.run.as_ref().expect("rehydrated repair");
+                // audit:allow(panic, purity-certified recompute of a version-producing repair yields a version)
+                let version = run.version.as_ref().expect("versioned repair");
+                let _worker = rein_telemetry::span_traced(format!("cell:{key}"), parent, *trace);
+                let payload = self.eval_cell(ds, scenarios[*si], version, repeats, *seed);
+                writer.stage(digest, key, &payload, None);
+                (i, payload)
+            })
+            .collect();
+        self.commit(store, &writer);
+        let mut live: BTreeMap<usize, String> = computed.into_iter().collect();
+        let cells: Vec<(String, String)> = metas
+            .into_iter()
+            .enumerate()
+            .map(|(i, m)| match m.hit {
+                Some(payload) => (m.key, payload),
+                // audit:allow(panic, every store miss was computed in the loop above)
+                None => (m.key, live.remove(&i).expect("eval cell resolved")),
+            })
+            .collect();
+        let failed = cells.iter().filter(|(_, v)| v.contains(" failure:")).count();
+        self.emit_progress(&format!(
+            "dataset={} phase=eval detector={} done={} failed={failed} total={} hits={hits}",
+            ds.info.name,
+            det.kind.name(),
+            cells.len(),
+            cells.len()
+        ));
+        cells
+    }
+
+    /// Commits everything staged in `writer` through the store's
+    /// write-ahead journal, translating the policy's `REIN_CRASH` rules
+    /// into the store's commit-point injection. A commit I/O failure
+    /// degrades to recompute-next-run: it is counted, never fatal to
+    /// the in-flight grid (the in-memory cell map is already correct).
+    fn commit(&self, store: &Store, writer: &StoreWriter) {
+        let crash = |coordinate: &str| {
+            self.policy.crash.when_for(coordinate).map(|when| match when {
+                CrashWhen::Before => CrashPoint::Before,
+                CrashWhen::After => CrashPoint::After,
+            })
+        };
+        if store.commit_staged(writer, &crash).is_err() {
+            rein_telemetry::counter("store_commit_errors").incr();
+        }
     }
 
     /// The evaluation layer of [`Controller::run_grid`]: every
@@ -345,7 +704,7 @@ impl Controller {
             strategy: strategy.to_string(),
             seed: cell_seed,
             scale,
-            guard_policy: format!("{:?}", self.policy),
+            guard_policy: self.policy.cache_identity(),
         }
     }
 
@@ -439,6 +798,56 @@ impl Controller {
                 }
             })
             .collect()
+    }
+}
+
+/// One repair coordinate's state in the store-backed grid: the stored
+/// or freshly-computed cell payload, the produced version's content
+/// identity (the downstream eval cells' `dataset_version` key
+/// component), and — for live or rehydrated repairs — the run itself.
+struct RepairSlot {
+    kind: RepairKind,
+    coordinate: String,
+    seed: u64,
+    trace: u64,
+    payload: String,
+    version_id: Option<String>,
+    run: Option<RepairRun>,
+}
+
+/// One eval coordinate's store-consultation state: the scenario/repair
+/// indices it evaluates, its cell key material, and the stored payload
+/// when the lookup hit.
+struct EvalMeta {
+    si: usize,
+    ri: usize,
+    key: String,
+    seed: u64,
+    digest: String,
+    trace: u64,
+    hit: Option<String>,
+}
+
+/// The canonical `detect:…` cell payload: the mask as JSON.
+fn detect_payload(mask: &CellMask) -> String {
+    // audit:allow(panic, CellMask serialization to JSON strings is infallible)
+    serde_json::to_string(mask).expect("mask serializes")
+}
+
+/// The canonical `repair:…#…` cell payload: repaired CSV + modified
+/// cells + row map for version-producing repairs, a pipeline marker
+/// otherwise. Shared by the direct and store-backed grids so the
+/// store's committed bytes are exactly the direct grid's cell bytes.
+fn repair_payload(rep: &RepairRun) -> String {
+    match (&rep.version, &rep.repaired_cells) {
+        (Some(v), Some(m)) => format!(
+            "{}\n{}\n{:?}",
+            rein_data::csv::write_str(&v.table),
+            // audit:allow(panic, CellMask serialization to JSON strings is infallible)
+            serde_json::to_string(m).expect("mask serializes"),
+            v.row_map
+        ),
+        _ => format!("pipeline:{}", rep.pipeline.is_some()),
     }
 }
 
@@ -587,6 +996,58 @@ mod tests {
                 .any(|s| s.trace_id == *id && s.id != root.id && s.name.starts_with("detect:"));
             assert!(inherited, "guard span under {strategy} must inherit its trace id");
         }
+    }
+
+    #[test]
+    fn stored_grid_matches_direct_grid_cold_and_warm() {
+        let ds = DatasetId::BreastCancer.generate(&Params::scaled(0.2, 6));
+        let root = std::env::temp_dir().join(format!("rein-ctrl-store-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let direct = Controller { label_budget: 30, seed: 7, ..Controller::default() };
+        let want = direct.run_grid(&ds, &[Scenario::S1], 1);
+
+        // Cold store: every cell misses, computes, and commits — and the
+        // resulting map is byte-identical to the store-less grid.
+        let store = Arc::new(Store::open(&root).unwrap());
+        let ctrl = Controller { store: Some(store.clone()), ..direct.clone() };
+        let cold = ctrl.run_grid(&ds, &[Scenario::S1], 1);
+        assert_eq!(want, cold, "cold store-backed grid diverges from direct grid");
+        assert_eq!(store.cell_count(), want.len(), "every grid cell committed");
+        drop(ctrl);
+        drop(store);
+
+        // Reopen from disk: the journal replays every committed cell and
+        // a fully-warm grid replays byte-identical payloads.
+        let reopened = Arc::new(Store::open(&root).unwrap());
+        assert_eq!(reopened.cell_count(), want.len(), "journal replay is lossless");
+        assert!(reopened.recovery().quarantined.is_empty());
+        let warm_ctrl = Controller { store: Some(reopened), ..direct };
+        let warm = warm_ctrl.run_grid(&ds, &[Scenario::S1], 1);
+        assert_eq!(want, warm, "warm store-backed grid diverges from direct grid");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn cell_keys_ignore_crash_injection_but_not_chaos() {
+        let ds = DatasetId::BreastCancer.generate(&Params::scaled(0.2, 6));
+        let base = Controller { label_budget: 30, seed: 7, ..Controller::default() };
+        let mut crashy = base.clone();
+        crashy.policy.crash = rein_guard::CrashSpec::parse("detect:raha=before").unwrap();
+        let vid = table_identity(&ds.dirty);
+        let seed = derive_seed(base.seed, 40_000);
+        // A crashed run and its resume (without REIN_CRASH) must address
+        // the same cells: the crash spec is not a cache-key component.
+        assert_eq!(
+            base.cell_key(&ds, &vid, "detect:raha", 0.2, seed).content_key(),
+            crashy.cell_key(&ds, &vid, "detect:raha", 0.2, seed).content_key(),
+        );
+        // Chaos degrades what a cell computes, so it still keys.
+        let mut chaotic = base.clone();
+        chaotic.policy.chaos = rein_guard::ChaosSpec::parse("detect:raha=panic").unwrap();
+        assert_ne!(
+            base.cell_key(&ds, &vid, "detect:raha", 0.2, seed).content_key(),
+            chaotic.cell_key(&ds, &vid, "detect:raha", 0.2, seed).content_key(),
+        );
     }
 
     #[test]

@@ -196,6 +196,22 @@ pub struct DetectorRun {
     pub failure: Option<StrategyFailure>,
 }
 
+/// Rebuilds a [`DetectorRun`] from a stored detection mask (a durable
+/// store hit): quality is recomputed against the ground truth — it is a
+/// pure function of the mask, so the replayed run is observably
+/// equivalent to the original except for `runtime`, which is zero
+/// because nothing executed. A replayed run never carries a failure:
+/// the store only ever holds the mask the original run committed, and
+/// a degraded run's empty mask replays as exactly that empty mask.
+pub fn replay_detector_run(
+    ds: &GeneratedDataset,
+    kind: DetectorKind,
+    mask: CellMask,
+) -> DetectorRun {
+    let quality = evaluate_detection(&mask, &ds.mask);
+    DetectorRun { kind, mask, quality, runtime: Duration::ZERO, failure: None }
+}
+
 /// A data version aligned to the clean-row space: `row_map[i]` is the
 /// clean-row index of version row `i` (indices `>= clean.n_rows()` denote
 /// injected duplicate rows).

@@ -25,7 +25,8 @@ pub use evaluate::{
 };
 pub use experiment::{ab_test, AbTestRecord, DetectionRecord, ModelRecord, RepairRecord};
 pub use rein_guard::{
-    ChaosMode, ChaosRule, ChaosSpec, FailureCause, GuardPolicy, Phase, StrategyFailure,
+    ChaosMode, ChaosRule, ChaosSpec, CrashRule, CrashSpec, CrashWhen, FailureCause, GuardPolicy,
+    Phase, StrategyFailure,
 };
 pub use repository::{Repository, VersionKey};
 pub use scenario::{Scenario, VersionRole};

@@ -60,21 +60,17 @@ impl Repository {
 
     /// Stores a version (overwrites an existing one).
     ///
-    /// On-disk persistence is atomic: the CSV is written to a temp file in
-    /// the same directory and renamed over the target, so a crash mid-write
-    /// leaves either the old version or the new one — never a torn file.
+    /// On-disk persistence goes through [`rein_store::atomic_write`] —
+    /// the same hardened temp-file + fsync + rename + parent-directory
+    /// fsync path the durable cell store's segment writer uses — so a
+    /// crash (or power loss) mid-write leaves either the old version or
+    /// the new one durably on disk, never a torn file and never a
+    /// rename that an unsynced directory entry forgets.
     pub fn store(&mut self, dataset: &str, key: VersionKey, table: Table) -> std::io::Result<()> {
         if let Some(root) = &self.root {
             let dir = root.join(dataset);
-            std::fs::create_dir_all(&dir)?;
-            let stem = key.file_stem();
-            let tmp = dir.join(format!("{stem}.csv.tmp-{}", std::process::id()));
-            let target = dir.join(format!("{stem}.csv"));
-            csv::write_file(&tmp, &table)?;
-            if let Err(e) = std::fs::rename(&tmp, &target) {
-                let _ = std::fs::remove_file(&tmp);
-                return Err(e);
-            }
+            let target = dir.join(format!("{}.csv", key.file_stem()));
+            rein_store::atomic_write(&target, csv::write_str(&table).as_bytes())?;
         }
         self.versions.insert((dataset.to_string(), key), table);
         Ok(())

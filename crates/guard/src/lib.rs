@@ -28,9 +28,11 @@ use rein_data::rng::derive_seed;
 
 pub mod budget;
 pub mod chaos;
+pub mod crash;
 
 pub use budget::{checkpoint, current_budget, Budget, BudgetExhausted};
 pub use chaos::{ChaosMode, ChaosRule, ChaosSpec};
+pub use crash::{CrashRule, CrashSpec, CrashWhen};
 
 /// Which grid phase a guarded call belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -95,11 +97,20 @@ pub struct GuardPolicy {
     /// Explicit tick allowance, overriding the derived one (tests and
     /// stall injection).
     pub budget_override: Option<u64>,
+    /// Crash-injection rules for the durable store's commit points
+    /// (`REIN_CRASH`, empty by default). Deliberately excluded from
+    /// [`GuardPolicy::cache_identity`] — see [`crash`].
+    pub crash: CrashSpec,
 }
 
 impl Default for GuardPolicy {
     fn default() -> Self {
-        GuardPolicy { chaos: ChaosSpec::default(), retries: 1, budget_override: None }
+        GuardPolicy {
+            chaos: ChaosSpec::default(),
+            retries: 1,
+            budget_override: None,
+            crash: CrashSpec::default(),
+        }
     }
 }
 
@@ -107,6 +118,22 @@ impl GuardPolicy {
     /// A policy with the given chaos spec and default supervision.
     pub fn with_chaos(chaos: ChaosSpec) -> Self {
         GuardPolicy { chaos, ..GuardPolicy::default() }
+    }
+
+    /// The canonical rendering used as a `CellKey`'s `guard_policy`
+    /// component: exactly the policy knobs that can change a cell's
+    /// *value* — chaos spec, retries, budget override. The crash spec is
+    /// excluded on purpose: it only decides when the process dies at a
+    /// commit point, never what a cell computes, and a run resumed
+    /// without `REIN_CRASH` must address the very cells the crashed run
+    /// committed. The rendering is byte-identical to the struct's
+    /// pre-crash-field `Debug` output, keeping every committed cell
+    /// digest and trace id stable across the store's introduction.
+    pub fn cache_identity(&self) -> String {
+        format!(
+            "GuardPolicy {{ chaos: {:?}, retries: {:?}, budget_override: {:?} }}",
+            self.chaos, self.retries, self.budget_override
+        )
     }
 }
 
@@ -624,6 +651,29 @@ mod tests {
         let failure = report.outcome.unwrap_err();
         assert_eq!(failure.trace_id, 0);
         assert_eq!(failure.to_record().trace_id, "");
+    }
+
+    #[test]
+    fn cache_identity_is_the_pre_crash_debug_rendering() {
+        // Committed artifacts (cell dumps, trace exports) embed digests
+        // computed from the old `format!("{:?}", policy)` — adding the
+        // crash field must not move them.
+        let policy = GuardPolicy::default();
+        assert_eq!(
+            policy.cache_identity(),
+            "GuardPolicy { chaos: ChaosSpec { rules: [] }, retries: 1, budget_override: None }"
+        );
+        let crashy = GuardPolicy {
+            crash: CrashSpec::parse("detect:raha=before").unwrap(),
+            ..GuardPolicy::default()
+        };
+        assert_eq!(
+            crashy.cache_identity(),
+            policy.cache_identity(),
+            "crash injection must not change any cell's cache identity"
+        );
+        let chaotic = GuardPolicy::with_chaos(ChaosSpec::parse("detect:raha=panic").unwrap());
+        assert_ne!(chaotic.cache_identity(), policy.cache_identity());
     }
 
     #[test]

@@ -67,6 +67,42 @@ pub struct TaxonomyRow {
     pub traces: Vec<String>,
 }
 
+/// One row of the store cache-effectiveness table: the durable
+/// cell-store counters one store-backed run manifest recorded
+/// (DESIGN.md §6j). Store-less runs record no `store_*` counters and
+/// produce no row.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheRow {
+    /// Repo-relative manifest source.
+    pub source: String,
+    /// Cells served from the store without recomputation.
+    pub hits: u64,
+    /// Cells computed because the store had no (parseable) entry.
+    pub misses: u64,
+    /// Journal records replayed into the in-memory index at open.
+    pub replayed: u64,
+    /// Corrupt journal stretches quarantined during recovery.
+    pub quarantined: u64,
+    /// Staged cells the run durably committed.
+    pub commits: u64,
+    /// Recomputed cells whose bytes diverged from the stored payload —
+    /// any non-zero value is a determinism regression.
+    pub divergence: u64,
+}
+
+impl CacheRow {
+    /// Hits over consulted cells (hits + misses), in [0, 1]; 0 when the
+    /// run consulted nothing.
+    pub fn hit_rate(&self) -> f64 {
+        let consulted = self.hits + self.misses;
+        if consulted == 0 {
+            0.0
+        } else {
+            self.hits as f64 / consulted as f64
+        }
+    }
+}
+
 /// One row of the generation trend table — what each ingest pass added.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TrendRow {
@@ -143,6 +179,9 @@ pub struct Report {
     /// Duration percentiles of every recorded histogram, sorted by
     /// (histogram, source).
     pub percentiles: Vec<PercentileRow>,
+    /// Store cache effectiveness of every store-backed run, sorted by
+    /// source; empty when no manifest recorded `store_*` counters.
+    pub cache: Vec<CacheRow>,
     /// Benchmark medians of every bench report, keyed by benchmark id
     /// then source file.
     pub bench_medians: BTreeMap<String, BTreeMap<String, f64>>,
@@ -179,8 +218,8 @@ fn name_stats(manifest: &RunManifest) -> BTreeMap<String, (u64, f64, f64)> {
     stats
 }
 
-/// The three manifest-derived tables of the report, in render order.
-type ManifestTables = (Vec<StrategyRow>, Vec<TaxonomyRow>, Vec<PercentileRow>);
+/// The manifest-derived tables of the report, in render order.
+type ManifestTables = (Vec<StrategyRow>, Vec<TaxonomyRow>, Vec<PercentileRow>, Vec<CacheRow>);
 
 /// Aggregates the per-strategy table and the failure taxonomy across
 /// every run manifest the index points at.
@@ -188,9 +227,22 @@ fn strategy_tables(root: &Path, index: &LedgerIndex) -> Result<ManifestTables, S
     let mut rows: BTreeMap<String, StrategyRow> = BTreeMap::new();
     let mut taxonomy: BTreeMap<String, (FailureTaxonomy, Vec<String>)> = BTreeMap::new();
     let mut percentiles: Vec<PercentileRow> = Vec::new();
+    let mut cache: Vec<CacheRow> = Vec::new();
     for entry in index.entries.iter().filter(|e| e.kind == "run_manifest") {
         let manifest = load_manifest(root, &entry.source)?;
         let stats = name_stats(&manifest);
+        let n = |name: &str| manifest.counters.get(name).copied().unwrap_or(0);
+        if manifest.counters.keys().any(|k| k.starts_with("store_")) {
+            cache.push(CacheRow {
+                source: entry.source.clone(),
+                hits: n("store_hits"),
+                misses: n("store_misses"),
+                replayed: n("store_replayed"),
+                quarantined: n("store_quarantined"),
+                commits: n("store_commits"),
+                divergence: n("store_divergence"),
+            });
+        }
         for (name, summary) in &manifest.histograms {
             percentiles.push(PercentileRow {
                 histogram: name.clone(),
@@ -239,7 +291,8 @@ fn strategy_tables(root: &Path, index: &LedgerIndex) -> Result<ManifestTables, S
         })
         .collect();
     percentiles.sort_by(|a, b| (&a.histogram, &a.source).cmp(&(&b.histogram, &b.source)));
-    Ok((rows.into_values().collect(), taxonomy, percentiles))
+    cache.sort_by(|a, b| a.source.cmp(&b.source));
+    Ok((rows.into_values().collect(), taxonomy, percentiles, cache))
 }
 
 /// Folds the index into per-generation trend rows (pure — no file IO).
@@ -314,7 +367,7 @@ pub fn build_report(
     for e in &index.entries {
         *kind_counts.entry(e.kind.clone()).or_insert(0) += 1;
     }
-    let (strategies, taxonomy, percentiles) = strategy_tables(root, index)?;
+    let (strategies, taxonomy, percentiles, cache) = strategy_tables(root, index)?;
     let mut bench_medians: BTreeMap<String, BTreeMap<String, f64>> = BTreeMap::new();
     for e in index.entries.iter().filter(|e| e.kind == "bench_report") {
         for (id, median) in &e.bench_medians {
@@ -331,6 +384,7 @@ pub fn build_report(
         strategies,
         taxonomy,
         percentiles,
+        cache,
         bench_medians,
         trends: trend_rows(index),
         diff,
@@ -423,6 +477,30 @@ impl Report {
                     fmt_ms(r.p95_ms),
                     fmt_ms(r.p99_ms),
                     fmt_ms(r.max_ms)
+                ));
+            }
+        }
+
+        out.push_str("\n## Store cache effectiveness\n\n");
+        if self.cache.is_empty() {
+            out.push_str("No store-backed runs in the ledger.\n");
+        } else {
+            out.push_str(
+                "| source | hits | misses | hit rate | replayed | quarantined | commits \
+                 | divergence |\n",
+            );
+            out.push_str("|---|---:|---:|---:|---:|---:|---:|---:|\n");
+            for r in &self.cache {
+                out.push_str(&format!(
+                    "| {} | {} | {} | {} | {} | {} | {} | {} |\n",
+                    r.source,
+                    r.hits,
+                    r.misses,
+                    fmt_rate(r.hit_rate()),
+                    r.replayed,
+                    r.quarantined,
+                    r.commits,
+                    r.divergence
                 ));
             }
         }
@@ -572,6 +650,39 @@ impl Report {
                     fmt_ms(r.p95_ms),
                     fmt_ms(r.p99_ms),
                     fmt_ms(r.max_ms)
+                ));
+            }
+            out.push_str("</table>\n");
+        }
+
+        out.push_str("<h2>Store cache effectiveness</h2>\n");
+        if self.cache.is_empty() {
+            out.push_str("<p>No store-backed runs in the ledger.</p>\n");
+        } else {
+            out.push_str(
+                "<table>\n<tr><th>source</th><th>hits</th><th>misses</th><th>hit rate</th>\
+                 <th>replayed</th><th>quarantined</th><th>commits</th><th>divergence</th>\
+                 <th></th></tr>\n",
+            );
+            for r in &self.cache {
+                let width = (r.hit_rate() * 100.0).clamp(0.0, 100.0);
+                let bar_class =
+                    if r.divergence > 0 || r.quarantined > 0 { "bar bad" } else { "bar" };
+                out.push_str(&format!(
+                    "<tr><td>{}</td><td class=\"n\">{}</td><td class=\"n\">{}</td>\
+                     <td class=\"n\">{}</td><td class=\"n\">{}</td><td class=\"n\">{}</td>\
+                     <td class=\"n\">{}</td><td class=\"n\">{}</td>\
+                     <td><span class=\"{}\" style=\"width:{:.1}%\"></span></td></tr>\n",
+                    esc(&r.source),
+                    r.hits,
+                    r.misses,
+                    fmt_rate(r.hit_rate()),
+                    r.replayed,
+                    r.quarantined,
+                    r.commits,
+                    r.divergence,
+                    bar_class,
+                    width
                 ));
             }
             out.push_str("</table>\n");
@@ -729,6 +840,15 @@ mod tests {
                 p99_ms: 3.0,
                 max_ms: 3.0,
             }],
+            cache: vec![CacheRow {
+                source: "artifacts/telemetry/crash_smoke-37.json".into(),
+                hits: 408,
+                misses: 0,
+                replayed: 408,
+                quarantined: 0,
+                commits: 0,
+                divergence: 0,
+            }],
             bench_medians: BTreeMap::new(),
             trends: Vec::new(),
             diff: None,
@@ -747,6 +867,29 @@ mod tests {
         assert!(md.contains("| grid:cell_ms | artifacts/telemetry/fig2-11.json | 9 | 1.000 | 2.000 | 3.000 | 3.000 |"));
         assert!(html.contains("00000000deadbeef"));
         assert!(html.contains("grid:cell_ms"));
+        assert!(
+            md.contains(
+                "| artifacts/telemetry/crash_smoke-37.json | 408 | 0 | 100.0% | 408 | 0 | 0 | 0 |"
+            ),
+            "cache table renders hits, hit rate and recovery counters:\n{md}"
+        );
+        assert!(html.contains("<h2>Store cache effectiveness</h2>"));
+    }
+
+    #[test]
+    fn cache_hit_rate_handles_unconsulted_and_warm_stores() {
+        let cold = CacheRow {
+            source: "a.json".into(),
+            hits: 0,
+            misses: 0,
+            replayed: 0,
+            quarantined: 0,
+            commits: 0,
+            divergence: 0,
+        };
+        assert_eq!(cold.hit_rate(), 0.0);
+        let warm = CacheRow { hits: 9, misses: 1, ..cold };
+        assert!((warm.hit_rate() - 0.9).abs() < 1e-12);
     }
 
     #[test]

@@ -63,6 +63,16 @@ if [ "$serial_sum" != "$parallel_sum" ]; then
 fi
 echo "grid dumps byte-identical across REIN_THREADS=1/4 (sha256 $serial_sum)"
 
+echo "==> crash smoke at REIN_THREADS=1 and 4 (kill-resume byte-identity, quarantine recovery, warm-store hit rate)"
+# crash_smoke is self-asserting: it kills a store-backed grid at every
+# REIN_CRASH commit point, resumes from the journal, flips a journal
+# byte to force quarantine recovery, and requires the warm store to
+# serve >=90% of cells — every dump byte-compared against a store-less
+# reference. Exit 0 is the only pass; set -e gates the rest.
+for threads in 1 4; do
+  REIN_SCALE=0.05 REIN_THREADS=$threads cargo run -q --release -p rein-bench --bin crash_smoke
+done
+
 echo "==> parallel smoke (S1-S5 grid byte-identity at 1/4/N threads, in-process)"
 REIN_SCALE=0.05 cargo run -q --release -p rein-bench --bin parallel_smoke
 
